@@ -1,0 +1,39 @@
+// Figure 3 reproduction: the binomial tree with recursive halving. Prints
+// the stage-by-stage communication schedule (broadcast direction) and the
+// reverse (reduce direction), as virtual-rank edges.
+//
+//   bench_fig3_tree_schedule [--pes 8]
+
+#include <cstdio>
+
+#include "collectives/schedule.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  const xbgas::CliArgs args(argc, argv);
+  const int n = static_cast<int>(args.get_int("pes", 8));
+
+  std::printf("== Figure 3: binomial tree with recursive halving (%d PEs) "
+              "==\n\n", n);
+  std::printf("Broadcast/scatter direction (top-down, put-based):");
+  int stage = -1;
+  for (const auto& e : xbgas::broadcast_schedule(n)) {
+    if (e.stage != stage) {
+      stage = e.stage;
+      std::printf("\n  stage %d:", stage);
+    }
+    std::printf("  %d->%d", e.from_vrank, e.to_vrank);
+  }
+  std::printf("\n\nReduce/gather direction (bottom-up, get-based):");
+  stage = -1;
+  for (const auto& e : xbgas::reduce_schedule(n)) {
+    if (e.stage != stage) {
+      stage = e.stage;
+      std::printf("\n  stage %d:", stage);
+    }
+    std::printf("  %d<-%d", e.to_vrank, e.from_vrank);
+  }
+  std::printf("\n\nStages: %d (= ceil(log2 %d)); edges: %d\n",
+              xbgas::schedule_stages(n), n, n - 1);
+  return 0;
+}

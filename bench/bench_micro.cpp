@@ -1,0 +1,131 @@
+// google-benchmark micro-benchmarks of the substrate hot paths: instruction
+// codec, interpreter dispatch, cache/TLB model, symmetric allocator, GUPs
+// stream jump-ahead, and schedule generation. These are host-side costs (how
+// fast the simulator itself runs), not modeled cycles.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "collectives/schedule.hpp"
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "isa/hart.hpp"
+#include "memory/freelist_allocator.hpp"
+
+namespace {
+
+void BM_EncodeDecode(benchmark::State& state) {
+  const xbgas::isa::Instruction inst{xbgas::isa::Op::kEld, 5, 6, 0, 16};
+  for (auto _ : state) {
+    const std::uint32_t word = xbgas::isa::encode(inst);
+    benchmark::DoNotOptimize(xbgas::isa::decode(word));
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void BM_DecodeRandomValid(benchmark::State& state) {
+  // Pre-collect valid words so the loop measures pure decode.
+  xbgas::Xoshiro256ss rng(1);
+  std::vector<std::uint32_t> words;
+  while (words.size() < 1024) {
+    const auto w = static_cast<std::uint32_t>(rng.next());
+    if (xbgas::isa::try_decode(w)) words.push_back(w);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbgas::isa::decode(words[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_DecodeRandomValid);
+
+class NullPort final : public xbgas::isa::GlobalMemoryPort {
+ public:
+  xbgas::isa::MemAccessResult load(std::uint64_t, std::uint64_t, unsigned,
+                                   std::uint64_t* value) override {
+    *value = 0;
+    return {.cycles = 1};
+  }
+  xbgas::isa::MemAccessResult store(std::uint64_t, std::uint64_t, unsigned,
+                                    std::uint64_t) override {
+    return {.cycles = 1};
+  }
+};
+
+void BM_HartAluLoop(benchmark::State& state) {
+  NullPort port;
+  xbgas::isa::ProgramBuilder b;
+  b.li(1, 1000).li(2, 0);
+  b.label("loop");
+  b.add(2, 2, 1).addi(1, 1, -1).bne(1, 0, "loop");
+  b.ecall();
+  xbgas::isa::Hart hart(port);
+  const auto prog = b.build();
+  for (auto _ : state) {
+    hart.reset();
+    hart.load_program(prog);
+    benchmark::DoNotOptimize(hart.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 3002);
+}
+BENCHMARK(BM_HartAluLoop);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  xbgas::CacheHierarchy cache;
+  xbgas::Xoshiro256ss rng(7);
+  const std::uint64_t mask = (1 << 24) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next() & mask, 8));
+  }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_FreeListAllocRelease(benchmark::State& state) {
+  xbgas::FreeListAllocator alloc(std::size_t{64} << 20);
+  for (auto _ : state) {
+    const auto off = alloc.allocate(256);
+    benchmark::DoNotOptimize(off);
+    alloc.release(*off);
+  }
+}
+BENCHMARK(BM_FreeListAllocRelease);
+
+void BM_GupsStreamJumpAhead(benchmark::State& state) {
+  std::int64_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbgas::GupsStream::at(n));
+    n = (n * 31 + 7) & ((std::int64_t{1} << 40) - 1);
+  }
+}
+BENCHMARK(BM_GupsStreamJumpAhead);
+
+void BM_GupsStreamNext(benchmark::State& state) {
+  xbgas::GupsStream stream = xbgas::GupsStream::at(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next());
+  }
+}
+BENCHMARK(BM_GupsStreamNext);
+
+void BM_BroadcastSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbgas::broadcast_schedule(n));
+  }
+}
+BENCHMARK(BM_BroadcastSchedule)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_NasRandlc(benchmark::State& state) {
+  xbgas::NasRandlc rng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_NasRandlc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#pragma once
+
+// GUPs (HPCC RandomAccess) adapted to the xbrtime API — the Figure-4
+// workload. A table of 2^m 64-bit words is distributed evenly over the PEs;
+// each PE walks its slice of the canonical polynomial update stream and
+// XORs table[ran mod 2^m] wherever it lives (local cache-model access or a
+// remote AMO through the network model). Setup parameters travel by
+// broadcast and verification errors are combined by reduction, matching the
+// paper's note that the benchmark exercises both collectives. Verification
+// (re-applying the stream and checking the table returns to its initial
+// state) follows the HPCC scheme and runs outside the timed region.
+
+#include <cstdint>
+
+#include "machine/machine.hpp"
+
+namespace xbgas {
+
+struct GupsConfig {
+  unsigned log2_table_entries = 21;  ///< total table entries (all PEs)
+  /// Updates each PE performs. 0 selects the HPCC convention of 4x the
+  /// table size divided across PEs — enough coverage for the cache model
+  /// to reach steady state, which is what differentiates the per-PE
+  /// curves of Figure 4.
+  std::uint64_t updates_per_pe = 0;
+  bool verify = true;  ///< the paper runs GUPs "with verification enabled"
+};
+
+struct GupsResult {
+  int n_pes = 0;
+  std::uint64_t total_updates = 0;
+  std::uint64_t cycles = 0;     ///< simulated cycles for the update phase
+  double seconds = 0.0;         ///< at SimClock::kDefaultHz
+  double gups = 0.0;            ///< billions of updates per second
+  double mops_total = 0.0;      ///< millions of updates/s (paper's unit)
+  double mops_per_pe = 0.0;
+  std::uint64_t errors = 0;     ///< verification mismatches (0 expected)
+};
+
+/// Run the full benchmark on `machine`. The machine's clocks/stats are reset
+/// first; the result reflects only the timed update phase.
+GupsResult run_gups(Machine& machine, const GupsConfig& config);
+
+}  // namespace xbgas

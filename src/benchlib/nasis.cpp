@@ -1,0 +1,274 @@
+#include "benchlib/nasis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "collectives/composed.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+
+namespace {
+
+constexpr int kNumBuckets = 1024;
+
+/// Cycles per key for the local histogram / grouping / ranking passes
+/// (a few RV64I instructions each).
+constexpr std::uint64_t kPerKeyComputeCycles = 8;
+
+}  // namespace
+
+IsClassParams is_class_params(IsClass cls) {
+  switch (cls) {
+    case IsClass::kS:
+      return {std::uint64_t{1} << 16, std::int32_t{1} << 11};
+    case IsClass::kW:
+      return {std::uint64_t{1} << 20, std::int32_t{1} << 16};
+    case IsClass::kA:
+      return {std::uint64_t{1} << 23, std::int32_t{1} << 19};
+    case IsClass::kB:
+      return {std::uint64_t{1} << 25, std::int32_t{1} << 21};
+  }
+  throw Error("unknown IS class");
+}
+
+const char* is_class_name(IsClass cls) {
+  switch (cls) {
+    case IsClass::kS: return "S";
+    case IsClass::kW: return "W";
+    case IsClass::kA: return "A";
+    case IsClass::kB: return "B";
+  }
+  return "?";
+}
+
+std::size_t is_shared_bytes_needed(IsClass cls, int n_pes) {
+  const auto params = is_class_params(cls);
+  const std::size_t kpp =
+      static_cast<std::size_t>(params.total_keys) /
+      static_cast<std::size_t>(std::max(n_pes, 1));
+  // recv buffer (2x slack) + bucket count arrays + exchange arrays, doubled
+  // again because a quarter of the shared segment is reserved for the
+  // collective staging region and the allocator needs headroom.
+  const std::size_t user = 2 * kpp * sizeof(std::int32_t) +
+                           4 * kNumBuckets * sizeof(std::int64_t) +
+                           (std::size_t{1} << 20);
+  return std::max<std::size_t>(2 * user, std::size_t{16} << 20);
+}
+
+IsResult run_is(Machine& machine, const IsConfig& config) {
+  const int n = machine.n_pes();
+  const auto params = is_class_params(config.cls);
+  XBGAS_CHECK(params.total_keys % static_cast<std::uint64_t>(n) == 0,
+              "total keys must divide evenly across PEs");
+  const std::size_t kpp = static_cast<std::size_t>(
+      params.total_keys / static_cast<std::uint64_t>(n));
+  const std::size_t recv_cap = 2 * kpp + kNumBuckets;
+  const std::int32_t max_key = params.max_key;
+  XBGAS_CHECK(max_key % kNumBuckets == 0, "max_key must divide into buckets");
+  const std::int32_t bucket_width = max_key / kNumBuckets;
+
+  machine.reset_time_and_stats();
+
+  IsResult result;
+  result.n_pes = n;
+  result.total_keys = params.total_keys;
+  result.iterations = config.iterations;
+
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const int me = pe.rank();
+    const auto un = static_cast<std::size_t>(n);
+
+    // --- key generation (NAS create_seq, per-PE slice of the stream) ----
+    std::vector<std::int32_t> keys(kpp);
+    {
+      const double seed = NasRandlc::skip_ahead(
+          NasRandlc::kDefaultSeed, NasRandlc::kA,
+          static_cast<std::int64_t>(4 * kpp) * me);
+      NasRandlc rng(seed);
+      const double k4 = static_cast<double>(max_key) / 4.0;
+      for (auto& k : keys) {
+        const double x = rng.next() + rng.next() + rng.next() + rng.next();
+        k = static_cast<std::int32_t>(k4 * x);
+        XBGAS_DCHECK(k >= 0 && k < max_key, "key out of range");
+      }
+    }
+
+    // --- symmetric working set ----------------------------------------
+    auto* l_counts = static_cast<std::int64_t*>(
+        xbrtime_malloc(kNumBuckets * sizeof(std::int64_t)));
+    auto* g_counts = static_cast<std::int64_t*>(
+        xbrtime_malloc(kNumBuckets * sizeof(std::int64_t)));
+    auto* send_cnt = static_cast<std::int32_t*>(
+        xbrtime_malloc(un * sizeof(std::int32_t)));
+    auto* recv_cnt = static_cast<std::int32_t*>(
+        xbrtime_malloc(un * sizeof(std::int32_t)));
+    auto* off_msg = static_cast<std::int32_t*>(
+        xbrtime_malloc(un * sizeof(std::int32_t)));
+    auto* put_off = static_cast<std::int32_t*>(
+        xbrtime_malloc(un * sizeof(std::int32_t)));
+    auto* recv_buf = static_cast<std::int32_t*>(
+        xbrtime_malloc(recv_cap * sizeof(std::int32_t)));
+    XBGAS_CHECK(recv_buf != nullptr, "IS allocation failed - raise shared_bytes");
+
+    std::vector<std::int32_t> send_buf(kpp);
+    std::vector<std::size_t> send_disp(un + 1);
+    std::vector<int> bucket_owner(kNumBuckets);
+    std::size_t recv_total = 0;
+    std::int32_t my_lo = 0, my_hi = 0;
+
+    auto one_iteration = [&] {
+      // (1) local histogram.
+      std::fill(l_counts, l_counts + kNumBuckets, 0);
+      for (const auto k : keys) ++l_counts[k / bucket_width];
+      pe.clock().advance(kPerKeyComputeCycles * kpp);
+
+      // (2) global bucket distribution via reduce-to-all (the reduce +
+      //     broadcast composition the paper calls out for this benchmark).
+      reduce_all<OpSum>(g_counts, l_counts, kNumBuckets, 1);
+
+      // (3) balanced contiguous bucket->PE assignment.
+      {
+        const auto target = static_cast<std::int64_t>(params.total_keys) / n;
+        std::int64_t acc = 0;
+        int owner = 0;
+        for (int b = 0; b < kNumBuckets; ++b) {
+          if (acc >= static_cast<std::int64_t>(owner + 1) * target &&
+              owner < n - 1) {
+            ++owner;
+          }
+          bucket_owner[static_cast<std::size_t>(b)] = owner;
+          acc += g_counts[b];
+        }
+        pe.clock().advance(kNumBuckets);
+      }
+
+      // (4) group keys by destination and exchange counts/offsets.
+      {
+        std::vector<std::size_t> fill(un, 0);
+        std::fill(send_cnt, send_cnt + un, 0);
+        for (const auto k : keys) {
+          ++send_cnt[bucket_owner[static_cast<std::size_t>(k / bucket_width)]];
+        }
+        send_disp[0] = 0;
+        for (std::size_t d = 0; d < un; ++d) {
+          send_disp[d + 1] =
+              send_disp[d] + static_cast<std::size_t>(send_cnt[d]);
+        }
+        for (const auto k : keys) {
+          const auto d = static_cast<std::size_t>(
+              bucket_owner[static_cast<std::size_t>(k / bucket_width)]);
+          send_buf[send_disp[d] + fill[d]++] = k;
+        }
+        pe.clock().advance(kPerKeyComputeCycles * kpp);
+      }
+
+      alltoall(recv_cnt, send_cnt, 1);
+
+      // recv offsets by sender; publish each sender's slot via a second
+      // all-to-all.
+      {
+        std::int32_t off = 0;
+        for (std::size_t s = 0; s < un; ++s) {
+          off_msg[s] = off;
+          off += recv_cnt[s];
+        }
+        recv_total = static_cast<std::size_t>(off);
+        XBGAS_CHECK(recv_total <= recv_cap,
+                    "IS receive buffer overflow - key distribution too skewed");
+      }
+      alltoall(put_off, off_msg, 1);
+
+      // (5) one-sided key exchange.
+      for (std::size_t d = 0; d < un; ++d) {
+        const auto cnt = static_cast<std::size_t>(send_cnt[d]);
+        if (cnt > 0) {
+          xbr_put(recv_buf + put_off[d], send_buf.data() + send_disp[d],
+                  cnt, 1, static_cast<int>(d));
+        }
+      }
+      xbrtime_barrier();
+
+      // (6) local ranking: counting sort over this PE's key range.
+      {
+        my_lo = max_key;
+        my_hi = 0;
+        for (int b = 0; b < kNumBuckets; ++b) {
+          if (bucket_owner[static_cast<std::size_t>(b)] == me) {
+            my_lo = std::min(my_lo, b * bucket_width);
+            my_hi = std::max(my_hi, (b + 1) * bucket_width);
+          }
+        }
+        if (my_lo >= my_hi) {  // PE owns no buckets (tiny classes)
+          my_lo = my_hi = 0;
+        }
+        const auto range = static_cast<std::size_t>(my_hi - my_lo);
+        std::vector<std::int32_t> rank_cnt(range + 1, 0);
+        for (std::size_t i = 0; i < recv_total; ++i) {
+          const std::int32_t k = recv_buf[i];
+          XBGAS_DCHECK(k >= my_lo && k < my_hi, "received key out of range");
+          ++rank_cnt[static_cast<std::size_t>(k - my_lo)];
+        }
+        for (std::size_t r = 1; r < rank_cnt.size(); ++r) {
+          rank_cnt[r] = static_cast<std::int32_t>(rank_cnt[r] + rank_cnt[r - 1]);
+        }
+        pe.clock().advance(kPerKeyComputeCycles * (recv_total + range));
+      }
+    };
+
+    // --- timed iterations ----------------------------------------------
+    xbrtime_barrier();
+    const std::uint64_t t0 = pe.clock().cycles();
+    for (int it = 0; it < config.iterations; ++it) one_iteration();
+    xbrtime_barrier();
+    const std::uint64_t t1 = pe.clock().cycles();
+    if (me == 0) result.cycles = t1 - t0;
+
+    // --- verification (untimed) ----------------------------------------
+    // (a) every received key in range (checked above), (b) cross-PE
+    // boundary order, (c) global key conservation.
+    auto* minmax = static_cast<std::int32_t*>(
+        xbrtime_malloc(2 * un * sizeof(std::int32_t)));
+    std::int32_t mm[2] = {my_lo, my_hi};
+    fcollect(minmax, mm, 2);
+    auto* conserve = static_cast<std::int64_t*>(
+        xbrtime_malloc(sizeof(std::int64_t)));
+    auto* conserve_sum = static_cast<std::int64_t*>(
+        xbrtime_malloc(sizeof(std::int64_t)));
+    *conserve = static_cast<std::int64_t>(recv_total);
+    reduce_all<OpSum>(conserve_sum, conserve, 1, 1);
+
+    bool ok = *conserve_sum == static_cast<std::int64_t>(params.total_keys);
+    for (std::size_t r = 0; r + 1 < un; ++r) {
+      if (minmax[2 * r + 1] > minmax[2 * (r + 1)]) ok = false;  // hi_r <= lo_{r+1}
+    }
+    if (me == 0) result.verified = ok;
+
+    xbrtime_free(conserve_sum);
+    xbrtime_free(conserve);
+    xbrtime_free(minmax);
+    xbrtime_free(recv_buf);
+    xbrtime_free(put_off);
+    xbrtime_free(off_msg);
+    xbrtime_free(recv_cnt);
+    xbrtime_free(send_cnt);
+    xbrtime_free(g_counts);
+    xbrtime_free(l_counts);
+    xbrtime_close();
+  });
+
+  result.seconds = static_cast<double>(result.cycles) / SimClock::kDefaultHz;
+  if (result.seconds > 0) {
+    result.mops_total =
+        static_cast<double>(result.total_keys) *
+        static_cast<double>(result.iterations) / result.seconds / 1e6;
+    result.mops_per_pe = result.mops_total / n;
+  }
+  return result;
+}
+
+}  // namespace xbgas

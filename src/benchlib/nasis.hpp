@@ -1,0 +1,61 @@
+#pragma once
+
+// NAS Integer Sort (IS) adapted to the xbrtime API — the Figure-5 workload.
+//
+// The benchmark ranks N uniformly-generated-by-LCG keys (the NAS key
+// distribution: the average of four randlc draws, so triangular-ish around
+// max_key/2) for `iterations` repetitions. Each iteration:
+//
+//   1. local bucket histogram,
+//   2. reduction-to-all of the bucket counts (the reduce+broadcast pattern
+//      the paper highlights for this benchmark),
+//   3. bucket->PE assignment by balanced prefix sums,
+//   4. all-to-all exchange of per-pair key counts + offsets, then one-sided
+//      puts of the key payloads into each destination's symmetric buffer,
+//   5. local counting-sort ranking of the received keys.
+//
+// Verification (untimed): local sortedness, cross-PE boundary order via a
+// neighbor get, and global key conservation via reduction.
+
+#include <cstdint>
+
+#include "machine/machine.hpp"
+
+namespace xbgas {
+
+enum class IsClass { kS, kW, kA, kB };
+
+/// NAS problem-class parameters (keys, max key value).
+struct IsClassParams {
+  std::uint64_t total_keys;
+  std::int32_t max_key;
+};
+
+IsClassParams is_class_params(IsClass cls);
+const char* is_class_name(IsClass cls);
+
+struct IsConfig {
+  IsClass cls = IsClass::kS;
+  int iterations = 10;  ///< NAS default
+};
+
+struct IsResult {
+  int n_pes = 0;
+  std::uint64_t total_keys = 0;
+  int iterations = 0;
+  std::uint64_t cycles = 0;  ///< simulated cycles for the timed iterations
+  double seconds = 0.0;
+  double mops_total = 0.0;   ///< keys ranked per microsecond (NAS metric)
+  double mops_per_pe = 0.0;
+  bool verified = false;
+};
+
+/// Run the full benchmark on `machine`. Requires total_keys divisible by
+/// n_pes and enough shared memory for ~3.5x the per-PE key slice.
+IsResult run_is(Machine& machine, const IsConfig& config);
+
+/// Shared-segment bytes per PE needed for a given class/PE count (for
+/// MachineConfig sizing by the bench drivers).
+std::size_t is_shared_bytes_needed(IsClass cls, int n_pes);
+
+}  // namespace xbgas

@@ -1,0 +1,40 @@
+#include "benchlib/options.hpp"
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
+  MachineConfig config;
+  config.n_pes = n_pes;
+  config.topology_name = args.get("topology", "flat");
+  config.layout.shared_bytes =
+      static_cast<std::size_t>(args.get_int("shared-mb", 64)) << 20;
+  config.layout.private_bytes =
+      static_cast<std::size_t>(args.get_int("private-mb", 8)) << 20;
+  config.net.fabric_bytes_per_cycle =
+      args.get_double("fabric-bpc", config.net.fabric_bytes_per_cycle);
+  config.net.link_bytes_per_cycle =
+      args.get_double("link-bpc", config.net.link_bytes_per_cycle);
+  config.net.fabric_message_cycles = static_cast<std::uint64_t>(
+      args.get_int("fabric-mpc",
+                   static_cast<std::int64_t>(config.net.fabric_message_cycles)));
+
+  const std::string barrier = args.get("barrier", "dissemination");
+  if (barrier == "dissemination") {
+    config.net.barrier_algorithm = BarrierAlgorithm::kDissemination;
+  } else if (barrier == "central") {
+    config.net.barrier_algorithm = BarrierAlgorithm::kCentral;
+  } else if (barrier == "tournament") {
+    config.net.barrier_algorithm = BarrierAlgorithm::kTournament;
+  } else {
+    throw Error("unknown barrier algorithm: " + barrier);
+  }
+  return config;
+}
+
+std::vector<int> pe_counts_from_cli(const CliArgs& args) {
+  return args.get_int_list("pes", {1, 2, 4, 8});
+}
+
+}  // namespace xbgas

@@ -1,0 +1,27 @@
+#pragma once
+
+// Shared CLI -> MachineConfig plumbing for the bench/ and examples/
+// binaries: --topology, --pes, network-model overrides, and standard
+// machine sizing.
+
+#include <vector>
+
+#include "common/cli.hpp"
+#include "machine/machine.hpp"
+
+namespace xbgas {
+
+/// Machine configuration from common flags:
+///   --topology flat|ring|torus|hypercube   (default flat)
+///   --shared-mb N                          shared segment size per PE
+///   --private-mb N                         private segment size per PE
+///   --fabric-bpc X                         fabric bytes/cycle
+///   --fabric-mpc N                         fabric cycles/message
+///   --link-bpc X                           link bytes/cycle
+///   --barrier dissemination|central|tournament
+MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes);
+
+/// PE counts from --pes a,b,c (default: the paper's 1,2,4,8).
+std::vector<int> pe_counts_from_cli(const CliArgs& args);
+
+}  // namespace xbgas

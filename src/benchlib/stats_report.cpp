@@ -1,0 +1,38 @@
+#include "benchlib/stats_report.hpp"
+
+#include <cstdio>
+
+#include "benchlib/table.hpp"
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+void print_machine_stats(Machine& machine) {
+  AsciiTable table({"PE", "sim cycles", "L1 hit", "L2 hit", "TLB hit",
+                    "OLB lookups", "OLB remote", "OLB local"});
+  for (int r = 0; r < machine.n_pes(); ++r) {
+    PeContext& pe = machine.pe(r);
+    const auto& olb = pe.olb().stats();
+    table.add_row(
+        {AsciiTable::cell(static_cast<long long>(r)),
+         AsciiTable::cell(static_cast<unsigned long long>(pe.clock().cycles())),
+         strfmt("%.1f%%", 100.0 * pe.cache().l1().stats().hit_rate()),
+         strfmt("%.1f%%", 100.0 * pe.cache().l2().stats().hit_rate()),
+         strfmt("%.1f%%", 100.0 * pe.cache().tlb().stats().hit_rate()),
+         AsciiTable::cell(static_cast<unsigned long long>(olb.lookups)),
+         AsciiTable::cell(static_cast<unsigned long long>(olb.hits)),
+         AsciiTable::cell(
+             static_cast<unsigned long long>(olb.local_shortcuts))});
+  }
+  table.print();
+  const NetTotals net = machine.network().totals();
+  std::printf("network: %llu messages (%llu puts, %llu gets), %llu bytes "
+              "incl. headers, topology %s\n",
+              static_cast<unsigned long long>(net.messages),
+              static_cast<unsigned long long>(net.puts),
+              static_cast<unsigned long long>(net.gets),
+              static_cast<unsigned long long>(net.bytes),
+              machine.network().topology().name().c_str());
+}
+
+}  // namespace xbgas

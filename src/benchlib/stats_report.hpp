@@ -1,0 +1,15 @@
+#pragma once
+
+// Post-run machine statistics reporting for the bench binaries: per-PE
+// simulated cycles, cache/TLB hit rates and OLB counters, plus the
+// machine-wide network totals. Read after Machine::run returns (the PE
+// threads have joined, so the per-PE structures are quiescent).
+
+#include "machine/machine.hpp"
+
+namespace xbgas {
+
+/// Print the per-PE + network statistics table to stdout.
+void print_machine_stats(Machine& machine);
+
+}  // namespace xbgas

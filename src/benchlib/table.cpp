@@ -1,0 +1,57 @@
+#include "benchlib/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  XBGAS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  XBGAS_CHECK(cells.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::cell(double v) { return strfmt("%.3f", v); }
+std::string AsciiTable::cell(long long v) { return strfmt("%lld", v); }
+std::string AsciiTable::cell(unsigned long long v) { return strfmt("%llu", v); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string rule = "+";
+  for (const auto w : width) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule + emit_row(headers_) + rule;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule;
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace xbgas

@@ -1,0 +1,33 @@
+#pragma once
+
+// ASCII table printer for the figure/table reproduction binaries: prints
+// the same rows/series the paper reports, aligned for terminal reading.
+
+#include <string>
+#include <vector>
+
+namespace xbgas {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.3f and integers with %lld.
+  static std::string cell(double v);
+  static std::string cell(long long v);
+  static std::string cell(unsigned long long v);
+
+  /// Render with a header rule and column padding.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,64 @@
+#include "cache/cache.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace xbgas {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry)
+    : geometry_(geometry) {
+  XBGAS_CHECK(is_pow2(geometry.line_bytes), "line size must be a power of two");
+  XBGAS_CHECK(geometry.ways >= 1, "cache needs >= 1 way");
+  const std::size_t sets = geometry.num_sets();
+  XBGAS_CHECK(sets >= 1 && is_pow2(sets),
+              "size/(ways*line) must be a power-of-two set count");
+  set_mask_ = sets - 1;
+  set_shift_ = floor_log2(sets);
+  line_shift_ = floor_log2(geometry.line_bytes);
+  ways_.resize(sets * geometry.ways);
+}
+
+bool SetAssocCache::access_line(std::uint64_t line_addr) {
+  ++stats_.accesses;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & set_mask_;
+  const std::uint64_t tag = line_addr >> set_shift_;
+  Way* base = &ways_[set * geometry_.ways];
+
+  Way* victim = base;
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++use_counter_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++use_counter_;
+  return false;
+}
+
+unsigned SetAssocCache::access(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  unsigned misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access_line(line)) ++misses;
+  }
+  return misses;
+}
+
+void SetAssocCache::flush() {
+  for (auto& way : ways_) way.valid = false;
+  use_counter_ = 0;
+}
+
+}  // namespace xbgas

@@ -1,0 +1,69 @@
+#pragma once
+
+// Set-associative cache timing model with true-LRU replacement.
+//
+// Paper §5.1 configures each simulated RISC-V core with an 8-way 16 KB L1
+// and an 8-way 8 MB L2; this model reproduces that geometry. It tracks tags
+// only (no data — the arenas hold the real bytes), so an access returns
+// hit/miss and the hierarchy converts that into cycles.
+
+#include <cstdint>
+#include <vector>
+
+namespace xbgas {
+
+struct CacheGeometry {
+  std::size_t size_bytes = 16 * 1024;
+  unsigned ways = 8;
+  unsigned line_bytes = 64;
+
+  std::size_t num_sets() const { return size_bytes / (ways * line_bytes); }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  /// Probe one line address. Returns true on hit; on miss the line is filled
+  /// (allocate-on-miss for both reads and writes).
+  bool access_line(std::uint64_t line_addr);
+
+  /// Probe a byte-range access: touches every line it spans; returns the
+  /// number of missing lines.
+  unsigned access(std::uint64_t addr, std::size_t bytes);
+
+  /// Invalidate everything (e.g. between benchmark repetitions).
+  void flush();
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger == more recently used
+    bool valid = false;
+  };
+
+  CacheGeometry geometry_;
+  std::size_t set_mask_;
+  unsigned set_shift_;
+  unsigned line_shift_;
+  std::uint64_t use_counter_ = 0;
+  std::vector<Way> ways_;  // num_sets x ways, row-major
+  CacheStats stats_;
+};
+
+}  // namespace xbgas

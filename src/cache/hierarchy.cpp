@@ -1,0 +1,47 @@
+#include "cache/hierarchy.hpp"
+
+namespace xbgas {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config), l1_(config.l1), l2_(config.l2), tlb_(config.tlb) {}
+
+std::uint64_t CacheHierarchy::access(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  std::uint64_t cycles = 0;
+
+  // One translation per page the access touches.
+  const std::uint64_t page = config_.tlb.page_bytes;
+  for (std::uint64_t a = addr & ~(page - 1); a <= addr + bytes - 1; a += page) {
+    if (!tlb_.access(a)) cycles += config_.costs.tlb_miss_cycles;
+  }
+
+  // One probe per line the access touches; misses fall through L1 -> L2 ->
+  // DRAM.
+  const std::uint64_t line = config_.l1.line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    if (l1_.access_line(l)) {
+      cycles += config_.costs.l1_hit_cycles;
+    } else if (l2_.access_line(l)) {
+      cycles += config_.costs.l2_hit_cycles;
+    } else {
+      cycles += config_.costs.dram_cycles;
+    }
+  }
+  return cycles;
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  tlb_.flush();
+}
+
+void CacheHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+  tlb_.reset_stats();
+}
+
+}  // namespace xbgas

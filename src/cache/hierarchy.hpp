@@ -1,0 +1,52 @@
+#pragma once
+
+// CacheHierarchy — the per-PE local memory timing stack: TLB -> L1 -> L2 ->
+// DRAM, with the paper's §5.1 geometry as the default profile. Converts a
+// (virtual address, size, read/write) access into modeled cycles.
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "cache/tlb.hpp"
+
+namespace xbgas {
+
+struct CacheCosts {
+  std::uint64_t l1_hit_cycles = 2;
+  std::uint64_t l2_hit_cycles = 12;
+  std::uint64_t dram_cycles = 150;
+  std::uint64_t tlb_miss_cycles = 30;  ///< page-walk penalty
+};
+
+struct HierarchyConfig {
+  CacheGeometry l1{.size_bytes = 16 * 1024, .ways = 8, .line_bytes = 64};
+  CacheGeometry l2{.size_bytes = 8 * 1024 * 1024, .ways = 8, .line_bytes = 64};
+  TlbGeometry tlb{.entries = 256, .ways = 4, .page_bytes = 4096};
+  CacheCosts costs{};
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config = HierarchyConfig{});
+
+  /// Model one local access of `bytes` at `addr`; returns modeled cycles.
+  /// Reads and writes cost the same in this model (allocate-on-write).
+  std::uint64_t access(std::uint64_t addr, std::size_t bytes);
+
+  void flush();
+
+  const SetAssocCache& l1() const { return l1_; }
+  const SetAssocCache& l2() const { return l2_; }
+  const Tlb& tlb() const { return tlb_; }
+  const HierarchyConfig& config() const { return config_; }
+
+  void reset_stats();
+
+ private:
+  HierarchyConfig config_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  Tlb tlb_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,53 @@
+#include "cache/tlb.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace xbgas {
+
+Tlb::Tlb(const TlbGeometry& geometry) : geometry_(geometry) {
+  XBGAS_CHECK(is_pow2(geometry.page_bytes), "page size must be a power of two");
+  XBGAS_CHECK(geometry.ways >= 1 && geometry.entries % geometry.ways == 0,
+              "entries must divide evenly into ways");
+  const unsigned sets = geometry.num_sets();
+  XBGAS_CHECK(sets >= 1 && is_pow2(sets), "set count must be a power of two");
+  set_mask_ = sets - 1;
+  set_shift_ = floor_log2(sets);
+  page_shift_ = floor_log2(geometry.page_bytes);
+  entries_.resize(static_cast<std::size_t>(sets) * geometry.ways);
+}
+
+bool Tlb::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  const std::uint64_t vpn = addr >> page_shift_;
+  const std::size_t set = static_cast<std::size_t>(vpn) & set_mask_;
+  const std::uint64_t tag = vpn >> set_shift_;
+  Entry* base = &entries_[set * geometry_.ways];
+
+  Entry* victim = base;
+  for (unsigned w = 0; w < geometry_.ways; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.vpn_tag == tag) {
+      e.lru = ++use_counter_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->vpn_tag = tag;
+  victim->lru = ++use_counter_;
+  return false;
+}
+
+void Tlb::flush() {
+  for (auto& e : entries_) e.valid = false;
+  use_counter_ = 0;
+}
+
+}  // namespace xbgas

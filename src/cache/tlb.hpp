@@ -1,0 +1,60 @@
+#pragma once
+
+// TLB timing model: 256 entries (paper §5.1), set-associative with true LRU,
+// 4 KiB pages. Like the cache model it tracks tags only; the hierarchy
+// charges a fixed walk penalty per miss.
+
+#include <cstdint>
+#include <vector>
+
+namespace xbgas {
+
+struct TlbGeometry {
+  unsigned entries = 256;
+  unsigned ways = 4;
+  unsigned page_bytes = 4096;
+
+  unsigned num_sets() const { return entries / ways; }
+};
+
+struct TlbStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbGeometry& geometry);
+
+  /// Translate one virtual address. Returns true on hit; fills on miss.
+  bool access(std::uint64_t addr);
+
+  void flush();
+
+  const TlbGeometry& geometry() const { return geometry_; }
+  const TlbStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TlbStats{}; }
+
+ private:
+  struct Entry {
+    std::uint64_t vpn_tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  TlbGeometry geometry_;
+  std::size_t set_mask_;
+  unsigned set_shift_;
+  unsigned page_shift_;
+  std::uint64_t use_counter_ = 0;
+  std::vector<Entry> entries_;
+  TlbStats stats_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,69 @@
+#include "collectives/api_c.hpp"
+
+#include "collectives/collectives.hpp"
+
+namespace xbgas {
+
+#define XBGAS_DEFINE_COLL(NAME, TYPE)                                       \
+  void xbrtime_##NAME##_broadcast(TYPE* dest, const TYPE* src,              \
+                                  std::size_t nelems, int stride,           \
+                                  int root) {                               \
+    broadcast(dest, src, nelems, stride, root);                             \
+  }                                                                         \
+  void xbrtime_##NAME##_reduce_sum(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root) {                              \
+    reduce<OpSum>(dest, src, nelems, stride, root);                         \
+  }                                                                         \
+  void xbrtime_##NAME##_reduce_prod(TYPE* dest, const TYPE* src,            \
+                                    std::size_t nelems, int stride,         \
+                                    int root) {                             \
+    reduce<OpProd>(dest, src, nelems, stride, root);                        \
+  }                                                                         \
+  void xbrtime_##NAME##_reduce_min(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root) {                              \
+    reduce<OpMin>(dest, src, nelems, stride, root);                         \
+  }                                                                         \
+  void xbrtime_##NAME##_reduce_max(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root) {                              \
+    reduce<OpMax>(dest, src, nelems, stride, root);                         \
+  }                                                                         \
+  void xbrtime_##NAME##_scatter(TYPE* dest, const TYPE* src,                \
+                                const int* pe_msgs, const int* pe_disp,     \
+                                std::size_t nelems, int root) {             \
+    scatter(dest, src, pe_msgs, pe_disp, nelems, root);                     \
+  }                                                                         \
+  void xbrtime_##NAME##_gather(TYPE* dest, const TYPE* src,                 \
+                               const int* pe_msgs, const int* pe_disp,      \
+                               std::size_t nelems, int root) {              \
+    gather(dest, src, pe_msgs, pe_disp, nelems, root);                      \
+  }
+
+XBGAS_FOREACH_TYPE(XBGAS_DEFINE_COLL)
+
+#undef XBGAS_DEFINE_COLL
+
+#define XBGAS_DEFINE_COLL_BITWISE(NAME, TYPE)                               \
+  void xbrtime_##NAME##_reduce_and(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root) {                              \
+    reduce<OpBand>(dest, src, nelems, stride, root);                        \
+  }                                                                         \
+  void xbrtime_##NAME##_reduce_or(TYPE* dest, const TYPE* src,              \
+                                  std::size_t nelems, int stride,           \
+                                  int root) {                               \
+    reduce<OpBor>(dest, src, nelems, stride, root);                         \
+  }                                                                         \
+  void xbrtime_##NAME##_reduce_xor(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root) {                              \
+    reduce<OpBxor>(dest, src, nelems, stride, root);                        \
+  }
+
+XBGAS_FOREACH_INT_TYPE(XBGAS_DEFINE_COLL_BITWISE)
+
+#undef XBGAS_DEFINE_COLL_BITWISE
+
+}  // namespace xbgas

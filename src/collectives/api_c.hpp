@@ -1,0 +1,63 @@
+#pragma once
+
+// The paper's typed collective entry points (§4.3-§4.6):
+//
+//   xbrtime_TYPENAME_broadcast(dest, src, nelems, stride, root)
+//   xbrtime_TYPENAME_reduce_OP(dest, src, nelems, stride, root)
+//       OP in {sum, prod, min, max} for all 24 Table-1 types, plus
+//       {and, or, xor} for the non-floating-point types (§4.4)
+//   xbrtime_TYPENAME_scatter(dest, src, pe_msgs, pe_disp, nelems, root)
+//   xbrtime_TYPENAME_gather(dest, src, pe_msgs, pe_disp, nelems, root)
+//
+// The paper's prototypes print `int *pe_msgs[]`; the algorithms treat them
+// as flat int[n_pes] arrays, so these take `const int*` (DESIGN.md §6).
+
+#include <cstddef>
+
+#include "xbrtime/types.hpp"
+
+namespace xbgas {
+
+#define XBGAS_DECLARE_COLL(NAME, TYPE)                                      \
+  void xbrtime_##NAME##_broadcast(TYPE* dest, const TYPE* src,              \
+                                  std::size_t nelems, int stride,           \
+                                  int root);                                \
+  void xbrtime_##NAME##_reduce_sum(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root);                               \
+  void xbrtime_##NAME##_reduce_prod(TYPE* dest, const TYPE* src,            \
+                                    std::size_t nelems, int stride,         \
+                                    int root);                              \
+  void xbrtime_##NAME##_reduce_min(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root);                               \
+  void xbrtime_##NAME##_reduce_max(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root);                               \
+  void xbrtime_##NAME##_scatter(TYPE* dest, const TYPE* src,                \
+                                const int* pe_msgs, const int* pe_disp,     \
+                                std::size_t nelems, int root);              \
+  void xbrtime_##NAME##_gather(TYPE* dest, const TYPE* src,                 \
+                               const int* pe_msgs, const int* pe_disp,      \
+                               std::size_t nelems, int root);
+
+XBGAS_FOREACH_TYPE(XBGAS_DECLARE_COLL)
+
+#undef XBGAS_DECLARE_COLL
+
+#define XBGAS_DECLARE_COLL_BITWISE(NAME, TYPE)                              \
+  void xbrtime_##NAME##_reduce_and(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root);                               \
+  void xbrtime_##NAME##_reduce_or(TYPE* dest, const TYPE* src,              \
+                                  std::size_t nelems, int stride,           \
+                                  int root);                                \
+  void xbrtime_##NAME##_reduce_xor(TYPE* dest, const TYPE* src,             \
+                                   std::size_t nelems, int stride,          \
+                                   int root);
+
+XBGAS_FOREACH_INT_TYPE(XBGAS_DECLARE_COLL_BITWISE)
+
+#undef XBGAS_DECLARE_COLL_BITWISE
+
+}  // namespace xbgas

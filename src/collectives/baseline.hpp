@@ -1,0 +1,149 @@
+#pragma once
+
+// Linear (flat) collective baselines.
+//
+// The paper motivates the binomial tree against the obvious alternative —
+// the root talking to every PE directly (§4.1-§4.2). These baselines
+// implement that flat pattern with the same xbr_put/xbr_get primitives and
+// the same symmetry requirements, so the A1 ablation bench can compare the
+// two shapes like-for-like: the tree costs O(log N) serialized steps at the
+// root, the linear form O(N).
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+
+namespace xbgas {
+
+template <class T>
+void linear_broadcast(T* dest, const T* src, std::size_t nelems, int stride,
+                      int root, Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, stride);
+  const int n = comm.n_pes();
+  if (vr == 0 && nelems > 0) {
+    if (dest != src) {
+      xbr_put(dest, src, nelems, stride, comm.world_rank(comm.rank()));
+    }
+    for (int v = 1; v < n; ++v) {
+      xbr_put(dest, src, nelems, stride,
+              comm.world_rank(logical_rank(v, root, n)));
+    }
+  }
+  comm.barrier();
+}
+
+template <class Op, class T>
+void linear_reduce(T* dest, const T* src, std::size_t nelems, int stride,
+                   int root, Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, stride);
+  const int n = comm.n_pes();
+  const std::size_t span = detail::strided_span(nelems, stride);
+
+  comm.barrier();  // every PE's src must be ready before the root pulls
+  if (vr == 0) {
+    std::vector<T> acc(span);
+    std::vector<T> l_buff(span);
+    for (std::size_t j = 0; j < nelems; ++j) {
+      acc[j * static_cast<std::size_t>(stride)] =
+          src[j * static_cast<std::size_t>(stride)];
+    }
+    PeContext& ctx = xbrtime_ctx();
+    for (int v = 1; v < n; ++v) {
+      const int lr = logical_rank(v, root, n);
+      xbr_get(l_buff.data(), src, nelems, stride, comm.world_rank(lr));
+      for (std::size_t j = 0; j < nelems; ++j) {
+        const std::size_t at = j * static_cast<std::size_t>(stride);
+        acc[at] = Op::apply(acc[at], l_buff[at]);
+      }
+      ctx.clock().advance(detail::kReduceOpCycles * nelems);
+    }
+    for (std::size_t j = 0; j < nelems; ++j) {
+      const std::size_t at = j * static_cast<std::size_t>(stride);
+      dest[at] = acc[at];
+    }
+  }
+  comm.barrier();  // peers may reuse src only after the root is done
+}
+
+template <class T>
+void linear_scatter(T* dest, const T* src, const int* pe_msgs,
+                    const int* pe_disp, std::size_t nelems, int root,
+                    Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, /*stride=*/1);
+  const int n = comm.n_pes();
+  const int me = comm.rank();
+  const auto adj = detail::adjusted_displacements(comm, pe_msgs, root);
+  XBGAS_CHECK(adj[static_cast<std::size_t>(n)] == nelems,
+              "linear_scatter: sum(pe_msgs) must equal nelems");
+
+  // Staging must sit at a symmetric offset on every member, so size it by
+  // the largest per-PE message.
+  std::size_t maxc = 0;
+  for (int r = 0; r < n; ++r) {
+    maxc = std::max(maxc, static_cast<std::size_t>(pe_msgs[r]));
+  }
+  T* s_buff = static_cast<T*>(
+      detail::collective_staging_alloc(sizeof(T), std::max<std::size_t>(maxc, 1)));
+  // Entry barrier before the root writes into peer staging: a peer may
+  // still be draining the staging region of the *previous* collective.
+  comm.barrier();
+
+  if (vr == 0) {
+    for (int v = 0; v < n; ++v) {
+      const int lr = logical_rank(v, root, n);
+      const auto count = static_cast<std::size_t>(pe_msgs[lr]);
+      if (count > 0) {
+        xbr_put(s_buff, src + pe_disp[lr], count, 1, comm.world_rank(lr));
+      }
+    }
+  }
+  comm.barrier();
+
+  const auto mine = static_cast<std::size_t>(pe_msgs[me]);
+  if (mine > 0) {
+    xbr_put(dest, s_buff, mine, 1, comm.world_rank(me));
+  }
+  comm.barrier();
+  detail::collective_staging_free(s_buff);
+}
+
+template <class T>
+void linear_gather(T* dest, const T* src, const int* pe_msgs,
+                   const int* pe_disp, std::size_t nelems, int root,
+                   Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, /*stride=*/1);
+  const int n = comm.n_pes();
+  const int me = comm.rank();
+  const auto adj = detail::adjusted_displacements(comm, pe_msgs, root);
+  XBGAS_CHECK(adj[static_cast<std::size_t>(n)] == nelems,
+              "linear_gather: sum(pe_msgs) must equal nelems");
+
+  std::size_t maxc = 0;
+  for (int r = 0; r < n; ++r) {
+    maxc = std::max(maxc, static_cast<std::size_t>(pe_msgs[r]));
+  }
+  T* s_buff = static_cast<T*>(
+      detail::collective_staging_alloc(sizeof(T), std::max<std::size_t>(maxc, 1)));
+
+  const auto mine = static_cast<std::size_t>(pe_msgs[me]);
+  if (mine > 0) {
+    xbr_put(s_buff, src, mine, 1, comm.world_rank(me));
+  }
+  comm.barrier();
+
+  if (vr == 0) {
+    for (int v = 0; v < n; ++v) {
+      const int lr = logical_rank(v, root, n);
+      const auto count = static_cast<std::size_t>(pe_msgs[lr]);
+      if (count > 0) {
+        xbr_get(dest + pe_disp[lr], s_buff, count, 1, comm.world_rank(lr));
+      }
+    }
+  }
+  comm.barrier();
+  detail::collective_staging_free(s_buff);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,310 @@
+#pragma once
+
+// The binomial-tree collectives (paper §4, Algorithms 1-4).
+//
+// All four share the same skeleton: fetch n_pes and the calling PE's rank,
+// remap to virtual ranks so the root is virtual rank 0 (vrank.hpp), then
+// run ceil(log2 n) masked stages over the binomial tree with a barrier after
+// every stage. Broadcast and scatter walk the tree top-down with put
+// (recursive halving); reduce and gather walk bottom-up with get (recursive
+// doubling). The `vir_rank < vir_part` guard suppresses the phantom
+// partners that appear when n_pes is not a power of two.
+//
+// Symmetry requirements (paper §4.3-§4.6):
+//   broadcast: dest symmetric on every PE; src meaningful (and possibly
+//              private) only on the root.
+//   reduce:    src symmetric on every PE; dest meaningful only on the root
+//              and may be private. Internally stages through a symmetric
+//              s_buff and a private l_buff so no user data is overwritten.
+//   scatter:   src meaningful only on root; dest private OK. Staged through
+//              a symmetric buffer reordered by *virtual* rank so that every
+//              subtree's data is contiguous and one put per stage suffices
+//              even with a non-zero root (§4.5).
+//   gather:    mirror of scatter (§4.6).
+
+#include <cstddef>
+#include <vector>
+
+#include "collectives/comm.hpp"
+#include "collectives/ops.hpp"
+#include "collectives/vrank.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+
+namespace detail {
+
+/// Cycles charged per element for the reduction combine loop.
+inline constexpr std::uint64_t kReduceOpCycles = 3;
+
+/// Allocate a symmetric staging buffer of `count` elements of `elem_size`
+/// from the runtime's LIFO staging region (no synchronization; participants
+/// perform identical sequences, so offsets stay symmetric). Throws on
+/// exhaustion.
+void* collective_staging_alloc(std::size_t elem_size, std::size_t count);
+
+/// Release the most recent staging buffer (strict LIFO).
+void collective_staging_free(void* p);
+
+/// Buffer span in elements for an (nelems, stride) access pattern.
+constexpr std::size_t strided_span(std::size_t nelems, int stride) {
+  return nelems == 0 ? 0
+                     : (nelems - 1) * static_cast<std::size_t>(stride) + 1;
+}
+
+/// Validate common collective arguments; returns this PE's virtual rank.
+int collective_prologue(const Communicator& comm, int root, int stride);
+
+/// adj_disp (paper §4.5): element displacement of each virtual rank's
+/// segment in the virtually-reordered staging buffer; adj[n] = total.
+std::vector<std::size_t> adjusted_displacements(const Communicator& comm,
+                                                const int* pe_msgs, int root);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Broadcast (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+template <class T>
+void broadcast(T* dest, const T* src, std::size_t nelems, int stride, int root,
+               Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, stride);
+  const int n = comm.n_pes();
+
+  // The root's own dest copy (implicit in the paper: dest holds the
+  // broadcast values on *each* PE, including the root).
+  if (vr == 0 && nelems > 0 && dest != src) {
+    xbr_put(dest, src, nelems, stride, comm.world_rank(comm.rank()));
+  }
+
+  const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
+  unsigned mask = (1u << levels) - 1u;
+  const auto uvr = static_cast<unsigned>(vr);
+  for (int i = static_cast<int>(levels) - 1; i >= 0; --i) {
+    mask ^= (1u << i);
+    if ((uvr & mask) == 0 && (uvr & (1u << i)) == 0) {
+      const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
+      const int lpart = logical_rank(vpart, root, n);
+      if (vr < vpart && nelems > 0) {
+        // Senders past the first stage forward from their own dest; the
+        // root sends directly from src.
+        const T* from = (vr == 0) ? src : dest;
+        xbr_put(dest, from, nelems, stride, comm.world_rank(lpart));
+      }
+    }
+    comm.barrier();  // per-stage synchronization (paper §4.3)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduction (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+template <class Op, class T>
+void reduce(T* dest, const T* src, std::size_t nelems, int stride, int root,
+            Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, stride);
+  const int n = comm.n_pes();
+  const std::size_t span = detail::strided_span(nelems, stride);
+
+  // s_buff: symmetric staging so partners can get() partial results.
+  // l_buff: private landing zone so no PE's live data is overwritten.
+  T* s_buff = static_cast<T*>(detail::collective_staging_alloc(sizeof(T), span));
+  std::vector<T> l_buff(span);
+
+  for (std::size_t j = 0; j < nelems; ++j) {
+    const std::size_t at = j * static_cast<std::size_t>(stride);
+    s_buff[at] = src[at];
+  }
+  comm.barrier();  // all s_buffs loaded before any partner pulls
+
+  PeContext& ctx = xbrtime_ctx();
+  const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
+  unsigned mask = (1u << levels) - 1u;
+  const auto uvr = static_cast<unsigned>(vr);
+  for (unsigned i = 0; i < levels; ++i) {
+    mask ^= (1u << i);
+    if ((uvr | mask) == mask && (uvr & (1u << i)) == 0) {
+      const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
+      const int lpart = logical_rank(vpart, root, n);
+      if (vr < vpart && nelems > 0) {
+        xbr_get(l_buff.data(), s_buff, nelems, stride, comm.world_rank(lpart));
+        for (std::size_t j = 0; j < nelems; ++j) {
+          const std::size_t at = j * static_cast<std::size_t>(stride);
+          s_buff[at] = Op::apply(s_buff[at], l_buff[at]);
+        }
+        ctx.clock().advance(detail::kReduceOpCycles * nelems);
+      }
+    }
+    comm.barrier();
+  }
+
+  if (vr == 0) {
+    for (std::size_t k = 0; k < nelems; ++k) {
+      const std::size_t at = k * static_cast<std::size_t>(stride);
+      dest[at] = s_buff[at];
+    }
+  }
+  detail::collective_staging_free(s_buff);
+}
+
+template <class T>
+void reduce_sum(T* dest, const T* src, std::size_t nelems, int stride,
+                int root, Communicator& comm = world_comm()) {
+  reduce<OpSum>(dest, src, nelems, stride, root, comm);
+}
+template <class T>
+void reduce_prod(T* dest, const T* src, std::size_t nelems, int stride,
+                 int root, Communicator& comm = world_comm()) {
+  reduce<OpProd>(dest, src, nelems, stride, root, comm);
+}
+template <class T>
+void reduce_min(T* dest, const T* src, std::size_t nelems, int stride,
+                int root, Communicator& comm = world_comm()) {
+  reduce<OpMin>(dest, src, nelems, stride, root, comm);
+}
+template <class T>
+void reduce_max(T* dest, const T* src, std::size_t nelems, int stride,
+                int root, Communicator& comm = world_comm()) {
+  reduce<OpMax>(dest, src, nelems, stride, root, comm);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+template <class T>
+void scatter(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
+             std::size_t nelems, int root, Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, /*stride=*/1);
+  const int n = comm.n_pes();
+  const int me = comm.rank();
+  const int my_world = comm.world_rank(me);
+
+  const auto adj = detail::adjusted_displacements(comm, pe_msgs, root);
+  XBGAS_CHECK(adj[static_cast<std::size_t>(n)] == nelems,
+              "scatter: sum(pe_msgs) must equal nelems");
+
+  T* s_buff =
+      static_cast<T*>(detail::collective_staging_alloc(sizeof(T), nelems));
+
+  if (vr == 0) {
+    // Reorder src by *virtual* rank so each subtree's data is contiguous and
+    // a single put per stage suffices even for non-zero roots (§4.5).
+    for (int v = 0; v < n; ++v) {
+      const int lr = logical_rank(v, root, n);
+      const auto count = static_cast<std::size_t>(pe_msgs[lr]);
+      if (count > 0) {
+        xbr_put(s_buff + adj[static_cast<std::size_t>(v)],
+                src + pe_disp[lr], count, 1, my_world);
+      }
+    }
+  }
+  comm.barrier();
+
+  const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
+  unsigned mask = (1u << levels) - 1u;
+  const auto uvr = static_cast<unsigned>(vr);
+  for (int i = static_cast<int>(levels) - 1; i >= 0; --i) {
+    mask ^= (1u << i);
+    if ((uvr & mask) == 0 && (uvr & (1u << i)) == 0) {
+      const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
+      const int lpart = logical_rank(vpart, root, n);
+      if (vr < vpart) {
+        // Partner's subtree at this stage: virtual ranks
+        // [vpart, min(vpart + 2^i, n)).
+        const auto hi = std::min<std::size_t>(
+            static_cast<std::size_t>(vpart) + (std::size_t{1} << i),
+            static_cast<std::size_t>(n));
+        const std::size_t msg_size =
+            adj[hi] - adj[static_cast<std::size_t>(vpart)];
+        if (msg_size > 0) {
+          xbr_put(s_buff + adj[static_cast<std::size_t>(vpart)],
+                  s_buff + adj[static_cast<std::size_t>(vpart)],
+                  msg_size, 1, comm.world_rank(lpart));
+        }
+      }
+    }
+    comm.barrier();
+  }
+
+  // Relocate this PE's assigned values from the staging buffer to dest.
+  const auto mine = static_cast<std::size_t>(pe_msgs[me]);
+  if (mine > 0) {
+    xbr_put(dest, s_buff + adj[static_cast<std::size_t>(vr)], mine, 1,
+            my_world);
+  }
+  detail::collective_staging_free(s_buff);
+}
+
+// ---------------------------------------------------------------------------
+// Gather (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+template <class T>
+void gather(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
+            std::size_t nelems, int root, Communicator& comm = world_comm()) {
+  const int vr = detail::collective_prologue(comm, root, /*stride=*/1);
+  const int n = comm.n_pes();
+  const int me = comm.rank();
+  const int my_world = comm.world_rank(me);
+
+  const auto adj = detail::adjusted_displacements(comm, pe_msgs, root);
+  XBGAS_CHECK(adj[static_cast<std::size_t>(n)] == nelems,
+              "gather: sum(pe_msgs) must equal nelems");
+
+  T* s_buff =
+      static_cast<T*>(detail::collective_staging_alloc(sizeof(T), nelems));
+
+  // Load this PE's candidate gather data at its adjusted displacement.
+  const auto mine = static_cast<std::size_t>(pe_msgs[me]);
+  if (mine > 0) {
+    xbr_put(s_buff + adj[static_cast<std::size_t>(vr)], src, mine, 1,
+            my_world);
+  }
+  comm.barrier();
+
+  const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
+  unsigned mask = (1u << levels) - 1u;
+  const auto uvr = static_cast<unsigned>(vr);
+  for (unsigned i = 0; i < levels; ++i) {
+    mask ^= (1u << i);
+    if ((uvr | mask) == mask && (uvr & (1u << i)) == 0) {
+      const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
+      const int lpart = logical_rank(vpart, root, n);
+      if (vr < vpart) {
+        // Partner has accumulated its full subtree [vpart, vpart + 2^i)
+        // during earlier stages; pull it in one get.
+        const auto hi = std::min<std::size_t>(
+            static_cast<std::size_t>(vpart) + (std::size_t{1} << i),
+            static_cast<std::size_t>(n));
+        const std::size_t msg_size =
+            adj[hi] - adj[static_cast<std::size_t>(vpart)];
+        if (msg_size > 0) {
+          xbr_get(s_buff + adj[static_cast<std::size_t>(vpart)],
+                  s_buff + adj[static_cast<std::size_t>(vpart)],
+                  msg_size, 1, comm.world_rank(lpart));
+        }
+      }
+    }
+    comm.barrier();
+  }
+
+  if (vr == 0) {
+    // Reorder from virtual-rank order back to logical-rank displacements.
+    for (int v = 0; v < n; ++v) {
+      const int lr = logical_rank(v, root, n);
+      const auto count = static_cast<std::size_t>(pe_msgs[lr]);
+      if (count > 0) {
+        xbr_put(dest + pe_disp[lr], s_buff + adj[static_cast<std::size_t>(v)],
+                count, 1, my_world);
+      }
+    }
+  }
+  detail::collective_staging_free(s_buff);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,34 @@
+#pragma once
+
+// Communicator — the PE group a collective runs over.
+//
+// The paper's algorithms all begin "n_pes <- number of PEs calling
+// collective operation", anticipating subset collectives (listed as future
+// work in §7). This abstraction provides exactly that hook: the binomial
+// tree code is written against a Communicator, the default WorldComm spans
+// every PE, and Team (team.hpp) implements strided subsets.
+
+namespace xbgas {
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  /// Number of PEs participating in collectives over this communicator.
+  virtual int n_pes() const = 0;
+
+  /// Calling PE's rank within this communicator ([0, n_pes)).
+  virtual int rank() const = 0;
+
+  /// Translate a communicator rank to a world (machine) rank.
+  virtual int world_rank(int r) const = 0;
+
+  /// Barrier over exactly this communicator's members.
+  virtual void barrier() = 0;
+};
+
+/// The all-PEs communicator. Stateless: methods read the calling thread's
+/// runtime context, so one shared instance serves every PE.
+Communicator& world_comm();
+
+}  // namespace xbgas

@@ -1,0 +1,92 @@
+#pragma once
+
+// Composed collectives (paper §4.7 & §7).
+//
+// The paper notes its four binomial-tree primitives "can be combined
+// together to accomplish the semantics of several more complex operations"
+// and that OpenSHMEM-style result distribution "must instead be accomplished
+// through the use of a broadcast operation following the original call".
+// These are those compositions, plus the personalized all-to-all named as
+// future work (§7):
+//
+//   reduce_all  — reduction whose result lands on every PE (reduce+bcast)
+//   collect     — variable-count allgather (gather+bcast)
+//   fcollect    — fixed-count allgather
+//   alltoall    — personalized all-to-all exchange (pairwise puts)
+
+#include <cstddef>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+
+namespace xbgas {
+
+/// Reduction-to-all: `dest` must be symmetric on every PE and receives the
+/// full reduction result everywhere.
+template <class Op, class T>
+void reduce_all(T* dest, const T* src, std::size_t nelems, int stride,
+                Communicator& comm = world_comm()) {
+  reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
+  broadcast(dest, dest, nelems, stride, /*root=*/0, comm);
+}
+
+template <class T>
+void reduce_all_sum(T* dest, const T* src, std::size_t nelems, int stride,
+                    Communicator& comm = world_comm()) {
+  reduce_all<OpSum>(dest, src, nelems, stride, comm);
+}
+
+/// Variable-count gather-to-all (OpenSHMEM `collect`): every PE contributes
+/// pe_msgs[rank] elements from src; every PE's symmetric `dest` receives the
+/// full concatenation laid out by pe_disp.
+template <class T>
+void collect(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
+             std::size_t nelems, Communicator& comm = world_comm()) {
+  gather(dest, src, pe_msgs, pe_disp, nelems, /*root=*/0, comm);
+  broadcast(dest, dest, nelems, /*stride=*/1, /*root=*/0, comm);
+}
+
+/// Fixed-count gather-to-all (OpenSHMEM `fcollect`): every PE contributes
+/// exactly `nelems_per_pe` elements; dest must hold n_pes * nelems_per_pe.
+template <class T>
+void fcollect(T* dest, const T* src, std::size_t nelems_per_pe,
+              Communicator& comm = world_comm()) {
+  const int n = comm.n_pes();
+  std::vector<int> msgs(static_cast<std::size_t>(n),
+                        static_cast<int>(nelems_per_pe));
+  std::vector<int> disp(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    disp[static_cast<std::size_t>(r)] =
+        r * static_cast<int>(nelems_per_pe);
+  }
+  collect(dest, src, msgs.data(), disp.data(),
+          nelems_per_pe * static_cast<std::size_t>(n), comm);
+}
+
+/// Personalized all-to-all: the segment src[d*nelems_per_pair ..) of every
+/// PE lands at dest[me*nelems_per_pair ..) of PE d. `dest` must be
+/// symmetric; src may be private. One pairwise-shifted put per peer so no
+/// destination is hit by every sender in the same order.
+template <class T>
+void alltoall(T* dest, const T* src, std::size_t nelems_per_pair,
+              Communicator& comm = world_comm()) {
+  (void)detail::collective_prologue(comm, /*root=*/0, /*stride=*/1);
+  const int n = comm.n_pes();
+  const int me = comm.rank();
+  comm.barrier();  // dest buffers ready everywhere before the exchange
+  if (nelems_per_pair > 0) {
+    const std::size_t seg = nelems_per_pair;
+    xbr_put(dest + static_cast<std::size_t>(me) * seg,
+            src + static_cast<std::size_t>(me) * seg, seg, 1,
+            comm.world_rank(me));
+    for (int k = 1; k < n; ++k) {
+      const int peer = (me + k) % n;
+      xbr_put(dest + static_cast<std::size_t>(me) * seg,
+              src + static_cast<std::size_t>(peer) * seg, seg, 1,
+              comm.world_rank(peer));
+    }
+  }
+  comm.barrier();
+}
+
+}  // namespace xbgas

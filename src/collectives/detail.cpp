@@ -1,0 +1,63 @@
+#include "collectives/collectives.hpp"
+
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+namespace {
+
+/// WorldComm is stateless — every method reads the calling thread's runtime
+/// context — so one instance serves all PEs.
+class WorldComm final : public Communicator {
+ public:
+  int n_pes() const override { return xbrtime_num_pes(); }
+  int rank() const override { return xbrtime_mype(); }
+  int world_rank(int r) const override { return r; }
+  void barrier() override { xbrtime_barrier(); }
+};
+
+WorldComm g_world;
+
+}  // namespace
+
+Communicator& world_comm() { return g_world; }
+
+namespace detail {
+
+void* collective_staging_alloc(std::size_t elem_size, std::size_t count) {
+  return xbrtime_stage_alloc(elem_size * count);
+}
+
+void collective_staging_free(void* p) { xbrtime_stage_free(p); }
+
+int collective_prologue(const Communicator& comm, int root, int stride) {
+  XBGAS_CHECK(xbrtime_initialized(),
+              "collectives require an initialized xbrtime runtime");
+  const int n = comm.n_pes();
+  const int me = comm.rank();
+  XBGAS_CHECK(n >= 1, "communicator must have >= 1 PE");
+  XBGAS_CHECK(me >= 0 && me < n,
+              "calling PE is not a member of this communicator");
+  XBGAS_CHECK(root >= 0 && root < n, "collective root out of range");
+  XBGAS_CHECK(stride >= 1, "collective stride must be >= 1");
+  return virtual_rank(me, root, n);
+}
+
+std::vector<std::size_t> adjusted_displacements(const Communicator& comm,
+                                                const int* pe_msgs, int root) {
+  const int n = comm.n_pes();
+  XBGAS_CHECK(pe_msgs != nullptr, "pe_msgs must be non-null");
+  std::vector<std::size_t> adj(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    const int lr = logical_rank(v, root, n);
+    XBGAS_CHECK(pe_msgs[lr] >= 0, "pe_msgs entries must be non-negative");
+    adj[static_cast<std::size_t>(v) + 1] =
+        adj[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(pe_msgs[lr]);
+  }
+  return adj;
+}
+
+}  // namespace detail
+
+}  // namespace xbgas

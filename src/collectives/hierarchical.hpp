@@ -1,0 +1,71 @@
+#pragma once
+
+// Locality-aware hierarchical broadcast — the paper's §7 future-work item
+// "location aware communication optimization using the xBGAS OLB".
+//
+// PEs are grouped into "nodes" of `group_size` consecutive world ranks (the
+// same sequential-rank-per-node assumption recursive halving makes, §4.3).
+// The broadcast then runs in two levels:
+//
+//   1. the root forwards to its node's leader (rank 0 within the group),
+//   2. leaders run a binomial broadcast among themselves (one transfer per
+//      node crosses the expensive inter-node links),
+//   3. each node broadcasts internally over cheap local links.
+//
+// On a distance-sensitive topology this moves exactly one copy of the
+// payload onto the long links per node instead of up to log2(N); on a flat
+// fabric it degrades gracefully to roughly the plain tree. The OLB is what
+// makes the locality information available: object IDs are dense in rank
+// order, so group membership is a pure function of the translated ID.
+
+#include "collectives/collectives.hpp"
+#include "collectives/team.hpp"
+
+namespace xbgas {
+
+/// Two-level broadcast with the same contract as xbgas::broadcast over the
+/// whole world. `group_size` must divide the world size evenly; 1 or
+/// world-size degrade to the plain binomial tree.
+template <class T>
+void hierarchical_broadcast(T* dest, const T* src, std::size_t nelems,
+                            int stride, int root, int group_size) {
+  PeContext& ctx = xbrtime_ctx();
+  const int n = ctx.n_pes();
+  XBGAS_CHECK(group_size >= 1 && n % group_size == 0,
+              "group_size must divide the PE count");
+  if (group_size == 1 || group_size == n) {
+    broadcast(dest, src, nelems, stride, root);
+    return;
+  }
+
+  const int me = ctx.rank();
+  const int groups = n / group_size;
+  const int my_leader = (me / group_size) * group_size;
+  const int root_leader = (root / group_size) * group_size;
+
+  // (1) Root primes its own dest and hands the payload to its node leader.
+  if (me == root && nelems > 0) {
+    if (dest != src) {
+      xbr_put(dest, src, nelems, stride, me);
+    }
+    if (me != root_leader) {
+      xbr_put(dest, dest, nelems, stride, root_leader);
+    }
+  }
+  xbrtime_barrier();
+
+  // (2) Leaders exchange over the inter-node links (binomial tree).
+  if (me == my_leader) {
+    Team leaders(0, group_size, groups);
+    broadcast(dest, dest, nelems, stride,
+              /*team root=*/root_leader / group_size, leaders);
+  }
+  xbrtime_barrier();
+
+  // (3) Each node fans out locally from its leader.
+  Team node(my_leader, 1, group_size);
+  broadcast(dest, dest, nelems, stride, /*team root=*/0, node);
+  xbrtime_barrier();
+}
+
+}  // namespace xbgas

@@ -1,0 +1,73 @@
+#pragma once
+
+// Reduction operators (paper §4.4): sum, product, min, max for every
+// Table-1 type; bitwise AND/OR/XOR for the non-floating-point types only.
+
+#include <algorithm>
+#include <type_traits>
+
+namespace xbgas {
+
+struct OpSum {
+  static constexpr const char* kName = "sum";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    return static_cast<T>(a + b);
+  }
+};
+
+struct OpProd {
+  static constexpr const char* kName = "prod";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    return static_cast<T>(a * b);
+  }
+};
+
+struct OpMin {
+  static constexpr const char* kName = "min";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    return std::min(a, b);
+  }
+};
+
+struct OpMax {
+  static constexpr const char* kName = "max";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    return std::max(a, b);
+  }
+};
+
+struct OpBand {
+  static constexpr const char* kName = "and";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    static_assert(std::is_integral_v<T>,
+                  "bitwise reductions require integral types (paper §4.4)");
+    return static_cast<T>(a & b);
+  }
+};
+
+struct OpBor {
+  static constexpr const char* kName = "or";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    static_assert(std::is_integral_v<T>,
+                  "bitwise reductions require integral types (paper §4.4)");
+    return static_cast<T>(a | b);
+  }
+};
+
+struct OpBxor {
+  static constexpr const char* kName = "xor";
+  template <class T>
+  static constexpr T apply(T a, T b) {
+    static_assert(std::is_integral_v<T>,
+                  "bitwise reductions require integral types (paper §4.4)");
+    return static_cast<T>(a ^ b);
+  }
+};
+
+}  // namespace xbgas

@@ -1,0 +1,70 @@
+#pragma once
+
+// Segmented ring (pipelined) broadcast — the paper's §7 future-work item:
+// "algorithms optimized for larger message sizes ... need to be added to
+// our existing binomial tree methodology".
+//
+// The message is split into S segments that flow down the virtual-rank
+// chain root -> 1 -> 2 -> ... -> n-1, one hop per step, with all links
+// active once the pipeline fills. Total steps: (n-2) + S. Per-PE data
+// volume is the payload itself (vs the binomial tree, where interior nodes
+// forward the *whole* payload log-depth times on the critical path), so the
+// ring wins once per-segment serialization outweighs its extra
+// synchronization steps — the classic large-message crossover this
+// implementation exists to demonstrate (bench_ablation_largemsg).
+
+#include <algorithm>
+#include <cstddef>
+
+#include "collectives/collectives.hpp"
+
+namespace xbgas {
+
+/// Default segment count heuristic: one segment per 256 elements, capped so
+/// tiny messages degrade to a plain (unsegmented) chain.
+constexpr std::size_t ring_default_segments(std::size_t nelems) {
+  return std::clamp<std::size_t>(nelems / 256, 1, 32);
+}
+
+/// Broadcast with the same contract as xbgas::broadcast (symmetric dest on
+/// every PE, root-private src, stride in elements), pipelined over a ring.
+/// `segments` == 0 selects the heuristic.
+template <class T>
+void ring_broadcast(T* dest, const T* src, std::size_t nelems, int stride,
+                    int root, Communicator& comm = world_comm(),
+                    std::size_t segments = 0) {
+  const int vr = detail::collective_prologue(comm, root, stride);
+  const int n = comm.n_pes();
+
+  // Root primes its own dest; it forwards from dest like everyone else.
+  if (vr == 0 && nelems > 0 && dest != src) {
+    xbr_put(dest, src, nelems, stride, comm.world_rank(comm.rank()));
+  }
+  comm.barrier();
+  if (n == 1 || nelems == 0) return;
+
+  const std::size_t nseg =
+      std::min(segments == 0 ? ring_default_segments(nelems) : segments,
+               nelems);
+  const int next_world =
+      vr < n - 1 ? comm.world_rank(logical_rank(vr + 1, root, n)) : -1;
+
+  const int total_steps = (n - 2) + static_cast<int>(nseg);
+  for (int step = 0; step < total_steps; ++step) {
+    // Virtual rank r forwards segment (step - r) this step, if it exists.
+    const int s = step - vr;
+    if (s >= 0 && s < static_cast<int>(nseg) && vr < n - 1) {
+      const std::size_t lo = nelems * static_cast<std::size_t>(s) / nseg;
+      const std::size_t hi =
+          nelems * (static_cast<std::size_t>(s) + 1) / nseg;
+      if (hi > lo) {
+        xbr_put(dest + lo * static_cast<std::size_t>(stride),
+                dest + lo * static_cast<std::size_t>(stride), hi - lo,
+                stride, next_world);
+      }
+    }
+    comm.barrier();
+  }
+}
+
+}  // namespace xbgas

@@ -1,0 +1,53 @@
+#include "collectives/schedule.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace xbgas {
+
+int schedule_stages(int n_pes) {
+  XBGAS_CHECK(n_pes >= 1, "n_pes must be >= 1");
+  return static_cast<int>(ceil_log2(static_cast<std::uint64_t>(n_pes)));
+}
+
+std::vector<TreeEdge> broadcast_schedule(int n_pes) {
+  const int levels = schedule_stages(n_pes);
+  std::vector<TreeEdge> edges;
+  unsigned mask = (1u << levels) - 1u;
+  int stage = 0;
+  for (int i = levels - 1; i >= 0; --i, ++stage) {
+    mask ^= (1u << i);
+    for (int vr = 0; vr < n_pes; ++vr) {
+      const auto uvr = static_cast<unsigned>(vr);
+      if ((uvr & mask) != 0) continue;
+      if ((uvr & (1u << i)) != 0) continue;
+      const int vpart = static_cast<int>(uvr ^ (1u << i)) % n_pes;
+      if (vr < vpart) {
+        edges.push_back(TreeEdge{stage, vr, vpart});
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<TreeEdge> reduce_schedule(int n_pes) {
+  const int levels = schedule_stages(n_pes);
+  std::vector<TreeEdge> edges;
+  unsigned mask = (1u << levels) - 1u;
+  for (int i = 0; i < levels; ++i) {
+    mask ^= (1u << i);
+    for (int vr = 0; vr < n_pes; ++vr) {
+      const auto uvr = static_cast<unsigned>(vr);
+      if ((uvr | mask) != mask) continue;
+      if ((uvr & (1u << i)) != 0) continue;
+      const int vpart = static_cast<int>(uvr ^ (1u << i)) % n_pes;
+      if (vr < vpart) {
+        // vr (the parent) pulls vpart's accumulated subtree via get.
+        edges.push_back(TreeEdge{i, vpart, vr});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace xbgas

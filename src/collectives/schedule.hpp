@@ -1,0 +1,33 @@
+#pragma once
+
+// Communication-schedule enumeration for the binomial tree (paper §4.2,
+// Figure 3). Pure functions of (n_pes): used by the Figure-3 bench to print
+// the stage-by-stage tree, by tests to assert the edge set, and by the
+// topology ablation (A2) to measure per-stage link load without running
+// data through the runtime.
+
+#include <vector>
+
+namespace xbgas {
+
+struct TreeEdge {
+  int stage;       ///< loop iteration (0-based, in execution order)
+  int from_vrank;  ///< data holder (broadcast: sender; reduce: getter's peer)
+  int to_vrank;    ///< data receiver (broadcast: put target; reduce: getter)
+
+  bool operator==(const TreeEdge&) const = default;
+};
+
+/// Edges of the top-down (put-based, recursive-halving) schedule used by
+/// broadcast and scatter: stage s covers loop index i = L-1-s.
+std::vector<TreeEdge> broadcast_schedule(int n_pes);
+
+/// Edges of the bottom-up (get-based, recursive-doubling) schedule used by
+/// reduce and gather: stage s covers loop index i = s; from_vrank is the
+/// child whose data moves to to_vrank.
+std::vector<TreeEdge> reduce_schedule(int n_pes);
+
+/// Number of stages, ceil(log2(n_pes)).
+int schedule_stages(int n_pes);
+
+}  // namespace xbgas

@@ -1,0 +1,98 @@
+#include "collectives/team.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+namespace {
+
+// Members of a team construct their Team objects independently (one thread
+// each) but must share one rendezvous barrier. This registry hands every
+// member of the same (machine, start, stride, size) active set the same
+// ClockSyncBarrier; the custom deleter unregisters and evicts it when the
+// last member's Team is destroyed.
+
+using TeamKey = std::tuple<Machine*, int, int, int>;
+
+std::mutex g_registry_mutex;
+std::map<TeamKey, std::weak_ptr<ClockSyncBarrier>> g_registry;
+
+std::shared_ptr<ClockSyncBarrier> acquire_barrier(Machine& machine, int start,
+                                                  int stride, int size) {
+  const TeamKey key{&machine, start, stride, size};
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  if (auto it = g_registry.find(key); it != g_registry.end()) {
+    if (auto existing = it->second.lock()) return existing;
+  }
+  const NetCostParams& params = machine.network().params();
+  auto* raw = new ClockSyncBarrier(
+      size, [params, size](std::uint64_t max_cycles, int) {
+        // Team barriers do not reconcile the global fabric phase (see
+        // header); they only cost the modeled log2(size) exchange.
+        return max_cycles + params.barrier_cycles(size);
+      });
+  std::shared_ptr<ClockSyncBarrier> barrier(
+      raw, [key, &machine](ClockSyncBarrier* b) {
+        machine.unregister_barrier(b);
+        {
+          const std::lock_guard<std::mutex> inner(g_registry_mutex);
+          g_registry.erase(key);
+        }
+        delete b;
+      });
+  machine.register_barrier(barrier.get());
+  g_registry[key] = barrier;
+  return barrier;
+}
+
+}  // namespace
+
+Team::Team(int start, int stride, int size)
+    : start_(start), stride_(stride), size_(size) {
+  PeContext& ctx = xbrtime_ctx();
+  machine_ = &ctx.machine();
+  const int world = machine_->n_pes();
+
+  XBGAS_CHECK(size >= 1, "team size must be >= 1");
+  XBGAS_CHECK(stride >= 1, "team stride must be >= 1");
+  XBGAS_CHECK(start >= 0 && start + (size - 1) * stride < world,
+              "team active set exceeds the world");
+
+  const int wr = ctx.rank();
+  const int rel = wr - start;
+  XBGAS_CHECK(rel >= 0 && rel % stride == 0 && rel / stride < size,
+              "calling PE is not a member of this team");
+  my_rank_ = rel / stride;
+
+  barrier_ = acquire_barrier(*machine_, start, stride, size);
+  barrier();  // rendezvous: every member holds the barrier before any use
+}
+
+Team::~Team() = default;
+
+int Team::world_rank(int r) const {
+  XBGAS_CHECK(r >= 0 && r < size_, "team rank out of range");
+  return start_ + r * stride_;
+}
+
+bool Team::contains_world_rank(int wr) const {
+  const int rel = wr - start_;
+  return rel >= 0 && rel % stride_ == 0 && rel / stride_ < size_;
+}
+
+void Team::barrier() {
+  PeContext& ctx = xbrtime_ctx();
+  if (ctx.pending_completion() > ctx.clock().cycles()) {
+    ctx.clock().set(ctx.pending_completion());
+  }
+  ctx.clear_pending();
+  const std::uint64_t t = barrier_->arrive_and_wait(ctx.clock().cycles());
+  ctx.clock().set(t);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,57 @@
+#pragma once
+
+// Team — collectives over a subset of PEs (paper §7 future work:
+// "integration of collective functionality between a subset of PEs").
+//
+// Teams follow the OpenSHMEM active-set convention: a team is the PEs
+// { start, start + stride, ..., start + (size-1) * stride } in world ranks.
+// Every member constructs the Team with identical parameters (SPMD
+// discipline); the constructor rendezvouses members on a shared team
+// barrier, which is registered with the Machine so a crashing PE poisons it
+// rather than deadlocking teammates.
+//
+// Team barriers synchronize member clocks (max + modeled barrier cost) but
+// deliberately do NOT reconcile the global fabric phase — that stays tied
+// to world barriers so disjoint teams don't consume each other's traffic.
+
+#include <memory>
+
+#include "collectives/comm.hpp"
+#include "machine/barrier.hpp"
+
+namespace xbgas {
+
+class Machine;
+
+class Team final : public Communicator {
+ public:
+  /// Collective over the member PEs: each member constructs the Team with
+  /// the same (start, stride, size). Throws if the calling PE is not a
+  /// member or the active set does not fit in the world.
+  Team(int start, int stride, int size);
+  ~Team() override;
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  int n_pes() const override { return size_; }
+  int rank() const override { return my_rank_; }
+  int world_rank(int r) const override;
+  void barrier() override;
+
+  int start() const { return start_; }
+  int stride() const { return stride_; }
+
+  /// True if world rank `wr` belongs to this active set.
+  bool contains_world_rank(int wr) const;
+
+ private:
+  int start_;
+  int stride_;
+  int size_;
+  int my_rank_;
+  Machine* machine_;
+  std::shared_ptr<ClockSyncBarrier> barrier_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,32 @@
+#pragma once
+
+// Logical <-> virtual rank remapping (paper §4.3, Table 2).
+//
+// Every collective assigns virtual ranks so the root is always virtual rank
+// 0, with consecutive virtual ranks allocated in sequence by logical rank
+// relative to the root:
+//
+//   vir_rank = log_rank >= root ? log_rank - root : log_rank + n_pes - root
+//
+// e.g. with 7 PEs and root 4 (the paper's worked example): logical
+// 0,1,2,3,4,5,6 -> virtual 3,4,5,6,0,1,2.
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+constexpr int virtual_rank(int log_rank, int root, int n_pes) {
+  XBGAS_CHECK(n_pes >= 1, "n_pes must be >= 1");
+  XBGAS_CHECK(log_rank >= 0 && log_rank < n_pes, "log_rank out of range");
+  XBGAS_CHECK(root >= 0 && root < n_pes, "root out of range");
+  return log_rank >= root ? log_rank - root : (log_rank + n_pes) - root;
+}
+
+constexpr int logical_rank(int vir_rank, int root, int n_pes) {
+  XBGAS_CHECK(n_pes >= 1, "n_pes must be >= 1");
+  XBGAS_CHECK(vir_rank >= 0 && vir_rank < n_pes, "vir_rank out of range");
+  XBGAS_CHECK(root >= 0 && root < n_pes, "root out of range");
+  return (vir_rank + root) % n_pes;
+}
+
+}  // namespace xbgas

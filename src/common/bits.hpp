@@ -1,0 +1,50 @@
+#pragma once
+
+// Bit-manipulation helpers shared by the ISA encodings, the collective
+// binomial-tree masks, and the cache index math.
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+/// ⌈log2(n)⌉ for n >= 1. The binomial-tree loop bound of Algorithms 1-4.
+constexpr unsigned ceil_log2(std::uint64_t n) {
+  XBGAS_CHECK(n >= 1, "ceil_log2 domain");
+  return n == 1 ? 0u : static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+/// ⌊log2(n)⌋ for n >= 1.
+constexpr unsigned floor_log2(std::uint64_t n) {
+  XBGAS_CHECK(n >= 1, "floor_log2 domain");
+  return static_cast<unsigned>(std::bit_width(n) - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Round `n` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t align_up(std::uint64_t n, std::uint64_t align) {
+  XBGAS_CHECK(is_pow2(align), "alignment must be a power of two");
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Extract bits [lo, lo+width) of `v`.
+constexpr std::uint32_t bits(std::uint32_t v, unsigned lo, unsigned width) {
+  XBGAS_CHECK(lo + width <= 32, "bit range");
+  return width == 32 ? v : ((v >> lo) & ((1u << width) - 1u));
+}
+
+/// Sign-extend the low `width` bits of `v` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t v, unsigned width) {
+  XBGAS_CHECK(width >= 1 && width <= 64, "sign_extend width");
+  if (width == 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  v &= mask;
+  return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+}  // namespace xbgas

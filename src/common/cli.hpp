@@ -1,0 +1,38 @@
+#pragma once
+
+// Tiny command-line flag parser shared by the bench/ and examples/ binaries.
+// Supports --name value, --name=value, and bare --flag booleans.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xbgas {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --pes 1,2,4,8.
+  std::vector<int> get_int_list(const std::string& name,
+                                const std::vector<int>& fallback) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace xbgas

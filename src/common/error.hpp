@@ -1,0 +1,51 @@
+#pragma once
+
+// Error handling for the xBGAS stack.
+//
+// Policy (see DESIGN.md §4): programming errors — bad ranks, unaligned or
+// out-of-segment addresses, misuse of the runtime — throw xbgas::Error.
+// Expected runtime conditions (allocation exhaustion, OLB misses that are
+// part of normal translation flow) are reported through return values on the
+// specific APIs involved.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace xbgas {
+
+/// Exception thrown on contract violations anywhere in the stack.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const std::string& msg,
+                                     const std::source_location& loc) {
+  throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+              ": check failed: " + cond + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+/// Always-on invariant check (enabled in release builds too: the runtime is a
+/// simulator substrate, and silent memory corruption would invalidate every
+/// experiment built on top of it).
+#define XBGAS_CHECK(cond, ...)                                         \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::xbgas::detail::throw_error(#cond, ::std::string{__VA_ARGS__},  \
+                                   ::std::source_location::current()); \
+    }                                                                  \
+  } while (false)
+
+/// Debug-only check for hot paths (per-element loops in get/put).
+#ifndef NDEBUG
+#define XBGAS_DCHECK(cond, ...) XBGAS_CHECK(cond, ##__VA_ARGS__)
+#else
+#define XBGAS_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#endif
+
+}  // namespace xbgas

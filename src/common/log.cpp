@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<int (*)()> g_rank_provider{nullptr};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_rank_provider(int (*provider)()) {
+  g_rank_provider.store(provider, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  int rank = -1;
+  if (auto* provider = g_rank_provider.load(std::memory_order_relaxed)) {
+    rank = provider();
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (rank >= 0) {
+    std::fprintf(stderr, "[xbgas %-5s PE %d] %s\n", level_name(level), rank, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[xbgas %-5s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace xbgas

@@ -1,0 +1,38 @@
+#pragma once
+
+// Thread-safe leveled logging. PE-aware: when invoked from inside an SPMD
+// region the runtime stamps messages with the calling PE's rank.
+
+#include <string>
+
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn
+/// (tests and benches stay quiet unless something is wrong).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (used via the XBGAS_LOG macro).
+void log_message(LogLevel level, const std::string& msg);
+
+/// Installed by the machine layer so log lines can carry "PE k" prefixes;
+/// returns -1 outside an SPMD region.
+void set_log_rank_provider(int (*provider)());
+
+#define XBGAS_LOG(level, ...)                                  \
+  do {                                                         \
+    if ((level) >= ::xbgas::log_level()) {                     \
+      ::xbgas::log_message((level), ::xbgas::strfmt(__VA_ARGS__)); \
+    }                                                          \
+  } while (false)
+
+#define XBGAS_LOG_DEBUG(...) XBGAS_LOG(::xbgas::LogLevel::kDebug, __VA_ARGS__)
+#define XBGAS_LOG_INFO(...) XBGAS_LOG(::xbgas::LogLevel::kInfo, __VA_ARGS__)
+#define XBGAS_LOG_WARN(...) XBGAS_LOG(::xbgas::LogLevel::kWarn, __VA_ARGS__)
+#define XBGAS_LOG_ERROR(...) XBGAS_LOG(::xbgas::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace xbgas

@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256ss::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) {
+  XBGAS_CHECK(bound != 0, "next_below bound must be nonzero");
+  // Lemire-style rejection-free multiply-shift is fine for benchmark use; use
+  // simple rejection to keep exact uniformity for property tests.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256ss::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+GupsStream GupsStream::at(std::int64_t n) {
+  // HPCC RandomAccess starts() routine: compute the n-th value of the
+  // sequence via 64x64 GF(2) matrix-vector products encoded as shift tables.
+  while (n < 0) n += static_cast<std::int64_t>(kPeriod);
+  if (n == 0) return GupsStream(0x1ull);
+
+  std::uint64_t m2[64];
+  std::uint64_t temp = 0x1;
+  for (auto& m : m2) {
+    m = temp;
+    temp = (temp << 1) ^ ((temp >> 63) ? kPoly : 0ull);
+    temp = (temp << 1) ^ ((temp >> 63) ? kPoly : 0ull);
+  }
+
+  int i = 62;
+  while (i >= 0 && !((n >> i) & 1)) --i;
+
+  std::uint64_t ran = 0x2;
+  while (i > 0) {
+    temp = 0;
+    for (int j = 0; j < 64; ++j) {
+      if ((ran >> j) & 1) temp ^= m2[j];
+    }
+    ran = temp;
+    --i;
+    if ((n >> i) & 1) ran = (ran << 1) ^ ((ran >> 63) ? kPoly : 0ull);
+  }
+  return GupsStream(ran);
+}
+
+NasRandlc::NasRandlc(double seed, double a) : x_(seed), a_(a) {}
+
+namespace {
+// The NAS randlc kernel: 46-bit modular multiply via double-double split.
+double randlc_step(double* x, double a) {
+  constexpr double r23 = 0x1.0p-23, r46 = 0x1.0p-46;
+  constexpr double t23 = 0x1.0p23, t46 = 0x1.0p46;
+
+  const double t1a = r23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1a));
+  const double a2 = a - t23 * a1;
+
+  const double t1x = r23 * (*x);
+  const double x1 = static_cast<double>(static_cast<long long>(t1x));
+  const double x2 = (*x) - t23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(r46 * t3));
+  *x = t3 - t46 * t4;
+  return r46 * (*x);
+}
+}  // namespace
+
+double NasRandlc::next() { return randlc_step(&x_, a_); }
+
+double NasRandlc::skip_ahead(double seed, double a, std::int64_t n) {
+  // NAS IS find_my_seed: seed <- seed * a^n mod 2^46, square-and-multiply.
+  XBGAS_CHECK(n >= 0, "skip_ahead requires n >= 0");
+  double s = seed;
+  double t = a;
+  while (n != 0) {
+    if (n & 1) (void)randlc_step(&s, t);
+    double tt = t;
+    (void)randlc_step(&t, tt);
+    n >>= 1;
+  }
+  return s;
+}
+
+}  // namespace xbgas

@@ -1,0 +1,104 @@
+#pragma once
+
+// Deterministic random-number generators used throughout the stack.
+//
+//  - SplitMix64  : seeding / general-purpose 64-bit mixing.
+//  - Xoshiro256ss: fast general-purpose generator for tests and workloads.
+//  - GupsStream  : the HPCC RandomAccess polynomial sequence
+//                  x_{i+1} = (x_i << 1) ^ (msb(x_i) ? POLY : 0),
+//                  with O(log i) jump-ahead — required so each PE of the GUPs
+//                  benchmark (Figure 4) can start at its own offset of the
+//                  global update stream.
+//  - NasRandlc   : the NAS Parallel Benchmarks 46-bit linear congruential
+//                  generator (randlc, a = 5^13), used by NAS IS key
+//                  generation (Figure 5).
+//
+// All generators are value types with explicit state: runs are reproducible
+// bit-for-bit for any PE count.
+
+#include <cstdint>
+
+namespace xbgas {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Good seed expander.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** (Blackman & Vigna). Fast, high-quality, 256-bit state.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// HPCC RandomAccess (GUPs) update stream.
+class GupsStream {
+ public:
+  static constexpr std::uint64_t kPoly = 0x0000000000000007ull;
+  static constexpr std::uint64_t kPeriod = 1317624576693539401ull;  // (2^64-1)/7... HPCC constant
+
+  /// Stream positioned at the n-th element of the canonical sequence
+  /// (n may exceed 2^32; jump-ahead is O(64)).
+  static GupsStream at(std::int64_t n);
+
+  std::uint64_t next() {
+    const std::uint64_t msb = value_ & 0x8000000000000000ull;
+    value_ = (value_ << 1) ^ (msb ? kPoly : 0ull);
+    return value_;
+  }
+
+  std::uint64_t value() const { return value_; }
+
+ private:
+  explicit GupsStream(std::uint64_t v) : value_(v) {}
+  std::uint64_t value_;
+};
+
+/// NAS Parallel Benchmarks pseudorandom generator: 46-bit LCG,
+/// x_{k+1} = a * x_k (mod 2^46), returning x_{k+1} * 2^-46 in [0,1).
+class NasRandlc {
+ public:
+  static constexpr double kDefaultSeed = 314159265.0;
+  static constexpr double kA = 1220703125.0;  // 5^13
+
+  explicit NasRandlc(double seed = kDefaultSeed, double a = kA);
+
+  /// Next value in [0, 1).
+  double next();
+
+  /// Current seed (the integer state as a double, NAS convention).
+  double seed() const { return x_; }
+
+  /// Advance the seed by n steps in O(log n) (NAS find_my_seed). Used to give
+  /// each PE its own contiguous slice of the key stream.
+  static double skip_ahead(double seed, double a, std::int64_t n);
+
+ private:
+  double x_;
+  double a_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,158 @@
+#pragma once
+
+// ProgramBuilder — a type-safe in-memory assembler.
+//
+// The paper's toolchain compiles C through the xBGAS riscv64 GNU toolchain;
+// here the runtime *generates* the remote-access instruction sequences it
+// needs (e.g. the unrolled eld/esd copy loops behind get/put) and hands them
+// to the interpreter. Labels resolve branch/jump offsets at build() time.
+//
+// Register operands are plain 0..31 indices; x-space vs e-space is implied
+// by the mnemonic, mirroring assembly syntax.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace xbgas::isa {
+
+/// A built program: encoded words plus the matching decoded forms.
+struct Program {
+  std::vector<std::uint32_t> words;
+  std::vector<Instruction> insts;
+
+  std::size_t size() const { return words.size(); }
+};
+
+class ProgramBuilder {
+ public:
+  // --- RV64I ---------------------------------------------------------
+  ProgramBuilder& lui(unsigned rd, std::int64_t imm);
+  ProgramBuilder& auipc(unsigned rd, std::int64_t imm);
+  ProgramBuilder& jal(unsigned rd, const std::string& label);
+  ProgramBuilder& jalr(unsigned rd, unsigned rs1, std::int64_t imm);
+
+  ProgramBuilder& beq(unsigned rs1, unsigned rs2, const std::string& label);
+  ProgramBuilder& bne(unsigned rs1, unsigned rs2, const std::string& label);
+  ProgramBuilder& blt(unsigned rs1, unsigned rs2, const std::string& label);
+  ProgramBuilder& bge(unsigned rs1, unsigned rs2, const std::string& label);
+  ProgramBuilder& bltu(unsigned rs1, unsigned rs2, const std::string& label);
+  ProgramBuilder& bgeu(unsigned rs1, unsigned rs2, const std::string& label);
+
+  ProgramBuilder& lb(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& lh(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& lw(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& ld(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& lbu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& lhu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& lwu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& sb(unsigned rs2, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& sh(unsigned rs2, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& sw(unsigned rs2, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& sd(unsigned rs2, unsigned rs1, std::int64_t imm);
+
+  ProgramBuilder& addi(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& slti(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& sltiu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& xori(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& ori(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& andi(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& slli(unsigned rd, unsigned rs1, std::int64_t shamt);
+  ProgramBuilder& srli(unsigned rd, unsigned rs1, std::int64_t shamt);
+  ProgramBuilder& srai(unsigned rd, unsigned rs1, std::int64_t shamt);
+
+  ProgramBuilder& add(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& sub(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& sll(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& slt(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& sltu(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& xor_(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& srl(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& sra(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& or_(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& and_(unsigned rd, unsigned rs1, unsigned rs2);
+
+  ProgramBuilder& addiw(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& addw(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& subw(unsigned rd, unsigned rs1, unsigned rs2);
+
+  // --- RV64M ---------------------------------------------------------
+  ProgramBuilder& mul(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& mulhu(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& div(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& divu(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& rem(unsigned rd, unsigned rs1, unsigned rs2);
+  ProgramBuilder& remu(unsigned rd, unsigned rs1, unsigned rs2);
+
+  ProgramBuilder& ecall();
+  ProgramBuilder& ebreak();
+
+  // --- xBGAS base integer e-loads/stores (implicit e[rs1]) -----------
+  ProgramBuilder& elb(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& elh(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& elw(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& eld(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& elbu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& elhu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& elwu(unsigned rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& esb(unsigned rs2, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& esh(unsigned rs2, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& esw(unsigned rs2, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& esd(unsigned rs2, unsigned rs1, std::int64_t imm);
+
+  // --- xBGAS raw integer loads/stores (explicit e-register) ----------
+  ProgramBuilder& erld(unsigned rd, unsigned rs1, unsigned ext);
+  ProgramBuilder& erlw(unsigned rd, unsigned rs1, unsigned ext);
+  ProgramBuilder& erlh(unsigned rd, unsigned rs1, unsigned ext);
+  ProgramBuilder& erlb(unsigned rd, unsigned rs1, unsigned ext);
+  ProgramBuilder& ersd(unsigned rs2, unsigned rs1, unsigned ext);
+  ProgramBuilder& ersw(unsigned rs2, unsigned rs1, unsigned ext);
+  ProgramBuilder& ersh(unsigned rs2, unsigned rs1, unsigned ext);
+  ProgramBuilder& ersb(unsigned rs2, unsigned rs1, unsigned ext);
+
+  // --- xBGAS address management ---------------------------------------
+  ProgramBuilder& eaddie(unsigned e_rd, unsigned rs1, std::int64_t imm);
+  ProgramBuilder& eaddix(unsigned rd, unsigned e_rs1, std::int64_t imm);
+
+  // --- pseudo-instructions --------------------------------------------
+  ProgramBuilder& nop() { return addi(0, 0, 0); }
+  ProgramBuilder& li(unsigned rd, std::int64_t value);  ///< expands as needed
+  ProgramBuilder& mv(unsigned rd, unsigned rs1) { return addi(rd, rs1, 0); }
+  ProgramBuilder& j(const std::string& label) { return jal(0, label); }
+
+  // --- generic emission (used by the text assembler) --------------------
+  /// Append an already-formed instruction verbatim.
+  ProgramBuilder& insn(const Instruction& inst);
+  /// Append a branch whose offset resolves to `label` at build() time.
+  ProgramBuilder& branch_insn(Op op, unsigned rs1, unsigned rs2,
+                              const std::string& label);
+  /// Append a jal whose offset resolves to `label` at build() time.
+  ProgramBuilder& jal_insn(unsigned rd, const std::string& label);
+
+  // --- labels & assembly ------------------------------------------------
+  ProgramBuilder& label(const std::string& name);
+
+  /// Resolve all labels and encode. Throws on undefined labels.
+  Program build() const;
+
+  std::size_t current_index() const { return insts_.size(); }
+
+ private:
+  ProgramBuilder& emit(Instruction inst);
+  ProgramBuilder& emit_branch(Op op, unsigned rs1, unsigned rs2,
+                              const std::string& label);
+
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+  };
+
+  std::vector<Instruction> insts_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace xbgas::isa

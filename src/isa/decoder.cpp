@@ -1,0 +1,322 @@
+#include "isa/decoder.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "isa/encoding.hpp"
+
+namespace xbgas::isa {
+
+namespace {
+
+std::int64_t imm_i(std::uint32_t w) { return sign_extend(w >> 20, 12); }
+
+std::int64_t imm_s(std::uint32_t w) {
+  const std::uint32_t v = (bits(w, 25, 7) << 5) | bits(w, 7, 5);
+  return sign_extend(v, 12);
+}
+
+std::int64_t imm_b(std::uint32_t w) {
+  const std::uint32_t v = (bits(w, 31, 1) << 12) | (bits(w, 7, 1) << 11) |
+                          (bits(w, 25, 6) << 5) | (bits(w, 8, 4) << 1);
+  return sign_extend(v, 13);
+}
+
+std::int64_t imm_u(std::uint32_t w) {
+  return sign_extend(w & 0xFFFFF000u, 32);
+}
+
+std::int64_t imm_j(std::uint32_t w) {
+  const std::uint32_t v = (bits(w, 31, 1) << 20) | (bits(w, 12, 8) << 12) |
+                          (bits(w, 20, 1) << 11) | (bits(w, 21, 10) << 1);
+  return sign_extend(v, 21);
+}
+
+[[noreturn]] void illegal(std::uint32_t w) {
+  throw Error(strfmt("illegal instruction word 0x%08x", w));
+}
+
+Op load_op_for_width(std::uint32_t funct3, bool xbgas, std::uint32_t w) {
+  switch (funct3) {
+    case kWidthB: return xbgas ? Op::kElb : Op::kLb;
+    case kWidthH: return xbgas ? Op::kElh : Op::kLh;
+    case kWidthW: return xbgas ? Op::kElw : Op::kLw;
+    case kWidthD: return xbgas ? Op::kEld : Op::kLd;
+    case kWidthBU: return xbgas ? Op::kElbu : Op::kLbu;
+    case kWidthHU: return xbgas ? Op::kElhu : Op::kLhu;
+    case kWidthWU: return xbgas ? Op::kElwu : Op::kLwu;
+    default: illegal(w);
+  }
+}
+
+Op store_op_for_width(std::uint32_t funct3, bool xbgas, std::uint32_t w) {
+  switch (funct3) {
+    case kWidthB: return xbgas ? Op::kEsb : Op::kSb;
+    case kWidthH: return xbgas ? Op::kEsh : Op::kSh;
+    case kWidthW: return xbgas ? Op::kEsw : Op::kSw;
+    case kWidthD: return xbgas ? Op::kEsd : Op::kSd;
+    default: illegal(w);
+  }
+}
+
+Op raw_load_for_width(std::uint32_t funct3, std::uint32_t w) {
+  switch (funct3) {
+    case kWidthB: return Op::kErlb;
+    case kWidthH: return Op::kErlh;
+    case kWidthW: return Op::kErlw;
+    case kWidthD: return Op::kErld;
+    case kWidthBU: return Op::kErlbu;
+    case kWidthHU: return Op::kErlhu;
+    case kWidthWU: return Op::kErlwu;
+    default: illegal(w);
+  }
+}
+
+Op raw_store_for_width(std::uint32_t funct3, std::uint32_t w) {
+  switch (funct3) {
+    case kWidthB: return Op::kErsb;
+    case kWidthH: return Op::kErsh;
+    case kWidthW: return Op::kErsw;
+    case kWidthD: return Op::kErsd;
+    default: illegal(w);
+  }
+}
+
+}  // namespace
+
+Instruction decode(std::uint32_t w) {
+  Instruction inst;
+  inst.rd = static_cast<std::uint8_t>(bits(w, 7, 5));
+  inst.rs1 = static_cast<std::uint8_t>(bits(w, 15, 5));
+  inst.rs2 = static_cast<std::uint8_t>(bits(w, 20, 5));
+  const std::uint32_t opcode = bits(w, 0, 7);
+  const std::uint32_t funct3 = bits(w, 12, 3);
+  const std::uint32_t funct7 = bits(w, 25, 7);
+
+  switch (opcode) {
+    case kOpLui:
+      inst.op = Op::kLui;
+      inst.imm = imm_u(w);
+      inst.rs1 = inst.rs2 = 0;  // canonical form: U-type has no sources
+      return inst;
+    case kOpAuipc:
+      inst.op = Op::kAuipc;
+      inst.imm = imm_u(w);
+      inst.rs1 = inst.rs2 = 0;
+      return inst;
+    case kOpJal:
+      inst.op = Op::kJal;
+      inst.imm = imm_j(w);
+      inst.rs1 = inst.rs2 = 0;
+      return inst;
+    case kOpJalr:
+      if (funct3 != 0) illegal(w);
+      inst.op = Op::kJalr;
+      inst.imm = imm_i(w);
+      inst.rs2 = 0;  // canonical form: I-type has no rs2
+      return inst;
+    case kOpBranch: {
+      inst.imm = imm_b(w);
+      inst.rd = 0;  // canonical form: B-type has no rd
+      switch (funct3) {
+        case 0b000: inst.op = Op::kBeq; return inst;
+        case 0b001: inst.op = Op::kBne; return inst;
+        case 0b100: inst.op = Op::kBlt; return inst;
+        case 0b101: inst.op = Op::kBge; return inst;
+        case 0b110: inst.op = Op::kBltu; return inst;
+        case 0b111: inst.op = Op::kBgeu; return inst;
+        default: illegal(w);
+      }
+    }
+    case kOpLoad:
+      inst.op = load_op_for_width(funct3, /*xbgas=*/false, w);
+      inst.imm = imm_i(w);
+      inst.rs2 = 0;
+      return inst;
+    case kOpXbgasLoad:
+      inst.op = load_op_for_width(funct3, /*xbgas=*/true, w);
+      inst.imm = imm_i(w);
+      inst.rs2 = 0;
+      return inst;
+    case kOpStore:
+      inst.op = store_op_for_width(funct3, /*xbgas=*/false, w);
+      inst.imm = imm_s(w);
+      inst.rd = 0;  // canonical form: S-type has no rd
+      return inst;
+    case kOpXbgasStore:
+      inst.op = store_op_for_width(funct3, /*xbgas=*/true, w);
+      inst.imm = imm_s(w);
+      inst.rd = 0;
+      return inst;
+    case kOpOpImm: {
+      inst.imm = imm_i(w);
+      inst.rs2 = 0;
+      switch (funct3) {
+        case 0b000: inst.op = Op::kAddi; return inst;
+        case 0b010: inst.op = Op::kSlti; return inst;
+        case 0b011: inst.op = Op::kSltiu; return inst;
+        case 0b100: inst.op = Op::kXori; return inst;
+        case 0b110: inst.op = Op::kOri; return inst;
+        case 0b111: inst.op = Op::kAndi; return inst;
+        case 0b001:
+          if ((funct7 >> 1) != 0x00) illegal(w);
+          inst.op = Op::kSlli;
+          inst.imm = bits(w, 20, 6);
+          return inst;
+        case 0b101: {
+          const auto funct6 = funct7 >> 1;
+          if (funct6 == 0x00) inst.op = Op::kSrli;
+          else if (funct6 == 0x10) inst.op = Op::kSrai;
+          else illegal(w);
+          inst.imm = bits(w, 20, 6);
+          return inst;
+        }
+        default: illegal(w);
+      }
+    }
+    case kOpOpImm32: {
+      inst.imm = imm_i(w);
+      inst.rs2 = 0;
+      switch (funct3) {
+        case 0b000: inst.op = Op::kAddiw; return inst;
+        case 0b001:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kSlliw;
+          inst.imm = bits(w, 20, 5);
+          return inst;
+        case 0b101:
+          if (funct7 == 0x00) inst.op = Op::kSrliw;
+          else if (funct7 == 0x20) inst.op = Op::kSraiw;
+          else illegal(w);
+          inst.imm = bits(w, 20, 5);
+          return inst;
+        default: illegal(w);
+      }
+    }
+    case kOpOp: {
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0b000: inst.op = Op::kMul; return inst;
+          case 0b001: inst.op = Op::kMulh; return inst;
+          case 0b010: inst.op = Op::kMulhsu; return inst;
+          case 0b011: inst.op = Op::kMulhu; return inst;
+          case 0b100: inst.op = Op::kDiv; return inst;
+          case 0b101: inst.op = Op::kDivu; return inst;
+          case 0b110: inst.op = Op::kRem; return inst;
+          case 0b111: inst.op = Op::kRemu; return inst;
+          default: illegal(w);
+        }
+      }
+      switch (funct3) {
+        case 0b000:
+          if (funct7 == 0x00) inst.op = Op::kAdd;
+          else if (funct7 == 0x20) inst.op = Op::kSub;
+          else illegal(w);
+          return inst;
+        case 0b001:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kSll;
+          return inst;
+        case 0b010:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kSlt;
+          return inst;
+        case 0b011:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kSltu;
+          return inst;
+        case 0b100:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kXor;
+          return inst;
+        case 0b101:
+          if (funct7 == 0x00) inst.op = Op::kSrl;
+          else if (funct7 == 0x20) inst.op = Op::kSra;
+          else illegal(w);
+          return inst;
+        case 0b110:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kOr;
+          return inst;
+        case 0b111:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kAnd;
+          return inst;
+        default: illegal(w);
+      }
+    }
+    case kOpOp32: {
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0b000: inst.op = Op::kMulw; return inst;
+          case 0b100: inst.op = Op::kDivw; return inst;
+          case 0b101: inst.op = Op::kDivuw; return inst;
+          case 0b110: inst.op = Op::kRemw; return inst;
+          case 0b111: inst.op = Op::kRemuw; return inst;
+          default: illegal(w);
+        }
+      }
+      switch (funct3) {
+        case 0b000:
+          if (funct7 == 0x00) inst.op = Op::kAddw;
+          else if (funct7 == 0x20) inst.op = Op::kSubw;
+          else illegal(w);
+          return inst;
+        case 0b001:
+          if (funct7 != 0x00) illegal(w);
+          inst.op = Op::kSllw;
+          return inst;
+        case 0b101:
+          if (funct7 == 0x00) inst.op = Op::kSrlw;
+          else if (funct7 == 0x20) inst.op = Op::kSraw;
+          else illegal(w);
+          return inst;
+        default: illegal(w);
+      }
+    }
+    case kOpSystem: {
+      if (w == kOpSystem) {
+        inst.op = Op::kEcall;
+        inst.rd = inst.rs1 = inst.rs2 = 0;
+        return inst;
+      }
+      if (w == (kOpSystem | (1u << 20))) {
+        inst.op = Op::kEbreak;
+        inst.rd = inst.rs1 = inst.rs2 = 0;
+        return inst;
+      }
+      illegal(w);
+    }
+    case kOpXbgasRaw: {
+      if (funct7 == kRawFunct7Load) {
+        inst.op = raw_load_for_width(funct3, w);
+      } else if (funct7 == kRawFunct7Store) {
+        inst.op = raw_store_for_width(funct3, w);
+      } else {
+        illegal(w);
+      }
+      return inst;
+    }
+    case kOpXbgasAddr: {
+      inst.imm = imm_i(w);
+      inst.rs2 = 0;
+      switch (funct3) {
+        case kAddrFunct3Eaddie: inst.op = Op::kEaddie; return inst;
+        case kAddrFunct3Eaddix: inst.op = Op::kEaddix; return inst;
+        default: illegal(w);
+      }
+    }
+    default:
+      illegal(w);
+  }
+}
+
+std::optional<Instruction> try_decode(std::uint32_t word) noexcept {
+  try {
+    return decode(word);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace xbgas::isa

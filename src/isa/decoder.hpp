@@ -1,0 +1,18 @@
+#pragma once
+
+// 32-bit word -> Instruction decoder for RV64I/M + xBGAS.
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.hpp"
+
+namespace xbgas::isa {
+
+/// Decode one instruction word. Throws xbgas::Error on an illegal encoding.
+Instruction decode(std::uint32_t word);
+
+/// Non-throwing variant for tools/fuzzing.
+std::optional<Instruction> try_decode(std::uint32_t word) noexcept;
+
+}  // namespace xbgas::isa

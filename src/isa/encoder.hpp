@@ -1,0 +1,17 @@
+#pragma once
+
+// Instruction -> 32-bit word encoder. encode/decode round-trip exactly
+// (property-tested in tests/isa/codec_test.cpp).
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace xbgas::isa {
+
+/// Encode one instruction. Throws xbgas::Error if a field is out of range
+/// for the op's format (e.g. a 13-bit branch offset that doesn't fit, or an
+/// odd branch target).
+std::uint32_t encode(const Instruction& inst);
+
+}  // namespace xbgas::isa

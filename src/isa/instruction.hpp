@@ -1,0 +1,65 @@
+#pragma once
+
+// Decoded instruction representation shared by the decoder, encoder,
+// program builder, and interpreter.
+
+#include <cstdint>
+#include <string>
+
+namespace xbgas::isa {
+
+enum class Op : std::uint8_t {
+  // RV64I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  // RV64M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kMulw, kDivw, kDivuw, kRemw, kRemuw,
+  // System
+  kEcall, kEbreak,
+  // xBGAS base integer e-loads/stores (implicit e-register = e[rs1 index])
+  kElb, kElh, kElw, kEld, kElbu, kElhu, kElwu,
+  kEsb, kEsh, kEsw, kEsd,
+  // xBGAS raw integer loads/stores (explicit e-register operand, no imm)
+  kErlb, kErlh, kErlw, kErld, kErlbu, kErlhu, kErlwu,
+  kErsb, kErsh, kErsw, kErsd,
+  // xBGAS address management
+  kEaddie, kEaddix,
+  kCount,
+};
+
+struct Instruction {
+  Op op = Op::kEcall;
+  std::uint8_t rd = 0;   ///< destination register index (x or e space per op)
+  std::uint8_t rs1 = 0;  ///< first source register index
+  std::uint8_t rs2 = 0;  ///< second source / ext register index for raw ops
+  std::int64_t imm = 0;  ///< sign-extended immediate (0 for R-type)
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Mnemonic for one op (lower-case, e.g. "eld").
+const char* mnemonic(Op op);
+
+/// Disassembly, e.g. "eld x5, 16(x6)".
+std::string to_string(const Instruction& inst);
+
+/// Classification helpers used by the interpreter's cost accounting.
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_remote(Op op);  ///< any xBGAS e-form data access
+bool is_branch(Op op);
+
+/// Access width in bytes for load/store ops (1/2/4/8); throws otherwise.
+unsigned access_width(Op op);
+
+/// True for loads whose result is zero-extended (lbu/lhu/lwu & e-forms).
+bool is_unsigned_load(Op op);
+
+}  // namespace xbgas::isa

@@ -1,0 +1,33 @@
+#pragma once
+
+// GlobalMemoryPort — the hart's window onto the global address space.
+//
+// Local accesses (object ID 0) hit the PE's own memory; remote accesses
+// (nonzero object ID) are translated through the OLB and serviced from the
+// owning PE's memory, exactly the dispatch the paper describes for xBGAS
+// remote load/store execution (§3.2). Each access returns the modeled cost
+// in cycles, so the same interface carries both semantics and timing.
+
+#include <cstdint>
+
+namespace xbgas::isa {
+
+struct MemAccessResult {
+  std::uint64_t cycles = 0;
+};
+
+class GlobalMemoryPort {
+ public:
+  virtual ~GlobalMemoryPort() = default;
+
+  /// Load `width` (1/2/4/8) bytes at `addr` within object `object_id`.
+  /// The raw (zero-extended) bits land in *value.
+  virtual MemAccessResult load(std::uint64_t object_id, std::uint64_t addr,
+                               unsigned width, std::uint64_t* value) = 0;
+
+  /// Store the low `width` bytes of `value` at `addr` within `object_id`.
+  virtual MemAccessResult store(std::uint64_t object_id, std::uint64_t addr,
+                                unsigned width, std::uint64_t value) = 0;
+};
+
+}  // namespace xbgas::isa

@@ -1,0 +1,51 @@
+#pragma once
+
+// The extended xBGAS register file (paper Figure 1): the 32 standard RV64I
+// base registers x0-x31 plus 32 extended "e" registers e0-e31. An extended
+// register paired with a base register forms a 128-bit effective address:
+// the e-register carries the object ID, the x-register the 64-bit address.
+//
+// x0 is hardwired to zero per RV64I. e-registers hold object IDs; the value
+// 0 denotes the local PE (paper §3.2), so a cleared e-file makes every
+// access local and the extension degrades gracefully to plain RV64I.
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace xbgas::isa {
+
+class RegFile {
+ public:
+  std::uint64_t x(unsigned i) const {
+    XBGAS_DCHECK(i < 32, "x register index");
+    return x_[i];
+  }
+
+  void set_x(unsigned i, std::uint64_t v) {
+    XBGAS_DCHECK(i < 32, "x register index");
+    if (i != 0) x_[i] = v;  // x0 is hardwired to zero
+  }
+
+  std::uint64_t e(unsigned i) const {
+    XBGAS_DCHECK(i < 32, "e register index");
+    return e_[i];
+  }
+
+  void set_e(unsigned i, std::uint64_t v) {
+    XBGAS_DCHECK(i < 32, "e register index");
+    e_[i] = v;
+  }
+
+  void clear() {
+    x_.fill(0);
+    e_.fill(0);
+  }
+
+ private:
+  std::array<std::uint64_t, 32> x_{};
+  std::array<std::uint64_t, 32> e_{};
+};
+
+}  // namespace xbgas::isa

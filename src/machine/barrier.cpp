@@ -1,0 +1,46 @@
+#include "machine/barrier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+ClockSyncBarrier::ClockSyncBarrier(int n_participants, Reconcile reconcile)
+    : n_(n_participants), reconcile_(std::move(reconcile)) {
+  XBGAS_CHECK(n_participants >= 1, "barrier needs >= 1 participant");
+}
+
+std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (poisoned_) throw Error("barrier poisoned: a PE terminated abnormally");
+
+  max_cycles_ = std::max(max_cycles_, my_cycles);
+  if (++arrived_ == n_) {
+    // Last arriver: reconcile, open the next generation, release everyone.
+    result_ = reconcile_ ? reconcile_(max_cycles_, n_) : max_cycles_;
+    arrived_ = 0;
+    max_cycles_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return result_;
+  }
+
+  const std::uint64_t my_generation = generation_;
+  cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+  if (poisoned_) throw Error("barrier poisoned: a PE terminated abnormally");
+  return result_;
+}
+
+void ClockSyncBarrier::poison() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+bool ClockSyncBarrier::poisoned() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
+}
+
+}  // namespace xbgas

@@ -1,0 +1,57 @@
+#pragma once
+
+// ClockSyncBarrier — the rendezvous primitive under every xbrtime barrier.
+//
+// Besides synchronizing threads, the barrier is where simulated time is
+// reconciled: each participant arrives with its SimClock value; the last
+// arriver runs a reconcile callback (normally NetworkModel::reconcile_phase,
+// which folds in shared-fabric serialization and the barrier's own modeled
+// cost) and every participant leaves with the agreed post-barrier clock.
+//
+// The barrier can be *poisoned* when a PE dies with an exception: all
+// current and future waiters throw instead of deadlocking, letting
+// Machine::run unwind the whole SPMD region and rethrow the original error.
+//
+// Implementation: mutex + condvar sense/generation barrier. The host may be
+// heavily oversubscribed (PEs >> cores), so sleeping waiters beat spinners.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace xbgas {
+
+class ClockSyncBarrier {
+ public:
+  using Reconcile = std::function<std::uint64_t(std::uint64_t max_cycles, int n)>;
+
+  /// `reconcile` may be empty, in which case the barrier result is simply
+  /// the max of the participants' clocks.
+  explicit ClockSyncBarrier(int n_participants, Reconcile reconcile = {});
+
+  /// Block until all participants arrive; returns the reconciled clock.
+  /// Throws xbgas::Error if the barrier is (or becomes) poisoned.
+  std::uint64_t arrive_and_wait(std::uint64_t my_cycles);
+
+  /// Wake every waiter with an error. Safe to call from any thread.
+  void poison();
+
+  bool poisoned() const;
+
+  int participants() const { return n_; }
+
+ private:
+  const int n_;
+  Reconcile reconcile_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t max_cycles_ = 0;
+  std::uint64_t result_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace xbgas

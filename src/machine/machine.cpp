@@ -1,0 +1,153 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "net/topology.hpp"
+
+namespace xbgas {
+
+namespace {
+thread_local PeContext* t_current_pe = nullptr;
+
+int log_rank_provider() {
+  return t_current_pe != nullptr ? t_current_pe->rank() : -1;
+}
+}  // namespace
+
+PeContext* current_pe_context() { return t_current_pe; }
+
+PeContext::PeContext(Machine& machine, int rank, const MachineConfig& config)
+    : machine_(machine),
+      rank_(rank),
+      arena_(config.layout),
+      cache_(config.cache),
+      shared_alloc_(config.layout.shared_bytes),
+      private_alloc_(config.layout.private_bytes),
+      port_(rank, arena_, olb_, cache_, machine.network(),
+            config.layout.private_bytes) {}
+
+int PeContext::n_pes() const { return machine_.n_pes(); }
+
+std::byte* PeContext::resolve_symmetric(int pe, void* local) {
+  return const_cast<std::byte*>(
+      static_cast<const PeContext*>(this)->resolve_symmetric(pe, local));
+}
+
+const std::byte* PeContext::resolve_symmetric(int pe, const void* local) const {
+  XBGAS_CHECK(pe >= 0 && pe < machine_.n_pes(), "PE rank out of range");
+  const std::size_t offset = arena_.shared_offset_of(local);
+  if (pe == rank_) return static_cast<const std::byte*>(local);
+  return machine_.pe(pe).arena().shared_at(offset);
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      network_(make_topology(config.topology_name, config.n_pes), config.net) {
+  XBGAS_CHECK(config.n_pes >= 1, "machine needs >= 1 PE");
+  pes_.reserve(static_cast<std::size_t>(config.n_pes));
+  for (int r = 0; r < config.n_pes; ++r) {
+    pes_.push_back(std::make_unique<PeContext>(*this, r, config_));
+  }
+  // Populate every PE's OLB with every peer's shared segment (object ID =
+  // rank + 1; ID 0 stays the architectural local shortcut).
+  for (auto& pe : pes_) {
+    for (int r = 0; r < config.n_pes; ++r) {
+      auto& peer = *pes_[static_cast<std::size_t>(r)];
+      pe->olb().insert(OlbEntry{
+          .object_id = object_id_for_pe(r),
+          .pe = r,
+          .segment_base = peer.arena().shared_base(),
+          .segment_size = peer.arena().shared_size(),
+      });
+    }
+  }
+  validation_slots_.assign(static_cast<std::size_t>(config.n_pes), 0);
+  world_barrier_ = std::make_unique<ClockSyncBarrier>(
+      config.n_pes, [this](std::uint64_t max_cycles, int n) {
+        return network_.reconcile_phase(max_cycles, n);
+      });
+  register_barrier(world_barrier_.get());
+  set_log_rank_provider(&log_rank_provider);
+}
+
+Machine::~Machine() = default;
+
+PeContext& Machine::pe(int rank) {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes(), "PE rank out of range");
+  return *pes_[static_cast<std::size_t>(rank)];
+}
+
+const PeContext& Machine::pe(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes(), "PE rank out of range");
+  return *pes_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::run(const std::function<void(PeContext&)>& body) {
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(pes_.size());
+  for (auto& pe_ptr : pes_) {
+    threads.emplace_back([&, ctx = pe_ptr.get()] {
+      t_current_pe = ctx;
+      try {
+        body(*ctx);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        poison_all_barriers();
+      }
+      t_current_pe = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t Machine::max_cycles() const {
+  std::uint64_t best = 0;
+  for (const auto& pe_ptr : pes_) {
+    best = std::max(best, pe_ptr->clock().cycles());
+  }
+  return best;
+}
+
+void Machine::reset_time_and_stats() {
+  for (auto& pe_ptr : pes_) {
+    pe_ptr->clock().reset();
+    pe_ptr->cache().reset_stats();
+    pe_ptr->cache().flush();
+    pe_ptr->olb().reset_stats();
+  }
+  network_.reset_totals();
+  network_.reset_phase();
+}
+
+std::uint64_t& Machine::validation_slot(int rank) {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes(), "PE rank out of range");
+  return validation_slots_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::register_barrier(ClockSyncBarrier* barrier) {
+  const std::lock_guard<std::mutex> lock(barriers_mutex_);
+  barriers_.push_back(barrier);
+}
+
+void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
+  const std::lock_guard<std::mutex> lock(barriers_mutex_);
+  std::erase(barriers_, barrier);
+}
+
+void Machine::poison_all_barriers() {
+  const std::lock_guard<std::mutex> lock(barriers_mutex_);
+  for (auto* b : barriers_) b->poison();
+}
+
+}  // namespace xbgas

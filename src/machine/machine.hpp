@@ -1,0 +1,150 @@
+#pragma once
+
+// Machine — the simulated multi-PE system (the repo's stand-in for the
+// paper's 12-core Spike environment, §5.1).
+//
+// A Machine owns N processing elements. Each PE has its own memory arena
+// (Figure 2 layout), OLB pre-populated with every peer's shared segment,
+// cache hierarchy, simulated clock, and deterministic allocators. run()
+// executes an SPMD body on one std::thread per PE and rethrows the first
+// PE failure after poisoning the world barrier so no thread deadlocks.
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "machine/barrier.hpp"
+#include "machine/port.hpp"
+#include "memory/arena.hpp"
+#include "memory/freelist_allocator.hpp"
+#include "net/fabric.hpp"
+#include "net/sim_clock.hpp"
+#include "olb/olb.hpp"
+
+namespace xbgas {
+
+class Machine;
+
+struct MachineConfig {
+  int n_pes = 4;
+  MemoryLayout layout{};
+  std::string topology_name = "flat";
+  NetCostParams net{};
+  HierarchyConfig cache{};
+};
+
+/// Per-PE state handed to the SPMD body. Owned by the Machine; never
+/// outlives it.
+class PeContext {
+ public:
+  PeContext(Machine& machine, int rank, const MachineConfig& config);
+
+  PeContext(const PeContext&) = delete;
+  PeContext& operator=(const PeContext&) = delete;
+
+  int rank() const { return rank_; }
+  int n_pes() const;
+
+  Machine& machine() { return machine_; }
+  MemoryArena& arena() { return arena_; }
+  const MemoryArena& arena() const { return arena_; }
+  ObjectLookasideBuffer& olb() { return olb_; }
+  CacheHierarchy& cache() { return cache_; }
+  SimClock& clock() { return clock_; }
+  FreeListAllocator& shared_allocator() { return shared_alloc_; }
+  FreeListAllocator& private_allocator() { return private_alloc_; }
+  MachinePort& port() { return port_; }
+
+  /// Resolve a *symmetric* local pointer to the equivalent location in a
+  /// peer PE's shared segment. Throws if `local` is not in this PE's shared
+  /// segment or `pe` is out of range. pe == rank() returns `local` itself
+  /// (the §3.2 object-ID-0 shortcut).
+  std::byte* resolve_symmetric(int pe, void* local);
+  const std::byte* resolve_symmetric(int pe, const void* local) const;
+
+  /// Completion horizon for non-blocking RMA: the simulated time by which
+  /// all outstanding non-blocking transfers issued by this PE are complete.
+  /// xbr_wait / xbrtime_barrier advance the clock to this value.
+  std::uint64_t pending_completion() const { return pending_completion_; }
+  void note_pending(std::uint64_t done_at) {
+    if (done_at > pending_completion_) pending_completion_ = done_at;
+  }
+  void clear_pending() { pending_completion_ = 0; }
+
+ private:
+  std::uint64_t pending_completion_ = 0;
+  Machine& machine_;
+  int rank_;
+  MemoryArena arena_;
+  ObjectLookasideBuffer olb_;
+  CacheHierarchy cache_;
+  SimClock clock_;
+  FreeListAllocator shared_alloc_;
+  FreeListAllocator private_alloc_;
+  MachinePort port_;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int n_pes() const { return config_.n_pes; }
+  const MachineConfig& config() const { return config_; }
+
+  NetworkModel& network() { return network_; }
+  const NetworkModel& network() const { return network_; }
+
+  ClockSyncBarrier& world_barrier() { return *world_barrier_; }
+
+  PeContext& pe(int rank);
+  const PeContext& pe(int rank) const;
+
+  /// Execute `body` as an SPMD region: one thread per PE. Exceptions from
+  /// any PE poison the world barrier and the first one is rethrown here.
+  /// During the region, current_pe_context() returns the calling thread's
+  /// context.
+  void run(const std::function<void(PeContext&)>& body);
+
+  /// Max simulated clock across PEs (the "makespan" of the last region).
+  std::uint64_t max_cycles() const;
+
+  /// Reset all PE clocks and cache/OLB/net statistics (between benchmark
+  /// repetitions).
+  void reset_time_and_stats();
+
+  /// One plain 64-bit slot per PE, used by collective runtime operations
+  /// (e.g. symmetric-heap symmetry verification) to exchange small values.
+  /// Synchronization is the caller's job (writes and reads must be separated
+  /// by barriers).
+  std::uint64_t& validation_slot(int rank);
+
+  /// Any barrier registered here is poisoned when a PE fails, so waiters on
+  /// team/subset barriers unwind instead of deadlocking. The world barrier
+  /// is registered automatically.
+  void register_barrier(ClockSyncBarrier* barrier);
+  void unregister_barrier(ClockSyncBarrier* barrier);
+
+ private:
+  void poison_all_barriers();
+
+  MachineConfig config_;
+  NetworkModel network_;
+  std::vector<std::unique_ptr<PeContext>> pes_;
+  std::unique_ptr<ClockSyncBarrier> world_barrier_;
+  std::vector<std::uint64_t> validation_slots_;
+
+  std::mutex barriers_mutex_;
+  std::vector<ClockSyncBarrier*> barriers_;
+};
+
+/// The PE context bound to the calling thread inside Machine::run, or
+/// nullptr outside any SPMD region.
+PeContext* current_pe_context();
+
+}  // namespace xbgas

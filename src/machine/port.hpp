@@ -1,0 +1,52 @@
+#pragma once
+
+// MachinePort — the per-PE implementation of isa::GlobalMemoryPort.
+//
+// This is where the §3.2 execution rule lives for interpreted code:
+//   e-register == 0  ->  local access (cache-hierarchy timing)
+//   e-register != 0  ->  OLB translation to the owning PE's shared segment
+//                        (network-model timing + fabric traffic accounting)
+//
+// Addresses are arena-relative: a remote access uses the *same* address the
+// issuing PE would use locally, relying on the symmetric-heap property that
+// shared allocations sit at identical offsets on every PE.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/port.hpp"
+
+namespace xbgas {
+
+class MemoryArena;
+class ObjectLookasideBuffer;
+class CacheHierarchy;
+class NetworkModel;
+
+class MachinePort final : public isa::GlobalMemoryPort {
+ public:
+  MachinePort(int rank, MemoryArena& local, ObjectLookasideBuffer& olb,
+              CacheHierarchy& cache, NetworkModel& net,
+              std::size_t private_bytes);
+
+  isa::MemAccessResult load(std::uint64_t object_id, std::uint64_t addr,
+                            unsigned width, std::uint64_t* value) override;
+
+  isa::MemAccessResult store(std::uint64_t object_id, std::uint64_t addr,
+                             unsigned width, std::uint64_t value) override;
+
+ private:
+  /// Resolve (object_id, addr) to a concrete byte pointer and the cycle
+  /// cost of reaching it.
+  std::byte* translate(std::uint64_t object_id, std::uint64_t addr,
+                       unsigned width, bool is_store, std::uint64_t* cycles);
+
+  int rank_;
+  MemoryArena& local_;
+  ObjectLookasideBuffer& olb_;
+  CacheHierarchy& cache_;
+  NetworkModel& net_;
+  std::size_t private_bytes_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,41 @@
+#include "memory/arena.hpp"
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+MemoryArena::MemoryArena(const MemoryLayout& layout)
+    : layout_(layout),
+      storage_(std::make_unique<std::byte[]>(layout.total_bytes())) {
+  XBGAS_CHECK(layout.total_bytes() > 0, "arena must be non-empty");
+}
+
+bool MemoryArena::contains(const void* p, std::size_t len) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= base() && b + len <= base() + size();
+}
+
+bool MemoryArena::in_shared(const void* p, std::size_t len) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= shared_base() && b + len <= shared_base() + shared_size();
+}
+
+std::size_t MemoryArena::shared_offset_of(const void* p) const {
+  XBGAS_CHECK(in_shared(p, 0),
+              "address is not in the symmetric shared segment");
+  return static_cast<std::size_t>(static_cast<const std::byte*>(p) -
+                                  shared_base());
+}
+
+std::byte* MemoryArena::shared_at(std::size_t offset) {
+  XBGAS_CHECK(offset <= shared_size(), "shared offset out of range");
+  return shared_base() + offset;
+}
+
+const std::byte* MemoryArena::shared_at(std::size_t offset) const {
+  XBGAS_CHECK(offset <= shared_size(), "shared offset out of range");
+  return shared_base() + offset;
+}
+
+}  // namespace xbgas

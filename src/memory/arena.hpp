@@ -1,0 +1,66 @@
+#pragma once
+
+// MemoryArena — one PE's simulated physical memory.
+//
+// The arena is a single aligned allocation carved into the Figure-2 layout:
+//
+//   +--------------------+---------------------------+
+//   | private segment    | symmetric shared segment  |
+//   +--------------------+---------------------------+
+//   ^ base()             ^ shared_base()
+//
+// Remote memory operations translate (object ID, local address) pairs into a
+// peer arena via the OLB: peer_address = peer.shared_base() + shared_offset.
+
+#include <cstddef>
+#include <memory>
+
+#include "memory/layout.hpp"
+
+namespace xbgas {
+
+class MemoryArena {
+ public:
+  explicit MemoryArena(const MemoryLayout& layout);
+
+  MemoryArena(const MemoryArena&) = delete;
+  MemoryArena& operator=(const MemoryArena&) = delete;
+  MemoryArena(MemoryArena&&) = default;
+  MemoryArena& operator=(MemoryArena&&) = default;
+
+  std::byte* base() { return storage_.get(); }
+  const std::byte* base() const { return storage_.get(); }
+  std::size_t size() const { return layout_.total_bytes(); }
+
+  std::byte* private_base() { return storage_.get(); }
+  std::size_t private_size() const { return layout_.private_bytes; }
+
+  std::byte* shared_base() { return storage_.get() + layout_.private_bytes; }
+  const std::byte* shared_base() const {
+    return storage_.get() + layout_.private_bytes;
+  }
+  std::size_t shared_size() const { return layout_.shared_bytes; }
+
+  const MemoryLayout& layout() const { return layout_; }
+
+  /// True iff [p, p+len) lies wholly inside this arena.
+  bool contains(const void* p, std::size_t len) const;
+
+  /// True iff [p, p+len) lies wholly inside the symmetric shared segment.
+  bool in_shared(const void* p, std::size_t len) const;
+
+  /// Offset of `p` from the shared-segment base. Throws if p is not in the
+  /// shared segment — callers rely on this to reject non-symmetric addresses
+  /// in remote operations.
+  std::size_t shared_offset_of(const void* p) const;
+
+  /// Address at a given offset from the shared-segment base.
+  std::byte* shared_at(std::size_t offset);
+  const std::byte* shared_at(std::size_t offset) const;
+
+ private:
+  MemoryLayout layout_;
+  std::unique_ptr<std::byte[]> storage_;
+};
+
+}  // namespace xbgas

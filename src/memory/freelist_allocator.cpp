@@ -1,0 +1,70 @@
+#include "memory/freelist_allocator.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace xbgas {
+
+FreeListAllocator::FreeListAllocator(std::size_t region_bytes)
+    : region_bytes_(region_bytes) {
+  XBGAS_CHECK(region_bytes > 0, "allocator region must be non-empty");
+  free_.emplace(0, region_bytes);
+}
+
+std::optional<std::size_t> FreeListAllocator::allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = kAlignment;
+  bytes = align_up(bytes, kAlignment);
+  // First fit in address order: deterministic across PEs by construction.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const auto [offset, size] = *it;
+    if (size < bytes) continue;
+    free_.erase(it);
+    if (size > bytes) free_.emplace(offset + bytes, size - bytes);
+    allocated_.emplace(offset, bytes);
+    bytes_in_use_ += bytes;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+void FreeListAllocator::release(std::size_t offset) {
+  const auto it = allocated_.find(offset);
+  XBGAS_CHECK(it != allocated_.end(), "release of unallocated offset");
+  std::size_t size = it->second;
+  allocated_.erase(it);
+  bytes_in_use_ -= size;
+
+  // Coalesce with successor.
+  auto next = free_.lower_bound(offset);
+  if (next != free_.end() && offset + size == next->first) {
+    size += next->second;
+    next = free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      prev->second += size;
+      return;
+    }
+  }
+  free_.emplace(offset, size);
+}
+
+std::size_t FreeListAllocator::allocation_size(std::size_t offset) const {
+  const auto it = allocated_.find(offset);
+  XBGAS_CHECK(it != allocated_.end(), "allocation_size of unallocated offset");
+  return it->second;
+}
+
+bool FreeListAllocator::is_live(std::size_t offset) const {
+  return allocated_.contains(offset);
+}
+
+std::size_t FreeListAllocator::largest_free_block() const {
+  std::size_t best = 0;
+  for (const auto& [offset, size] : free_) best = std::max(best, size);
+  return best;
+}
+
+}  // namespace xbgas

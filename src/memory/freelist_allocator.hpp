@@ -1,0 +1,53 @@
+#pragma once
+
+// FreeListAllocator — deterministic first-fit allocator over a byte region.
+//
+// The symmetric heap relies on one property above all others: if every PE
+// performs the *same sequence* of allocate/release calls, every PE's
+// allocator hands back the *same offsets*. First-fit over an ordered free
+// list with eager coalescing is fully deterministic, so running one instance
+// per PE (no sharing, no locks) keeps the shared segments symmetric — the
+// Cray SHMEM-style discipline described in paper §3.3.
+//
+// Metadata lives out-of-band (ordered maps keyed by offset), so the managed
+// region itself contains only user data; a stray remote write can corrupt
+// user data but never the allocator, which keeps failure modes diagnosable.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+namespace xbgas {
+
+class FreeListAllocator {
+ public:
+  static constexpr std::size_t kAlignment = 16;
+
+  explicit FreeListAllocator(std::size_t region_bytes);
+
+  /// Allocate `bytes` (rounded up to kAlignment); returns the offset into the
+  /// region, or nullopt when no free block fits.
+  std::optional<std::size_t> allocate(std::size_t bytes);
+
+  /// Release a previously allocated offset. Throws on double free / bad ptr.
+  void release(std::size_t offset);
+
+  /// Size originally requested for a live allocation (rounded up).
+  std::size_t allocation_size(std::size_t offset) const;
+  bool is_live(std::size_t offset) const;
+
+  std::size_t region_bytes() const { return region_bytes_; }
+  std::size_t bytes_in_use() const { return bytes_in_use_; }
+  std::size_t live_allocations() const { return allocated_.size(); }
+
+  /// Largest currently allocatable request (for exhaustion tests).
+  std::size_t largest_free_block() const;
+
+ private:
+  std::size_t region_bytes_;
+  std::size_t bytes_in_use_ = 0;
+  std::map<std::size_t, std::size_t> free_;       // offset -> size
+  std::map<std::size_t, std::size_t> allocated_;  // offset -> size
+};
+
+}  // namespace xbgas

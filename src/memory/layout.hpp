@@ -1,0 +1,22 @@
+#pragma once
+
+// Per-PE memory layout (paper Figure 2): every processing element owns one
+// physically-private arena split into a private segment and a symmetric
+// shared segment. Shared allocations are made collectively and land at the
+// same offset from the shared-segment base on every PE, which is what makes
+// one-sided remote addressing work.
+
+#include <cstddef>
+
+namespace xbgas {
+
+struct MemoryLayout {
+  /// Bytes of PE-private memory (runtime scratch, reduce l_buff, ...).
+  std::size_t private_bytes = std::size_t{8} << 20;
+  /// Bytes of symmetric shared memory (xbrtime_malloc arena).
+  std::size_t shared_bytes = std::size_t{64} << 20;
+
+  std::size_t total_bytes() const { return private_bytes + shared_bytes; }
+};
+
+}  // namespace xbgas

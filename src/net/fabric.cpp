@@ -1,0 +1,117 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace xbgas {
+
+std::uint64_t NetCostParams::barrier_cycles(int n_participants) const {
+  XBGAS_CHECK(n_participants >= 1, "barrier needs >= 1 participant");
+  if (n_participants == 1) return 0;
+  const std::uint64_t hop = injection_cycles + per_hop_cycles;
+  const auto n = static_cast<std::uint64_t>(n_participants);
+  const std::uint64_t rounds = ceil_log2(n);
+  switch (barrier_algorithm) {
+    case BarrierAlgorithm::kDissemination:
+      // All PEs exchange in parallel each round.
+      return rounds * hop;
+    case BarrierAlgorithm::kCentral:
+      // Root serializes n-1 arrivals, then one broadcast-style release.
+      return (n - 1) * hop + hop;
+    case BarrierAlgorithm::kTournament:
+      // log2 n up the winners' bracket plus a tree release.
+      return 2 * rounds * hop;
+  }
+  return rounds * hop;
+}
+
+NetworkModel::NetworkModel(std::unique_ptr<Topology> topology,
+                           const NetCostParams& params)
+    : topology_(std::move(topology)), params_(params) {
+  XBGAS_CHECK(topology_ != nullptr, "NetworkModel requires a topology");
+  XBGAS_CHECK(params_.link_bytes_per_cycle > 0 &&
+                  params_.fabric_bytes_per_cycle > 0,
+              "bandwidths must be positive");
+}
+
+namespace {
+std::uint64_t serialization_cycles(std::size_t bytes, double bytes_per_cycle) {
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+}
+}  // namespace
+
+std::uint64_t NetworkModel::put_cost(int src_pe, int dst_pe,
+                                     std::size_t bytes) const {
+  const int h = topology_->hops(src_pe, dst_pe);
+  return params_.olb_lookup_cycles + params_.injection_cycles +
+         static_cast<std::uint64_t>(h) * params_.per_hop_cycles +
+         serialization_cycles(bytes + params_.message_header_bytes,
+                              params_.link_bytes_per_cycle) +
+         params_.remote_mem_cycles;
+}
+
+std::uint64_t NetworkModel::get_cost(int src_pe, int dst_pe,
+                                     std::size_t bytes) const {
+  const int h = topology_->hops(src_pe, dst_pe);
+  // Request traversal + remote access + response traversal carrying payload.
+  return params_.olb_lookup_cycles + 2 * params_.injection_cycles +
+         std::uint64_t{2} * static_cast<std::uint64_t>(h) * params_.per_hop_cycles +
+         serialization_cycles(bytes + params_.message_header_bytes,
+                              params_.link_bytes_per_cycle) +
+         params_.remote_mem_cycles;
+}
+
+void NetworkModel::record(bool is_put, std::size_t bytes) {
+  // Fabric occupancy counts payload plus per-message protocol overhead.
+  phase_bytes_.fetch_add(bytes + params_.message_header_bytes,
+                         std::memory_order_relaxed);
+  phase_messages_.fetch_add(1, std::memory_order_relaxed);
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes + params_.message_header_bytes,
+                         std::memory_order_relaxed);
+  (is_put ? total_puts_ : total_gets_).fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t NetworkModel::reconcile_phase(
+    std::uint64_t max_participant_cycles, int n_participants) {
+  const std::uint64_t drained = phase_bytes_.exchange(0, std::memory_order_relaxed);
+  const std::uint64_t drained_msgs =
+      phase_messages_.exchange(0, std::memory_order_relaxed);
+  const std::uint64_t fabric_done =
+      phase_anchor_ +
+      serialization_cycles(drained, params_.fabric_bytes_per_cycle) +
+      drained_msgs * params_.fabric_message_cycles;
+  const std::uint64_t t =
+      std::max(max_participant_cycles, fabric_done) +
+      params_.barrier_cycles(n_participants);
+  phase_anchor_ = t;
+  return t;
+}
+
+NetTotals NetworkModel::totals() const {
+  return NetTotals{
+      .messages = total_messages_.load(std::memory_order_relaxed),
+      .bytes = total_bytes_.load(std::memory_order_relaxed),
+      .puts = total_puts_.load(std::memory_order_relaxed),
+      .gets = total_gets_.load(std::memory_order_relaxed),
+  };
+}
+
+void NetworkModel::reset_phase() {
+  phase_bytes_.store(0, std::memory_order_relaxed);
+  phase_messages_.store(0, std::memory_order_relaxed);
+  phase_anchor_ = 0;
+}
+
+void NetworkModel::reset_totals() {
+  total_messages_.store(0, std::memory_order_relaxed);
+  total_bytes_.store(0, std::memory_order_relaxed);
+  total_puts_.store(0, std::memory_order_relaxed);
+  total_gets_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace xbgas

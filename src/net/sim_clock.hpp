@@ -1,0 +1,36 @@
+#pragma once
+
+// SimClock — one PE's simulated cycle counter.
+//
+// The host is not the paper's 12-core RISC-V board (this build even runs on
+// a single host core), so all reported performance is *modeled* time: every
+// local access charges cache-model cycles, every remote transaction charges
+// network-model cycles, and barriers synchronize clocks to the maximum
+// participant (plus fabric serialization; see NetworkModel). The result is
+// deterministic for a given program and PE count, independent of host
+// scheduling.
+
+#include <cstdint>
+
+namespace xbgas {
+
+class SimClock {
+ public:
+  constexpr std::uint64_t cycles() const { return cycles_; }
+  constexpr void advance(std::uint64_t c) { cycles_ += c; }
+  constexpr void set(std::uint64_t c) { cycles_ = c; }
+  constexpr void reset() { cycles_ = 0; }
+
+  /// Convert to seconds at a given core frequency.
+  constexpr double seconds(double hz) const {
+    return static_cast<double>(cycles_) / hz;
+  }
+
+  /// Nominal core frequency used for MOPS reporting (1 GHz).
+  static constexpr double kDefaultHz = 1.0e9;
+
+ private:
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace xbgas

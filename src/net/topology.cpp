@@ -1,0 +1,151 @@
+#include "net/topology.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+int Topology::diameter() const {
+  int best = 0;
+  for (int s = 0; s < size(); ++s) {
+    for (int d = 0; d < size(); ++d) best = std::max(best, hops(s, d));
+  }
+  return best;
+}
+
+double Topology::mean_hops() const {
+  if (size() < 2) return 0.0;
+  long long total = 0;
+  for (int s = 0; s < size(); ++s) {
+    for (int d = 0; d < size(); ++d) {
+      if (s != d) total += hops(s, d);
+    }
+  }
+  return static_cast<double>(total) /
+         (static_cast<double>(size()) * (size() - 1));
+}
+
+namespace {
+void check_endpoint(int n, int src, int dst) {
+  XBGAS_CHECK(src >= 0 && src < n && dst >= 0 && dst < n,
+              strfmt("endpoint out of range: src=%d dst=%d n=%d", src, dst, n));
+}
+}  // namespace
+
+FlatTopology::FlatTopology(int n) : n_(n) {
+  XBGAS_CHECK(n >= 1, "topology needs >= 1 endpoint");
+}
+
+int FlatTopology::hops(int src, int dst) const {
+  check_endpoint(n_, src, dst);
+  return src == dst ? 0 : 1;
+}
+
+int FlatTopology::link_count() const { return n_ * (n_ - 1); }
+
+RingTopology::RingTopology(int n) : n_(n) {
+  XBGAS_CHECK(n >= 1, "topology needs >= 1 endpoint");
+}
+
+int RingTopology::hops(int src, int dst) const {
+  check_endpoint(n_, src, dst);
+  const int fwd = (dst - src + n_) % n_;
+  return std::min(fwd, n_ - fwd);
+}
+
+int RingTopology::link_count() const { return n_ <= 1 ? 0 : 2 * n_; }
+
+Torus2DTopology::Torus2DTopology(int rows, int cols) : rows_(rows), cols_(cols) {
+  XBGAS_CHECK(rows >= 1 && cols >= 1, "torus dims must be >= 1");
+}
+
+Torus2DTopology::Torus2DTopology(int n) : rows_(1), cols_(n) {
+  XBGAS_CHECK(n >= 1, "topology needs >= 1 endpoint");
+  for (int r = static_cast<int>(std::sqrt(static_cast<double>(n))); r >= 1; --r) {
+    if (n % r == 0) {
+      rows_ = r;
+      cols_ = n / r;
+      break;
+    }
+  }
+}
+
+int Torus2DTopology::hops(int src, int dst) const {
+  check_endpoint(size(), src, dst);
+  const int sr = src / cols_, sc = src % cols_;
+  const int dr = dst / cols_, dc = dst % cols_;
+  const int row_fwd = (dr - sr + rows_) % rows_;
+  const int col_fwd = (dc - sc + cols_) % cols_;
+  return std::min(row_fwd, rows_ - row_fwd) + std::min(col_fwd, cols_ - col_fwd);
+}
+
+int Torus2DTopology::link_count() const {
+  int links = 0;
+  if (rows_ > 1) links += 2 * size();
+  if (cols_ > 1) links += 2 * size();
+  return links;
+}
+
+std::string Torus2DTopology::name() const {
+  return strfmt("torus%dx%d", rows_, cols_);
+}
+
+HypercubeTopology::HypercubeTopology(int n) : n_(n) {
+  XBGAS_CHECK(n >= 1 && is_pow2(static_cast<std::uint64_t>(n)),
+              "hypercube size must be a power of two");
+}
+
+int HypercubeTopology::hops(int src, int dst) const {
+  check_endpoint(n_, src, dst);
+  return std::popcount(static_cast<unsigned>(src ^ dst));
+}
+
+int HypercubeTopology::link_count() const {
+  return n_ <= 1 ? 0 : n_ * static_cast<int>(floor_log2(static_cast<std::uint64_t>(n_)));
+}
+
+ClusterTopology::ClusterTopology(int n, int group_size, int remote_hops)
+    : n_(n), group_size_(group_size), remote_hops_(remote_hops) {
+  XBGAS_CHECK(n >= 1, "topology needs >= 1 endpoint");
+  XBGAS_CHECK(group_size >= 1 && n % group_size == 0,
+              "cluster group size must divide the endpoint count");
+  XBGAS_CHECK(remote_hops >= 1, "remote hops must be >= 1");
+}
+
+int ClusterTopology::hops(int src, int dst) const {
+  check_endpoint(n_, src, dst);
+  if (src == dst) return 0;
+  return src / group_size_ == dst / group_size_ ? 1 : remote_hops_;
+}
+
+int ClusterTopology::link_count() const {
+  const int groups = n_ / group_size_;
+  return n_ * (group_size_ - 1) + groups * (groups - 1);
+}
+
+std::string ClusterTopology::name() const {
+  return strfmt("cluster%dx%d", group_size_, remote_hops_);
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& name, int n) {
+  if (name == "flat") return std::make_unique<FlatTopology>(n);
+  if (name == "ring") return std::make_unique<RingTopology>(n);
+  if (name == "torus") return std::make_unique<Torus2DTopology>(n);
+  if (name == "hypercube") return std::make_unique<HypercubeTopology>(n);
+  if (name.rfind("cluster", 0) == 0) {
+    int group = 0, remote = 0;
+    if (std::sscanf(name.c_str(), "cluster%dx%d", &group, &remote) == 2) {
+      return std::make_unique<ClusterTopology>(n, group, remote);
+    }
+    throw Error("cluster topology syntax: cluster<G>x<H>, got: " + name);
+  }
+  throw Error("unknown topology: " + name);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,128 @@
+#pragma once
+
+// Interconnect topology models.
+//
+// The paper (§4.2) chooses the binomial tree precisely because it assumes
+// nothing about topology ("will perform effectively regardless of whether it
+// is utilized on a torus or hypercube topology"). These models supply hop
+// counts to the network cost model so the ablation benches (A2) can measure
+// how the tree's recursive-halving schedule behaves on each fabric.
+
+#include <memory>
+#include <string>
+
+namespace xbgas {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of endpoints.
+  virtual int size() const = 0;
+
+  /// Hop count between two endpoints (0 when src == dst).
+  virtual int hops(int src, int dst) const = 0;
+
+  /// Number of unidirectional links in the fabric (for congestion scaling).
+  virtual int link_count() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Network diameter: max hops over all pairs.
+  int diameter() const;
+
+  /// Mean hops over all ordered pairs with src != dst.
+  double mean_hops() const;
+};
+
+/// Crossbar/flat switch: every pair one hop apart. This is the default
+/// profile — closest to the paper's single-board 12-core simulation where
+/// inter-PE traffic shares one fabric.
+class FlatTopology final : public Topology {
+ public:
+  explicit FlatTopology(int n);
+  int size() const override { return n_; }
+  int hops(int src, int dst) const override;
+  int link_count() const override;
+  std::string name() const override { return "flat"; }
+
+ private:
+  int n_;
+};
+
+/// Bidirectional ring.
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(int n);
+  int size() const override { return n_; }
+  int hops(int src, int dst) const override;
+  int link_count() const override;
+  std::string name() const override { return "ring"; }
+
+ private:
+  int n_;
+};
+
+/// 2-D torus with dimensions rows x cols (rows*cols endpoints, row-major
+/// rank order).
+class Torus2DTopology final : public Topology {
+ public:
+  Torus2DTopology(int rows, int cols);
+  /// Near-square factorization of n.
+  explicit Torus2DTopology(int n);
+  int size() const override { return rows_ * cols_; }
+  int hops(int src, int dst) const override;
+  int link_count() const override;
+  std::string name() const override;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Binary hypercube; size must be a power of two.
+class HypercubeTopology final : public Topology {
+ public:
+  explicit HypercubeTopology(int n);
+  int size() const override { return n_; }
+  int hops(int src, int dst) const override;
+  int link_count() const override;
+  std::string name() const override { return "hypercube"; }
+
+ private:
+  int n_;
+};
+
+/// Cluster-of-nodes fabric: PEs are grouped into nodes of `group_size`
+/// consecutive ranks; intra-node hops cost 1, any node-boundary crossing
+/// costs `remote_hops` regardless of distance. This models the
+/// on-chip-vs-network split the xBGAS OLB exposes (object IDs are dense in
+/// rank order, so node membership is a pure function of the ID) and is the
+/// fabric where the §7 locality-aware collectives pay off.
+class ClusterTopology final : public Topology {
+ public:
+  ClusterTopology(int n, int group_size, int remote_hops);
+  int size() const override { return n_; }
+  int hops(int src, int dst) const override;
+  int link_count() const override;
+  std::string name() const override;
+
+  int group_size() const { return group_size_; }
+  int remote_hops() const { return remote_hops_; }
+
+ private:
+  int n_;
+  int group_size_;
+  int remote_hops_;
+};
+
+/// Factory: name in {flat, ring, torus, hypercube} or "cluster<G>x<H>"
+/// (nodes of G PEs, H hops across node boundaries, e.g. "cluster4x8").
+/// Throws on unknown names or invalid (name, n) combinations (e.g.
+/// non-power-of-two hypercube).
+std::unique_ptr<Topology> make_topology(const std::string& name, int n);
+
+}  // namespace xbgas

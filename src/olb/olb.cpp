@@ -1,0 +1,48 @@
+#include "olb/olb.hpp"
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+void ObjectLookasideBuffer::insert(const OlbEntry& entry) {
+  XBGAS_CHECK(entry.object_id != kLocalObjectId,
+              "object ID 0 is architecturally reserved for the local PE");
+  if (entry.object_id >= table_.size()) {
+    table_.resize(entry.object_id + 1);
+  }
+  table_[entry.object_id] = entry;
+}
+
+const OlbEntry* ObjectLookasideBuffer::lookup(std::uint64_t object_id) {
+  ++stats_.lookups;
+  if (object_id == kLocalObjectId) {
+    ++stats_.local_shortcuts;
+    return nullptr;
+  }
+  if (object_id < table_.size() &&
+      table_[object_id].segment_base != nullptr) {
+    ++stats_.hits;
+    return &table_[object_id];
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const OlbEntry* ObjectLookasideBuffer::peek(std::uint64_t object_id) const {
+  if (object_id == kLocalObjectId) return nullptr;
+  if (object_id < table_.size() &&
+      table_[object_id].segment_base != nullptr) {
+    return &table_[object_id];
+  }
+  return nullptr;
+}
+
+std::size_t ObjectLookasideBuffer::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& e : table_) {
+    if (e.segment_base != nullptr) ++n;
+  }
+  return n;
+}
+
+}  // namespace xbgas

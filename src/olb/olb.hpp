@@ -1,0 +1,76 @@
+#pragma once
+
+// Object Look-aside Buffer (paper §3.2).
+//
+// xBGAS forms 128-bit effective addresses from an extended register (holding
+// an object ID) and a base register (holding a 64-bit address). The OLB is
+// the per-PE hardware structure that maps each object ID to the physical
+// base of the corresponding remote resource. Object ID 0 is architecturally
+// "the local PE": remote instructions with e-register == 0 degrade to plain
+// local accesses, which is what keeps xBGAS binary-compatible with RV64I.
+//
+// In this reproduction an "object" is a peer PE's symmetric shared segment,
+// and the convention (DESIGN.md §4.2) is object ID = logical rank + 1.
+
+#include <cstdint>
+#include <vector>
+
+namespace xbgas {
+
+inline constexpr std::uint64_t kLocalObjectId = 0;
+
+/// Object ID under the rank+1 convention.
+constexpr std::uint64_t object_id_for_pe(int pe) {
+  return static_cast<std::uint64_t>(pe) + 1;
+}
+
+/// Inverse of object_id_for_pe. id must be nonzero.
+constexpr int pe_for_object_id(std::uint64_t id) {
+  return static_cast<int>(id - 1);
+}
+
+struct OlbEntry {
+  std::uint64_t object_id = 0;
+  int pe = -1;                     ///< owning logical PE rank
+  std::byte* segment_base = nullptr;  ///< physical base of the object
+  std::size_t segment_size = 0;
+};
+
+struct OlbStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t local_shortcuts = 0;  ///< translations with object ID 0
+};
+
+/// One PE's OLB. Not thread-safe by design: each PE owns its own instance,
+/// mirroring the per-node hardware structure.
+class ObjectLookasideBuffer {
+ public:
+  ObjectLookasideBuffer() = default;
+
+  /// Register the mapping for one object ID. IDs may be inserted in any
+  /// order; re-inserting an ID overwrites its entry.
+  void insert(const OlbEntry& entry);
+
+  /// Translate an object ID. Returns nullptr on miss (unknown ID) and for
+  /// the local shortcut ID 0 (the caller uses its own local memory).
+  /// Hit/miss/shortcut statistics are updated.
+  const OlbEntry* lookup(std::uint64_t object_id);
+
+  /// Translation without statistics side effects (for assertions/tools).
+  const OlbEntry* peek(std::uint64_t object_id) const;
+
+  std::size_t entry_count() const;
+  const OlbStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = OlbStats{}; }
+
+ private:
+  // Dense table indexed by object ID: the paper's OLB holds *every* object
+  // ID, so capacity-miss modeling is unnecessary; misses only occur for IDs
+  // that were never mapped (a program error surfaced to the caller).
+  std::vector<OlbEntry> table_;
+  OlbStats stats_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,44 @@
+#include "xbrtime/api_c.hpp"
+
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+
+#define XBGAS_DEFINE_RMA(NAME, TYPE)                                     \
+  void xbrtime_##NAME##_put(TYPE* dest, const TYPE* src,                 \
+                            std::size_t nelems, int stride, int pe) {    \
+    xbr_put(dest, src, nelems, stride, pe);                              \
+  }                                                                      \
+  void xbrtime_##NAME##_get(TYPE* dest, const TYPE* src,                 \
+                            std::size_t nelems, int stride, int pe) {    \
+    xbr_get(dest, src, nelems, stride, pe);                              \
+  }                                                                      \
+  void xbrtime_##NAME##_put_nb(TYPE* dest, const TYPE* src,              \
+                               std::size_t nelems, int stride, int pe) { \
+    xbr_put_nb(dest, src, nelems, stride, pe);                           \
+  }                                                                      \
+  void xbrtime_##NAME##_get_nb(TYPE* dest, const TYPE* src,              \
+                               std::size_t nelems, int stride, int pe) { \
+    xbr_get_nb(dest, src, nelems, stride, pe);                           \
+  }
+
+XBGAS_FOREACH_TYPE(XBGAS_DEFINE_RMA)
+
+#undef XBGAS_DEFINE_RMA
+
+namespace {
+#define XBGAS_TYPE_NAME(NAME, TYPE) #NAME,
+#define XBGAS_TYPE_CTYPE(NAME, TYPE) #TYPE,
+const char* const kTypedNames[] = {XBGAS_FOREACH_TYPE(XBGAS_TYPE_NAME)};
+const char* const kTypedCtypes[] = {XBGAS_FOREACH_TYPE(XBGAS_TYPE_CTYPE)};
+#undef XBGAS_TYPE_NAME
+#undef XBGAS_TYPE_CTYPE
+
+static_assert(sizeof(kTypedNames) / sizeof(kTypedNames[0]) == kNumTypedNames,
+              "Table 1 must list exactly 24 typed names");
+}  // namespace
+
+const char* const* typed_names() { return kTypedNames; }
+const char* const* typed_ctypes() { return kTypedCtypes; }
+
+}  // namespace xbgas

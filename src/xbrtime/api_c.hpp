@@ -1,0 +1,35 @@
+#pragma once
+
+// The paper's typed entry points for one-sided RMA (§3.3):
+//
+//   void xbrtime_TYPENAME_put(TYPE *dest, const TYPE *src,
+//                             size_t nelems, int stride, int pe);
+//   void xbrtime_TYPENAME_get(TYPE *dest, const TYPE *src,
+//                             size_t nelems, int stride, int pe);
+//
+// plus the non-blocking forms the paper mentions ("although not shown,
+// non-blocking forms of both get and put are also included"). One explicit
+// function per Table-1 type, generated from the X-macro so the whole
+// 24-type x 4-call surface stays in lock-step with the type table.
+
+#include <cstddef>
+
+#include "xbrtime/types.hpp"
+
+namespace xbgas {
+
+#define XBGAS_DECLARE_RMA(NAME, TYPE)                                    \
+  void xbrtime_##NAME##_put(TYPE* dest, const TYPE* src,                 \
+                            std::size_t nelems, int stride, int pe);     \
+  void xbrtime_##NAME##_get(TYPE* dest, const TYPE* src,                 \
+                            std::size_t nelems, int stride, int pe);     \
+  void xbrtime_##NAME##_put_nb(TYPE* dest, const TYPE* src,              \
+                               std::size_t nelems, int stride, int pe);  \
+  void xbrtime_##NAME##_get_nb(TYPE* dest, const TYPE* src,              \
+                               std::size_t nelems, int stride, int pe);
+
+XBGAS_FOREACH_TYPE(XBGAS_DECLARE_RMA)
+
+#undef XBGAS_DECLARE_RMA
+
+}  // namespace xbgas

@@ -1,0 +1,106 @@
+#pragma once
+
+// One-sided remote memory access (paper §3.3).
+//
+//   xbr_put(dest, src, nelems, stride, pe)   write local src  -> pe's dest
+//   xbr_get(dest, src, nelems, stride, pe)   read  pe's src   -> local dest
+//
+// `dest` (for put) / `src` (for get) must be symmetric shared addresses:
+// the caller passes its *own* copy of the symmetric allocation and the
+// runtime rebases it onto the target PE, exactly how xBGAS hardware pairs an
+// object ID with a local virtual address. `stride` is in elements and
+// applies to both buffers (stride == 1 is contiguous); `nelems` may be 0.
+//
+// Non-blocking forms (`_nb`) move data immediately but only charge the
+// injection cost at issue time; the remaining modeled latency completes at
+// xbr_wait() or the next xbrtime_barrier(), so independent transfers
+// overlap — mirroring the paper's non-blocking get/put.
+//
+// Timing model per remote transfer (see NetworkModel): one pipelined
+// message — startup (OLB + injection + hop latency) + bytes/link-bandwidth
+// serialization + remote memory access + a per-element issue cost that
+// drops once `nelems` crosses the runtime's loop-unrolling threshold.
+
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+namespace detail {
+
+/// Byte-level transfer engine shared by all typed entry points.
+/// If `remote_is_dest`, `remote_ptr` is the caller's symmetric address for
+/// the destination (put); otherwise for the source (get).
+void rma_transfer(void* dest, const void* src, std::size_t elem_size,
+                  std::size_t nelems, int stride, int pe, bool remote_is_dest,
+                  bool nonblocking);
+
+}  // namespace detail
+
+template <class T>
+void xbr_put(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
+                       /*remote_is_dest=*/true, /*nonblocking=*/false);
+}
+
+template <class T>
+void xbr_get(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
+                       /*remote_is_dest=*/false, /*nonblocking=*/false);
+}
+
+template <class T>
+void xbr_put_nb(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
+                       /*remote_is_dest=*/true, /*nonblocking=*/true);
+}
+
+template <class T>
+void xbr_get_nb(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
+                       /*remote_is_dest=*/false, /*nonblocking=*/true);
+}
+
+/// Complete all outstanding non-blocking transfers issued by this PE.
+void xbr_wait();
+
+namespace detail {
+std::uint64_t amo_cycles(const void* local_addr, std::size_t bytes, int pe);
+}  // namespace detail
+
+/// Remote atomic XOR on a symmetric 32/64-bit integer (the GUPs update
+/// primitive). The paper's runtime performs an unsynchronized remote
+/// read-modify-write sequence; here host-side atomicity (std::atomic_ref)
+/// stands in for it so the simulation itself stays race-free, while the
+/// modeled cost remains the full get+put round trip that sequence costs.
+template <class T>
+  requires(std::is_integral_v<T> && (sizeof(T) == 4 || sizeof(T) == 8))
+T xbr_amo_xor(T* dest, T value, int pe) {
+  PeContext& ctx = xbrtime_ctx();
+  T* target = dest;
+  if (pe != ctx.rank()) {
+    target = reinterpret_cast<T*>(ctx.resolve_symmetric(pe, dest));
+  }
+  ctx.clock().advance(detail::amo_cycles(dest, sizeof(T), pe));
+  return std::atomic_ref<T>(*target).fetch_xor(value,
+                                               std::memory_order_relaxed);
+}
+
+/// Remote atomic add, same contract as xbr_amo_xor.
+template <class T>
+  requires(std::is_integral_v<T> && (sizeof(T) == 4 || sizeof(T) == 8))
+T xbr_amo_add(T* dest, T value, int pe) {
+  PeContext& ctx = xbrtime_ctx();
+  T* target = dest;
+  if (pe != ctx.rank()) {
+    target = reinterpret_cast<T*>(ctx.resolve_symmetric(pe, dest));
+  }
+  ctx.clock().advance(detail::amo_cycles(dest, sizeof(T), pe));
+  return std::atomic_ref<T>(*target).fetch_add(value,
+                                               std::memory_order_relaxed);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,215 @@
+#include "xbrtime/runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace xbgas {
+
+namespace {
+
+struct StagingState {
+  std::byte* base = nullptr;
+  std::size_t capacity = 0;
+  std::size_t top = 0;
+  std::vector<std::size_t> lifo;  // offsets of live blocks, stack order
+};
+
+struct RuntimeTls {
+  PeContext* ctx = nullptr;
+  std::size_t live_allocations = 0;
+  StagingState staging;
+};
+
+thread_local RuntimeTls t_rt;
+
+constexpr std::uint64_t kAllocFailed = std::numeric_limits<std::uint64_t>::max();
+
+/// Cycles charged for the runtime's own bookkeeping on an API call; the
+/// paper's library is "as lightweight as possible", so this is a token cost.
+constexpr std::uint64_t kApiCallCycles = 10;
+
+}  // namespace
+
+PeContext& xbrtime_ctx() {
+  XBGAS_CHECK(t_rt.ctx != nullptr,
+              "xbrtime runtime not initialized on this thread "
+              "(call xbrtime_init() inside Machine::run)");
+  return *t_rt.ctx;
+}
+
+bool xbrtime_initialized() { return t_rt.ctx != nullptr; }
+
+int xbrtime_init() {
+  PeContext* ctx = current_pe_context();
+  XBGAS_CHECK(ctx != nullptr,
+              "xbrtime_init must be called from an SPMD region");
+  XBGAS_CHECK(t_rt.ctx == nullptr, "xbrtime_init called twice");
+  t_rt.ctx = ctx;
+  t_rt.live_allocations = 0;
+  ctx->clock().advance(kApiCallCycles);
+  xbrtime_barrier();  // init is collective
+
+  // Carve the collective staging region out of the symmetric heap (same
+  // offset on every PE because every PE allocates it first).
+  const std::size_t stage_bytes =
+      std::min<std::size_t>(ctx->arena().shared_size() / 4,
+                            std::size_t{16} << 20);
+  void* stage = xbrtime_malloc(stage_bytes);
+  XBGAS_CHECK(stage != nullptr, "failed to allocate collective staging region");
+  t_rt.staging.base = static_cast<std::byte*>(stage);
+  t_rt.staging.capacity = stage_bytes;
+  t_rt.staging.top = 0;
+  t_rt.staging.lifo.clear();
+  return 0;
+}
+
+void xbrtime_close() {
+  PeContext& ctx = xbrtime_ctx();
+  if (!t_rt.staging.lifo.empty()) {
+    XBGAS_LOG_WARN("xbrtime_close: %zu staging blocks still live on PE %d",
+                   t_rt.staging.lifo.size(), ctx.rank());
+  }
+  if (t_rt.staging.base != nullptr) {
+    xbrtime_free(t_rt.staging.base);
+    t_rt.staging = StagingState{};
+  }
+  xbrtime_barrier();  // close is collective
+  if (t_rt.live_allocations != 0) {
+    XBGAS_LOG_WARN("xbrtime_close: %zu symmetric allocations leaked on PE %d",
+                   t_rt.live_allocations, ctx.rank());
+  }
+  ctx.clock().advance(kApiCallCycles);
+  t_rt = RuntimeTls{};
+}
+
+int xbrtime_mype() {
+  return t_rt.ctx != nullptr ? t_rt.ctx->rank() : -1;
+}
+
+int xbrtime_num_pes() {
+  return t_rt.ctx != nullptr ? t_rt.ctx->n_pes() : 0;
+}
+
+void xbrtime_barrier() {
+  PeContext& ctx = xbrtime_ctx();
+  // A barrier completes all outstanding non-blocking transfers first.
+  if (ctx.pending_completion() > ctx.clock().cycles()) {
+    ctx.clock().set(ctx.pending_completion());
+  }
+  ctx.clear_pending();
+  const std::uint64_t t =
+      ctx.machine().world_barrier().arrive_and_wait(ctx.clock().cycles());
+  ctx.clock().set(t);
+}
+
+void* xbrtime_malloc(std::size_t bytes) {
+  PeContext& ctx = xbrtime_ctx();
+  Machine& machine = ctx.machine();
+  ctx.clock().advance(kApiCallCycles);
+
+  const auto offset = ctx.shared_allocator().allocate(bytes);
+  machine.validation_slot(ctx.rank()) = offset ? *offset : kAllocFailed;
+  xbrtime_barrier();
+
+  // Symmetry check: every PE must have produced the same offset. A mismatch
+  // means the program broke the collective-allocation discipline. Every PE
+  // computes the same verdict from the same slots, so either all throw or
+  // none do.
+  bool any_failed = false;
+  bool mismatch = false;
+  std::uint64_t ref = kAllocFailed;
+  for (int r = 0; r < ctx.n_pes(); ++r) {
+    const std::uint64_t theirs = machine.validation_slot(r);
+    if (theirs == kAllocFailed) {
+      any_failed = true;
+    } else if (ref == kAllocFailed) {
+      ref = theirs;
+    } else if (theirs != ref) {
+      mismatch = true;
+    }
+  }
+  xbrtime_barrier();  // slots may be rewritten by the next collective
+
+  if (mismatch) {
+    throw Error(
+        "xbrtime_malloc: asymmetric allocation detected - PEs called "
+        "xbrtime_malloc with different histories");
+  }
+  if (any_failed) {
+    if (offset) ctx.shared_allocator().release(*offset);  // roll back
+    return nullptr;
+  }
+  ++t_rt.live_allocations;
+  return ctx.arena().shared_at(*offset);
+}
+
+void xbrtime_free(void* ptr) {
+  PeContext& ctx = xbrtime_ctx();
+  XBGAS_CHECK(ptr != nullptr, "xbrtime_free(nullptr)");
+  ctx.clock().advance(kApiCallCycles);
+  const std::size_t offset = ctx.arena().shared_offset_of(ptr);
+  ctx.shared_allocator().release(offset);
+  --t_rt.live_allocations;
+  // Free is collective in the SHMEM discipline: synchronize so no peer can
+  // still be remotely touching the block.
+  xbrtime_barrier();
+}
+
+void* xbrtime_stage_alloc(std::size_t bytes) {
+  PeContext& ctx = xbrtime_ctx();
+  StagingState& st = t_rt.staging;
+  XBGAS_CHECK(st.base != nullptr, "staging region not initialized");
+  const std::size_t need = align_up(bytes == 0 ? 1 : bytes, 16);
+  XBGAS_CHECK(st.top + need <= st.capacity,
+              "collective staging region exhausted - raise "
+              "MemoryLayout::shared_bytes");
+  std::byte* p = st.base + st.top;
+  st.lifo.push_back(st.top);
+  st.top += need;
+  ctx.clock().advance(kApiCallCycles);
+  return p;
+}
+
+void xbrtime_stage_free(void* ptr) {
+  PeContext& ctx = xbrtime_ctx();
+  StagingState& st = t_rt.staging;
+  XBGAS_CHECK(!st.lifo.empty(), "stage_free with no live staging block");
+  const std::size_t offset = st.lifo.back();
+  XBGAS_CHECK(static_cast<std::byte*>(ptr) == st.base + offset,
+              "stage_free must release the most recent staging block (LIFO)");
+  st.lifo.pop_back();
+  st.top = offset;
+  ctx.clock().advance(kApiCallCycles);
+}
+
+std::size_t xbrtime_stage_avail() {
+  const StagingState& st = t_rt.staging;
+  return st.capacity - st.top;
+}
+
+XbrtimeStats xbrtime_stats() {
+  PeContext& ctx = xbrtime_ctx();
+  return XbrtimeStats{
+      .pe = ctx.rank(),
+      .cycles = ctx.clock().cycles(),
+      .l1_hit_rate = ctx.cache().l1().stats().hit_rate(),
+      .l2_hit_rate = ctx.cache().l2().stats().hit_rate(),
+      .tlb_hit_rate = ctx.cache().tlb().stats().hit_rate(),
+      .olb_lookups = ctx.olb().stats().lookups,
+      .olb_hits = ctx.olb().stats().hits,
+      .olb_local_shortcuts = ctx.olb().stats().local_shortcuts,
+  };
+}
+
+bool xbrtime_addr_accessible(const void* addr, int pe) {
+  PeContext& ctx = xbrtime_ctx();
+  if (pe < 0 || pe >= ctx.n_pes()) return false;
+  return ctx.arena().in_shared(addr, 1);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,97 @@
+#pragma once
+
+// The xbrtime runtime API (paper §3.3) — the C-style, OpenSHMEM-flavoured
+// interface the collective library is built on:
+//
+//   xbrtime_init / xbrtime_close     runtime setup & teardown (collective)
+//   xbrtime_mype / xbrtime_num_pes   rank queries
+//   xbrtime_barrier                  world barrier (+ simulated-clock sync)
+//   xbrtime_malloc / xbrtime_free    symmetric shared-heap management
+//
+// SPMD usage: inside Machine::run every PE thread calls xbrtime_init()
+// first; all calls below then operate on the calling PE's context. The
+// runtime is intentionally a thin veneer over the machine substrate — the
+// paper stresses that xbrtime "directly translates these high-level function
+// calls into assembly instructions whenever possible", and the equivalent
+// here is a handful of arithmetic operations plus the modeled costs.
+
+#include <cstddef>
+
+#include "machine/machine.hpp"
+
+namespace xbgas {
+
+/// Initialize the runtime for the calling PE thread. Collective over all
+/// PEs (contains a barrier). Returns 0 on success (the paper's C signature).
+/// Must be called inside an SPMD region (Machine::run body).
+int xbrtime_init();
+
+/// Tear down the runtime for the calling PE. Collective. Verifies that the
+/// PE released all its symmetric allocations (leaks are reported via log).
+void xbrtime_close();
+
+/// Rank of the calling PE, or -1 outside an initialized region.
+int xbrtime_mype();
+
+/// Number of PEs in the world, or 0 outside an initialized region.
+int xbrtime_num_pes();
+
+/// World barrier: synchronizes all PEs and reconciles simulated clocks
+/// (shared-fabric serialization is folded in here; see NetworkModel).
+void xbrtime_barrier();
+
+/// Collective symmetric allocation: every PE must call with the same size
+/// in the same sequence. The returned block sits at the same shared-segment
+/// offset on every PE (verified at runtime; throws on asymmetry). Returns
+/// nullptr when any PE's heap is exhausted (all successful siblings roll
+/// back so the heaps stay symmetric).
+void* xbrtime_malloc(std::size_t bytes);
+
+/// Collective symmetric release of a pointer from xbrtime_malloc.
+void xbrtime_free(void* ptr);
+
+/// LIFO symmetric staging allocator (OpenSHMEM pWrk/pSync-style).
+///
+/// Collectives need internal symmetric scratch (the s_buff of Algorithms
+/// 2-4) but cannot call the world-collective xbrtime_malloc from a *team*
+/// collective — non-members would never arrive at its barrier. Instead,
+/// xbrtime_init carves a staging region out of the symmetric heap (same
+/// offset everywhere) and each collective push/pops scratch from it without
+/// any synchronization: participants perform identical sequences, so their
+/// staging offsets match. Strict LIFO discipline is enforced.
+void* xbrtime_stage_alloc(std::size_t bytes);
+void xbrtime_stage_free(void* ptr);
+
+/// Bytes available in the staging region right now (for capacity tests).
+std::size_t xbrtime_stage_avail();
+
+/// True if `addr` on this PE maps to a remotely accessible (symmetric
+/// shared-segment) address of PE `pe` — mirrors xbrtime's address-check
+/// helper used to validate user pointers.
+bool xbrtime_addr_accessible(const void* addr, int pe);
+
+/// Per-PE execution statistics snapshot (cache/TLB hit rates, OLB
+/// translation counters, simulated cycles) — the observability surface the
+/// simulated environment offers on top of the paper's API.
+struct XbrtimeStats {
+  int pe = -1;
+  std::uint64_t cycles = 0;
+  double l1_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+  double tlb_hit_rate = 0.0;
+  std::uint64_t olb_lookups = 0;
+  std::uint64_t olb_hits = 0;
+  std::uint64_t olb_local_shortcuts = 0;
+};
+
+/// Snapshot of the calling PE's statistics.
+XbrtimeStats xbrtime_stats();
+
+/// The calling thread's PE context. Throws if the runtime is not
+/// initialized on this thread. Used by the RMA/collective layers.
+PeContext& xbrtime_ctx();
+
+/// True when the calling thread has an initialized runtime.
+bool xbrtime_initialized();
+
+}  // namespace xbgas

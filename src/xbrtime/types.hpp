@@ -1,0 +1,78 @@
+#pragma once
+
+// The Table-1 type universe: every TYPENAME <-> TYPE pair for which the
+// xBGAS runtime exposes explicit typed entry points (xbrtime_int_put,
+// xbrtime_float_broadcast, ...). The paper deliberately names one call per
+// C type — rather than OpenSHMEM's size-suffixed calls — on usability
+// grounds (§4.7), so the generated API surface below reproduces all 24.
+//
+// X-macro convention: X(TYPENAME, TYPE) in paper Table-1 order.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xbgas {
+
+// clang-format off
+#define XBGAS_FOREACH_TYPE(X)        \
+  X(float, float)                    \
+  X(double, double)                  \
+  X(longdouble, long double)         \
+  X(char, char)                      \
+  X(uchar, unsigned char)            \
+  X(schar, signed char)              \
+  X(ushort, unsigned short)          \
+  X(short, short)                    \
+  X(uint, unsigned int)              \
+  X(int, int)                        \
+  X(ulong, unsigned long)            \
+  X(long, long)                      \
+  X(ulonglong, unsigned long long)   \
+  X(longlong, long long)             \
+  X(uint8, std::uint8_t)             \
+  X(int8, std::int8_t)               \
+  X(uint16, std::uint16_t)           \
+  X(int16, std::int16_t)             \
+  X(uint32, std::uint32_t)           \
+  X(int32, std::int32_t)             \
+  X(uint64, std::uint64_t)           \
+  X(int64, std::int64_t)             \
+  X(size, std::size_t)               \
+  X(ptrdiff, std::ptrdiff_t)
+
+// Integer-only subset (bitwise reductions are defined for these but not for
+// the floating-point types; paper §4.4).
+#define XBGAS_FOREACH_INT_TYPE(X)    \
+  X(char, char)                      \
+  X(uchar, unsigned char)            \
+  X(schar, signed char)              \
+  X(ushort, unsigned short)          \
+  X(short, short)                    \
+  X(uint, unsigned int)              \
+  X(int, int)                        \
+  X(ulong, unsigned long)            \
+  X(long, long)                      \
+  X(ulonglong, unsigned long long)   \
+  X(longlong, long long)             \
+  X(uint8, std::uint8_t)             \
+  X(int8, std::int8_t)               \
+  X(uint16, std::uint16_t)           \
+  X(int16, std::int16_t)             \
+  X(uint32, std::uint32_t)           \
+  X(int32, std::int32_t)             \
+  X(uint64, std::uint64_t)           \
+  X(int64, std::int64_t)             \
+  X(size, std::size_t)               \
+  X(ptrdiff, std::ptrdiff_t)
+// clang-format on
+
+/// Number of Table-1 entries.
+inline constexpr int kNumTypedNames = 24;
+
+/// TYPENAME strings in Table-1 order (for the Table-1 bench/test).
+const char* const* typed_names();
+
+/// TYPE spellings in Table-1 order.
+const char* const* typed_ctypes();
+
+}  // namespace xbgas

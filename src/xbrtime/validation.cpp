@@ -1,0 +1,196 @@
+#include "xbrtime/validation.hpp"
+
+#include "common/error.hpp"
+#include "isa/hart.hpp"
+#include "olb/olb.hpp"
+
+namespace xbgas {
+
+namespace {
+
+// Register conventions for the generated transfer loops (temporaries per
+// the RISC-V convention: t0..t4 = x5..x9).
+constexpr unsigned kSrc = 5;   ///< source pointer
+constexpr unsigned kDst = 6;   ///< destination pointer (e6 pairs with x6)
+constexpr unsigned kObj = 7;   ///< object-ID scratch
+constexpr unsigned kTmp = 8;   ///< data temp
+constexpr unsigned kCnt = 9;   ///< loop counter
+
+using isa::ProgramBuilder;
+
+void emit_local_load(ProgramBuilder& b, std::size_t w, unsigned rd,
+                     unsigned rs1, std::int64_t off) {
+  switch (w) {
+    case 1: b.lbu(rd, rs1, off); return;
+    case 2: b.lhu(rd, rs1, off); return;
+    case 4: b.lwu(rd, rs1, off); return;
+    case 8: b.ld(rd, rs1, off); return;
+    default: throw Error("unsupported element size");
+  }
+}
+
+void emit_local_store(ProgramBuilder& b, std::size_t w, unsigned rs2,
+                      unsigned rs1, std::int64_t off) {
+  switch (w) {
+    case 1: b.sb(rs2, rs1, off); return;
+    case 2: b.sh(rs2, rs1, off); return;
+    case 4: b.sw(rs2, rs1, off); return;
+    case 8: b.sd(rs2, rs1, off); return;
+    default: throw Error("unsupported element size");
+  }
+}
+
+void emit_remote_load(ProgramBuilder& b, std::size_t w, unsigned rd,
+                      unsigned rs1, std::int64_t off) {
+  switch (w) {
+    case 1: b.elbu(rd, rs1, off); return;
+    case 2: b.elhu(rd, rs1, off); return;
+    case 4: b.elwu(rd, rs1, off); return;
+    case 8: b.eld(rd, rs1, off); return;
+    default: throw Error("unsupported element size");
+  }
+}
+
+void emit_remote_store(ProgramBuilder& b, std::size_t w, unsigned rs2,
+                       unsigned rs1, std::int64_t off) {
+  switch (w) {
+    case 1: b.esb(rs2, rs1, off); return;
+    case 2: b.esh(rs2, rs1, off); return;
+    case 4: b.esw(rs2, rs1, off); return;
+    case 8: b.esd(rs2, rs1, off); return;
+    default: throw Error("unsupported element size");
+  }
+}
+
+/// Shared loop skeleton: `emit_pair(off)` emits one element move at byte
+/// offset `off` from the current pointers.
+template <class EmitPair>
+isa::Program build_transfer(std::uint64_t dest_addr, std::uint64_t src_addr,
+                            std::size_t elem_size, std::size_t nelems,
+                            int stride, std::uint64_t object_id, bool unroll,
+                            EmitPair&& emit_pair) {
+  XBGAS_CHECK(elem_size == 1 || elem_size == 2 || elem_size == 4 ||
+                  elem_size == 8,
+              "ISA transfers support 1/2/4/8-byte elements");
+  XBGAS_CHECK(stride >= 1, "stride must be >= 1");
+  const auto step =
+      static_cast<std::int64_t>(elem_size * static_cast<std::size_t>(stride));
+
+  ProgramBuilder b;
+  b.li(kObj, static_cast<std::int64_t>(object_id));
+  b.eaddie(kDst, kObj, 0);  // e6 <- object ID; pairs with x6 in e-forms
+  b.li(kSrc, static_cast<std::int64_t>(src_addr));
+  b.li(kDst, static_cast<std::int64_t>(dest_addr));
+
+  if (nelems == 0) {
+    b.ecall();
+    return b.build();
+  }
+
+  // Immediate offsets in the unrolled body must fit the 12-bit form.
+  const bool can_unroll = unroll && nelems >= 4 && 3 * step <= 2047;
+
+  if (can_unroll) {
+    const auto chunks = static_cast<std::int64_t>(nelems / 4);
+    const std::size_t rem = nelems % 4;
+    b.li(kCnt, chunks);
+    b.label("uloop");
+    for (int k = 0; k < 4; ++k) emit_pair(b, k * step);
+    b.addi(kSrc, kSrc, 4 * step);
+    b.addi(kDst, kDst, 4 * step);
+    b.addi(kCnt, kCnt, -1);
+    b.bne(kCnt, 0, "uloop");
+    // Straight-line remainder (< 4 elements).
+    for (std::size_t k = 0; k < rem; ++k) {
+      emit_pair(b, static_cast<std::int64_t>(k) * step);
+    }
+  } else {
+    b.li(kCnt, static_cast<std::int64_t>(nelems));
+    b.label("loop");
+    emit_pair(b, 0);
+    b.addi(kSrc, kSrc, step);
+    b.addi(kDst, kDst, step);
+    b.addi(kCnt, kCnt, -1);
+    b.bne(kCnt, 0, "loop");
+  }
+  b.ecall();
+  return b.build();
+}
+
+std::uint64_t arena_offset(PeContext& ctx, const void* p, std::size_t span) {
+  const auto* b = static_cast<const std::byte*>(p);
+  const MemoryArena& arena = ctx.arena();
+  XBGAS_CHECK(b >= arena.base() && b + span <= arena.base() + arena.size(),
+              "ISA transfer operands must live in the PE's arena");
+  return static_cast<std::uint64_t>(b - arena.base());
+}
+
+IsaTransferResult run_program(PeContext& ctx, const isa::Program& prog) {
+  isa::Hart hart(ctx.port());
+  hart.load_program(prog);
+  const auto halt = hart.run();
+  XBGAS_CHECK(halt == isa::Hart::Halt::kEcall,
+              "ISA transfer did not run to completion");
+  return IsaTransferResult{.instructions = hart.stats().instructions,
+                           .cycles = hart.cycles()};
+}
+
+}  // namespace
+
+isa::Program build_put_program(std::uint64_t dest_addr, std::uint64_t src_addr,
+                               std::size_t elem_size, std::size_t nelems,
+                               int stride, std::uint64_t object_id,
+                               bool unroll) {
+  return build_transfer(
+      dest_addr, src_addr, elem_size, nelems, stride, object_id, unroll,
+      [elem_size](ProgramBuilder& b, std::int64_t off) {
+        emit_local_load(b, elem_size, kTmp, kSrc, off);
+        emit_remote_store(b, elem_size, kTmp, kDst, off);
+      });
+}
+
+isa::Program build_get_program(std::uint64_t dest_addr, std::uint64_t src_addr,
+                               std::size_t elem_size, std::size_t nelems,
+                               int stride, std::uint64_t object_id,
+                               bool unroll) {
+  // For get, the *source* is remote: swap the pair so x6/e6 tracks the
+  // remote source and x5 the local destination.
+  return build_transfer(
+      src_addr, dest_addr, elem_size, nelems, stride, object_id, unroll,
+      [elem_size](ProgramBuilder& b, std::int64_t off) {
+        emit_remote_load(b, elem_size, kTmp, kDst, off);
+        emit_local_store(b, elem_size, kTmp, kSrc, off);
+      });
+}
+
+IsaTransferResult isa_put(PeContext& ctx, void* dest, const void* src,
+                          std::size_t elem_size, std::size_t nelems,
+                          int stride, int pe, bool unroll) {
+  XBGAS_CHECK(pe >= 0 && pe < ctx.n_pes(), "target PE out of range");
+  const std::size_t span =
+      nelems == 0 ? 0
+                  : elem_size * ((nelems - 1) * static_cast<std::size_t>(stride) + 1);
+  const std::uint64_t dest_addr = arena_offset(ctx, dest, span);
+  const std::uint64_t src_addr = arena_offset(ctx, src, span);
+  const std::uint64_t obj =
+      pe == ctx.rank() ? kLocalObjectId : object_id_for_pe(pe);
+  return run_program(ctx, build_put_program(dest_addr, src_addr, elem_size,
+                                            nelems, stride, obj, unroll));
+}
+
+IsaTransferResult isa_get(PeContext& ctx, void* dest, const void* src,
+                          std::size_t elem_size, std::size_t nelems,
+                          int stride, int pe, bool unroll) {
+  XBGAS_CHECK(pe >= 0 && pe < ctx.n_pes(), "target PE out of range");
+  const std::size_t span =
+      nelems == 0 ? 0
+                  : elem_size * ((nelems - 1) * static_cast<std::size_t>(stride) + 1);
+  const std::uint64_t dest_addr = arena_offset(ctx, dest, span);
+  const std::uint64_t src_addr = arena_offset(ctx, src, span);
+  const std::uint64_t obj =
+      pe == ctx.rank() ? kLocalObjectId : object_id_for_pe(pe);
+  return run_program(ctx, build_get_program(dest_addr, src_addr, elem_size,
+                                            nelems, stride, obj, unroll));
+}
+
+}  // namespace xbgas

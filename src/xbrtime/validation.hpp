@@ -1,0 +1,53 @@
+#pragma once
+
+// ISA-lowered transfers — the fidelity path.
+//
+// The production RMA path (rma.cpp) moves bytes with cost-accounted bulk
+// copies. This module lowers the *same* transfer to an actual RV64I+xBGAS
+// instruction sequence (the eld/esd loop the real xbrtime assembly uses,
+// including the loop-unrolling optimization of §3.3) and executes it on the
+// interpreter against the same arenas and OLB. Integration tests assert the
+// two paths produce identical memory effects; the A3 ablation bench uses the
+// interpreter's cycle counts to quantify the unrolling win.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/builder.hpp"
+#include "machine/machine.hpp"
+
+namespace xbgas {
+
+struct IsaTransferResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// Build the instruction sequence for a strided put/get of `nelems` elements
+/// of `elem_size` (1/2/4/8 bytes) between arena offsets. `object_id` selects
+/// the remote target (0 = local). When `unroll`, the main loop is unrolled
+/// x4 with a remainder loop, as the runtime does past its threshold.
+isa::Program build_put_program(std::uint64_t dest_addr, std::uint64_t src_addr,
+                               std::size_t elem_size, std::size_t nelems,
+                               int stride, std::uint64_t object_id,
+                               bool unroll);
+
+isa::Program build_get_program(std::uint64_t dest_addr, std::uint64_t src_addr,
+                               std::size_t elem_size, std::size_t nelems,
+                               int stride, std::uint64_t object_id,
+                               bool unroll);
+
+/// Execute a put/get by lowering to instructions and interpreting them on a
+/// hart wired to this PE's port. `dest`/`src` follow the xbr_put/xbr_get
+/// conventions (symmetric remote side, arena-resident local side). Returns
+/// the interpreter's instruction/cycle counts; the PE SimClock is *not*
+/// advanced (callers doing performance comparison decide what to charge).
+IsaTransferResult isa_put(PeContext& ctx, void* dest, const void* src,
+                          std::size_t elem_size, std::size_t nelems,
+                          int stride, int pe, bool unroll);
+
+IsaTransferResult isa_get(PeContext& ctx, void* dest, const void* src,
+                          std::size_t elem_size, std::size_t nelems,
+                          int stride, int pe, bool unroll);
+
+}  // namespace xbgas

@@ -1,0 +1,68 @@
+#include "benchlib/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"bench"};
+  v.insert(v.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(OptionsTest, DefaultsMatchPaperEnvironment) {
+  const MachineConfig config = machine_config_from_cli(make({}), 4);
+  EXPECT_EQ(config.n_pes, 4);
+  EXPECT_EQ(config.topology_name, "flat");
+  EXPECT_EQ(config.layout.shared_bytes, std::size_t{64} << 20);
+  EXPECT_EQ(config.layout.private_bytes, std::size_t{8} << 20);
+  EXPECT_EQ(config.net.barrier_algorithm, BarrierAlgorithm::kDissemination);
+}
+
+TEST(OptionsTest, FlagsOverrideEverything) {
+  const MachineConfig config = machine_config_from_cli(
+      make({"--topology", "ring", "--shared-mb", "8", "--private-mb", "1",
+            "--fabric-bpc", "2.5", "--link-bpc", "16", "--fabric-mpc", "7",
+            "--barrier", "tournament"}),
+      6);
+  EXPECT_EQ(config.topology_name, "ring");
+  EXPECT_EQ(config.layout.shared_bytes, std::size_t{8} << 20);
+  EXPECT_EQ(config.layout.private_bytes, std::size_t{1} << 20);
+  EXPECT_DOUBLE_EQ(config.net.fabric_bytes_per_cycle, 2.5);
+  EXPECT_DOUBLE_EQ(config.net.link_bytes_per_cycle, 16.0);
+  EXPECT_EQ(config.net.fabric_message_cycles, 7u);
+  EXPECT_EQ(config.net.barrier_algorithm, BarrierAlgorithm::kTournament);
+}
+
+TEST(OptionsTest, CentralBarrierSpelling) {
+  EXPECT_EQ(machine_config_from_cli(make({"--barrier", "central"}), 2)
+                .net.barrier_algorithm,
+            BarrierAlgorithm::kCentral);
+}
+
+TEST(OptionsTest, UnknownBarrierThrows) {
+  EXPECT_THROW(machine_config_from_cli(make({"--barrier", "magic"}), 2),
+               Error);
+}
+
+TEST(OptionsTest, PeCountsDefaultToPaperSweep) {
+  EXPECT_EQ(pe_counts_from_cli(make({})), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(pe_counts_from_cli(make({"--pes", "3,6,12"})),
+            (std::vector<int>{3, 6, 12}));
+}
+
+TEST(OptionsTest, ConfigBuildsAWorkingMachine) {
+  const MachineConfig config = machine_config_from_cli(
+      make({"--topology", "cluster2x4", "--shared-mb", "1", "--private-mb",
+            "1"}),
+      4);
+  Machine machine(config);
+  EXPECT_EQ(machine.network().topology().name(), "cluster2x4");
+  EXPECT_EQ(machine.n_pes(), 4);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,126 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+// A small, fully-controllable geometry: 4 sets x 2 ways x 64B lines.
+CacheGeometry tiny() {
+  return CacheGeometry{.size_bytes = 512, .ways = 2, .line_bytes = 64};
+}
+
+TEST(CacheTest, GeometryDerivesSetCount) {
+  EXPECT_EQ(tiny().num_sets(), 4u);
+  // Paper L1: 16KB, 8-way, 64B lines -> 32 sets.
+  CacheGeometry l1{.size_bytes = 16 * 1024, .ways = 8, .line_bytes = 64};
+  EXPECT_EQ(l1.num_sets(), 32u);
+  // Paper L2: 8MB, 8-way -> 16384 sets.
+  CacheGeometry l2{.size_bytes = 8 * 1024 * 1024, .ways = 8, .line_bytes = 64};
+  EXPECT_EQ(l2.num_sets(), 16384u);
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  SetAssocCache cache(tiny());
+  EXPECT_FALSE(cache.access_line(0));
+  EXPECT_TRUE(cache.access_line(0));
+  EXPECT_EQ(cache.stats().accesses, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheTest, WaysHoldConflictingLines) {
+  SetAssocCache cache(tiny());
+  // Lines 0 and 4 map to set 0 (4 sets); both fit in the 2 ways.
+  cache.access_line(0);
+  cache.access_line(4);
+  EXPECT_TRUE(cache.access_line(0));
+  EXPECT_TRUE(cache.access_line(4));
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache cache(tiny());
+  cache.access_line(0);  // set 0
+  cache.access_line(4);  // set 0
+  cache.access_line(0);  // touch 0 -> 4 becomes LRU
+  cache.access_line(8);  // set 0: evicts 4
+  EXPECT_TRUE(cache.access_line(0));
+  EXPECT_FALSE(cache.access_line(4));  // was evicted
+}
+
+TEST(CacheTest, DistinctSetsDoNotInterfere) {
+  SetAssocCache cache(tiny());
+  for (std::uint64_t line = 0; line < 4; ++line) cache.access_line(line);
+  for (std::uint64_t line = 0; line < 4; ++line) {
+    EXPECT_TRUE(cache.access_line(line));
+  }
+}
+
+TEST(CacheTest, ByteAccessTouchesSpannedLines) {
+  SetAssocCache cache(tiny());
+  // 128-byte access starting at byte 32 spans lines 0..2 -> 3 misses.
+  EXPECT_EQ(cache.access(32, 128), 3u);
+  EXPECT_EQ(cache.access(32, 128), 0u);
+}
+
+TEST(CacheTest, SingleByteAccess) {
+  SetAssocCache cache(tiny());
+  EXPECT_EQ(cache.access(63, 1), 1u);
+  EXPECT_EQ(cache.access(63, 0), 0u);  // size-0 treated as 1 byte, now hits
+}
+
+TEST(CacheTest, FlushInvalidatesEverything) {
+  SetAssocCache cache(tiny());
+  cache.access_line(1);
+  cache.access_line(2);
+  cache.flush();
+  EXPECT_FALSE(cache.access_line(1));
+  EXPECT_FALSE(cache.access_line(2));
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  SetAssocCache cache(tiny());  // 8 lines total
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t line = 0; line < 64; line += 4) {
+      cache.access_line(line);  // 16 lines, all mapping over 4 sets
+    }
+  }
+  // Every set sees 4 distinct tags with 2 ways in strict rotation: no reuse
+  // distance fits, so everything misses.
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CacheTest, WorkingSetSmallerThanCacheHitsSteadyState) {
+  SetAssocCache cache(tiny());
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t line = 0; line < 8; ++line) cache.access_line(line);
+  }
+  // 8 lines fill the cache exactly: only the first pass misses.
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(cache.stats().hits, 72u);
+}
+
+TEST(CacheTest, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(CacheGeometry{.size_bytes = 100,
+                                           .ways = 3,
+                                           .line_bytes = 64}),
+               Error);
+  EXPECT_THROW(SetAssocCache(CacheGeometry{.size_bytes = 512,
+                                           .ways = 2,
+                                           .line_bytes = 63}),
+               Error);
+}
+
+TEST(CacheTest, HitRateComputation) {
+  SetAssocCache cache(tiny());
+  cache.access_line(0);
+  cache.access_line(0);
+  cache.access_line(0);
+  cache.access_line(0);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,100 @@
+#include "cache/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbgas {
+namespace {
+
+TEST(HierarchyTest, DefaultsMatchPaperConfig) {
+  // Paper §5.1: 256-entry TLB, 8-way 16KB L1, 8-way 8MB L2.
+  CacheHierarchy h;
+  EXPECT_EQ(h.l1().geometry().size_bytes, 16u * 1024);
+  EXPECT_EQ(h.l1().geometry().ways, 8u);
+  EXPECT_EQ(h.l2().geometry().size_bytes, 8u * 1024 * 1024);
+  EXPECT_EQ(h.l2().geometry().ways, 8u);
+  EXPECT_EQ(h.tlb().geometry().entries, 256u);
+}
+
+TEST(HierarchyTest, ColdAccessPaysTlbAndDram) {
+  CacheHierarchy h;
+  const auto& c = h.config().costs;
+  EXPECT_EQ(h.access(0, 8), c.tlb_miss_cycles + c.dram_cycles);
+}
+
+TEST(HierarchyTest, WarmAccessPaysL1Hit) {
+  CacheHierarchy h;
+  const auto& c = h.config().costs;
+  (void)h.access(0, 8);
+  EXPECT_EQ(h.access(0, 8), c.l1_hit_cycles);
+}
+
+TEST(HierarchyTest, L2HitAfterL1Eviction) {
+  CacheHierarchy h;
+  const auto& c = h.config().costs;
+  (void)h.access(0, 8);
+  // Evict line 0 from L1 (16KB, 32 sets): touch 9+ lines mapping to set 0.
+  // Line addresses with identical L1 set: multiples of 32 lines = 2KB.
+  for (int k = 1; k <= 16; ++k) {
+    (void)h.access(static_cast<std::uint64_t>(k) * 2048, 8);
+  }
+  // L2 (16384 sets) still holds line 0 -> L2 hit, not DRAM.
+  const auto cycles = h.access(0, 8);
+  EXPECT_EQ(cycles, c.l2_hit_cycles);
+}
+
+TEST(HierarchyTest, AccessSpanningTwoLines) {
+  CacheHierarchy h;
+  const auto& c = h.config().costs;
+  (void)h.access(0, 128);  // warm two lines + page
+  EXPECT_EQ(h.access(60, 8), 2 * c.l1_hit_cycles);  // straddles lines 0 and 1
+}
+
+TEST(HierarchyTest, AccessSpanningTwoPages) {
+  CacheHierarchy h;
+  const auto& c = h.config().costs;
+  const auto cycles = h.access(4096 - 4, 8);
+  // Two TLB misses (both pages cold) + two line fills from DRAM.
+  EXPECT_EQ(cycles, 2 * c.tlb_miss_cycles + 2 * c.dram_cycles);
+}
+
+TEST(HierarchyTest, FlushRestoresColdState) {
+  CacheHierarchy h;
+  const auto& c = h.config().costs;
+  (void)h.access(0, 8);
+  h.flush();
+  EXPECT_EQ(h.access(0, 8), c.tlb_miss_cycles + c.dram_cycles);
+}
+
+TEST(HierarchyTest, StreamingOverL2SizeMissesInSteadyState) {
+  // Walk 16MB twice with 64B steps: working set is 2x the L2, so the
+  // second pass still misses to DRAM for most lines (LRU streaming).
+  HierarchyConfig cfg;
+  CacheHierarchy h(cfg);
+  const std::size_t span = 16u * 1024 * 1024;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < span; a += 64) (void)h.access(a, 8);
+  }
+  EXPECT_LT(h.l2().stats().hit_rate(), 0.05);
+}
+
+TEST(HierarchyTest, WorkingSetInsideL2HitsInSteadyState) {
+  HierarchyConfig cfg;
+  CacheHierarchy h(cfg);
+  const std::size_t span = 4u * 1024 * 1024;  // half the L2
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < span; a += 64) (void)h.access(a, 8);
+  }
+  EXPECT_GT(h.l2().stats().hit_rate(), 0.6);
+}
+
+TEST(HierarchyTest, ResetStatsKeepsContents) {
+  CacheHierarchy h;
+  (void)h.access(0, 8);
+  h.reset_stats();
+  EXPECT_EQ(h.l1().stats().accesses, 0u);
+  // Contents survive: the next access is still an L1 hit.
+  EXPECT_EQ(h.access(0, 8), h.config().costs.l1_hit_cycles);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,73 @@
+#include "cache/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+TlbGeometry tiny() {
+  return TlbGeometry{.entries = 8, .ways = 2, .page_bytes = 4096};
+}
+
+TEST(TlbTest, PaperGeometryIs256Entries) {
+  Tlb tlb(TlbGeometry{});
+  EXPECT_EQ(tlb.geometry().entries, 256u);
+  EXPECT_EQ(tlb.geometry().num_sets(), 64u);
+}
+
+TEST(TlbTest, SamePageHitsAfterFill) {
+  Tlb tlb(tiny());
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1FFF));  // same 4K page
+  EXPECT_FALSE(tlb.access(0x2000)); // next page
+}
+
+TEST(TlbTest, LruWithinSet) {
+  Tlb tlb(tiny());  // 4 sets x 2 ways
+  // Pages 0, 4, 8 share set 0 (vpn mod 4).
+  const std::uint64_t page = 4096;
+  tlb.access(0 * page);
+  tlb.access(4 * page);
+  tlb.access(0 * page);   // 4 becomes LRU
+  tlb.access(8 * page);   // evicts 4
+  EXPECT_TRUE(tlb.access(0 * page));
+  EXPECT_FALSE(tlb.access(4 * page));
+}
+
+TEST(TlbTest, FlushEmptiesEverything) {
+  Tlb tlb(tiny());
+  tlb.access(0x1000);
+  tlb.flush();
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(TlbTest, WideWorkingSetThrashes) {
+  Tlb tlb(tiny());  // 8 entries
+  const std::uint64_t page = 4096;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t p = 0; p < 32; p += 4) tlb.access(p * page);
+  }
+  EXPECT_EQ(tlb.stats().hits, 0u);
+}
+
+TEST(TlbTest, RejectsBadGeometry) {
+  EXPECT_THROW(Tlb(TlbGeometry{.entries = 7, .ways = 2, .page_bytes = 4096}),
+               Error);
+  EXPECT_THROW(Tlb(TlbGeometry{.entries = 8, .ways = 2, .page_bytes = 1000}),
+               Error);
+}
+
+TEST(TlbTest, StatsAndReset) {
+  Tlb tlb(tiny());
+  tlb.access(0);
+  tlb.access(0);
+  EXPECT_EQ(tlb.stats().accesses, 2u);
+  EXPECT_DOUBLE_EQ(tlb.stats().hit_rate(), 0.5);
+  tlb.reset_stats();
+  EXPECT_EQ(tlb.stats().accesses, 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collectives/api_c.hpp"
+#include "collectives/baseline.hpp"
+#include "collectives/collectives.hpp"
+#include "helpers.hpp"
+
+namespace xbgas {
+namespace {
+
+using testing::kPeCounts;
+using testing::run_spmd;
+
+/// Property: after broadcast, every PE's dest holds the root's values at
+/// every strided position, and gap positions are untouched.
+void check_broadcast(int n_pes, int root, std::size_t nelems, int stride) {
+  run_spmd(n_pes, [&](PeContext& pe) {
+    const std::size_t span =
+        nelems == 0 ? 1 : (nelems - 1) * static_cast<std::size_t>(stride) + 1;
+    auto* dest = static_cast<long*>(xbrtime_malloc(span * sizeof(long)));
+    std::fill(dest, dest + span, -777L);
+    // Root-private source (deliberately not symmetric).
+    std::vector<long> src(span, 0);
+    for (std::size_t i = 0; i < nelems; ++i) {
+      src[i * static_cast<std::size_t>(stride)] =
+          1000 + static_cast<long>(i);
+    }
+    xbrtime_barrier();
+
+    broadcast(dest, src.data(), nelems, stride, root);
+
+    for (std::size_t i = 0; i < span; ++i) {
+      if (nelems > 0 && i % static_cast<std::size_t>(stride) == 0 &&
+          i / static_cast<std::size_t>(stride) < nelems) {
+        EXPECT_EQ(dest[i],
+                  1000 + static_cast<long>(i / static_cast<std::size_t>(stride)))
+            << "pe=" << pe.rank() << " n=" << n_pes << " root=" << root
+            << " pos=" << i;
+      } else {
+        EXPECT_EQ(dest[i], -777L) << "gap clobbered at " << i;
+      }
+    }
+    xbrtime_barrier();
+    xbrtime_free(dest);
+  });
+}
+
+TEST(BroadcastTest, AllPeCountsAndRoots) {
+  for (const int n : kPeCounts) {
+    for (int root = 0; root < n; ++root) {
+      check_broadcast(n, root, 8, 1);
+    }
+  }
+}
+
+TEST(BroadcastTest, StridedVariants) {
+  // The paper highlights stride support as an advantage over OpenSHMEM
+  // (§4.7) — cover strides beyond 1 across awkward PE counts.
+  for (const int n : {1, 3, 5, 8}) {
+    for (const int stride : {2, 3, 7}) {
+      check_broadcast(n, n - 1, 5, stride);
+    }
+  }
+}
+
+TEST(BroadcastTest, ZeroElements) {
+  check_broadcast(4, 2, 0, 1);
+}
+
+TEST(BroadcastTest, SingleElementSinglePe) {
+  check_broadcast(1, 0, 1, 1);
+}
+
+TEST(BroadcastTest, LargePayload) {
+  check_broadcast(7, 3, 4096, 1);
+}
+
+TEST(BroadcastTest, DestEqualsSrcOnRootIsAllowed) {
+  run_spmd(4, [&](PeContext&) {
+    auto* buf = static_cast<int*>(xbrtime_malloc(4 * sizeof(int)));
+    for (int i = 0; i < 4; ++i) {
+      buf[i] = xbrtime_mype() == 2 ? 50 + i : -1;
+    }
+    xbrtime_barrier();
+    broadcast(buf, buf, 4, 1, /*root=*/2);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(buf[i], 50 + i);
+    xbrtime_barrier();
+    xbrtime_free(buf);
+  });
+}
+
+TEST(BroadcastTest, RepeatedBroadcastsFromRotatingRoots) {
+  run_spmd(6, [&](PeContext&) {
+    auto* dest = static_cast<int*>(xbrtime_malloc(sizeof(int)));
+    for (int root = 0; root < 6; ++root) {
+      int src = 900 + root;  // only meaningful on the root
+      broadcast(dest, &src, 1, 1, root);
+      EXPECT_EQ(*dest, 900 + root);
+      // Standard SHMEM buffer-reuse contract: synchronize before the next
+      // collective writes into dest again.
+      xbrtime_barrier();
+    }
+    xbrtime_barrier();
+    xbrtime_free(dest);
+  });
+}
+
+TEST(BroadcastTest, MatchesLinearBaseline) {
+  for (const int n : {2, 5, 8}) {
+    run_spmd(n, [&](PeContext&) {
+      auto* via_tree = static_cast<int*>(xbrtime_malloc(16 * sizeof(int)));
+      auto* via_linear = static_cast<int*>(xbrtime_malloc(16 * sizeof(int)));
+      std::vector<int> src(16);
+      for (int i = 0; i < 16; ++i) src[static_cast<std::size_t>(i)] = i * i;
+      xbrtime_barrier();
+      broadcast(via_tree, src.data(), 16, 1, 1 % n);
+      linear_broadcast(via_linear, src.data(), 16, 1, 1 % n);
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(via_tree[i], via_linear[i]);
+        EXPECT_EQ(via_tree[i], i * i);
+      }
+      xbrtime_barrier();
+      xbrtime_free(via_linear);
+      xbrtime_free(via_tree);
+    });
+  }
+}
+
+TEST(BroadcastTest, TypedCApiEntryPoint) {
+  run_spmd(3, [&](PeContext&) {
+    auto* dest = static_cast<double*>(xbrtime_malloc(2 * sizeof(double)));
+    double src[2] = {2.5, -1.25};
+    xbrtime_barrier();
+    xbrtime_double_broadcast(dest, src, 2, 1, 0);
+    EXPECT_DOUBLE_EQ(dest[0], 2.5);
+    EXPECT_DOUBLE_EQ(dest[1], -1.25);
+    xbrtime_barrier();
+    xbrtime_free(dest);
+  });
+}
+
+TEST(BroadcastTest, InvalidRootThrows) {
+  Machine machine(testing::test_config(2));
+  EXPECT_THROW(machine.run([&](PeContext&) {
+                 xbrtime_init();
+                 auto* d = static_cast<int*>(xbrtime_malloc(4));
+                 int s = 0;
+                 broadcast(d, &s, 1, 1, /*root=*/2);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace xbgas

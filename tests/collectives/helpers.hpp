@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared scaffolding for the collectives test suite: build a small machine,
+// run an SPMD body with the runtime initialized, and sweep PE counts
+// (including non-powers-of-two, which exercise the vir_rank < vir_part
+// guard of Algorithms 1-4).
+
+#include <functional>
+
+#include "machine/machine.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas::testing {
+
+inline MachineConfig test_config(int n_pes) {
+  MachineConfig config;
+  config.n_pes = n_pes;
+  config.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 1024 * 1024};
+  return config;
+}
+
+/// Run `body` on a fresh machine with xbrtime initialized on every PE.
+inline void run_spmd(int n_pes, const std::function<void(PeContext&)>& body) {
+  Machine machine(test_config(n_pes));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    body(pe);
+    xbrtime_close();
+  });
+}
+
+/// PE counts exercised by the sweeps: powers of two, the awkward in-between
+/// sizes, and the paper's simulation sizes.
+inline const int kPeCounts[] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+}  // namespace xbgas::testing

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "collectives/api_c.hpp"
+#include "collectives/baseline.hpp"
+#include "collectives/collectives.hpp"
+#include "helpers.hpp"
+
+namespace xbgas {
+namespace {
+
+using testing::kPeCounts;
+using testing::run_spmd;
+
+/// Property: the root's dest equals a serial fold of every PE's
+/// contribution; non-root dests and all src buffers are untouched.
+template <class Op>
+void check_reduce(int n_pes, int root, std::size_t nelems, int stride) {
+  run_spmd(n_pes, [&](PeContext& pe) {
+    const std::size_t span =
+        nelems == 0 ? 1 : (nelems - 1) * static_cast<std::size_t>(stride) + 1;
+    auto* src = static_cast<long*>(xbrtime_malloc(span * sizeof(long)));
+    std::vector<long> dest(span, -555);
+    for (std::size_t i = 0; i < span; ++i) {
+      // Deterministic per-(pe, position) contribution, never zero so that
+      // products stay informative.
+      src[i] = static_cast<long>((pe.rank() + 2) * 10 + static_cast<int>(i % 5));
+    }
+    xbrtime_barrier();
+
+    reduce<Op>(dest.data(), src, nelems, stride, root);
+
+    if (pe.rank() == root) {
+      for (std::size_t i = 0; i < nelems; ++i) {
+        const std::size_t at = i * static_cast<std::size_t>(stride);
+        long expected = static_cast<long>(2 * 10 + static_cast<int>(at % 5));
+        for (int r = 1; r < n_pes; ++r) {
+          expected = Op::apply(
+              expected,
+              static_cast<long>((r + 2) * 10 + static_cast<int>(at % 5)));
+        }
+        EXPECT_EQ(dest[at], expected)
+            << "n=" << n_pes << " root=" << root << " pos=" << at;
+      }
+    } else {
+      for (std::size_t i = 0; i < span; ++i) {
+        EXPECT_EQ(dest[i], -555) << "non-root dest written on PE " << pe.rank();
+      }
+    }
+    // src is never modified by reduce (the algorithm stages through s_buff).
+    for (std::size_t i = 0; i < span; ++i) {
+      EXPECT_EQ(src[i], static_cast<long>((pe.rank() + 2) * 10 +
+                                          static_cast<int>(i % 5)));
+    }
+    xbrtime_barrier();
+    xbrtime_free(src);
+  });
+}
+
+TEST(ReduceTest, SumAllPeCountsAndRoots) {
+  for (const int n : kPeCounts) {
+    for (int root = 0; root < n; ++root) {
+      check_reduce<OpSum>(n, root, 6, 1);
+    }
+  }
+}
+
+TEST(ReduceTest, ProdMinMaxAcrossAwkwardSizes) {
+  for (const int n : {1, 3, 5, 7, 8}) {
+    check_reduce<OpProd>(n, n / 2, 3, 1);
+    check_reduce<OpMin>(n, 0, 5, 1);
+    check_reduce<OpMax>(n, n - 1, 5, 1);
+  }
+}
+
+TEST(ReduceTest, StridedReduction) {
+  // OpenSHMEM doesn't support non-default strides here; we must (§4.7).
+  for (const int stride : {2, 4}) {
+    check_reduce<OpSum>(6, 2, 5, stride);
+  }
+}
+
+TEST(ReduceTest, BitwiseOpsOnIntegers) {
+  check_reduce<OpBand>(5, 1, 4, 1);
+  check_reduce<OpBor>(5, 1, 4, 1);
+  check_reduce<OpBxor>(5, 1, 4, 1);
+}
+
+TEST(ReduceTest, ZeroElements) { check_reduce<OpSum>(4, 1, 0, 1); }
+
+TEST(ReduceTest, FloatingPointSum) {
+  run_spmd(4, [&](PeContext& pe) {
+    auto* src = static_cast<double*>(xbrtime_malloc(2 * sizeof(double)));
+    src[0] = 0.5 * (pe.rank() + 1);
+    src[1] = -1.0 * pe.rank();
+    double dest[2] = {0, 0};
+    xbrtime_barrier();
+    reduce<OpSum>(dest, src, 2, 1, 0);
+    if (pe.rank() == 0) {
+      EXPECT_DOUBLE_EQ(dest[0], 0.5 * (1 + 2 + 3 + 4));
+      EXPECT_DOUBLE_EQ(dest[1], -(0.0 + 1 + 2 + 3));
+    }
+    xbrtime_barrier();
+    xbrtime_free(src);
+  });
+}
+
+TEST(ReduceTest, MinMaxWithExtremes) {
+  run_spmd(5, [&](PeContext& pe) {
+    auto* src = static_cast<std::int64_t*>(
+        xbrtime_malloc(sizeof(std::int64_t)));
+    *src = pe.rank() == 3 ? std::numeric_limits<std::int64_t>::min()
+                          : pe.rank();
+    std::int64_t lo = 0, hi = 0;
+    xbrtime_barrier();
+    reduce<OpMin>(&lo, src, 1, 1, 0);
+    reduce<OpMax>(&hi, src, 1, 1, 0);
+    if (pe.rank() == 0) {
+      EXPECT_EQ(lo, std::numeric_limits<std::int64_t>::min());
+      EXPECT_EQ(hi, 4);
+    }
+    xbrtime_barrier();
+    xbrtime_free(src);
+  });
+}
+
+TEST(ReduceTest, MatchesLinearBaseline) {
+  for (const int n : {2, 6, 8}) {
+    run_spmd(n, [&](PeContext& pe) {
+      auto* src = static_cast<int*>(xbrtime_malloc(8 * sizeof(int)));
+      for (int i = 0; i < 8; ++i) src[i] = pe.rank() * 8 + i;
+      int via_tree[8] = {}, via_linear[8] = {};
+      xbrtime_barrier();
+      reduce<OpSum>(via_tree, src, 8, 1, 0);
+      linear_reduce<OpSum>(via_linear, src, 8, 1, 0);
+      if (pe.rank() == 0) {
+        for (int i = 0; i < 8; ++i) EXPECT_EQ(via_tree[i], via_linear[i]);
+      }
+      xbrtime_barrier();
+      xbrtime_free(src);
+    });
+  }
+}
+
+TEST(ReduceTest, TypedCApiIncludingBitwise) {
+  run_spmd(4, [&](PeContext& pe) {
+    auto* src =
+        static_cast<std::uint32_t*>(xbrtime_malloc(sizeof(std::uint32_t)));
+    *src = std::uint32_t{1} << pe.rank();
+    std::uint32_t ored = 0, summed = 0;
+    xbrtime_barrier();
+    xbrtime_uint32_reduce_or(&ored, src, 1, 1, 0);
+    xbrtime_uint32_reduce_sum(&summed, src, 1, 1, 0);
+    if (pe.rank() == 0) {
+      EXPECT_EQ(ored, 0b1111u);
+      EXPECT_EQ(summed, 0b1111u);
+    }
+    xbrtime_barrier();
+    xbrtime_free(src);
+  });
+}
+
+TEST(ReduceTest, BackToBackReductionsDoNotInterfere) {
+  run_spmd(3, [&](PeContext& pe) {
+    auto* src = static_cast<int*>(xbrtime_malloc(sizeof(int)));
+    for (int round = 0; round < 5; ++round) {
+      *src = pe.rank() + round;
+      xbrtime_barrier();
+      int out = 0;
+      reduce<OpSum>(&out, src, 1, 1, round % 3);
+      if (pe.rank() == round % 3) {
+        EXPECT_EQ(out, (0 + 1 + 2) + 3 * round);
+      }
+    }
+    xbrtime_barrier();
+    xbrtime_free(src);
+  });
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,110 @@
+#include "collectives/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace xbgas {
+namespace {
+
+TEST(ScheduleTest, StageCountIsCeilLog2) {
+  EXPECT_EQ(schedule_stages(1), 0);
+  EXPECT_EQ(schedule_stages(2), 1);
+  EXPECT_EQ(schedule_stages(3), 2);
+  EXPECT_EQ(schedule_stages(8), 3);
+  EXPECT_EQ(schedule_stages(9), 4);
+  EXPECT_EQ(schedule_stages(12), 4);  // the paper's 12-core environment
+}
+
+TEST(ScheduleTest, FigureThreeEightPeTree) {
+  // Paper Figure 3: the 8-PE binomial broadcast tree with recursive halving.
+  // Stage 0: 0->4; stage 1: 0->2, 4->6; stage 2: 0->1, 2->3, 4->5, 6->7.
+  const auto edges = broadcast_schedule(8);
+  const std::vector<TreeEdge> expected = {
+      {0, 0, 4}, {1, 0, 2}, {1, 4, 6},
+      {2, 0, 1}, {2, 2, 3}, {2, 4, 5}, {2, 6, 7},
+  };
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(ScheduleTest, BroadcastReachesEveryRankExactlyOnce) {
+  for (int n = 1; n <= 33; ++n) {
+    const auto edges = broadcast_schedule(n);
+    EXPECT_EQ(edges.size(), static_cast<std::size_t>(n - 1));
+    std::set<int> reached{0};
+    for (const auto& e : edges) {
+      // Sender must already hold the data when it sends.
+      EXPECT_TRUE(reached.contains(e.from_vrank))
+          << "n=" << n << " stage=" << e.stage << " from=" << e.from_vrank;
+      // Receiver must not receive twice.
+      EXPECT_FALSE(reached.contains(e.to_vrank));
+      reached.insert(e.to_vrank);
+    }
+    EXPECT_EQ(reached.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(ScheduleTest, BroadcastStagesAreOrdered) {
+  const auto edges = broadcast_schedule(16);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LE(edges[i - 1].stage, edges[i].stage);
+  }
+}
+
+TEST(ScheduleTest, ReduceGathersEveryRankExactlyOnce) {
+  for (int n = 1; n <= 33; ++n) {
+    const auto edges = reduce_schedule(n);
+    EXPECT_EQ(edges.size(), static_cast<std::size_t>(n - 1));
+    // Every non-root rank contributes (appears as from) exactly once, and
+    // after it has contributed it never acts again.
+    std::set<int> consumed;
+    for (const auto& e : edges) {
+      EXPECT_FALSE(consumed.contains(e.from_vrank)) << "n=" << n;
+      EXPECT_FALSE(consumed.contains(e.to_vrank)) << "n=" << n;
+      consumed.insert(e.from_vrank);
+    }
+    EXPECT_EQ(consumed.size(), static_cast<std::size_t>(n - 1));
+    EXPECT_FALSE(consumed.contains(0));  // root survives
+  }
+}
+
+TEST(ScheduleTest, ReduceIsBroadcastReversed) {
+  // For power-of-two sizes the reduce tree is the broadcast tree with
+  // direction flipped and stages reversed.
+  for (int n : {2, 4, 8, 16, 32}) {
+    auto fwd = broadcast_schedule(n);
+    auto rev = reduce_schedule(n);
+    ASSERT_EQ(fwd.size(), rev.size());
+    const int stages = schedule_stages(n);
+    std::multiset<std::tuple<int, int, int>> fwd_set, rev_set;
+    for (const auto& e : fwd) {
+      fwd_set.insert({e.stage, e.from_vrank, e.to_vrank});
+    }
+    for (const auto& e : rev) {
+      rev_set.insert({stages - 1 - e.stage, e.to_vrank, e.from_vrank});
+    }
+    EXPECT_EQ(fwd_set, rev_set) << "n=" << n;
+  }
+}
+
+TEST(ScheduleTest, MaxStageParallelismDoubles) {
+  // Recursive halving: stage s of the broadcast has 2^s concurrent
+  // transfers (power-of-two case) — the congestion-minimizing property.
+  const auto edges = broadcast_schedule(32);
+  std::vector<int> per_stage(5, 0);
+  for (const auto& e : edges) ++per_stage[static_cast<std::size_t>(e.stage)];
+  EXPECT_EQ(per_stage, (std::vector<int>{1, 2, 4, 8, 16}));
+}
+
+TEST(ScheduleTest, SingleAndTwoPeEdgeCases) {
+  EXPECT_TRUE(broadcast_schedule(1).empty());
+  EXPECT_TRUE(reduce_schedule(1).empty());
+  const auto two = broadcast_schedule(2);
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(two[0], (TreeEdge{0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,73 @@
+#include "collectives/vrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+TEST(VrankTest, PaperTableTwoExample) {
+  // 7 PEs, root 4: logical 0..6 -> virtual 3,4,5,6,0,1,2 (paper Table 2).
+  const int expected[] = {3, 4, 5, 6, 0, 1, 2};
+  for (int lr = 0; lr < 7; ++lr) {
+    EXPECT_EQ(virtual_rank(lr, 4, 7), expected[lr]) << "log_rank " << lr;
+  }
+}
+
+TEST(VrankTest, RootAlwaysGetsVirtualZero) {
+  for (int n = 1; n <= 16; ++n) {
+    for (int root = 0; root < n; ++root) {
+      EXPECT_EQ(virtual_rank(root, root, n), 0);
+    }
+  }
+}
+
+TEST(VrankTest, MappingIsABijection) {
+  for (int n = 1; n <= 16; ++n) {
+    for (int root = 0; root < n; ++root) {
+      std::uint32_t seen = 0;
+      for (int lr = 0; lr < n; ++lr) {
+        const int vr = virtual_rank(lr, root, n);
+        ASSERT_GE(vr, 0);
+        ASSERT_LT(vr, n);
+        seen |= (1u << vr);
+      }
+      EXPECT_EQ(seen, (n == 32 ? ~0u : (1u << n) - 1));
+    }
+  }
+}
+
+TEST(VrankTest, LogicalRankInverts) {
+  for (int n = 1; n <= 16; ++n) {
+    for (int root = 0; root < n; ++root) {
+      for (int lr = 0; lr < n; ++lr) {
+        EXPECT_EQ(logical_rank(virtual_rank(lr, root, n), root, n), lr);
+      }
+      for (int vr = 0; vr < n; ++vr) {
+        EXPECT_EQ(virtual_rank(logical_rank(vr, root, n), root, n), vr);
+      }
+    }
+  }
+}
+
+TEST(VrankTest, ConsecutiveVirtualRanksAreConsecutiveLogical) {
+  // Virtual ranks walk logical ranks cyclically starting at the root — the
+  // property recursive halving relies on for locality (§4.3).
+  const int n = 11, root = 7;
+  for (int vr = 0; vr + 1 < n; ++vr) {
+    const int a = logical_rank(vr, root, n);
+    const int b = logical_rank(vr + 1, root, n);
+    EXPECT_EQ((a + 1) % n, b);
+  }
+}
+
+TEST(VrankTest, RangeChecks) {
+  EXPECT_THROW(virtual_rank(0, 0, 0), Error);
+  EXPECT_THROW(virtual_rank(4, 0, 4), Error);
+  EXPECT_THROW(virtual_rank(0, 4, 4), Error);
+  EXPECT_THROW(logical_rank(4, 0, 4), Error);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,86 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbgas {
+namespace {
+
+TEST(BitsTest, CeilLog2SmallValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(7), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+}
+
+TEST(BitsTest, CeilLog2IsTheCollectiveStageBound) {
+  // ceil_log2(n) is the number of binomial-tree stages: 2^(L-1) < n <= 2^L.
+  for (std::uint64_t n = 1; n <= 4096; ++n) {
+    const unsigned level = ceil_log2(n);
+    EXPECT_LE(n, std::uint64_t{1} << level);
+    if (level > 0) {
+      EXPECT_GT(n, std::uint64_t{1} << (level - 1));
+    }
+  }
+}
+
+TEST(BitsTest, CeilLog2RejectsZero) { EXPECT_THROW(ceil_log2(0), Error); }
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(uint64_t{1} << 63), 63u);
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 40));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(BitsTest, AlignUp) {
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(17, 16), 32u);
+  EXPECT_THROW(align_up(5, 3), Error);
+}
+
+TEST(BitsTest, BitsExtract) {
+  EXPECT_EQ(bits(0xDEADBEEF, 0, 4), 0xFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 28, 4), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEF, 0, 32), 0xDEADBEEFu);
+  EXPECT_EQ(bits(0b1100, 2, 2), 0b11u);
+}
+
+TEST(BitsTest, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x0, 12), 0);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF, 32), -1);
+  EXPECT_EQ(sign_extend(0x80000000, 32), std::int64_t{-2147483648});
+}
+
+TEST(BitsTest, SignExtendRoundTripsThroughTruncation) {
+  for (unsigned width = 1; width <= 63; ++width) {
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    for (std::int64_t v : {lo, lo + 1, std::int64_t{-1}, std::int64_t{0},
+                           std::int64_t{1}, hi - 1, hi}) {
+      if (v < lo || v > hi) continue;
+      EXPECT_EQ(sign_extend(static_cast<std::uint64_t>(v), width), v)
+          << "width=" << width << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbgas

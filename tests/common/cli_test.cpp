@@ -1,0 +1,66 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbgas {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliTest, SpaceSeparatedFlag) {
+  const CliArgs args = make({"--pes", "8"});
+  EXPECT_TRUE(args.has("pes"));
+  EXPECT_EQ(args.get_int("pes", 0), 8);
+}
+
+TEST(CliTest, EqualsSeparatedFlag) {
+  const CliArgs args = make({"--topology=ring"});
+  EXPECT_EQ(args.get("topology", ""), "ring");
+}
+
+TEST(CliTest, BareBooleanFlag) {
+  const CliArgs args = make({"--verify"});
+  EXPECT_TRUE(args.get_bool("verify", false));
+}
+
+TEST(CliTest, BooleanFalseSpellings) {
+  EXPECT_FALSE(make({"--verify", "false"}).get_bool("verify", true));
+  EXPECT_FALSE(make({"--verify=0"}).get_bool("verify", true));
+  EXPECT_FALSE(make({"--verify=no"}).get_bool("verify", true));
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  const CliArgs args = make({});
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(CliTest, IntList) {
+  const CliArgs args = make({"--pes", "1,2,4,8"});
+  EXPECT_EQ(args.get_int_list("pes", {}), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(CliTest, IntListFallback) {
+  const CliArgs args = make({});
+  EXPECT_EQ(args.get_int_list("pes", {3}), (std::vector<int>{3}));
+}
+
+TEST(CliTest, PositionalArguments) {
+  const CliArgs args = make({"input.txt", "--n", "3", "out.txt"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.txt", "out.txt"}));
+}
+
+TEST(CliTest, HexIntegers) {
+  const CliArgs args = make({"--mask", "0xff"});
+  EXPECT_EQ(args.get_int("mask", 0), 255);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,135 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace xbgas {
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, NextBelowStaysInRange) {
+  Xoshiro256ss rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, RoughUniformity) {
+  Xoshiro256ss rng(123);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(rng.next_below(kBuckets))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 10);
+  }
+}
+
+TEST(GupsStreamTest, StartsAtOneForZero) {
+  EXPECT_EQ(GupsStream::at(0).value(), 0x1u);
+}
+
+TEST(GupsStreamTest, JumpAheadMatchesSequentialAdvance) {
+  // at(n) must equal n steps of the recurrence from at(0) — the property
+  // GUPs depends on so each PE's slice stitches into one global stream.
+  GupsStream seq = GupsStream::at(0);
+  for (std::int64_t n = 1; n <= 300; ++n) {
+    const std::uint64_t stepped = seq.next();
+    EXPECT_EQ(GupsStream::at(n).value(), stepped) << "n=" << n;
+  }
+}
+
+TEST(GupsStreamTest, JumpAheadFarPositions) {
+  for (std::int64_t base : {1000ll, 123456ll, 1ll << 30}) {
+    GupsStream a = GupsStream::at(base);
+    a.next();
+    EXPECT_EQ(a.value(), GupsStream::at(base + 1).value());
+  }
+}
+
+TEST(GupsStreamTest, SequenceIsNontrivial) {
+  GupsStream s = GupsStream::at(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(s.next());
+  EXPECT_EQ(seen.size(), 1000u);  // no short cycles
+}
+
+TEST(NasRandlcTest, MatchesReferenceFirstValue) {
+  // The canonical NAS stream: x0 = 314159265, a = 5^13. The first output
+  // must be (a * x0 mod 2^46) * 2^-46, computable directly in doubles via
+  // integer arithmetic on 64-bit values.
+  NasRandlc rng;
+  const unsigned long long a = 1220703125ull;
+  const unsigned long long x0 = 314159265ull;
+  const unsigned long long m = 1ull << 46;
+  const unsigned long long x1 = (u128{a} * x0) % m;
+  EXPECT_DOUBLE_EQ(rng.next(),
+                   static_cast<double>(x1) / static_cast<double>(m));
+}
+
+TEST(NasRandlcTest, MatchesIntegerLcgForManySteps) {
+  NasRandlc rng;
+  unsigned long long x = 314159265ull;
+  const unsigned long long a = 1220703125ull;
+  const unsigned long long m = 1ull << 46;
+  for (int i = 0; i < 5000; ++i) {
+    x = static_cast<unsigned long long>((u128{a} * x) % m);
+    EXPECT_DOUBLE_EQ(rng.next(), static_cast<double>(x) / static_cast<double>(m))
+        << "step " << i;
+  }
+}
+
+TEST(NasRandlcTest, SkipAheadMatchesSequential) {
+  // skip_ahead(seed, a, n) must equal n sequential steps — the property NAS
+  // IS uses to give each PE its own key-stream slice.
+  NasRandlc seq;
+  for (int n = 1; n <= 200; ++n) {
+    (void)seq.next();
+    const double skipped =
+        NasRandlc::skip_ahead(NasRandlc::kDefaultSeed, NasRandlc::kA, n);
+    EXPECT_DOUBLE_EQ(skipped, seq.seed()) << "n=" << n;
+  }
+}
+
+TEST(NasRandlcTest, OutputsInUnitInterval) {
+  NasRandlc rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace xbgas

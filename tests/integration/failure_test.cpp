@@ -1,0 +1,106 @@
+// Failure injection: a dying PE must never deadlock the machine — barriers
+// are poisoned and the original error surfaces from Machine::run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "collectives/collectives.hpp"
+#include "collectives/team.hpp"
+#include "common/error.hpp"
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 512 * 1024};
+  return c;
+}
+
+TEST(FailureTest, DeathDuringBarrierReleasesPeers) {
+  Machine machine(config(4));
+  try {
+    machine.run([&](PeContext& pe) {
+      xbrtime_init();
+      if (pe.rank() == 1) throw Error("injected failure on PE 1");
+      xbrtime_barrier();  // would deadlock without poisoning
+    });
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected failure"),
+              std::string::npos);
+  }
+}
+
+TEST(FailureTest, DeathMidCollectiveReleasesPeers) {
+  Machine machine(config(8));
+  EXPECT_THROW(machine.run([&](PeContext& pe) {
+                 xbrtime_init();
+                 auto* buf = static_cast<int*>(xbrtime_malloc(64));
+                 if (pe.rank() == 5) throw Error("mid-collective death");
+                 int src[16] = {};
+                 broadcast(static_cast<int*>(buf), src, 16, 1, 0);
+               }),
+               Error);
+}
+
+TEST(FailureTest, DeathReleasesTeamBarrierWaiters) {
+  Machine machine(config(4));
+  EXPECT_THROW(machine.run([&](PeContext& pe) {
+                 xbrtime_init();
+                 if (pe.rank() == 3) return;  // not a team member
+                 Team team(0, 1, 3);          // PEs 0-2 rendezvous here
+                 if (pe.rank() == 1) throw Error("member died");
+                 // PEs 0 and 2 now wait on a barrier PE 1 will never reach;
+                 // only barrier poisoning can release them.
+                 team.barrier();
+               }),
+               Error);
+}
+
+TEST(FailureTest, FirstErrorWins) {
+  Machine machine(config(4));
+  try {
+    machine.run([&](PeContext& pe) {
+      xbrtime_init();
+      // Everyone throws; exactly one (the first) must surface.
+      throw Error("PE " + std::to_string(pe.rank()) + " failed");
+    });
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+  }
+}
+
+TEST(FailureTest, MachineUnusableBarrierStaysPoisoned) {
+  Machine machine(config(2));
+  EXPECT_THROW(machine.run([&](PeContext& pe) {
+                 xbrtime_init();
+                 if (pe.rank() == 0) throw Error("boom");
+                 xbrtime_barrier();
+               }),
+               Error);
+  // The world barrier stays poisoned: subsequent SPMD regions that hit it
+  // fail fast instead of hanging.
+  EXPECT_TRUE(machine.world_barrier().poisoned());
+}
+
+TEST(FailureTest, RmaContractViolationsPropagate) {
+  Machine machine(config(2));
+  EXPECT_THROW(machine.run([&](PeContext& pe) {
+                 xbrtime_init();
+                 int private_buf[4] = {};
+                 int src[4] = {};
+                 // Remote put into a non-symmetric address must throw on
+                 // every PE (same code path), so no PE is left waiting.
+                 xbr_put(private_buf, src, 4, 1, 1 - pe.rank());
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,73 @@
+#include "benchlib/nasis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbgas {
+namespace {
+
+MachineConfig is_config(int n_pes, IsClass cls) {
+  MachineConfig config;
+  config.n_pes = n_pes;
+  config.layout =
+      MemoryLayout{.private_bytes = std::size_t{4} << 20,
+                   .shared_bytes = is_shared_bytes_needed(cls, n_pes)};
+  return config;
+}
+
+TEST(NasIsIntegrationTest, ClassParams) {
+  EXPECT_EQ(is_class_params(IsClass::kS).total_keys, std::uint64_t{1} << 16);
+  EXPECT_EQ(is_class_params(IsClass::kS).max_key, 1 << 11);
+  EXPECT_EQ(is_class_params(IsClass::kB).total_keys, std::uint64_t{1} << 25);
+  EXPECT_EQ(is_class_params(IsClass::kB).max_key, 1 << 21);
+  EXPECT_STREQ(is_class_name(IsClass::kW), "W");
+}
+
+TEST(NasIsIntegrationTest, ClassSVerifiesAtEveryPeCount) {
+  for (const int n : {1, 2, 4, 8}) {
+    Machine machine(is_config(n, IsClass::kS));
+    IsConfig config;
+    config.cls = IsClass::kS;
+    config.iterations = 2;  // keep the test quick; the bench runs 10
+    const IsResult result = run_is(machine, config);
+    EXPECT_TRUE(result.verified) << n << " PEs";
+    EXPECT_EQ(result.total_keys, std::uint64_t{1} << 16);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.mops_total, 0.0);
+  }
+}
+
+TEST(NasIsIntegrationTest, DeterministicAcrossRuns) {
+  IsConfig config;
+  config.cls = IsClass::kS;
+  config.iterations = 2;
+  Machine m1(is_config(4, IsClass::kS)), m2(is_config(4, IsClass::kS));
+  const IsResult a = run_is(m1, config);
+  const IsResult b = run_is(m2, config);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.verified, b.verified);
+}
+
+TEST(NasIsIntegrationTest, MoreIterationsCostProportionallyMore) {
+  Machine machine(is_config(2, IsClass::kS));
+  IsConfig one;
+  one.cls = IsClass::kS;
+  one.iterations = 1;
+  IsConfig three = one;
+  three.iterations = 3;
+  const auto c1 = run_is(machine, one).cycles;
+  const auto c3 = run_is(machine, three).cycles;
+  EXPECT_GT(c3, 2 * c1);
+  EXPECT_LT(c3, 4 * c1);
+}
+
+TEST(NasIsIntegrationTest, ClassWRunsAtEightPes) {
+  Machine machine(is_config(8, IsClass::kW));
+  IsConfig config;
+  config.cls = IsClass::kW;
+  config.iterations = 1;
+  const IsResult result = run_is(machine, config);
+  EXPECT_TRUE(result.verified);
+}
+
+}  // namespace
+}  // namespace xbgas

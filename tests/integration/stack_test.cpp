@@ -1,0 +1,198 @@
+// Whole-stack integration: drive the ISA fidelity path and the runtime fast
+// path through the same collective-style data movement and check they agree;
+// exercise an end-to-end mini-application mixing every API layer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "collectives/composed.hpp"
+#include "isa/hart.hpp"
+#include "xbrtime/rma.hpp"
+#include "xbrtime/validation.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 256 * 1024, .shared_bytes = 2 << 20};
+  return c;
+}
+
+TEST(StackTest, InterpretedBroadcastStageMatchesRuntime) {
+  // Re-enact one stage of Algorithm 1 (root puts to its partner) through
+  // the interpreter, and the rest via the runtime: the final state must
+  // equal a full runtime broadcast.
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* via_rt = static_cast<std::uint64_t*>(
+        xbrtime_malloc(16 * sizeof(std::uint64_t)));
+    auto* via_mix = static_cast<std::uint64_t*>(
+        xbrtime_malloc(16 * sizeof(std::uint64_t)));
+    std::vector<std::uint64_t> src(16);
+    std::iota(src.begin(), src.end(), 7000);
+
+    xbrtime_barrier();
+    broadcast(via_rt, src.data(), 16, 1, 0);
+
+    // Mixed path: stage 0 (0 -> 2) interpreted, then puts for the rest.
+    if (pe.rank() == 0) {
+      std::copy(src.begin(), src.end(), via_mix);
+      (void)isa_put(pe, via_mix, via_mix, 8, 16, 1, 2, /*unroll=*/true);
+    }
+    xbrtime_barrier();
+    if (pe.rank() == 0) xbr_put(via_mix, via_mix, 16, 1, 1);
+    if (pe.rank() == 2) xbr_put(via_mix, via_mix, 16, 1, 3);
+    xbrtime_barrier();
+
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(via_mix[i], via_rt[i]) << "pe=" << pe.rank() << " i=" << i;
+    }
+    xbrtime_barrier();
+    xbrtime_free(via_mix);
+    xbrtime_free(via_rt);
+    xbrtime_close();
+  });
+}
+
+TEST(StackTest, HartsOnEveryPeComputeAndExchange) {
+  // Each PE runs an interpreted program that stores rank^2 into its own
+  // shared counter; the runtime then reduces the counters.
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* counter =
+        static_cast<std::uint64_t*>(xbrtime_malloc(sizeof(std::uint64_t)));
+    const std::uint64_t addr = static_cast<std::uint64_t>(
+        reinterpret_cast<std::byte*>(counter) - pe.arena().base());
+
+    isa::ProgramBuilder b;
+    b.li(5, pe.rank());
+    b.mul(6, 5, 5);
+    b.li(7, static_cast<std::int64_t>(addr));
+    b.sd(6, 7, 0);
+    b.ecall();
+    isa::Hart hart(pe.port());
+    hart.load_program(b.build());
+    ASSERT_EQ(hart.run(), isa::Hart::Halt::kEcall);
+    pe.clock().advance(hart.cycles());
+
+    xbrtime_barrier();
+    auto* total =
+        static_cast<std::uint64_t*>(xbrtime_malloc(sizeof(std::uint64_t)));
+    reduce_all<OpSum>(total, counter, 1, 1);
+    EXPECT_EQ(*total, 0u + 1 + 4 + 9);
+    xbrtime_barrier();
+    xbrtime_free(total);
+    xbrtime_free(counter);
+    xbrtime_close();
+  });
+}
+
+TEST(StackTest, InterpretedRemoteStoreVisibleToPeerHart) {
+  // PE 0's hart stores through the OLB into PE 1's segment; PE 1's hart
+  // loads it back locally.
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* slot =
+        static_cast<std::uint64_t*>(xbrtime_malloc(sizeof(std::uint64_t)));
+    *slot = 0;
+    const std::uint64_t addr = static_cast<std::uint64_t>(
+        reinterpret_cast<std::byte*>(slot) - pe.arena().base());
+    xbrtime_barrier();
+
+    if (pe.rank() == 0) {
+      isa::ProgramBuilder b;
+      b.li(7, static_cast<std::int64_t>(object_id_for_pe(1)));
+      b.eaddie(6, 7, 0);
+      b.li(6, static_cast<std::int64_t>(addr));
+      b.li(8, 0x5A5A);
+      b.esd(8, 6, 0);
+      b.ecall();
+      isa::Hart hart(pe.port());
+      hart.load_program(b.build());
+      ASSERT_EQ(hart.run(), isa::Hart::Halt::kEcall);
+      EXPECT_EQ(hart.stats().remote_stores, 1u);
+    }
+    xbrtime_barrier();
+
+    if (pe.rank() == 1) {
+      isa::ProgramBuilder b;
+      b.li(6, static_cast<std::int64_t>(addr));
+      b.eld(5, 6, 0);  // e6 == 0: local load through the xBGAS form
+      b.ecall();
+      isa::Hart hart(pe.port());
+      hart.load_program(b.build());
+      ASSERT_EQ(hart.run(), isa::Hart::Halt::kEcall);
+      EXPECT_EQ(hart.regs().x(5), 0x5A5Au);
+      EXPECT_EQ(hart.stats().remote_loads, 0u);
+    }
+    xbrtime_barrier();
+    xbrtime_free(slot);
+    xbrtime_close();
+  });
+}
+
+TEST(StackTest, EndToEndMiniApplication) {
+  // A miniature "histogram" app touching every layer: scatter work, local
+  // compute, gather results, broadcast a summary, verify with reduce.
+  const int n = 5;
+  Machine machine(config(n));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const int me = pe.rank();
+
+    std::vector<int> msgs(n), disp(n);
+    for (int r = 0; r < n; ++r) msgs[static_cast<std::size_t>(r)] = 4 + r;
+    std::exclusive_scan(msgs.begin(), msgs.end(), disp.begin(), 0);
+    const auto total = static_cast<std::size_t>(
+        std::accumulate(msgs.begin(), msgs.end(), 0));
+
+    std::vector<long> work(total);
+    std::iota(work.begin(), work.end(), 1);  // 1..total on the root
+
+    const auto mine = static_cast<std::size_t>(msgs[static_cast<std::size_t>(me)]);
+    std::vector<long> slice(mine);
+    scatter(slice.data(), work.data(), msgs.data(), disp.data(), total, 0);
+
+    // Local compute: square each element.
+    for (auto& v : slice) v *= v;
+
+    std::vector<long> squares(total);
+    gather(squares.data(), slice.data(), msgs.data(), disp.data(), total, 0);
+
+    auto* checksum = static_cast<long*>(xbrtime_malloc(sizeof(long)));
+    long expected_checksum = 0;
+    if (me == 0) {
+      for (const long v : squares) expected_checksum += v;
+      *checksum = expected_checksum;
+    }
+    broadcast(checksum, checksum, 1, 1, 0);
+
+    // Independent verification path: reduce the per-PE partial sums.
+    auto* partial = static_cast<long*>(xbrtime_malloc(sizeof(long)));
+    *partial = std::accumulate(slice.begin(), slice.end(), 0L);
+    auto* rsum = static_cast<long*>(xbrtime_malloc(sizeof(long)));
+    reduce_all<OpSum>(rsum, partial, 1, 1);
+
+    EXPECT_EQ(*rsum, *checksum);
+    const long t = static_cast<long>(total);
+    EXPECT_EQ(*rsum, t * (t + 1) * (2 * t + 1) / 6);  // sum of squares
+
+    xbrtime_barrier();
+    xbrtime_free(rsum);
+    xbrtime_free(partial);
+    xbrtime_free(checksum);
+    xbrtime_close();
+  });
+}
+
+}  // namespace
+}  // namespace xbgas

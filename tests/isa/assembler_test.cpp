@@ -1,0 +1,222 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "isa/hart.hpp"
+
+namespace xbgas::isa {
+namespace {
+
+/// Reuse the flat-memory test port shape from hart_test.
+class FlatPort final : public GlobalMemoryPort {
+ public:
+  std::vector<std::uint8_t> mem = std::vector<std::uint8_t>(4096);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> objects;
+
+  MemAccessResult load(std::uint64_t id, std::uint64_t addr, unsigned width,
+                       std::uint64_t* value) override {
+    auto& m = storage(id);
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, m.data() + addr, width);
+    *value = raw;
+    return {.cycles = 1};
+  }
+  MemAccessResult store(std::uint64_t id, std::uint64_t addr, unsigned width,
+                        std::uint64_t value) override {
+    std::memcpy(storage(id).data() + addr, &value, width);
+    return {.cycles = 1};
+  }
+
+ private:
+  std::vector<std::uint8_t>& storage(std::uint64_t id) {
+    if (id == 0) return mem;
+    auto [it, _] = objects.try_emplace(id, std::vector<std::uint8_t>(4096));
+    return it->second;
+  }
+};
+
+std::uint64_t run_and_read_x(const std::string& src, unsigned reg) {
+  FlatPort port;
+  Hart hart(port);
+  hart.load_program(assemble(src));
+  EXPECT_EQ(hart.run(), Hart::Halt::kEcall);
+  return hart.regs().x(reg);
+}
+
+TEST(AssemblerTest, BasicArithmetic) {
+  EXPECT_EQ(run_and_read_x("li x5, 40\n addi x5, x5, 2\n ecall\n", 5), 42u);
+}
+
+TEST(AssemblerTest, AbiRegisterNames) {
+  EXPECT_EQ(run_and_read_x("li a0, 7\n li t0, 5\n add a1, a0, t0\n ecall", 11),
+            12u);
+  EXPECT_EQ(run_and_read_x("li s1, 3\n mv s2, s1\n ecall", 18), 3u);
+  EXPECT_EQ(run_and_read_x("li sp, 100\n addi sp, sp, -4\n ecall", 2), 96u);
+}
+
+TEST(AssemblerTest, HexAndNegativeImmediates) {
+  EXPECT_EQ(run_and_read_x("li x1, 0xFF\n ecall", 1), 255u);
+  EXPECT_EQ(static_cast<std::int64_t>(
+                run_and_read_x("li x1, -123\n ecall", 1)),
+            -123);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  const char* src = R"(
+    # full-line comment
+    li x3, 9      ; trailing comment
+
+    ecall
+  )";
+  EXPECT_EQ(run_and_read_x(src, 3), 9u);
+}
+
+TEST(AssemblerTest, LabelsAndBackwardBranch) {
+  const char* src = R"(
+      li t0, 5
+      li t1, 0
+    loop:
+      add t1, t1, t0
+      addi t0, t0, -1
+      bne t0, zero, loop
+      ecall
+  )";
+  EXPECT_EQ(run_and_read_x(src, 6), 15u);  // t1 = 5+4+3+2+1
+}
+
+TEST(AssemblerTest, ForwardBranchAndJump) {
+  const char* src = R"(
+      li x1, 1
+      beq x1, x1, skip
+      li x2, 99       # must be skipped
+    skip:
+      j end
+      li x3, 99       # must be skipped
+    end:
+      ecall
+  )";
+  FlatPort port;
+  Hart hart(port);
+  hart.load_program(assemble(src));
+  ASSERT_EQ(hart.run(), Hart::Halt::kEcall);
+  EXPECT_EQ(hart.regs().x(2), 0u);
+  EXPECT_EQ(hart.regs().x(3), 0u);
+}
+
+TEST(AssemblerTest, LoadsAndStores) {
+  const char* src = R"(
+      li x1, 0x1122334455667788
+      li x2, 64
+      sd x1, 0(x2)
+      lw x3, 0(x2)
+      lbu x4, 7(x2)
+      ld x5, (x2)      # empty offset defaults to 0
+      ecall
+  )";
+  FlatPort port;
+  Hart hart(port);
+  hart.load_program(assemble(src));
+  ASSERT_EQ(hart.run(), Hart::Halt::kEcall);
+  EXPECT_EQ(hart.regs().x(3), 0x55667788u);
+  EXPECT_EQ(hart.regs().x(4), 0x11u);
+  EXPECT_EQ(hart.regs().x(5), 0x1122334455667788u);
+}
+
+TEST(AssemblerTest, XbgasRemoteSequence) {
+  const char* src = R"(
+      li x7, 3
+      eaddie e6, x7, 0     # e6 <- object 3
+      li x6, 16
+      li x8, 0xBEEF
+      esd x8, 0(x6)        # store to object 3
+      eld x9, 0(x6)        # load it back
+      erld x10, x6, e6     # raw form reads the same slot
+      ecall
+  )";
+  FlatPort port;
+  Hart hart(port);
+  hart.load_program(assemble(src));
+  ASSERT_EQ(hart.run(), Hart::Halt::kEcall);
+  EXPECT_EQ(hart.regs().x(9), 0xBEEFu);
+  EXPECT_EQ(hart.regs().x(10), 0xBEEFu);
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, port.objects.at(3).data() + 16, 8);
+  EXPECT_EQ(raw, 0xBEEFu);
+}
+
+TEST(AssemblerTest, RawStoreOperandOrder) {
+  const Program p = assemble("ersd x7, x6, e9\n ecall");
+  EXPECT_EQ(p.insts[0], (Instruction{Op::kErsd, 9, 6, 7, 0}));
+}
+
+TEST(AssemblerTest, RetPseudo) {
+  const Program p = assemble("ret");
+  EXPECT_EQ(p.insts[0], (Instruction{Op::kJalr, 0, 1, 0, 0}));
+}
+
+TEST(AssemblerTest, MTypeExtensionMnemonics) {
+  EXPECT_EQ(run_and_read_x("li x1, 6\n li x2, 7\n mul x3, x1, x2\n ecall", 3),
+            42u);
+  EXPECT_EQ(run_and_read_x("li x1, 42\n li x2, 5\n remu x3, x1, x2\n ecall", 3),
+            2u);
+}
+
+TEST(AssemblerTest, DisassembleRoundTrips) {
+  const char* src = R"(
+      li t0, 300
+      addi t0, t0, 5
+      sd t0, 8(sp)
+      eld x9, 16(x6)
+      erld x10, x6, e7
+      eaddie e6, x7, 4
+      ecall
+  )";
+  const Program first = assemble(src);
+  // Disassemble (label-free, numeric offsets) and assemble again: the
+  // instruction stream must be identical.
+  std::string text;
+  for (const auto& inst : first.insts) text += to_string(inst) + "\n";
+  const Program second = assemble(text);
+  EXPECT_EQ(first.insts, second.insts);
+  EXPECT_EQ(first.words, second.words);
+}
+
+TEST(AssemblerTest, DisassemblyFormatting) {
+  const Program p = assemble("nop\n ecall");
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find("0: 00000013  addi x0, x0, 0"), std::string::npos);
+  EXPECT_NE(text.find("4: 00000073  ecall"), std::string::npos);
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  try {
+    (void)assemble("nop\nbogus x1, x2\n");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(AssemblerTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)assemble("addi x1, x2"), Error);          // missing imm
+  EXPECT_THROW((void)assemble("addi x1, x2, x3"), Error);      // reg as imm
+  EXPECT_THROW((void)assemble("ld x1, x2"), Error);            // no mem form
+  EXPECT_THROW((void)assemble("erld x1, x2, x3"), Error);      // e reg needed
+  EXPECT_THROW((void)assemble("bne x1, x2, 9zz"), Error);      // bad target
+  EXPECT_THROW((void)assemble("beq x1, x2, nowhere"), Error);  // undefined
+  EXPECT_THROW((void)assemble("addi x32, x0, 0"), Error);      // bad reg
+  EXPECT_THROW((void)assemble("addi x1, x0, 99999"), Error);   // imm range
+}
+
+TEST(AssemblerTest, MultipleLabelsOnOneLine) {
+  const Program p = assemble("a: b: nop\n j a\n");
+  EXPECT_EQ(p.insts[1].imm, -4);
+}
+
+}  // namespace
+}  // namespace xbgas::isa

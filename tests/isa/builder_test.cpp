@@ -1,0 +1,130 @@
+#include "isa/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/decoder.hpp"
+
+namespace xbgas::isa {
+namespace {
+
+TEST(BuilderTest, EmitsDecodedAndEncodedForms) {
+  ProgramBuilder b;
+  b.addi(1, 0, 5).add(2, 1, 1).ecall();
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.insts[0], (Instruction{Op::kAddi, 1, 0, 0, 5}));
+  EXPECT_EQ(p.insts[1], (Instruction{Op::kAdd, 2, 1, 1, 0}));
+  EXPECT_EQ(p.insts[2].op, Op::kEcall);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(decode(p.words[i]), p.insts[i]);
+  }
+}
+
+TEST(BuilderTest, BackwardBranchResolvesNegativeOffset) {
+  ProgramBuilder b;
+  b.addi(5, 0, 3);
+  b.label("loop");
+  b.addi(5, 5, -1);
+  b.bne(5, 0, "loop");
+  b.ecall();
+  const Program p = b.build();
+  EXPECT_EQ(p.insts[2].imm, -4);  // one instruction back
+}
+
+TEST(BuilderTest, ForwardBranchResolvesPositiveOffset) {
+  ProgramBuilder b;
+  b.beq(0, 0, "done");
+  b.addi(1, 0, 1);
+  b.addi(2, 0, 2);
+  b.label("done");
+  b.ecall();
+  const Program p = b.build();
+  EXPECT_EQ(p.insts[0].imm, 12);  // three instructions forward
+}
+
+TEST(BuilderTest, JumpToLabel) {
+  ProgramBuilder b;
+  b.j("end").addi(1, 0, 9).label("end").ecall();
+  const Program p = b.build();
+  EXPECT_EQ(p.insts[0].op, Op::kJal);
+  EXPECT_EQ(p.insts[0].rd, 0);
+  EXPECT_EQ(p.insts[0].imm, 8);
+}
+
+TEST(BuilderTest, UndefinedLabelThrowsAtBuild) {
+  ProgramBuilder b;
+  b.bne(1, 2, "nowhere").ecall();
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(BuilderTest, DuplicateLabelThrows) {
+  ProgramBuilder b;
+  b.label("x");
+  EXPECT_THROW(b.label("x"), Error);
+}
+
+TEST(BuilderTest, RegisterRangeChecked) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.addi(32, 0, 0), Error);
+  EXPECT_THROW(b.add(0, 32, 0), Error);
+}
+
+TEST(BuilderTest, PseudoInstructions) {
+  ProgramBuilder b;
+  b.nop().mv(3, 4);
+  const Program p = b.build();
+  EXPECT_EQ(p.insts[0], (Instruction{Op::kAddi, 0, 0, 0, 0}));
+  EXPECT_EQ(p.insts[1], (Instruction{Op::kAddi, 3, 4, 0, 0}));
+}
+
+TEST(BuilderTest, LiSmallImmediateIsSingleAddi) {
+  ProgramBuilder b;
+  b.li(5, 42);
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.insts[0], (Instruction{Op::kAddi, 5, 0, 0, 42}));
+}
+
+TEST(BuilderTest, Li32BitUsesLuiAddiw) {
+  ProgramBuilder b;
+  b.li(5, 0x12345678);
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.insts[0].op, Op::kLui);
+  EXPECT_EQ(p.insts[1].op, Op::kAddiw);
+}
+
+TEST(BuilderTest, RawStoreOperandPlacement) {
+  ProgramBuilder b;
+  b.ersd(/*rs2=*/7, /*rs1=*/6, /*ext=*/9);
+  const Program p = b.build();
+  // e-register index rides in the rd field for raw stores.
+  EXPECT_EQ(p.insts[0], (Instruction{Op::kErsd, 9, 6, 7, 0}));
+  EXPECT_EQ(decode(p.words[0]), p.insts[0]);
+}
+
+TEST(BuilderTest, XbgasSequenceRoundTrips) {
+  ProgramBuilder b;
+  b.li(7, 3);
+  b.eaddie(6, 7, 0);
+  b.eld(8, 6, 16);
+  b.esd(8, 6, 24);
+  b.erld(9, 6, 6);
+  b.ersd(9, 6, 6);
+  b.ecall();
+  const Program p = b.build();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(decode(p.words[i]), p.insts[i]) << "index " << i;
+  }
+}
+
+TEST(BuilderTest, CurrentIndexTracksEmission) {
+  ProgramBuilder b;
+  EXPECT_EQ(b.current_index(), 0u);
+  b.nop().nop();
+  EXPECT_EQ(b.current_index(), 2u);
+}
+
+}  // namespace
+}  // namespace xbgas::isa

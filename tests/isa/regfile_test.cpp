@@ -1,0 +1,56 @@
+#include "isa/regfile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xbgas::isa {
+namespace {
+
+TEST(RegFileTest, X0IsHardwiredToZero) {
+  RegFile regs;
+  regs.set_x(0, 0xDEADBEEF);
+  EXPECT_EQ(regs.x(0), 0u);
+}
+
+TEST(RegFileTest, XRegistersHoldValues) {
+  RegFile regs;
+  for (unsigned i = 1; i < 32; ++i) regs.set_x(i, i * 1000);
+  for (unsigned i = 1; i < 32; ++i) EXPECT_EQ(regs.x(i), i * 1000);
+}
+
+TEST(RegFileTest, ERegistersAreIndependentOfXRegisters) {
+  // Figure 1: the extended register file sits alongside x0-x31; e[i] and
+  // x[i] are distinct architectural state.
+  RegFile regs;
+  regs.set_x(5, 111);
+  regs.set_e(5, 222);
+  EXPECT_EQ(regs.x(5), 111u);
+  EXPECT_EQ(regs.e(5), 222u);
+}
+
+TEST(RegFileTest, E0IsWritableUnlikeX0) {
+  // e-register value 0 means "local PE", but e0 itself is an ordinary
+  // register: writing it is how code targets a remote object via e0.
+  RegFile regs;
+  regs.set_e(0, 42);
+  EXPECT_EQ(regs.e(0), 42u);
+}
+
+TEST(RegFileTest, ClearZeroesBothFiles) {
+  RegFile regs;
+  regs.set_x(3, 1);
+  regs.set_e(7, 2);
+  regs.clear();
+  EXPECT_EQ(regs.x(3), 0u);
+  EXPECT_EQ(regs.e(7), 0u);
+}
+
+TEST(RegFileTest, DefaultStateIsAllZero) {
+  RegFile regs;
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_EQ(regs.x(i), 0u);
+    EXPECT_EQ(regs.e(i), 0u);  // all-local by default: plain RV64I behaviour
+  }
+}
+
+}  // namespace
+}  // namespace xbgas::isa

@@ -1,0 +1,113 @@
+#include "machine/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+TEST(BarrierTest, SingleParticipantPassesThrough) {
+  ClockSyncBarrier barrier(1);
+  EXPECT_EQ(barrier.arrive_and_wait(42), 42u);
+  EXPECT_EQ(barrier.arrive_and_wait(7), 7u);
+}
+
+TEST(BarrierTest, AllParticipantsGetMaxClock) {
+  constexpr int kN = 4;
+  ClockSyncBarrier barrier(kN);
+  std::vector<std::uint64_t> results(kN);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kN; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<std::size_t>(i)] =
+          barrier.arrive_and_wait(static_cast<std::uint64_t>(i) * 100);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto r : results) EXPECT_EQ(r, 300u);
+}
+
+TEST(BarrierTest, ReconcileCallbackShapesResult) {
+  ClockSyncBarrier barrier(2, [](std::uint64_t max_cycles, int n) {
+    return max_cycles + static_cast<std::uint64_t>(n) * 10;
+  });
+  std::uint64_t r1 = 0, r2 = 0;
+  std::thread t1([&] { r1 = barrier.arrive_and_wait(5); });
+  std::thread t2([&] { r2 = barrier.arrive_and_wait(50); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(r1, 70u);
+  EXPECT_EQ(r2, 70u);
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  constexpr int kN = 3;
+  constexpr int kRounds = 50;
+  ClockSyncBarrier barrier(kN);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kN; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        (void)barrier.arrive_and_wait(static_cast<std::uint64_t>(round));
+        // After every barrier, all kN increments of this round are visible.
+        EXPECT_GE(counter.load(), (round + 1) * kN);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), kN * kRounds);
+}
+
+TEST(BarrierTest, MonotoneClockAcrossRounds) {
+  ClockSyncBarrier barrier(2);
+  std::vector<std::uint64_t> seen;
+  std::thread t1([&] {
+    std::uint64_t c = 0;
+    for (int i = 0; i < 10; ++i) {
+      c = barrier.arrive_and_wait(c + 5);
+      seen.push_back(c);
+    }
+  });
+  std::thread t2([&] {
+    std::uint64_t c = 0;
+    for (int i = 0; i < 10; ++i) c = barrier.arrive_and_wait(c + 3);
+  });
+  t1.join();
+  t2.join();
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GT(seen[i], seen[i - 1]);
+  }
+}
+
+TEST(BarrierTest, PoisonWakesWaiters) {
+  ClockSyncBarrier barrier(2);
+  std::thread waiter([&] {
+    EXPECT_THROW(barrier.arrive_and_wait(0), Error);
+  });
+  // Give the waiter time to park, then poison.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  barrier.poison();
+  waiter.join();
+}
+
+TEST(BarrierTest, PoisonedBarrierRejectsNewArrivals) {
+  ClockSyncBarrier barrier(2);
+  barrier.poison();
+  EXPECT_TRUE(barrier.poisoned());
+  EXPECT_THROW(barrier.arrive_and_wait(0), Error);
+}
+
+TEST(BarrierTest, RejectsZeroParticipants) {
+  EXPECT_THROW(ClockSyncBarrier(0), Error);
+}
+
+}  // namespace
+}  // namespace xbgas

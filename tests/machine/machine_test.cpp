@@ -1,0 +1,155 @@
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig small_config(int n_pes) {
+  MachineConfig config;
+  config.n_pes = n_pes;
+  config.layout = MemoryLayout{.private_bytes = 64 * 1024,
+                               .shared_bytes = 256 * 1024};
+  return config;
+}
+
+TEST(MachineTest, ConstructsRequestedPeCount) {
+  Machine machine(small_config(4));
+  EXPECT_EQ(machine.n_pes(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(machine.pe(r).rank(), r);
+    EXPECT_EQ(machine.pe(r).n_pes(), 4);
+  }
+  EXPECT_THROW(machine.pe(4), Error);
+  EXPECT_THROW(machine.pe(-1), Error);
+}
+
+TEST(MachineTest, OlbsKnowEveryPeer) {
+  Machine machine(small_config(3));
+  for (int r = 0; r < 3; ++r) {
+    ObjectLookasideBuffer& olb = machine.pe(r).olb();
+    EXPECT_EQ(olb.entry_count(), 3u);  // peers include self under rank+1 ID
+    for (int peer = 0; peer < 3; ++peer) {
+      const OlbEntry* e = olb.peek(object_id_for_pe(peer));
+      ASSERT_NE(e, nullptr);
+      EXPECT_EQ(e->pe, peer);
+      EXPECT_EQ(e->segment_base, machine.pe(peer).arena().shared_base());
+      EXPECT_EQ(e->segment_size, machine.pe(peer).arena().shared_size());
+    }
+  }
+}
+
+TEST(MachineTest, RunExecutesBodyOncePerPe) {
+  Machine machine(small_config(4));
+  std::atomic<int> count{0};
+  std::atomic<int> rank_sum{0};
+  machine.run([&](PeContext& pe) {
+    count.fetch_add(1);
+    rank_sum.fetch_add(pe.rank());
+  });
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(MachineTest, CurrentPeContextBoundDuringRun) {
+  Machine machine(small_config(2));
+  EXPECT_EQ(current_pe_context(), nullptr);
+  machine.run([&](PeContext& pe) {
+    EXPECT_EQ(current_pe_context(), &pe);
+  });
+  EXPECT_EQ(current_pe_context(), nullptr);
+}
+
+TEST(MachineTest, ExceptionInOnePePoisonsBarrierAndRethrows) {
+  Machine machine(small_config(4));
+  EXPECT_THROW(
+      machine.run([&](PeContext& pe) {
+        if (pe.rank() == 2) {
+          throw Error("PE 2 exploded");
+        }
+        // Everyone else parks in the barrier; poison must release them.
+        (void)machine.world_barrier().arrive_and_wait(pe.clock().cycles());
+      }),
+      Error);
+}
+
+TEST(MachineTest, MachineIsReusableAfterClockReset) {
+  Machine machine(small_config(2));
+  machine.run([&](PeContext& pe) { pe.clock().advance(100); });
+  EXPECT_EQ(machine.max_cycles(), 100u);
+  machine.reset_time_and_stats();
+  EXPECT_EQ(machine.max_cycles(), 0u);
+  machine.run([&](PeContext& pe) { pe.clock().advance(5); });
+  EXPECT_EQ(machine.max_cycles(), 5u);
+}
+
+TEST(MachineTest, ResolveSymmetricMapsSameOffset) {
+  Machine machine(small_config(2));
+  machine.run([&](PeContext& pe) {
+    std::byte* mine = pe.arena().shared_at(128);
+    std::byte* theirs = pe.resolve_symmetric(1 - pe.rank(), mine);
+    EXPECT_EQ(theirs,
+              machine.pe(1 - pe.rank()).arena().shared_at(128));
+    EXPECT_EQ(pe.resolve_symmetric(pe.rank(), mine), mine);
+  });
+}
+
+TEST(MachineTest, ResolveSymmetricRejectsPrivateAddresses) {
+  Machine machine(small_config(2));
+  machine.run([&](PeContext& pe) {
+    std::byte* priv = pe.arena().private_base();
+    EXPECT_THROW(pe.resolve_symmetric(1 - pe.rank(), priv), Error);
+  });
+}
+
+TEST(MachineTest, ValidationSlotsSurviveBarrier) {
+  Machine machine(small_config(3));
+  machine.run([&](PeContext& pe) {
+    machine.validation_slot(pe.rank()) =
+        static_cast<std::uint64_t>(pe.rank()) + 100;
+    (void)machine.world_barrier().arrive_and_wait(0);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(machine.validation_slot(r),
+                static_cast<std::uint64_t>(r) + 100);
+    }
+    (void)machine.world_barrier().arrive_and_wait(0);
+  });
+}
+
+TEST(MachineTest, WorldBarrierSynchronizesClocksWithCost) {
+  MachineConfig config = small_config(2);
+  Machine machine(config);
+  machine.run([&](PeContext& pe) {
+    pe.clock().advance(pe.rank() == 0 ? 10 : 500);
+    const std::uint64_t t =
+        machine.world_barrier().arrive_and_wait(pe.clock().cycles());
+    pe.clock().set(t);
+    // Barrier result: max participant clock + modeled barrier cost.
+    EXPECT_EQ(t, 500 + config.net.barrier_cycles(2));
+  });
+}
+
+TEST(MachineTest, TopologyConfigurable) {
+  MachineConfig config = small_config(8);
+  config.topology_name = "hypercube";
+  Machine machine(config);
+  EXPECT_EQ(machine.network().topology().name(), "hypercube");
+  EXPECT_THROW(
+      [] {
+        MachineConfig bad = small_config(6);
+        bad.topology_name = "hypercube";  // 6 is not a power of two
+        return Machine(bad);
+      }(),
+      Error);
+}
+
+TEST(MachineTest, RejectsZeroPes) {
+  EXPECT_THROW(Machine(small_config(0)), Error);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,141 @@
+#include "machine/port.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config2() {
+  MachineConfig config;
+  config.n_pes = 2;
+  config.layout = MemoryLayout{.private_bytes = 4096, .shared_bytes = 8192};
+  return config;
+}
+
+TEST(MachinePortTest, LocalLoadStoreHitArena) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    MachinePort& port = pe.port();
+    (void)port.store(kLocalObjectId, 64, 8, 0xABCD1234u);
+    std::uint64_t v = 0;
+    (void)port.load(kLocalObjectId, 64, 8, &v);
+    EXPECT_EQ(v, 0xABCD1234u);
+    // The bytes really live in the arena.
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, pe.arena().base() + 64, 8);
+    EXPECT_EQ(raw, 0xABCD1234u);
+  });
+}
+
+TEST(MachinePortTest, LocalCostComesFromCacheModel) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    MachinePort& port = pe.port();
+    std::uint64_t v = 0;
+    const auto cold = port.load(kLocalObjectId, 256, 8, &v);
+    const auto warm = port.load(kLocalObjectId, 256, 8, &v);
+    EXPECT_GT(cold.cycles, warm.cycles);
+    EXPECT_EQ(warm.cycles, pe.cache().config().costs.l1_hit_cycles);
+  });
+}
+
+TEST(MachinePortTest, RemoteStoreLandsInPeerSharedSegment) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    MachinePort& port = pe.port();
+    // Address = private_bytes + 128 => shared offset 128 on the peer.
+    const std::uint64_t addr = 4096 + 128;
+    (void)port.store(object_id_for_pe(1), addr, 8, 0x5555AAAA5555AAAA);
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, machine.pe(1).arena().shared_at(128), 8);
+    EXPECT_EQ(raw, 0x5555AAAA5555AAAAu);
+  });
+}
+
+TEST(MachinePortTest, RemoteLoadReadsPeer) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    const std::uint64_t v = 0x1234567890ABCDEF;
+    std::memcpy(machine.pe(1).arena().shared_at(512), &v, 8);
+    std::uint64_t got = 0;
+    (void)pe.port().load(object_id_for_pe(1), 4096 + 512, 8, &got);
+    EXPECT_EQ(got, v);
+  });
+}
+
+TEST(MachinePortTest, RemoteCostsComeFromNetworkModel) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    std::uint64_t v = 0;
+    const auto get = pe.port().load(object_id_for_pe(1), 4096, 8, &v);
+    const auto put = pe.port().store(object_id_for_pe(1), 4096, 8, v);
+    EXPECT_EQ(get.cycles, machine.network().get_cost(0, 1, 8));
+    EXPECT_EQ(put.cycles, machine.network().put_cost(0, 1, 8));
+  });
+  const NetTotals totals = machine.network().totals();
+  EXPECT_EQ(totals.gets, 1u);
+  EXPECT_EQ(totals.puts, 1u);
+}
+
+TEST(MachinePortTest, RemoteAccessToPrivateSegmentRejected) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    std::uint64_t v = 0;
+    EXPECT_THROW((void)pe.port().load(object_id_for_pe(1), 100, 8, &v),
+                 Error);
+  });
+}
+
+TEST(MachinePortTest, RemoteAccessPastSegmentRejected) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    std::uint64_t v = 0;
+    EXPECT_THROW(
+        (void)pe.port().load(object_id_for_pe(1), 4096 + 8192, 8, &v), Error);
+  });
+}
+
+TEST(MachinePortTest, MisalignedAccessRejected) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    std::uint64_t v = 0;
+    EXPECT_THROW((void)pe.port().load(kLocalObjectId, 3, 8, &v), Error);
+    EXPECT_THROW((void)pe.port().store(kLocalObjectId, 2, 4, 0), Error);
+  });
+}
+
+TEST(MachinePortTest, UnknownObjectIdIsOlbMiss) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    std::uint64_t v = 0;
+    EXPECT_THROW((void)pe.port().load(99, 4096, 8, &v), Error);
+    EXPECT_EQ(pe.olb().stats().misses, 1u);
+  });
+}
+
+TEST(MachinePortTest, LocalOutOfBoundsRejected) {
+  Machine machine(config2());
+  machine.run([&](PeContext& pe) {
+    if (pe.rank() != 0) return;
+    std::uint64_t v = 0;
+    EXPECT_THROW(
+        (void)pe.port().load(kLocalObjectId, 4096 + 8192, 8, &v), Error);
+  });
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,74 @@
+#include "memory/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+MemoryLayout small_layout() {
+  return MemoryLayout{.private_bytes = 4096, .shared_bytes = 8192};
+}
+
+TEST(ArenaTest, LayoutCarvesPrivateThenShared) {
+  MemoryArena arena(small_layout());
+  EXPECT_EQ(arena.size(), 4096u + 8192u);
+  EXPECT_EQ(arena.private_size(), 4096u);
+  EXPECT_EQ(arena.shared_size(), 8192u);
+  EXPECT_EQ(arena.shared_base(), arena.base() + 4096);
+}
+
+TEST(ArenaTest, ContainsChecksFullRange) {
+  MemoryArena arena(small_layout());
+  EXPECT_TRUE(arena.contains(arena.base(), arena.size()));
+  EXPECT_TRUE(arena.contains(arena.base() + 100, 10));
+  EXPECT_FALSE(arena.contains(arena.base() + arena.size() - 1, 2));
+  EXPECT_FALSE(arena.contains(arena.base() - 1, 1));
+}
+
+TEST(ArenaTest, InSharedExcludesPrivateSegment) {
+  MemoryArena arena(small_layout());
+  EXPECT_FALSE(arena.in_shared(arena.base(), 1));
+  EXPECT_FALSE(arena.in_shared(arena.base() + 4095, 1));
+  EXPECT_TRUE(arena.in_shared(arena.shared_base(), 1));
+  EXPECT_TRUE(arena.in_shared(arena.shared_base() + 8191, 1));
+  EXPECT_FALSE(arena.in_shared(arena.shared_base() + 8191, 2));
+}
+
+TEST(ArenaTest, SharedOffsetRoundTrips) {
+  MemoryArena arena(small_layout());
+  for (std::size_t off : {0u, 1u, 100u, 8191u}) {
+    EXPECT_EQ(arena.shared_offset_of(arena.shared_at(off)), off);
+  }
+}
+
+TEST(ArenaTest, SharedOffsetRejectsPrivateAddresses) {
+  MemoryArena arena(small_layout());
+  EXPECT_THROW(arena.shared_offset_of(arena.base()), Error);
+}
+
+TEST(ArenaTest, SharedAtRejectsOutOfRange) {
+  MemoryArena arena(small_layout());
+  EXPECT_THROW(arena.shared_at(8193), Error);
+}
+
+TEST(ArenaTest, MemoryIsWritable) {
+  MemoryArena arena(small_layout());
+  for (std::size_t i = 0; i < arena.size(); i += 997) {
+    arena.base()[i] = std::byte{0xAB};
+  }
+  for (std::size_t i = 0; i < arena.size(); i += 997) {
+    EXPECT_EQ(arena.base()[i], std::byte{0xAB});
+  }
+}
+
+TEST(ArenaTest, TwoArenasAreDisjoint) {
+  // The symmetric-heap model relies on arenas being physically separate.
+  MemoryArena a(small_layout()), b(small_layout());
+  EXPECT_FALSE(a.contains(b.base(), 1));
+  EXPECT_FALSE(b.contains(a.base(), 1));
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,137 @@
+#include "memory/freelist_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace xbgas {
+namespace {
+
+TEST(FreeListTest, FirstAllocationAtZero) {
+  FreeListAllocator alloc(1024);
+  EXPECT_EQ(alloc.allocate(64).value(), 0u);
+}
+
+TEST(FreeListTest, SequentialAllocationsAreAdjacent) {
+  FreeListAllocator alloc(1024);
+  EXPECT_EQ(alloc.allocate(64).value(), 0u);
+  EXPECT_EQ(alloc.allocate(64).value(), 64u);
+  EXPECT_EQ(alloc.allocate(64).value(), 128u);
+}
+
+TEST(FreeListTest, SizesRoundUpToAlignment) {
+  FreeListAllocator alloc(1024);
+  EXPECT_EQ(alloc.allocate(1).value(), 0u);
+  EXPECT_EQ(alloc.allocate(1).value(), 16u);  // 1 byte occupies 16
+  EXPECT_EQ(alloc.allocation_size(0), 16u);
+}
+
+TEST(FreeListTest, ZeroByteAllocationGetsDistinctBlock) {
+  FreeListAllocator alloc(1024);
+  const auto a = alloc.allocate(0).value();
+  const auto b = alloc.allocate(0).value();
+  EXPECT_NE(a, b);
+}
+
+TEST(FreeListTest, ExhaustionReturnsNullopt) {
+  FreeListAllocator alloc(64);
+  EXPECT_TRUE(alloc.allocate(64).has_value());
+  EXPECT_FALSE(alloc.allocate(16).has_value());
+}
+
+TEST(FreeListTest, ReleaseMakesSpaceReusable) {
+  FreeListAllocator alloc(64);
+  const auto a = alloc.allocate(64).value();
+  alloc.release(a);
+  EXPECT_EQ(alloc.allocate(64).value(), a);
+}
+
+TEST(FreeListTest, FirstFitReusesEarliestHole) {
+  FreeListAllocator alloc(1024);
+  const auto a = alloc.allocate(64).value();
+  (void)alloc.allocate(64);
+  const auto c = alloc.allocate(64).value();
+  (void)c;
+  alloc.release(a);
+  EXPECT_EQ(alloc.allocate(32).value(), a);  // hole at front reused first
+}
+
+TEST(FreeListTest, CoalescingRestoresFullBlock) {
+  FreeListAllocator alloc(256);
+  std::vector<std::size_t> blocks;
+  for (int i = 0; i < 4; ++i) blocks.push_back(alloc.allocate(64).value());
+  // Release out of order; coalescing must restore one 256-byte block.
+  alloc.release(blocks[1]);
+  alloc.release(blocks[3]);
+  alloc.release(blocks[0]);
+  alloc.release(blocks[2]);
+  EXPECT_EQ(alloc.largest_free_block(), 256u);
+  EXPECT_EQ(alloc.bytes_in_use(), 0u);
+}
+
+TEST(FreeListTest, DoubleFreeThrows) {
+  FreeListAllocator alloc(256);
+  const auto a = alloc.allocate(64).value();
+  alloc.release(a);
+  EXPECT_THROW(alloc.release(a), Error);
+}
+
+TEST(FreeListTest, ReleaseOfUnknownOffsetThrows) {
+  FreeListAllocator alloc(256);
+  EXPECT_THROW(alloc.release(32), Error);
+}
+
+TEST(FreeListTest, LiveTracking) {
+  FreeListAllocator alloc(256);
+  const auto a = alloc.allocate(64).value();
+  EXPECT_TRUE(alloc.is_live(a));
+  EXPECT_EQ(alloc.live_allocations(), 1u);
+  alloc.release(a);
+  EXPECT_FALSE(alloc.is_live(a));
+  EXPECT_EQ(alloc.live_allocations(), 0u);
+}
+
+TEST(FreeListTest, DeterminismAcrossInstances) {
+  // The symmetric-heap property: two allocators fed the same call sequence
+  // return the same offsets. Drive both with a random alloc/free workload.
+  FreeListAllocator a(1 << 20), b(1 << 20);
+  Xoshiro256ss rng(99);
+  std::vector<std::size_t> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.next_below(100) < 60) {
+      const std::size_t size = 1 + rng.next_below(4096);
+      const auto ra = a.allocate(size);
+      const auto rb = b.allocate(size);
+      ASSERT_EQ(ra.has_value(), rb.has_value());
+      if (ra) {
+        ASSERT_EQ(*ra, *rb);
+        live.push_back(*ra);
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      const std::size_t off = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      a.release(off);
+      b.release(off);
+    }
+  }
+  EXPECT_EQ(a.bytes_in_use(), b.bytes_in_use());
+  EXPECT_EQ(a.largest_free_block(), b.largest_free_block());
+}
+
+TEST(FreeListTest, FragmentationThenFullRecovery) {
+  FreeListAllocator alloc(1 << 16);
+  std::vector<std::size_t> blocks;
+  for (int i = 0; i < 256; ++i) blocks.push_back(alloc.allocate(256).value());
+  for (std::size_t i = 0; i < blocks.size(); i += 2) alloc.release(blocks[i]);
+  // Half-fragmented: a 512-byte request cannot fit in 256-byte holes...
+  EXPECT_EQ(alloc.largest_free_block(), 256u);
+  for (std::size_t i = 1; i < blocks.size(); i += 2) alloc.release(blocks[i]);
+  EXPECT_EQ(alloc.largest_free_block(), std::size_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,146 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/sim_clock.hpp"
+
+namespace xbgas {
+namespace {
+
+NetworkModel make_model(const NetCostParams& p = NetCostParams{},
+                        const std::string& topo = "flat", int n = 4) {
+  return NetworkModel(make_topology(topo, n), p);
+}
+
+TEST(SimClockTest, AdvanceAndConvert) {
+  SimClock clock;
+  EXPECT_EQ(clock.cycles(), 0u);
+  clock.advance(100);
+  clock.advance(23);
+  EXPECT_EQ(clock.cycles(), 123u);
+  EXPECT_DOUBLE_EQ(clock.seconds(1e9), 123e-9);
+  clock.set(5);
+  EXPECT_EQ(clock.cycles(), 5u);
+  clock.reset();
+  EXPECT_EQ(clock.cycles(), 0u);
+}
+
+TEST(BarrierCyclesTest, LogarithmicRounds) {
+  NetCostParams p;
+  EXPECT_EQ(p.barrier_cycles(1), 0u);
+  const std::uint64_t round = p.injection_cycles + p.per_hop_cycles;
+  EXPECT_EQ(p.barrier_cycles(2), 1 * round);
+  EXPECT_EQ(p.barrier_cycles(4), 2 * round);
+  EXPECT_EQ(p.barrier_cycles(5), 3 * round);
+  EXPECT_EQ(p.barrier_cycles(8), 3 * round);
+}
+
+TEST(NetworkModelTest, PutCostComponents) {
+  NetCostParams p;
+  p.olb_lookup_cycles = 2;
+  p.injection_cycles = 10;
+  p.per_hop_cycles = 5;
+  p.link_bytes_per_cycle = 8.0;
+  p.remote_mem_cycles = 40;
+  p.message_header_bytes = 32;
+  auto model = make_model(p);
+  // flat: 1 hop. serialization = ceil((8+32)/8) = 5.
+  EXPECT_EQ(model.put_cost(0, 1, 8), 2u + 10u + 5u + 5u + 40u);
+}
+
+TEST(NetworkModelTest, GetCostsMoreThanPut) {
+  auto model = make_model();
+  // A get is a round trip; it must strictly exceed the one-way put.
+  EXPECT_GT(model.get_cost(0, 1, 64), model.put_cost(0, 1, 64));
+}
+
+TEST(NetworkModelTest, CostGrowsWithSizeAndDistance) {
+  auto model = make_model(NetCostParams{}, "ring", 8);
+  EXPECT_LT(model.put_cost(0, 1, 8), model.put_cost(0, 1, 4096));
+  EXPECT_LT(model.put_cost(0, 1, 8), model.put_cost(0, 4, 8));
+}
+
+TEST(NetworkModelTest, RecordAccumulatesTotals) {
+  auto model = make_model();
+  model.record(true, 100);
+  model.record(false, 50);
+  model.record(true, 1);
+  const NetTotals t = model.totals();
+  EXPECT_EQ(t.messages, 3u);
+  EXPECT_EQ(t.puts, 2u);
+  EXPECT_EQ(t.gets, 1u);
+  // Bytes include the per-message header overhead.
+  EXPECT_EQ(t.bytes, 151u + 3 * NetCostParams{}.message_header_bytes);
+}
+
+TEST(NetworkModelTest, PhaseReconcileTakesMaxOfComputeAndFabric) {
+  NetCostParams p;
+  p.fabric_bytes_per_cycle = 1.0;
+  p.fabric_message_cycles = 0;
+  p.message_header_bytes = 0;
+  p.injection_cycles = 0;
+  p.per_hop_cycles = 0;
+  auto model = make_model(p);
+
+  // Fabric-bound phase: 10k bytes at 1 B/cycle from anchor 0 -> ends at
+  // 10000 even though PEs were computing for only 500 cycles.
+  model.record(true, 10'000);
+  EXPECT_EQ(model.reconcile_phase(500, 4), 10'000u);
+
+  // Compute-bound phase: little traffic, max clock dominates.
+  model.record(true, 10);
+  EXPECT_EQ(model.reconcile_phase(50'000, 4), 50'000u);
+}
+
+TEST(NetworkModelTest, PhaseAnchorAdvances) {
+  NetCostParams p;
+  p.fabric_bytes_per_cycle = 1.0;
+  p.fabric_message_cycles = 0;
+  p.message_header_bytes = 0;
+  p.injection_cycles = 0;
+  p.per_hop_cycles = 0;
+  auto model = make_model(p);
+
+  const std::uint64_t t1 = model.reconcile_phase(100, 2);
+  EXPECT_EQ(t1, 100u);
+  // Next phase's fabric time is measured from t1, not from zero.
+  model.record(true, 1000);
+  EXPECT_EQ(model.reconcile_phase(t1 + 10, 2), t1 + 1000);
+}
+
+TEST(NetworkModelTest, BarrierCostAppliedAfterReconcile) {
+  NetCostParams p;
+  p.injection_cycles = 10;
+  p.per_hop_cycles = 5;
+  auto model = make_model(p);
+  // No traffic: result = max clock + barrier cost for 4 PEs (2 rounds).
+  EXPECT_EQ(model.reconcile_phase(1000, 4), 1000u + 2 * 15u);
+}
+
+TEST(NetworkModelTest, ResetPhaseDropsTraffic) {
+  auto model = make_model();
+  model.record(true, 1 << 20);
+  model.reset_phase();
+  EXPECT_EQ(model.phase_bytes(), 0u);
+  NetCostParams p = model.params();
+  EXPECT_EQ(model.reconcile_phase(7, 1), 7 + p.barrier_cycles(1));
+}
+
+TEST(NetworkModelTest, ResetTotals) {
+  auto model = make_model();
+  model.record(true, 10);
+  model.reset_totals();
+  const NetTotals t = model.totals();
+  EXPECT_EQ(t.messages, 0u);
+  EXPECT_EQ(t.bytes, 0u);
+}
+
+TEST(NetworkModelTest, InvalidBandwidthRejected) {
+  NetCostParams p;
+  p.fabric_bytes_per_cycle = 0.0;
+  EXPECT_THROW(make_model(p), Error);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,152 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+// Shared metric-space properties every topology must satisfy.
+class TopologyProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(TopologyProperties, HopsFormAMetric) {
+  const auto& [name, n] = GetParam();
+  const auto topo = make_topology(name, n);
+  ASSERT_EQ(topo->size(), n);
+  for (int s = 0; s < n; ++s) {
+    EXPECT_EQ(topo->hops(s, s), 0);
+    for (int d = 0; d < n; ++d) {
+      const int h = topo->hops(s, d);
+      EXPECT_EQ(h, topo->hops(d, s)) << "symmetry " << s << "->" << d;
+      if (s != d) {
+        EXPECT_GE(h, 1);
+      }
+      EXPECT_LE(h, topo->diameter());
+      for (int m = 0; m < n; ++m) {  // triangle inequality
+        EXPECT_LE(h, topo->hops(s, m) + topo->hops(m, d));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologyProperties,
+    ::testing::Values(std::tuple{"flat", 1}, std::tuple{"flat", 8},
+                      std::tuple{"flat", 12}, std::tuple{"ring", 2},
+                      std::tuple{"ring", 7}, std::tuple{"ring", 12},
+                      std::tuple{"torus", 4}, std::tuple{"torus", 6},
+                      std::tuple{"torus", 12}, std::tuple{"hypercube", 2},
+                      std::tuple{"hypercube", 8},
+                      std::tuple{"hypercube", 16}),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& p) {
+      return std::get<0>(p.param) + "_" + std::to_string(std::get<1>(p.param));
+    });
+
+TEST(FlatTopologyTest, EveryPairOneHop) {
+  FlatTopology topo(5);
+  EXPECT_EQ(topo.hops(0, 4), 1);
+  EXPECT_EQ(topo.hops(3, 2), 1);
+  EXPECT_EQ(topo.diameter(), 1);
+}
+
+TEST(RingTopologyTest, WrapsTheShortWay) {
+  RingTopology topo(8);
+  EXPECT_EQ(topo.hops(0, 1), 1);
+  EXPECT_EQ(topo.hops(0, 4), 4);
+  EXPECT_EQ(topo.hops(0, 7), 1);
+  EXPECT_EQ(topo.hops(6, 1), 3);
+  EXPECT_EQ(topo.diameter(), 4);
+}
+
+TEST(RingTopologyTest, OddRingDiameter) {
+  RingTopology topo(7);
+  EXPECT_EQ(topo.diameter(), 3);
+}
+
+TEST(TorusTopologyTest, ManhattanWithWraparound) {
+  Torus2DTopology topo(3, 4);
+  // rank = row * 4 + col
+  EXPECT_EQ(topo.hops(0, 3), 1);   // col 0 -> 3 wraps
+  EXPECT_EQ(topo.hops(0, 5), 2);   // (0,0) -> (1,1)
+  EXPECT_EQ(topo.hops(0, 11), 2);  // (0,0) -> (2,3): 1 row wrap + 1 col wrap
+  EXPECT_EQ(topo.hops(1, 9), 1);   // (0,1) -> (2,1): row wraps down
+}
+
+TEST(TorusTopologyTest, AutoFactorizationIsNearSquare) {
+  Torus2DTopology t12(12);
+  EXPECT_EQ(t12.rows(), 3);
+  EXPECT_EQ(t12.cols(), 4);
+  Torus2DTopology t16(16);
+  EXPECT_EQ(t16.rows(), 4);
+  EXPECT_EQ(t16.cols(), 4);
+  Torus2DTopology t7(7);
+  EXPECT_EQ(t7.rows(), 1);
+  EXPECT_EQ(t7.cols(), 7);
+}
+
+TEST(HypercubeTopologyTest, HopsArePopcountOfXor) {
+  HypercubeTopology topo(8);
+  EXPECT_EQ(topo.hops(0, 7), 3);
+  EXPECT_EQ(topo.hops(0b101, 0b010), 3);
+  EXPECT_EQ(topo.hops(2, 3), 1);
+  EXPECT_EQ(topo.diameter(), 3);
+}
+
+TEST(HypercubeTopologyTest, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(HypercubeTopology(6), Error);
+  EXPECT_THROW(make_topology("hypercube", 12), Error);
+}
+
+TEST(TopologyFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(make_topology("mesh", 4), Error);
+}
+
+TEST(TopologyTest, MeanHopsOrdersByConnectivity) {
+  // flat <= hypercube <= torus <= ring for the same endpoint count.
+  const int n = 16;
+  const double flat = make_topology("flat", n)->mean_hops();
+  const double cube = make_topology("hypercube", n)->mean_hops();
+  const double torus = make_topology("torus", n)->mean_hops();
+  const double ring = make_topology("ring", n)->mean_hops();
+  EXPECT_LE(flat, cube);
+  EXPECT_LE(cube, torus);
+  EXPECT_LE(torus, ring);
+}
+
+TEST(TopologyTest, EndpointRangeChecked) {
+  const auto topo = make_topology("ring", 4);
+  EXPECT_THROW(topo->hops(0, 4), Error);
+  EXPECT_THROW(topo->hops(-1, 0), Error);
+}
+
+TEST(ClusterTopologyTest, BoundaryCrossingsAreFlatCost) {
+  ClusterTopology topo(8, 4, 8);
+  EXPECT_EQ(topo.hops(0, 0), 0);
+  EXPECT_EQ(topo.hops(0, 3), 1);   // same node
+  EXPECT_EQ(topo.hops(4, 7), 1);
+  EXPECT_EQ(topo.hops(0, 4), 8);   // any boundary crossing costs the same
+  EXPECT_EQ(topo.hops(3, 4), 8);
+  EXPECT_EQ(topo.hops(0, 7), 8);
+  EXPECT_EQ(topo.diameter(), 8);
+}
+
+TEST(ClusterTopologyTest, FactoryParsesGroupAndHops) {
+  const auto topo = make_topology("cluster2x5", 6);
+  EXPECT_EQ(topo->name(), "cluster2x5");
+  EXPECT_EQ(topo->hops(0, 1), 1);
+  EXPECT_EQ(topo->hops(1, 2), 5);
+  EXPECT_THROW(make_topology("cluster4x8", 6), Error);  // 4 !| 6
+  EXPECT_THROW(make_topology("clusterXx8", 8), Error);
+}
+
+TEST(TopologyTest, LinkCounts) {
+  EXPECT_EQ(make_topology("flat", 4)->link_count(), 12);
+  EXPECT_EQ(make_topology("ring", 4)->link_count(), 8);
+  EXPECT_EQ(make_topology("hypercube", 8)->link_count(), 24);
+  EXPECT_EQ(make_topology("ring", 1)->link_count(), 0);
+}
+
+}  // namespace
+}  // namespace xbgas

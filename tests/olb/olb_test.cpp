@@ -1,0 +1,101 @@
+#include "olb/olb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+namespace {
+
+TEST(OlbTest, ObjectIdConventionIsRankPlusOne) {
+  EXPECT_EQ(object_id_for_pe(0), 1u);
+  EXPECT_EQ(object_id_for_pe(7), 8u);
+  EXPECT_EQ(pe_for_object_id(1), 0);
+  EXPECT_EQ(pe_for_object_id(8), 7);
+}
+
+TEST(OlbTest, LocalShortcutReturnsNullAndCounts) {
+  ObjectLookasideBuffer olb;
+  EXPECT_EQ(olb.lookup(kLocalObjectId), nullptr);
+  EXPECT_EQ(olb.stats().local_shortcuts, 1u);
+  EXPECT_EQ(olb.stats().lookups, 1u);
+  EXPECT_EQ(olb.stats().misses, 0u);
+}
+
+TEST(OlbTest, InsertThenLookupHits) {
+  ObjectLookasideBuffer olb;
+  std::array<std::byte, 64> segment{};
+  olb.insert(OlbEntry{.object_id = 3, .pe = 2, .segment_base = segment.data(),
+                      .segment_size = segment.size()});
+  const OlbEntry* e = olb.lookup(3);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pe, 2);
+  EXPECT_EQ(e->segment_base, segment.data());
+  EXPECT_EQ(e->segment_size, 64u);
+  EXPECT_EQ(olb.stats().hits, 1u);
+}
+
+TEST(OlbTest, UnknownIdMisses) {
+  ObjectLookasideBuffer olb;
+  EXPECT_EQ(olb.lookup(42), nullptr);
+  EXPECT_EQ(olb.stats().misses, 1u);
+}
+
+TEST(OlbTest, ReinsertOverwrites) {
+  ObjectLookasideBuffer olb;
+  std::array<std::byte, 64> seg1{}, seg2{};
+  olb.insert(OlbEntry{.object_id = 5, .pe = 1, .segment_base = seg1.data(),
+                      .segment_size = 64});
+  olb.insert(OlbEntry{.object_id = 5, .pe = 4, .segment_base = seg2.data(),
+                      .segment_size = 32});
+  const OlbEntry* e = olb.lookup(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pe, 4);
+  EXPECT_EQ(e->segment_base, seg2.data());
+}
+
+TEST(OlbTest, InsertingLocalIdIsRejected) {
+  ObjectLookasideBuffer olb;
+  std::array<std::byte, 8> seg{};
+  EXPECT_THROW(olb.insert(OlbEntry{.object_id = kLocalObjectId,
+                                   .pe = 0,
+                                   .segment_base = seg.data(),
+                                   .segment_size = 8}),
+               Error);
+}
+
+TEST(OlbTest, EntryCountIgnoresHoles) {
+  ObjectLookasideBuffer olb;
+  std::array<std::byte, 8> seg{};
+  olb.insert(OlbEntry{.object_id = 2, .pe = 1, .segment_base = seg.data(),
+                      .segment_size = 8});
+  olb.insert(OlbEntry{.object_id = 9, .pe = 8, .segment_base = seg.data(),
+                      .segment_size = 8});
+  EXPECT_EQ(olb.entry_count(), 2u);
+}
+
+TEST(OlbTest, PeekDoesNotTouchStats) {
+  ObjectLookasideBuffer olb;
+  std::array<std::byte, 8> seg{};
+  olb.insert(OlbEntry{.object_id = 2, .pe = 1, .segment_base = seg.data(),
+                      .segment_size = 8});
+  EXPECT_NE(olb.peek(2), nullptr);
+  EXPECT_EQ(olb.peek(3), nullptr);
+  EXPECT_EQ(olb.peek(kLocalObjectId), nullptr);
+  EXPECT_EQ(olb.stats().lookups, 0u);
+}
+
+TEST(OlbTest, ResetStats) {
+  ObjectLookasideBuffer olb;
+  (void)olb.lookup(0);
+  (void)olb.lookup(1);
+  olb.reset_stats();
+  EXPECT_EQ(olb.stats().lookups, 0u);
+  EXPECT_EQ(olb.stats().misses, 0u);
+  EXPECT_EQ(olb.stats().local_shortcuts, 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,223 @@
+#include "xbrtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes, std::size_t shared = 512 * 1024) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout = MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = shared};
+  return c;
+}
+
+TEST(RuntimeTest, InitExposesRankAndSize) {
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    EXPECT_EQ(xbrtime_mype(), -1);  // before init
+    EXPECT_EQ(xbrtime_init(), 0);
+    EXPECT_EQ(xbrtime_mype(), pe.rank());
+    EXPECT_EQ(xbrtime_num_pes(), 4);
+    EXPECT_TRUE(xbrtime_initialized());
+    xbrtime_close();
+    EXPECT_FALSE(xbrtime_initialized());
+    EXPECT_EQ(xbrtime_mype(), -1);
+  });
+}
+
+TEST(RuntimeTest, ApisRequireInit) {
+  Machine machine(config(1));
+  machine.run([&](PeContext&) {
+    EXPECT_THROW(xbrtime_barrier(), Error);
+    EXPECT_THROW(xbrtime_malloc(64), Error);
+    EXPECT_THROW(xbrtime_ctx(), Error);
+  });
+}
+
+TEST(RuntimeTest, InitOutsideSpmdRegionThrows) {
+  EXPECT_THROW(xbrtime_init(), Error);
+}
+
+TEST(RuntimeTest, DoubleInitThrows) {
+  Machine machine(config(1));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    EXPECT_THROW(xbrtime_init(), Error);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, MallocReturnsSymmetricOffsets) {
+  Machine machine(config(4));
+  std::atomic<std::uintptr_t> offsets[3] = {};
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    for (int i = 0; i < 3; ++i) {
+      void* p = xbrtime_malloc(64 + static_cast<std::size_t>(i) * 128);
+      ASSERT_NE(p, nullptr);
+      const std::size_t off = pe.arena().shared_offset_of(p);
+      if (pe.rank() == 0) {
+        offsets[i].store(off);
+      }
+      xbrtime_barrier();
+      EXPECT_EQ(off, offsets[i].load()) << "allocation " << i;
+      xbrtime_barrier();
+    }
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, MallocFreeReuse) {
+  Machine machine(config(2));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    void* a = xbrtime_malloc(256);
+    xbrtime_free(a);
+    void* b = xbrtime_malloc(256);
+    EXPECT_EQ(a, b);  // first-fit reuses the freed block symmetrically
+    xbrtime_free(b);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, MallocExhaustionReturnsNullEverywhere) {
+  Machine machine(config(2, /*shared=*/128 * 1024));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    // The staging region consumed a quarter; ask for far more than remains.
+    void* p = xbrtime_malloc(1024 * 1024);
+    EXPECT_EQ(p, nullptr);
+    // The failed attempt must not corrupt the heap: a small alloc still works.
+    void* q = xbrtime_malloc(64);
+    EXPECT_NE(q, nullptr);
+    xbrtime_free(q);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, AsymmetricMallocDetected) {
+  Machine machine(config(2));
+  EXPECT_THROW(machine.run([&](PeContext& pe) {
+                 xbrtime_init();
+                 if (pe.rank() == 0) {
+                   (void)xbrtime_malloc(64);  // extra allocation on PE 0 only
+                 }
+                 (void)xbrtime_malloc(128);   // offsets now diverge
+                 (void)xbrtime_malloc(128);
+               }),
+               Error);
+}
+
+TEST(RuntimeTest, BarrierSynchronizesClocks) {
+  Machine machine(config(3));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    pe.clock().advance(static_cast<std::uint64_t>(pe.rank()) * 1000);
+    xbrtime_barrier();
+    const std::uint64_t after = pe.clock().cycles();
+    xbrtime_barrier();
+    // All PEs leave the first barrier with identical clocks.
+    machine.validation_slot(pe.rank()) = after;
+    xbrtime_barrier();
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(machine.validation_slot(r), after);
+    }
+    xbrtime_barrier();
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, StageAllocLifo) {
+  Machine machine(config(1));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    const std::size_t before = xbrtime_stage_avail();
+    void* a = xbrtime_stage_alloc(100);
+    void* b = xbrtime_stage_alloc(200);
+    EXPECT_NE(a, b);
+    EXPECT_LT(xbrtime_stage_avail(), before);
+    // Out-of-order free violates LIFO.
+    EXPECT_THROW(xbrtime_stage_free(a), Error);
+    xbrtime_stage_free(b);
+    xbrtime_stage_free(a);
+    EXPECT_EQ(xbrtime_stage_avail(), before);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, StageAllocationsAreSymmetric) {
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    void* p = xbrtime_stage_alloc(512);
+    machine.validation_slot(pe.rank()) = pe.arena().shared_offset_of(p);
+    xbrtime_barrier();
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(machine.validation_slot(r),
+                machine.validation_slot(pe.rank()));
+    }
+    xbrtime_barrier();
+    xbrtime_stage_free(p);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, StageExhaustionThrows) {
+  Machine machine(config(1, /*shared=*/128 * 1024));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    EXPECT_THROW((void)xbrtime_stage_alloc(1024 * 1024), Error);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, AddrAccessible) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    void* p = xbrtime_malloc(64);
+    EXPECT_TRUE(xbrtime_addr_accessible(p, 0));
+    EXPECT_TRUE(xbrtime_addr_accessible(p, 1));
+    EXPECT_FALSE(xbrtime_addr_accessible(p, 2));   // no such PE
+    int local = 0;
+    EXPECT_FALSE(xbrtime_addr_accessible(&local, 1));
+    EXPECT_FALSE(xbrtime_addr_accessible(pe.arena().private_base(), 1));
+    xbrtime_free(p);
+    xbrtime_close();
+  });
+}
+
+TEST(RuntimeTest, StatsSnapshotTracksActivity) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    std::vector<long> host(64, 1);
+    xbrtime_barrier();
+    xbr_put(buf, host.data(), 64, 1, 1 - pe.rank());
+    xbrtime_barrier();
+
+    const XbrtimeStats stats = xbrtime_stats();
+    EXPECT_EQ(stats.pe, pe.rank());
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GE(stats.olb_lookups, 1u);  // the remote put translated once
+    EXPECT_EQ(stats.olb_hits + stats.olb_local_shortcuts, stats.olb_lookups);
+    EXPECT_GE(stats.l1_hit_rate, 0.0);
+    EXPECT_LE(stats.l1_hit_rate, 1.0);
+
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+}  // namespace
+}  // namespace xbgas

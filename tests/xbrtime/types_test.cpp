@@ -1,0 +1,77 @@
+#include "xbrtime/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <type_traits>
+
+namespace xbgas {
+namespace {
+
+TEST(TypesTest, TableOneHasTwentyFourEntries) {
+  int count = 0;
+#define XBGAS_COUNT(NAME, TYPE) ++count;
+  XBGAS_FOREACH_TYPE(XBGAS_COUNT)
+#undef XBGAS_COUNT
+  EXPECT_EQ(count, 24);
+  EXPECT_EQ(count, kNumTypedNames);
+}
+
+TEST(TypesTest, NamesMatchPaperTableOrder) {
+  const char* const* names = typed_names();
+  // Spot-check the paper's Table 1 ordering: float first, ptrdiff last.
+  EXPECT_STREQ(names[0], "float");
+  EXPECT_STREQ(names[1], "double");
+  EXPECT_STREQ(names[2], "longdouble");
+  EXPECT_STREQ(names[3], "char");
+  EXPECT_STREQ(names[9], "int");
+  EXPECT_STREQ(names[22], "size");
+  EXPECT_STREQ(names[23], "ptrdiff");
+}
+
+TEST(TypesTest, NamesAreUnique) {
+  std::set<std::string> unique;
+  for (int i = 0; i < kNumTypedNames; ++i) {
+    unique.insert(typed_names()[i]);
+  }
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kNumTypedNames));
+}
+
+TEST(TypesTest, CtypeSpellingsMatchTable) {
+  const char* const* ctypes = typed_ctypes();
+  EXPECT_STREQ(ctypes[2], "long double");
+  EXPECT_STREQ(ctypes[4], "unsigned char");
+  EXPECT_STREQ(ctypes[12], "unsigned long long");
+}
+
+// Compile-time checks that the macro maps TYPENAMEs to the right C++ types
+// (mirrors the TYPE column of Table 1).
+#define XBGAS_STATIC_TYPECHECK(NAME, TYPE) \
+  [[maybe_unused]] void typecheck_##NAME(TYPE) {}
+XBGAS_FOREACH_TYPE(XBGAS_STATIC_TYPECHECK)
+#undef XBGAS_STATIC_TYPECHECK
+
+TEST(TypesTest, TypeWidthsAreSane) {
+  // Every fixed-width entry must have its advertised width.
+  static_assert(sizeof(std::uint8_t) == 1);
+  static_assert(sizeof(std::int16_t) == 2);
+  static_assert(sizeof(std::uint32_t) == 4);
+  static_assert(sizeof(std::int64_t) == 8);
+  SUCCEED();
+}
+
+TEST(TypesTest, IntTypeSubsetIsIntegralOnly) {
+  int total = 0;
+#define XBGAS_CHECK_INTEGRAL(NAME, TYPE)          \
+  static_assert(std::is_integral_v<TYPE>,         \
+                "bitwise reduction type must be integral"); \
+  ++total;
+  XBGAS_FOREACH_INT_TYPE(XBGAS_CHECK_INTEGRAL)
+#undef XBGAS_CHECK_INTEGRAL
+  EXPECT_EQ(total, 21);  // 24 minus float, double, long double
+}
+
+}  // namespace
+}  // namespace xbgas
