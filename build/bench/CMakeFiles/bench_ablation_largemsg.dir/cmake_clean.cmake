@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_largemsg.dir/bench_ablation_largemsg.cpp.o"
+  "CMakeFiles/bench_ablation_largemsg.dir/bench_ablation_largemsg.cpp.o.d"
+  "bench_ablation_largemsg"
+  "bench_ablation_largemsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_largemsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_is.cpp" "bench/CMakeFiles/bench_fig5_is.dir/bench_fig5_is.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_is.dir/bench_fig5_is.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/xbgas_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/xbgas_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbrtime/CMakeFiles/xbgas_xbrtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xbgas_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/xbgas_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xbgas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbgas_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/olb/CMakeFiles/xbgas_olb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xbgas_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbgas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_is.dir/bench_fig5_is.cpp.o"
+  "CMakeFiles/bench_fig5_is.dir/bench_fig5_is.cpp.o.d"
+  "bench_fig5_is"
+  "bench_fig5_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

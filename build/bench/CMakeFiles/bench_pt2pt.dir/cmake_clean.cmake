@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pt2pt.dir/bench_pt2pt.cpp.o"
+  "CMakeFiles/bench_pt2pt.dir/bench_pt2pt.cpp.o.d"
+  "bench_pt2pt"
+  "bench_pt2pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pt2pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

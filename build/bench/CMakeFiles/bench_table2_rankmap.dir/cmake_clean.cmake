@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rankmap.dir/bench_table2_rankmap.cpp.o"
+  "CMakeFiles/bench_table2_rankmap.dir/bench_table2_rankmap.cpp.o.d"
+  "bench_table2_rankmap"
+  "bench_table2_rankmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rankmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

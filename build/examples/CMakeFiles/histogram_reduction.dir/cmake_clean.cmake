@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_reduction.dir/histogram_reduction.cpp.o"
+  "CMakeFiles/histogram_reduction.dir/histogram_reduction.cpp.o.d"
+  "histogram_reduction"
+  "histogram_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

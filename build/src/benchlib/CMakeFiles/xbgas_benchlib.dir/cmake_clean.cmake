@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_benchlib.dir/gups.cpp.o"
+  "CMakeFiles/xbgas_benchlib.dir/gups.cpp.o.d"
+  "CMakeFiles/xbgas_benchlib.dir/nasis.cpp.o"
+  "CMakeFiles/xbgas_benchlib.dir/nasis.cpp.o.d"
+  "CMakeFiles/xbgas_benchlib.dir/options.cpp.o"
+  "CMakeFiles/xbgas_benchlib.dir/options.cpp.o.d"
+  "CMakeFiles/xbgas_benchlib.dir/stats_report.cpp.o"
+  "CMakeFiles/xbgas_benchlib.dir/stats_report.cpp.o.d"
+  "CMakeFiles/xbgas_benchlib.dir/table.cpp.o"
+  "CMakeFiles/xbgas_benchlib.dir/table.cpp.o.d"
+  "libxbgas_benchlib.a"
+  "libxbgas_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_cache.dir/cache.cpp.o"
+  "CMakeFiles/xbgas_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/xbgas_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/xbgas_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/xbgas_cache.dir/tlb.cpp.o"
+  "CMakeFiles/xbgas_cache.dir/tlb.cpp.o.d"
+  "libxbgas_cache.a"
+  "libxbgas_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

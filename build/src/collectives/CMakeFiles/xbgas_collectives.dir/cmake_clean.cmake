@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_collectives.dir/api_c.cpp.o"
+  "CMakeFiles/xbgas_collectives.dir/api_c.cpp.o.d"
+  "CMakeFiles/xbgas_collectives.dir/detail.cpp.o"
+  "CMakeFiles/xbgas_collectives.dir/detail.cpp.o.d"
+  "CMakeFiles/xbgas_collectives.dir/schedule.cpp.o"
+  "CMakeFiles/xbgas_collectives.dir/schedule.cpp.o.d"
+  "CMakeFiles/xbgas_collectives.dir/team.cpp.o"
+  "CMakeFiles/xbgas_collectives.dir/team.cpp.o.d"
+  "libxbgas_collectives.a"
+  "libxbgas_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_common.dir/cli.cpp.o"
+  "CMakeFiles/xbgas_common.dir/cli.cpp.o.d"
+  "CMakeFiles/xbgas_common.dir/log.cpp.o"
+  "CMakeFiles/xbgas_common.dir/log.cpp.o.d"
+  "CMakeFiles/xbgas_common.dir/rng.cpp.o"
+  "CMakeFiles/xbgas_common.dir/rng.cpp.o.d"
+  "libxbgas_common.a"
+  "libxbgas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

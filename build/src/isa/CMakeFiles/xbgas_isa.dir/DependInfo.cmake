@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/xbgas_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/xbgas_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/builder.cpp" "src/isa/CMakeFiles/xbgas_isa.dir/builder.cpp.o" "gcc" "src/isa/CMakeFiles/xbgas_isa.dir/builder.cpp.o.d"
+  "/root/repo/src/isa/decoder.cpp" "src/isa/CMakeFiles/xbgas_isa.dir/decoder.cpp.o" "gcc" "src/isa/CMakeFiles/xbgas_isa.dir/decoder.cpp.o.d"
+  "/root/repo/src/isa/encoder.cpp" "src/isa/CMakeFiles/xbgas_isa.dir/encoder.cpp.o" "gcc" "src/isa/CMakeFiles/xbgas_isa.dir/encoder.cpp.o.d"
+  "/root/repo/src/isa/hart.cpp" "src/isa/CMakeFiles/xbgas_isa.dir/hart.cpp.o" "gcc" "src/isa/CMakeFiles/xbgas_isa.dir/hart.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/xbgas_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/xbgas_isa.dir/instruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xbgas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xbgas_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/olb/CMakeFiles/xbgas_olb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

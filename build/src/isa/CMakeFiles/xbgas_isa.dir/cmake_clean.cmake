@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_isa.dir/assembler.cpp.o"
+  "CMakeFiles/xbgas_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/xbgas_isa.dir/builder.cpp.o"
+  "CMakeFiles/xbgas_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/xbgas_isa.dir/decoder.cpp.o"
+  "CMakeFiles/xbgas_isa.dir/decoder.cpp.o.d"
+  "CMakeFiles/xbgas_isa.dir/encoder.cpp.o"
+  "CMakeFiles/xbgas_isa.dir/encoder.cpp.o.d"
+  "CMakeFiles/xbgas_isa.dir/hart.cpp.o"
+  "CMakeFiles/xbgas_isa.dir/hart.cpp.o.d"
+  "CMakeFiles/xbgas_isa.dir/instruction.cpp.o"
+  "CMakeFiles/xbgas_isa.dir/instruction.cpp.o.d"
+  "libxbgas_isa.a"
+  "libxbgas_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

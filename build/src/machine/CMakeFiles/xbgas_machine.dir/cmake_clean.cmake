@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_machine.dir/barrier.cpp.o"
+  "CMakeFiles/xbgas_machine.dir/barrier.cpp.o.d"
+  "CMakeFiles/xbgas_machine.dir/machine.cpp.o"
+  "CMakeFiles/xbgas_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/xbgas_machine.dir/port.cpp.o"
+  "CMakeFiles/xbgas_machine.dir/port.cpp.o.d"
+  "libxbgas_machine.a"
+  "libxbgas_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_memory.dir/arena.cpp.o"
+  "CMakeFiles/xbgas_memory.dir/arena.cpp.o.d"
+  "CMakeFiles/xbgas_memory.dir/freelist_allocator.cpp.o"
+  "CMakeFiles/xbgas_memory.dir/freelist_allocator.cpp.o.d"
+  "libxbgas_memory.a"
+  "libxbgas_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_net.dir/fabric.cpp.o"
+  "CMakeFiles/xbgas_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/xbgas_net.dir/topology.cpp.o"
+  "CMakeFiles/xbgas_net.dir/topology.cpp.o.d"
+  "libxbgas_net.a"
+  "libxbgas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

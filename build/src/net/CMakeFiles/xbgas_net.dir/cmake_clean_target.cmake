@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxbgas_net.a"
+)

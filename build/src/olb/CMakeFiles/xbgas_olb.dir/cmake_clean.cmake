@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_olb.dir/olb.cpp.o"
+  "CMakeFiles/xbgas_olb.dir/olb.cpp.o.d"
+  "libxbgas_olb.a"
+  "libxbgas_olb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_olb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbgas_xbrtime.dir/api_c.cpp.o"
+  "CMakeFiles/xbgas_xbrtime.dir/api_c.cpp.o.d"
+  "CMakeFiles/xbgas_xbrtime.dir/rma.cpp.o"
+  "CMakeFiles/xbgas_xbrtime.dir/rma.cpp.o.d"
+  "CMakeFiles/xbgas_xbrtime.dir/runtime.cpp.o"
+  "CMakeFiles/xbgas_xbrtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/xbgas_xbrtime.dir/validation.cpp.o"
+  "CMakeFiles/xbgas_xbrtime.dir/validation.cpp.o.d"
+  "libxbgas_xbrtime.a"
+  "libxbgas_xbrtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbgas_xbrtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xbgas_xbrtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("memory")
+subdirs("olb")
+subdirs("net")
+subdirs("cache")
+subdirs("isa")
+subdirs("machine")
+subdirs("xbrtime")
+subdirs("collectives")
+subdirs("benchlib")
+subdirs("integration")

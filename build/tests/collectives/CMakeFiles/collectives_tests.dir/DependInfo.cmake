@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/collectives/broadcast_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/broadcast_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/broadcast_test.cpp.o.d"
+  "/root/repo/tests/collectives/composed_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/composed_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/composed_test.cpp.o.d"
+  "/root/repo/tests/collectives/gather_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/gather_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/gather_test.cpp.o.d"
+  "/root/repo/tests/collectives/hierarchical_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/hierarchical_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/collectives/param_sweep_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/param_sweep_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/param_sweep_test.cpp.o.d"
+  "/root/repo/tests/collectives/reduce_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/reduce_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/reduce_test.cpp.o.d"
+  "/root/repo/tests/collectives/ring_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/ring_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/ring_test.cpp.o.d"
+  "/root/repo/tests/collectives/scatter_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/scatter_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/scatter_test.cpp.o.d"
+  "/root/repo/tests/collectives/schedule_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/schedule_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/schedule_test.cpp.o.d"
+  "/root/repo/tests/collectives/team_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/team_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/team_test.cpp.o.d"
+  "/root/repo/tests/collectives/vrank_test.cpp" "tests/collectives/CMakeFiles/collectives_tests.dir/vrank_test.cpp.o" "gcc" "tests/collectives/CMakeFiles/collectives_tests.dir/vrank_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/xbgas_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/xbgas_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbrtime/CMakeFiles/xbgas_xbrtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xbgas_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/xbgas_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xbgas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/xbgas_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/olb/CMakeFiles/xbgas_olb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xbgas_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xbgas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

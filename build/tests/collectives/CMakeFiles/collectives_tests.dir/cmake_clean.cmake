@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_tests.dir/broadcast_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/broadcast_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/composed_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/composed_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/gather_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/gather_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/hierarchical_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/hierarchical_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/param_sweep_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/param_sweep_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/reduce_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/reduce_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/ring_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/ring_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/scatter_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/scatter_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/schedule_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/schedule_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/team_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/team_test.cpp.o.d"
+  "CMakeFiles/collectives_tests.dir/vrank_test.cpp.o"
+  "CMakeFiles/collectives_tests.dir/vrank_test.cpp.o.d"
+  "collectives_tests"
+  "collectives_tests.pdb"
+  "collectives_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

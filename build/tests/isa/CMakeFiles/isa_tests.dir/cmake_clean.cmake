@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_tests.dir/assembler_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/assembler_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/builder_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/builder_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/codec_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/codec_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/hart_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/hart_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/regfile_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/regfile_test.cpp.o.d"
+  "isa_tests"
+  "isa_tests.pdb"
+  "isa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_tests.dir/barrier_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/barrier_test.cpp.o.d"
+  "CMakeFiles/machine_tests.dir/machine_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/machine_test.cpp.o.d"
+  "CMakeFiles/machine_tests.dir/port_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/port_test.cpp.o.d"
+  "machine_tests"
+  "machine_tests.pdb"
+  "machine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tests.dir/arena_test.cpp.o"
+  "CMakeFiles/memory_tests.dir/arena_test.cpp.o.d"
+  "CMakeFiles/memory_tests.dir/freelist_test.cpp.o"
+  "CMakeFiles/memory_tests.dir/freelist_test.cpp.o.d"
+  "memory_tests"
+  "memory_tests.pdb"
+  "memory_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

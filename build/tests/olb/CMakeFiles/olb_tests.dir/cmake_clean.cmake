@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olb_tests.dir/olb_test.cpp.o"
+  "CMakeFiles/olb_tests.dir/olb_test.cpp.o.d"
+  "olb_tests"
+  "olb_tests.pdb"
+  "olb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbrtime_tests.dir/rma_test.cpp.o"
+  "CMakeFiles/xbrtime_tests.dir/rma_test.cpp.o.d"
+  "CMakeFiles/xbrtime_tests.dir/runtime_test.cpp.o"
+  "CMakeFiles/xbrtime_tests.dir/runtime_test.cpp.o.d"
+  "CMakeFiles/xbrtime_tests.dir/types_test.cpp.o"
+  "CMakeFiles/xbrtime_tests.dir/types_test.cpp.o.d"
+  "CMakeFiles/xbrtime_tests.dir/validation_test.cpp.o"
+  "CMakeFiles/xbrtime_tests.dir/validation_test.cpp.o.d"
+  "xbrtime_tests"
+  "xbrtime_tests.pdb"
+  "xbrtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbrtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
