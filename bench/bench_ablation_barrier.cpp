@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "collectives/collectives.hpp"
@@ -49,6 +50,7 @@ Sample run_with(const xbgas::CliArgs& args, int n,
     xbgas::xbrtime_free(buf);
     xbgas::xbrtime_close();
   });
+  xbgas::emit_observability(machine, args);
   return sample;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "collectives/hierarchical.hpp"
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
       xbgas::xbrtime_free(buf);
       xbgas::xbrtime_close();
     });
+    xbgas::emit_observability(machine, args);
 
     table.add_row(
         {xbgas::AsciiTable::cell(static_cast<long long>(root)),

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "collectives/ring.hpp"
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
         xbgas::xbrtime_free(buf);
         xbgas::xbrtime_close();
       });
+      xbgas::emit_observability(machine, args);
       cycles[fabric][0] = tree_cycles;
       cycles[fabric][1] = ring_cycles;
     }

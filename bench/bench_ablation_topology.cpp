@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "collectives/collectives.hpp"
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
       config.topology_name = topo;
       xbgas::Machine machine(config);
       const std::uint64_t cycles = run_pair(machine, nelems, reps);
+      xbgas::emit_observability(machine, args);
       const xbgas::Topology& t = machine.network().topology();
       table.add_row(
           {xbgas::AsciiTable::cell(static_cast<long long>(n)), t.name(),

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "collectives/baseline.hpp"
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
           machine, nelems, reps, [](long* a, long* b, std::size_t k) {
             xbgas::linear_reduce<xbgas::OpSum>(b, a, k, 1, 0);
           });
+      xbgas::emit_observability(machine, args);
 
       table.add_row(
           {xbgas::AsciiTable::cell(static_cast<long long>(n)),

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "common/cli.hpp"
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
   std::printf("(runtime fast-path model applies the same idea: per-element "
               "issue cost drops past the unroll threshold of %zu elems)\n",
               xbgas::NetCostParams{}.unroll_threshold);
+  xbgas::emit_observability(machine, args);
   return 0;
 }

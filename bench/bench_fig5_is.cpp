@@ -12,6 +12,7 @@
 #include <string>
 
 #include "benchlib/nasis.hpp"
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/stats_report.hpp"
 #include "benchlib/table.hpp"
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
       std::printf("-- machine statistics, %d PE(s) --\n", n);
       xbgas::print_machine_stats(machine);
     }
+    xbgas::emit_observability(machine, args);
     table.add_row({xbgas::AsciiTable::cell(static_cast<long long>(r.n_pes)),
                    xbgas::AsciiTable::cell(r.mops_total),
                    xbgas::AsciiTable::cell(r.mops_per_pe),

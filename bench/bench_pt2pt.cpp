@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
 #include "common/cli.hpp"
@@ -87,5 +88,6 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("(gets cost a round trip; puts are one-way — the asymmetry the "
               "collectives' direction choices exploit)\n");
+  xbgas::emit_observability(machine, args);
   return 0;
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Local verification gauntlet:
+#   1. tier-1 verify (ROADMAP.md): configure + build + full test suite,
+#      with -Wall -Wextra -Werror enforced (XBGAS_WERROR defaults ON)
+#   2. the observability suite alone (ctest -R trace)
+#   3. the disabled-path overhead microbenchmark guard
+#   4. an end-to-end trace/counters smoke on bench_pt2pt
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== [1/4] tier-1 verify (configure + build + full ctest, -Werror on) =="
+cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== [2/4] observability suite (ctest -R trace) =="
+ctest --test-dir "$BUILD" -R trace --output-on-failure
+
+echo "== [3/4] disabled-path overhead guard =="
+"$BUILD"/tests/trace/trace_overhead_test
+
+echo "== [4/4] trace + counters smoke (bench_pt2pt) =="
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
+    > "$TMP/out.txt"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+trace = json.load(open(f"{tmp}/t.json"))
+tracks = {e["tid"] for e in trace["traceEvents"] if e["ph"] != "M"}
+assert tracks, "trace has no event tracks"
+out = open(f"{tmp}/out.txt").read()
+counters = json.loads(out[out.index("{"):])
+assert counters["olb.hits"] + counters["olb.misses"] == counters["net.messages"], \
+    "OLB hit+miss must equal remote RMA message count"
+print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
+      f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
+EOF
+
+echo "== all checks passed =="

@@ -1,0 +1,47 @@
+#include "benchlib/observe.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "trace/collect.hpp"
+#include "trace/export_chrome.hpp"
+#include "trace/export_csv.hpp"
+
+namespace xbgas {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void emit_observability(Machine& machine, const CliArgs& args) {
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    const Tracer& tracer = machine.tracer();
+    const bool ok = ends_with(trace_path, ".csv")
+                        ? write_csv_trace(tracer, trace_path)
+                        : write_chrome_trace(tracer, trace_path);
+    if (!ok) throw Error("cannot write trace file: " + trace_path);
+    std::printf("trace: %llu events (%llu dropped to ring wrap) -> %s\n",
+                static_cast<unsigned long long>(tracer.total_recorded()),
+                static_cast<unsigned long long>(tracer.total_dropped()),
+                trace_path.c_str());
+  }
+
+  const std::string mode = args.get("counters", "off");
+  if (mode == "off") return;
+  const CounterRegistry counters = collect_counters(machine);
+  if (mode == "table") {
+    counters.dump_table(stdout);
+  } else if (mode == "json") {
+    counters.dump_json(stdout);
+  } else {
+    throw Error("unknown --counters mode: " + mode + " (table|json|off)");
+  }
+}
+
+}  // namespace xbgas

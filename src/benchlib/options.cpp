@@ -20,6 +20,11 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
       args.get_int("fabric-mpc",
                    static_cast<std::int64_t>(config.net.fabric_message_cycles)));
 
+  config.trace.enabled = args.has("trace-out");
+  config.trace.ring_capacity = static_cast<std::size_t>(args.get_int(
+      "trace-capacity",
+      static_cast<std::int64_t>(config.trace.ring_capacity)));
+
   const std::string barrier = args.get("barrier", "dissemination");
   if (barrier == "dissemination") {
     config.net.barrier_algorithm = BarrierAlgorithm::kDissemination;

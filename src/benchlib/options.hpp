@@ -19,6 +19,10 @@ namespace xbgas {
 ///   --fabric-mpc N                         fabric cycles/message
 ///   --link-bpc X                           link bytes/cycle
 ///   --barrier dissemination|central|tournament
+///   --trace-out PATH                       enable tracing; write the trace
+///                                          to PATH at emit_observability
+///                                          (.csv => CSV, else Chrome JSON)
+///   --trace-capacity N                     events retained per PE
 MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes);
 
 /// PE counts from --pes a,b,c (default: the paper's 1,2,4,8).

@@ -27,12 +27,16 @@ void print_machine_stats(Machine& machine) {
   table.print();
   const NetTotals net = machine.network().totals();
   std::printf("network: %llu messages (%llu puts, %llu gets), %llu bytes "
-              "incl. headers, topology %s\n",
+              "incl. headers, %llu hops, topology %s\n",
               static_cast<unsigned long long>(net.messages),
               static_cast<unsigned long long>(net.puts),
               static_cast<unsigned long long>(net.gets),
               static_cast<unsigned long long>(net.bytes),
+              static_cast<unsigned long long>(net.hops),
               machine.network().topology().name().c_str());
+  std::printf("fabric:  %llu phases, %llu serialization-stall cycles\n",
+              static_cast<unsigned long long>(net.phases),
+              static_cast<unsigned long long>(net.stall_cycles));
 }
 
 }  // namespace xbgas

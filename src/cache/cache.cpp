@@ -39,6 +39,7 @@ bool SetAssocCache::access_line(std::uint64_t line_addr) {
     }
   }
   ++stats_.misses;
+  if (victim->valid) ++stats_.evictions;
   victim->valid = true;
   victim->tag = tag;
   victim->lru = ++use_counter_;

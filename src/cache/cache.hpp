@@ -24,6 +24,7 @@ struct CacheStats {
   std::uint64_t accesses = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< misses that displaced a valid line
 
   double hit_rate() const {
     return accesses == 0 ? 0.0

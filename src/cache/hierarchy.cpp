@@ -10,13 +10,18 @@ std::uint64_t CacheHierarchy::access(std::uint64_t addr, std::size_t bytes) {
   std::uint64_t cycles = 0;
 
   // One translation per page the access touches.
+  std::uint64_t walked_pages = 0;
   const std::uint64_t page = config_.tlb.page_bytes;
   for (std::uint64_t a = addr & ~(page - 1); a <= addr + bytes - 1; a += page) {
-    if (!tlb_.access(a)) cycles += config_.costs.tlb_miss_cycles;
+    if (!tlb_.access(a)) {
+      cycles += config_.costs.tlb_miss_cycles;
+      ++walked_pages;
+    }
   }
 
   // One probe per line the access touches; misses fall through L1 -> L2 ->
   // DRAM.
+  std::uint64_t worst_level = 1;  // 1 = L1, 2 = L2, 3 = DRAM
   const std::uint64_t line = config_.l1.line_bytes;
   const std::uint64_t first = addr / line;
   const std::uint64_t last = (addr + bytes - 1) / line;
@@ -25,8 +30,16 @@ std::uint64_t CacheHierarchy::access(std::uint64_t addr, std::size_t bytes) {
       cycles += config_.costs.l1_hit_cycles;
     } else if (l2_.access_line(l)) {
       cycles += config_.costs.l2_hit_cycles;
+      worst_level = worst_level < 2 ? 2 : worst_level;
     } else {
       cycles += config_.costs.dram_cycles;
+      worst_level = 3;
+    }
+  }
+  if (trace_) {
+    trace_->record(EventKind::kCacheAccess, -1, worst_level, bytes);
+    if (walked_pages > 0) {
+      trace_->record(EventKind::kTlbMiss, -1, walked_pages);
     }
   }
   return cycles;

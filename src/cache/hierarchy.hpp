@@ -8,6 +8,7 @@
 
 #include "cache/cache.hpp"
 #include "cache/tlb.hpp"
+#include "trace/channel.hpp"
 
 namespace xbgas {
 
@@ -42,11 +43,17 @@ class CacheHierarchy {
 
   void reset_stats();
 
+  /// Attach the owning PE's trace channel; each access records one
+  /// kCacheAccess event (worst serviced level) plus a kTlbMiss event when
+  /// any page walk was needed. Null (the default) disables.
+  void set_trace(TraceChannel* trace) { trace_ = trace; }
+
  private:
   HierarchyConfig config_;
   SetAssocCache l1_;
   SetAssocCache l2_;
   Tlb tlb_;
+  TraceChannel* trace_ = nullptr;
 };
 
 }  // namespace xbgas

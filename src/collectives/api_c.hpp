@@ -10,7 +10,7 @@
 //   xbrtime_TYPENAME_gather(dest, src, pe_msgs, pe_disp, nelems, root)
 //
 // The paper's prototypes print `int *pe_msgs[]`; the algorithms treat them
-// as flat int[n_pes] arrays, so these take `const int*` (DESIGN.md §6).
+// as flat int[n_pes] arrays, so these take `const int*` (DESIGN.md §7).
 
 #include <cstddef>
 

@@ -80,11 +80,14 @@ void broadcast(T* dest, const T* src, std::size_t nelems, int stride, int root,
     xbr_put(dest, src, nelems, stride, comm.world_rank(comm.rank()));
   }
 
+  PeContext& ctx = xbrtime_ctx();
   const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
   unsigned mask = (1u << levels) - 1u;
   const auto uvr = static_cast<unsigned>(vr);
+  std::uint64_t stage = 0;
   for (int i = static_cast<int>(levels) - 1; i >= 0; --i) {
     mask ^= (1u << i);
+    ctx.trace().record(EventKind::kStageBegin, -1, stage, mask);
     if ((uvr & mask) == 0 && (uvr & (1u << i)) == 0) {
       const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
       const int lpart = logical_rank(vpart, root, n);
@@ -96,6 +99,8 @@ void broadcast(T* dest, const T* src, std::size_t nelems, int stride, int root,
       }
     }
     comm.barrier();  // per-stage synchronization (paper §4.3)
+    ctx.trace().record(EventKind::kStageEnd, -1, stage, mask);
+    ++stage;
   }
 }
 
@@ -127,6 +132,7 @@ void reduce(T* dest, const T* src, std::size_t nelems, int stride, int root,
   const auto uvr = static_cast<unsigned>(vr);
   for (unsigned i = 0; i < levels; ++i) {
     mask ^= (1u << i);
+    ctx.trace().record(EventKind::kStageBegin, -1, i, mask);
     if ((uvr | mask) == mask && (uvr & (1u << i)) == 0) {
       const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
       const int lpart = logical_rank(vpart, root, n);
@@ -140,6 +146,7 @@ void reduce(T* dest, const T* src, std::size_t nelems, int stride, int root,
       }
     }
     comm.barrier();
+    ctx.trace().record(EventKind::kStageEnd, -1, i, mask);
   }
 
   if (vr == 0) {
@@ -205,11 +212,14 @@ void scatter(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
   }
   comm.barrier();
 
+  PeContext& ctx = xbrtime_ctx();
   const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
   unsigned mask = (1u << levels) - 1u;
   const auto uvr = static_cast<unsigned>(vr);
+  std::uint64_t stage = 0;
   for (int i = static_cast<int>(levels) - 1; i >= 0; --i) {
     mask ^= (1u << i);
+    ctx.trace().record(EventKind::kStageBegin, -1, stage, mask);
     if ((uvr & mask) == 0 && (uvr & (1u << i)) == 0) {
       const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
       const int lpart = logical_rank(vpart, root, n);
@@ -229,6 +239,8 @@ void scatter(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
       }
     }
     comm.barrier();
+    ctx.trace().record(EventKind::kStageEnd, -1, stage, mask);
+    ++stage;
   }
 
   // Relocate this PE's assigned values from the staging buffer to dest.
@@ -267,11 +279,13 @@ void gather(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
   }
   comm.barrier();
 
+  PeContext& ctx = xbrtime_ctx();
   const auto levels = ceil_log2(static_cast<std::uint64_t>(n));
   unsigned mask = (1u << levels) - 1u;
   const auto uvr = static_cast<unsigned>(vr);
   for (unsigned i = 0; i < levels; ++i) {
     mask ^= (1u << i);
+    ctx.trace().record(EventKind::kStageBegin, -1, i, mask);
     if ((uvr | mask) == mask && (uvr & (1u << i)) == 0) {
       const int vpart = static_cast<int>(uvr ^ (1u << i)) % n;
       const int lpart = logical_rank(vpart, root, n);
@@ -291,6 +305,7 @@ void gather(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
       }
     }
     comm.barrier();
+    ctx.trace().record(EventKind::kStageEnd, -1, i, mask);
   }
 
   if (vr == 0) {

@@ -6,7 +6,7 @@
 // (R/I/S/B/U/J). The xBGAS extension instructions are encoded in the
 // RISC-V *custom* opcode space — the published xbgas-archspec repository is
 // unavailable offline, so the exact opcode values are a documented
-// substitution (DESIGN.md §6); the three instruction *classes* and their
+// substitution (DESIGN.md §7); the three instruction *classes* and their
 // operand semantics follow paper §3.2 exactly:
 //
 //   custom-0 (0x0B)  base e-loads   (I-type; e-register implied by rs1)

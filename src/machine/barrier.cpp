@@ -2,9 +2,27 @@
 
 #include <algorithm>
 
+#include "common/bits.hpp"
 #include "common/error.hpp"
+#include "machine/machine.hpp"
 
 namespace xbgas {
+
+namespace {
+
+/// Barrier enter/exit events for the calling PE, if it is an SPMD thread
+/// with tracing bound. a = modeled algorithm, b = modeled exchange rounds.
+void trace_barrier(EventKind kind, std::uint64_t at_cycles, int n) {
+  PeContext* pe = current_pe_context();
+  if (pe == nullptr || !pe->trace().enabled()) return;
+  const auto algorithm = static_cast<std::uint64_t>(
+      pe->machine().config().net.barrier_algorithm);
+  const std::uint64_t rounds =
+      n > 1 ? ceil_log2(static_cast<std::uint64_t>(n)) : 0;
+  pe->trace().record_at(at_cycles, kind, -1, algorithm, rounds);
+}
+
+}  // namespace
 
 ClockSyncBarrier::ClockSyncBarrier(int n_participants, Reconcile reconcile)
     : n_(n_participants), reconcile_(std::move(reconcile)) {
@@ -12,6 +30,7 @@ ClockSyncBarrier::ClockSyncBarrier(int n_participants, Reconcile reconcile)
 }
 
 std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
+  trace_barrier(EventKind::kBarrierEnter, my_cycles, n_);
   std::unique_lock<std::mutex> lock(mutex_);
   if (poisoned_) throw Error("barrier poisoned: a PE terminated abnormally");
 
@@ -23,13 +42,19 @@ std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
     max_cycles_ = 0;
     ++generation_;
     cv_.notify_all();
-    return result_;
+    const std::uint64_t r = result_;
+    lock.unlock();
+    trace_barrier(EventKind::kBarrierExit, r, n_);
+    return r;
   }
 
   const std::uint64_t my_generation = generation_;
   cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
   if (poisoned_) throw Error("barrier poisoned: a PE terminated abnormally");
-  return result_;
+  const std::uint64_t r = result_;
+  lock.unlock();
+  trace_barrier(EventKind::kBarrierExit, r, n_);
+  return r;
 }
 
 void ClockSyncBarrier::poison() {

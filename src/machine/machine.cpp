@@ -31,6 +31,12 @@ PeContext::PeContext(Machine& machine, int rank, const MachineConfig& config)
 
 int PeContext::n_pes() const { return machine_.n_pes(); }
 
+void PeContext::bind_trace(EventRing* ring) {
+  trace_.bind(ring, &clock_);
+  olb_.set_trace(&trace_);
+  cache_.set_trace(&trace_);
+}
+
 std::byte* PeContext::resolve_symmetric(int pe, void* local) {
   return const_cast<std::byte*>(
       static_cast<const PeContext*>(this)->resolve_symmetric(pe, local));
@@ -45,11 +51,13 @@ const std::byte* PeContext::resolve_symmetric(int pe, const void* local) const {
 
 Machine::Machine(const MachineConfig& config)
     : config_(config),
-      network_(make_topology(config.topology_name, config.n_pes), config.net) {
+      network_(make_topology(config.topology_name, config.n_pes), config.net),
+      tracer_(config.n_pes, config.trace) {
   XBGAS_CHECK(config.n_pes >= 1, "machine needs >= 1 PE");
   pes_.reserve(static_cast<std::size_t>(config.n_pes));
   for (int r = 0; r < config.n_pes; ++r) {
     pes_.push_back(std::make_unique<PeContext>(*this, r, config_));
+    pes_.back()->bind_trace(tracer_.ring(r));
   }
   // Populate every PE's OLB with every peer's shared segment (object ID =
   // rank + 1; ID 0 stays the architectural local shortcut).
@@ -128,6 +136,7 @@ void Machine::reset_time_and_stats() {
   }
   network_.reset_totals();
   network_.reset_phase();
+  tracer_.clear();
 }
 
 std::uint64_t& Machine::validation_slot(int rank) {
@@ -138,6 +147,11 @@ std::uint64_t& Machine::validation_slot(int rank) {
 void Machine::register_barrier(ClockSyncBarrier* barrier) {
   const std::lock_guard<std::mutex> lock(barriers_mutex_);
   barriers_.push_back(barrier);
+  // A barrier created after a PE already died can never be completed by the
+  // dead PE: poison it at birth or a surviving registrant waits forever
+  // (e.g. a team member re-creating the shared rendezvous barrier after the
+  // first copy was destroyed on the failure path).
+  if (pe_failed_) barrier->poison();
 }
 
 void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
@@ -147,6 +161,7 @@ void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
 
 void Machine::poison_all_barriers() {
   const std::lock_guard<std::mutex> lock(barriers_mutex_);
+  pe_failed_ = true;
   for (auto* b : barriers_) b->poison();
 }
 

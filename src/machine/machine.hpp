@@ -22,6 +22,8 @@
 #include "net/fabric.hpp"
 #include "net/sim_clock.hpp"
 #include "olb/olb.hpp"
+#include "trace/channel.hpp"
+#include "trace/tracer.hpp"
 
 namespace xbgas {
 
@@ -33,6 +35,7 @@ struct MachineConfig {
   std::string topology_name = "flat";
   NetCostParams net{};
   HierarchyConfig cache{};
+  TraceConfig trace{};
 };
 
 /// Per-PE state handed to the SPMD body. Owned by the Machine; never
@@ -51,11 +54,19 @@ class PeContext {
   MemoryArena& arena() { return arena_; }
   const MemoryArena& arena() const { return arena_; }
   ObjectLookasideBuffer& olb() { return olb_; }
+  const ObjectLookasideBuffer& olb() const { return olb_; }
   CacheHierarchy& cache() { return cache_; }
+  const CacheHierarchy& cache() const { return cache_; }
   SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
   FreeListAllocator& shared_allocator() { return shared_alloc_; }
   FreeListAllocator& private_allocator() { return private_alloc_; }
   MachinePort& port() { return port_; }
+  TraceChannel& trace() { return trace_; }
+
+  /// Attach this PE to a trace ring (null disables) and propagate the
+  /// channel to the OLB and cache models. Called by the Machine constructor.
+  void bind_trace(EventRing* ring);
 
   /// Resolve a *symmetric* local pointer to the equivalent location in a
   /// peer PE's shared segment. Throws if `local` is not in this PE's shared
@@ -84,6 +95,7 @@ class PeContext {
   FreeListAllocator shared_alloc_;
   FreeListAllocator private_alloc_;
   MachinePort port_;
+  TraceChannel trace_;
 };
 
 class Machine {
@@ -99,6 +111,9 @@ class Machine {
 
   NetworkModel& network() { return network_; }
   const NetworkModel& network() const { return network_; }
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
 
   ClockSyncBarrier& world_barrier() { return *world_barrier_; }
 
@@ -135,12 +150,14 @@ class Machine {
 
   MachineConfig config_;
   NetworkModel network_;
+  Tracer tracer_;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<ClockSyncBarrier> world_barrier_;
   std::vector<std::uint64_t> validation_slots_;
 
   std::mutex barriers_mutex_;
   std::vector<ClockSyncBarrier*> barriers_;
+  bool pe_failed_ = false;  ///< a PE died; poison late-registered barriers too
 };
 
 /// The PE context bound to the calling thread inside Machine::run, or

@@ -54,7 +54,7 @@ std::byte* MachinePort::translate(std::uint64_t object_id, std::uint64_t addr,
 
   *cycles = is_store ? net_.put_cost(rank_, entry->pe, width)
                      : net_.get_cost(rank_, entry->pe, width);
-  net_.record(is_store, width);
+  net_.record(is_store, width, rank_, entry->pe);
   return entry->segment_base + shared_off;
 }
 

@@ -65,7 +65,8 @@ std::uint64_t NetworkModel::get_cost(int src_pe, int dst_pe,
          params_.remote_mem_cycles;
 }
 
-void NetworkModel::record(bool is_put, std::size_t bytes) {
+void NetworkModel::record(bool is_put, std::size_t bytes, int src_pe,
+                          int dst_pe) {
   // Fabric occupancy counts payload plus per-message protocol overhead.
   phase_bytes_.fetch_add(bytes + params_.message_header_bytes,
                          std::memory_order_relaxed);
@@ -74,6 +75,11 @@ void NetworkModel::record(bool is_put, std::size_t bytes) {
   total_bytes_.fetch_add(bytes + params_.message_header_bytes,
                          std::memory_order_relaxed);
   (is_put ? total_puts_ : total_gets_).fetch_add(1, std::memory_order_relaxed);
+  if (src_pe != dst_pe) {
+    total_hops_.fetch_add(
+        static_cast<std::uint64_t>(topology_->hops(src_pe, dst_pe)),
+        std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t NetworkModel::reconcile_phase(
@@ -85,6 +91,14 @@ std::uint64_t NetworkModel::reconcile_phase(
       phase_anchor_ +
       serialization_cycles(drained, params_.fabric_bytes_per_cycle) +
       drained_msgs * params_.fabric_message_cycles;
+  if (fabric_done > max_participant_cycles) {
+    // The phase could not end when the slowest PE arrived: the shared fabric
+    // was still draining. This is the §5 saturation signal the counters
+    // surface as net.stall_cycles.
+    total_stall_cycles_.fetch_add(fabric_done - max_participant_cycles,
+                                  std::memory_order_relaxed);
+  }
+  total_phases_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t t =
       std::max(max_participant_cycles, fabric_done) +
       params_.barrier_cycles(n_participants);
@@ -98,6 +112,9 @@ NetTotals NetworkModel::totals() const {
       .bytes = total_bytes_.load(std::memory_order_relaxed),
       .puts = total_puts_.load(std::memory_order_relaxed),
       .gets = total_gets_.load(std::memory_order_relaxed),
+      .hops = total_hops_.load(std::memory_order_relaxed),
+      .phases = total_phases_.load(std::memory_order_relaxed),
+      .stall_cycles = total_stall_cycles_.load(std::memory_order_relaxed),
   };
 }
 
@@ -112,6 +129,9 @@ void NetworkModel::reset_totals() {
   total_bytes_.store(0, std::memory_order_relaxed);
   total_puts_.store(0, std::memory_order_relaxed);
   total_gets_.store(0, std::memory_order_relaxed);
+  total_hops_.store(0, std::memory_order_relaxed);
+  total_phases_.store(0, std::memory_order_relaxed);
+  total_stall_cycles_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace xbgas

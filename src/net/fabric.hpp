@@ -68,6 +68,10 @@ struct NetTotals {
   std::uint64_t bytes = 0;
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
+  std::uint64_t hops = 0;          ///< sum of topology hop counts per message
+  std::uint64_t phases = 0;        ///< barriers reconciled (phase count)
+  std::uint64_t stall_cycles = 0;  ///< cycles phases ended late because the
+                                   ///< shared fabric was still serializing
 };
 
 class NetworkModel {
@@ -85,7 +89,9 @@ class NetworkModel {
 
   /// Record one remote transaction for phase + lifetime accounting.
   /// Thread-safe; commutative, so deterministic under any interleaving.
-  void record(bool is_put, std::size_t bytes);
+  /// Passing the endpoints also accumulates the message's topology hop
+  /// count into the lifetime totals (src == dst records zero hops).
+  void record(bool is_put, std::size_t bytes, int src_pe = 0, int dst_pe = 0);
 
   /// Phase reconciliation — called by exactly one PE while all participants
   /// are parked inside the barrier rendezvous. `max_participant_cycles` is
@@ -120,6 +126,9 @@ class NetworkModel {
   std::atomic<std::uint64_t> total_bytes_{0};
   std::atomic<std::uint64_t> total_puts_{0};
   std::atomic<std::uint64_t> total_gets_{0};
+  std::atomic<std::uint64_t> total_hops_{0};
+  std::atomic<std::uint64_t> total_phases_{0};
+  std::atomic<std::uint64_t> total_stall_cycles_{0};
 };
 
 }  // namespace xbgas

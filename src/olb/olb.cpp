@@ -17,14 +17,17 @@ const OlbEntry* ObjectLookasideBuffer::lookup(std::uint64_t object_id) {
   ++stats_.lookups;
   if (object_id == kLocalObjectId) {
     ++stats_.local_shortcuts;
+    if (trace_) trace_->record(EventKind::kOlbLocal, -1, object_id);
     return nullptr;
   }
   if (object_id < table_.size() &&
       table_[object_id].segment_base != nullptr) {
     ++stats_.hits;
+    if (trace_) trace_->record(EventKind::kOlbHit, -1, object_id);
     return &table_[object_id];
   }
   ++stats_.misses;
+  if (trace_) trace_->record(EventKind::kOlbMiss, -1, object_id);
   return nullptr;
 }
 

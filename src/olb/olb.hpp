@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/channel.hpp"
+
 namespace xbgas {
 
 inline constexpr std::uint64_t kLocalObjectId = 0;
@@ -65,12 +67,17 @@ class ObjectLookasideBuffer {
   const OlbStats& stats() const { return stats_; }
   void reset_stats() { stats_ = OlbStats{}; }
 
+  /// Attach the owning PE's trace channel; lookup outcomes are recorded as
+  /// kOlbHit/kOlbMiss/kOlbLocal events. Null (the default) disables.
+  void set_trace(TraceChannel* trace) { trace_ = trace; }
+
  private:
   // Dense table indexed by object ID: the paper's OLB holds *every* object
   // ID, so capacity-miss modeling is unnecessary; misses only occur for IDs
   // that were never mapped (a program error surfaced to the caller).
   std::vector<OlbEntry> table_;
   OlbStats stats_;
+  TraceChannel* trace_ = nullptr;
 };
 
 }  // namespace xbgas

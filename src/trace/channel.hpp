@@ -1,0 +1,64 @@
+#pragma once
+
+// TraceChannel — the per-PE recording handle the instrumented layers hold.
+//
+// Disabled-path cost contract (DESIGN.md §Observability): when tracing is
+// off the channel is unbound (ring_ == nullptr) and every record call is a
+// single predictable branch — no allocation, no lock, no atomic RMW, no
+// syscall. Low-level subsystems (OLB, cache hierarchy) hold a TraceChannel*
+// that is null by default, adding one more null check on their paths.
+
+#include <cstdint>
+
+#include "net/sim_clock.hpp"
+#include "trace/ring.hpp"
+
+namespace xbgas {
+
+class TraceChannel {
+ public:
+  TraceChannel() = default;
+
+  TraceChannel(const TraceChannel&) = delete;
+  TraceChannel& operator=(const TraceChannel&) = delete;
+
+  /// Attach the channel to a ring and the owning PE's clock. Passing a null
+  /// ring leaves the channel disabled.
+  void bind(EventRing* ring, const SimClock* clock) {
+    ring_ = ring;
+    clock_ = clock;
+  }
+
+  bool enabled() const { return ring_ != nullptr; }
+
+  /// Record one event stamped with the PE's current simulated clock.
+  void record(EventKind kind, std::int32_t target_pe = -1, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    if (ring_ == nullptr) return;
+    ring_->push(TraceEvent{.cycles = clock_->cycles(),
+                           .a = a,
+                           .b = b,
+                           .kind = kind,
+                           .target_pe = target_pe});
+  }
+
+  /// Record one event with an explicit timestamp — for completion events
+  /// whose modeled finish time is known before the clock is advanced to it
+  /// (non-blocking RMA, barrier exit).
+  void record_at(std::uint64_t cycles, EventKind kind,
+                 std::int32_t target_pe = -1, std::uint64_t a = 0,
+                 std::uint64_t b = 0) {
+    if (ring_ == nullptr) return;
+    ring_->push(TraceEvent{.cycles = cycles,
+                           .a = a,
+                           .b = b,
+                           .kind = kind,
+                           .target_pe = target_pe});
+  }
+
+ private:
+  EventRing* ring_ = nullptr;
+  const SimClock* clock_ = nullptr;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,69 @@
+#pragma once
+
+// collect_counters — populate a CounterRegistry from a quiescent Machine.
+//
+// Header-only on purpose: the trace library sits *below* machine in the link
+// order (OLB and cache link against it), so the one function that reads the
+// whole Machine lives here and compiles into whichever higher layer calls it
+// (benchlib, tests, user code). Call after Machine::run has returned; the
+// per-PE structures are single-owner and must be quiescent.
+//
+// Counter semantics are documented in docs/OBSERVABILITY.md; the invariant
+// tests/trace/counters_test.cpp locks down is that every value equals the
+// sum (or max, for cycles) of the raw per-PE stat fields it aggregates.
+
+#include "machine/machine.hpp"
+#include "trace/counters.hpp"
+
+namespace xbgas {
+
+inline CounterRegistry collect_counters(const Machine& machine) {
+  CounterRegistry reg;
+  reg.set("machine.pes", static_cast<std::uint64_t>(machine.n_pes()));
+  reg.set("cycles.max", machine.max_cycles());
+
+  for (int r = 0; r < machine.n_pes(); ++r) {
+    const PeContext& pe = machine.pe(r);
+
+    const OlbStats& olb = pe.olb().stats();
+    reg.add("olb.lookups", olb.lookups);
+    reg.add("olb.hits", olb.hits);
+    reg.add("olb.misses", olb.misses);
+    reg.add("olb.local_shortcuts", olb.local_shortcuts);
+
+    const CacheStats& l1 = pe.cache().l1().stats();
+    reg.add("cache.l1.accesses", l1.accesses);
+    reg.add("cache.l1.hits", l1.hits);
+    reg.add("cache.l1.misses", l1.misses);
+    reg.add("cache.l1.evictions", l1.evictions);
+
+    const CacheStats& l2 = pe.cache().l2().stats();
+    reg.add("cache.l2.accesses", l2.accesses);
+    reg.add("cache.l2.hits", l2.hits);
+    reg.add("cache.l2.misses", l2.misses);
+    reg.add("cache.l2.evictions", l2.evictions);
+
+    const TlbStats& tlb = pe.cache().tlb().stats();
+    reg.add("cache.tlb.accesses", tlb.accesses);
+    reg.add("cache.tlb.hits", tlb.hits);
+    reg.add("cache.tlb.misses", tlb.misses);
+  }
+
+  const NetTotals net = machine.network().totals();
+  reg.set("net.messages", net.messages);
+  reg.set("net.bytes", net.bytes);
+  reg.set("net.puts", net.puts);
+  reg.set("net.gets", net.gets);
+  reg.set("net.hops", net.hops);
+  reg.set("net.phases", net.phases);
+  reg.set("net.stall_cycles", net.stall_cycles);
+  reg.set("net.phase_bytes_open", machine.network().phase_bytes());
+
+  const Tracer& tracer = machine.tracer();
+  reg.set("trace.enabled", tracer.enabled() ? 1 : 0);
+  reg.set("trace.recorded", tracer.total_recorded());
+  reg.set("trace.dropped", tracer.total_dropped());
+  return reg;
+}
+
+}  // namespace xbgas

@@ -1,0 +1,61 @@
+#pragma once
+
+// CounterRegistry — the machine-wide counter surface.
+//
+// One queryable, ordered name -> value store that aggregates the statistics
+// already kept by the substrates (OLB hit/miss, per-level cache and TLB
+// stats, network traffic/phase/stall totals) plus the tracer's own
+// bookkeeping. Populated by collect_counters() (trace/collect.hpp) at
+// teardown; dumped as an ASCII table or flat JSON object via --counters.
+//
+// Names are dotted paths ("olb.hits", "cache.l1.misses", "net.stall_cycles")
+// so the flat JSON stays grep- and jq-friendly.
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xbgas {
+
+class CounterRegistry {
+ public:
+  /// Set (or overwrite) one counter. Insertion order is preserved for dumps.
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Add to a counter, creating it at zero if absent.
+  void add(const std::string& name, std::uint64_t delta);
+
+  /// Query one counter by exact name.
+  std::optional<std::uint64_t> get(const std::string& name) const;
+
+  /// All counter names, in insertion order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Two-column ASCII table.
+  void dump_table(std::FILE* out) const;
+
+  /// Flat JSON object, one key per counter.
+  void dump_json(std::FILE* out) const;
+  std::string json() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  Entry* find(const std::string& name);
+  const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+namespace trace {
+/// The ISSUE/docs-facing alias: the observability layer's counter registry.
+using Counters = CounterRegistry;
+}  // namespace trace
+
+}  // namespace xbgas

@@ -1,0 +1,113 @@
+#pragma once
+
+// Typed trace events — the vocabulary of the observability layer.
+//
+// Every event is a fixed-size POD stamped with the issuing PE's simulated
+// clock, so a trace is a deterministic record of *modeled* time, not host
+// time. Begin/end kinds come in pairs (issue/complete, enter/exit,
+// begin/end); the exporters match them into duration spans, everything else
+// renders as an instant. The payload fields `a`/`b` are kind-specific (see
+// the table in docs/OBSERVABILITY.md).
+
+#include <cstdint>
+
+namespace xbgas {
+
+enum class EventKind : std::uint8_t {
+  // Remote memory access (paper §3.3). a = payload bytes, target_pe set.
+  kRmaPutIssue,
+  kRmaPutComplete,
+  kRmaGetIssue,
+  kRmaGetComplete,
+  // Remote atomic (instant). a = operand bytes, target_pe set.
+  kAmo,
+  // Barrier rendezvous (paper §4.2). a = BarrierAlgorithm as int,
+  // b = modeled exchange rounds.
+  kBarrierEnter,
+  kBarrierExit,
+  // Binomial-tree collective stage (paper §4.3-§4.6, Algorithms 1-4).
+  // a = 0-based stage index, b = current tree mask.
+  kStageBegin,
+  kStageEnd,
+  // OLB translation outcome (paper §3.2). a = object ID.
+  kOlbHit,
+  kOlbMiss,
+  kOlbLocal,
+  // Local memory access through the cache model (paper §5.1 geometry).
+  // a = level that serviced the slowest line (1 = L1, 2 = L2, 3 = DRAM),
+  // b = access bytes.
+  kCacheAccess,
+  // TLB page-walk penalty. a = number of pages walked in this access.
+  kTlbMiss,
+  // Collective staging allocator (LIFO scratch, runtime §3.3). a = bytes.
+  kStagingAlloc,
+  kStagingFree,
+};
+
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kStagingFree) + 1;
+
+/// Stable short name for exporters and dumps.
+constexpr const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRmaPutIssue: return "rma_put_issue";
+    case EventKind::kRmaPutComplete: return "rma_put_complete";
+    case EventKind::kRmaGetIssue: return "rma_get_issue";
+    case EventKind::kRmaGetComplete: return "rma_get_complete";
+    case EventKind::kAmo: return "amo";
+    case EventKind::kBarrierEnter: return "barrier_enter";
+    case EventKind::kBarrierExit: return "barrier_exit";
+    case EventKind::kStageBegin: return "stage_begin";
+    case EventKind::kStageEnd: return "stage_end";
+    case EventKind::kOlbHit: return "olb_hit";
+    case EventKind::kOlbMiss: return "olb_miss";
+    case EventKind::kOlbLocal: return "olb_local";
+    case EventKind::kCacheAccess: return "cache_access";
+    case EventKind::kTlbMiss: return "tlb_miss";
+    case EventKind::kStagingAlloc: return "staging_alloc";
+    case EventKind::kStagingFree: return "staging_free";
+  }
+  return "unknown";
+}
+
+/// True for kinds that open a span closed by `end_kind_for`.
+constexpr bool is_begin_kind(EventKind k) {
+  return k == EventKind::kRmaPutIssue || k == EventKind::kRmaGetIssue ||
+         k == EventKind::kBarrierEnter || k == EventKind::kStageBegin;
+}
+
+/// The closing kind for a begin kind (undefined for non-begin kinds).
+constexpr EventKind end_kind_for(EventKind k) {
+  switch (k) {
+    case EventKind::kRmaPutIssue: return EventKind::kRmaPutComplete;
+    case EventKind::kRmaGetIssue: return EventKind::kRmaGetComplete;
+    case EventKind::kBarrierEnter: return EventKind::kBarrierExit;
+    case EventKind::kStageBegin: return EventKind::kStageEnd;
+    default: return k;
+  }
+}
+
+constexpr bool is_end_kind(EventKind k) {
+  return k == EventKind::kRmaPutComplete || k == EventKind::kRmaGetComplete ||
+         k == EventKind::kBarrierExit || k == EventKind::kStageEnd;
+}
+
+/// Span display name for a begin/end pair (exporter track labels).
+constexpr const char* span_name(EventKind begin) {
+  switch (begin) {
+    case EventKind::kRmaPutIssue: return "rma_put";
+    case EventKind::kRmaGetIssue: return "rma_get";
+    case EventKind::kBarrierEnter: return "barrier";
+    case EventKind::kStageBegin: return "stage";
+    default: return event_kind_name(begin);
+  }
+}
+
+struct TraceEvent {
+  std::uint64_t cycles = 0;    ///< SimClock timestamp at record time
+  std::uint64_t a = 0;         ///< kind-specific payload (see EventKind)
+  std::uint64_t b = 0;         ///< kind-specific payload (see EventKind)
+  EventKind kind = EventKind::kRmaPutIssue;
+  std::int32_t target_pe = -1; ///< peer PE for RMA/AMO kinds, else -1
+};
+
+}  // namespace xbgas

@@ -1,0 +1,25 @@
+#pragma once
+
+// Chrome trace_event exporter.
+//
+// Produces the JSON Array-of-events object format understood by
+// chrome://tracing and Perfetto: one process ("xbgas machine"), one named
+// thread track per PE (tid == PE rank), with begin/end event pairs matched
+// into complete ("X") spans and everything else emitted as instants ("i").
+// Timestamps are simulated cycles written into the `ts` microsecond field
+// verbatim, so 1 displayed microsecond == 1 modeled cycle.
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace xbgas {
+
+/// Render the whole trace as a Chrome trace_event JSON document.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Write chrome_trace_json() to `path`. Returns false (and writes nothing
+/// else) if the file cannot be opened.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace xbgas

@@ -1,0 +1,34 @@
+#include "trace/export_csv.hpp"
+
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+
+namespace xbgas {
+
+std::string csv_trace(const Tracer& tracer) {
+  std::string out = "pe,cycles,event,target_pe,a,b\n";
+  for (int pe = 0; pe < tracer.n_pes(); ++pe) {
+    const EventRing* ring = tracer.ring(pe);
+    if (ring == nullptr) continue;
+    for (const TraceEvent& e : ring->snapshot()) {
+      out += strfmt("%d,%llu,%s,%d,%llu,%llu\n", pe,
+                    static_cast<unsigned long long>(e.cycles),
+                    event_kind_name(e.kind), e.target_pe,
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+    }
+  }
+  return out;
+}
+
+bool write_csv_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = csv_trace(tracer);
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return n == doc.size();
+}
+
+}  // namespace xbgas

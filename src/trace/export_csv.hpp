@@ -1,0 +1,20 @@
+#pragma once
+
+// Flat CSV exporter — one row per event, for spreadsheet/pandas analysis
+// when the Chrome viewer is more than the job needs.
+//
+//   pe,cycles,event,target_pe,a,b
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace xbgas {
+
+/// Render the whole trace as CSV (header row included).
+std::string csv_trace(const Tracer& tracer);
+
+/// Write csv_trace() to `path`. Returns false if the file cannot be opened.
+bool write_csv_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace xbgas

@@ -1,0 +1,82 @@
+#pragma once
+
+// EventRing — one PE's lock-free trace buffer.
+//
+// Single-writer (the owning PE thread), bounded, wrapping: when full, the
+// oldest events are overwritten and counted as dropped rather than blocking
+// or allocating on the hot path. Readers (exporters, tests) normally run
+// after Machine::run has joined the PE threads, when the ring is quiescent;
+// a concurrent snapshot is safe in the sense that it never crashes and the
+// recorded/dropped counters are exact, but in-flight slots may hold either
+// the old or the new event.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace xbgas {
+
+class EventRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2) so the slot
+  /// index is a mask, not a division.
+  explicit EventRing(std::size_t capacity)
+      : buf_(next_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(buf_.size() - 1) {}
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Append one event. Owner-thread only; never allocates, never blocks.
+  void push(const TraceEvent& e) {
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    buf_[static_cast<std::size_t>(n) & mask_] = e;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Total events ever pushed (including overwritten ones).
+  std::uint64_t recorded() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Events currently held.
+  std::uint64_t stored() const {
+    const std::uint64_t n = recorded();
+    return n < buf_.size() ? n : buf_.size();
+  }
+
+  /// Events lost to wraparound.
+  std::uint64_t dropped() const { return recorded() - stored(); }
+
+  /// Copy the held events oldest-first.
+  std::vector<TraceEvent> snapshot() const {
+    const std::uint64_t n = recorded();
+    const std::uint64_t held = n < buf_.size() ? n : buf_.size();
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(held));
+    for (std::uint64_t i = n - held; i < n; ++i) {
+      out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+    }
+    return out;
+  }
+
+  /// Discard everything (between benchmark repetitions; no writers active).
+  void clear() { count_.store(0, std::memory_order_release); }
+
+ private:
+  static std::size_t next_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::vector<TraceEvent> buf_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace xbgas

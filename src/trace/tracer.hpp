@@ -1,0 +1,75 @@
+#pragma once
+
+// Tracer — machine-wide event storage: one EventRing per PE.
+//
+// Always compiled; whether it *records* is a runtime decision made at
+// Machine construction (TraceConfig::enabled, driven by --trace-out in the
+// bench binaries). When disabled, no rings are allocated and every PE's
+// TraceChannel stays unbound, so the instrumented hot paths pay only a null
+// check.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/ring.hpp"
+
+namespace xbgas {
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Events retained per PE (rounded up to a power of two). At 32 bytes per
+  /// event the default keeps the footprint at 2 MiB per PE.
+  std::size_t ring_capacity = std::size_t{1} << 16;
+};
+
+class Tracer {
+ public:
+  Tracer(int n_pes, const TraceConfig& config) : config_(config) {
+    if (config.enabled) {
+      rings_.reserve(static_cast<std::size_t>(n_pes));
+      for (int r = 0; r < n_pes; ++r) {
+        rings_.push_back(std::make_unique<EventRing>(config.ring_capacity));
+      }
+    }
+    n_pes_ = n_pes;
+  }
+
+  bool enabled() const { return config_.enabled; }
+  int n_pes() const { return n_pes_; }
+  const TraceConfig& config() const { return config_; }
+
+  /// The ring for one PE, or nullptr when tracing is disabled.
+  EventRing* ring(int pe) {
+    if (!config_.enabled) return nullptr;
+    return rings_[static_cast<std::size_t>(pe)].get();
+  }
+  const EventRing* ring(int pe) const {
+    if (!config_.enabled) return nullptr;
+    return rings_[static_cast<std::size_t>(pe)].get();
+  }
+
+  std::uint64_t total_recorded() const {
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r->recorded();
+    return n;
+  }
+
+  std::uint64_t total_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r->dropped();
+    return n;
+  }
+
+  /// Discard all recorded events (between benchmark repetitions).
+  void clear() {
+    for (auto& r : rings_) r->clear();
+  }
+
+ private:
+  TraceConfig config_;
+  int n_pes_ = 0;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+};
+
+}  // namespace xbgas

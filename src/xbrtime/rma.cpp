@@ -79,6 +79,9 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
 
   NetworkModel& net = ctx.machine().network();
   std::uint64_t cycles = issue_cycles(net.params(), nelems);
+  ctx.trace().record(remote_is_dest ? EventKind::kRmaPutIssue
+                                    : EventKind::kRmaGetIssue,
+                     pe, bytes);
   // The architectural OLB translation every remote access performs (§3.2);
   // keeps the per-PE OLB statistics faithful on the fast path too.
   (void)ctx.olb().lookup(object_id_for_pe(pe));
@@ -88,25 +91,32 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
     cycles += local_access_cycles(ctx, src_ptr, span);
     dst_ptr = ctx.resolve_symmetric(pe, dst_ptr);
     cycles += net.put_cost(ctx.rank(), pe, bytes);
-    net.record(/*is_put=*/true, bytes);
+    net.record(/*is_put=*/true, bytes, ctx.rank(), pe);
   } else {
     // get: rebase the symmetric src onto the target PE.
     cycles += local_access_cycles(ctx, dst_ptr, span);
     src_ptr = ctx.resolve_symmetric(pe, src_ptr);
     cycles += net.get_cost(ctx.rank(), pe, bytes);
-    net.record(/*is_put=*/false, bytes);
+    net.record(/*is_put=*/false, bytes, ctx.rank(), pe);
   }
 
   // Data always moves eagerly (host memory is coherent); only the modeled
   // completion time differs between blocking and non-blocking forms.
   copy_elements(dst_ptr, src_ptr, elem_size, nelems, stride);
 
+  const EventKind done_kind = remote_is_dest ? EventKind::kRmaPutComplete
+                                             : EventKind::kRmaGetComplete;
   if (nonblocking) {
+    // The transfer completes at the modeled horizon, not when the issuing
+    // PE's clock moves on — stamp the completion event there.
     const std::uint64_t issue_only = net.params().injection_cycles;
-    ctx.note_pending(ctx.clock().cycles() + cycles);
+    const std::uint64_t done_at = ctx.clock().cycles() + cycles;
+    ctx.note_pending(done_at);
     ctx.clock().advance(issue_only);
+    ctx.trace().record_at(done_at, done_kind, pe, bytes);
   } else {
     ctx.clock().advance(cycles);
+    ctx.trace().record(done_kind, pe, bytes);
   }
 }
 
@@ -123,9 +133,10 @@ std::uint64_t amo_cycles(const void* local_addr, std::size_t bytes, int pe) {
            ctx.cache().config().costs.l1_hit_cycles;
   }
   NetworkModel& net = ctx.machine().network();
+  ctx.trace().record(EventKind::kAmo, pe, bytes);
   (void)ctx.olb().lookup(object_id_for_pe(pe));
-  net.record(/*is_put=*/false, bytes);
-  net.record(/*is_put=*/true, bytes);
+  net.record(/*is_put=*/false, bytes, ctx.rank(), pe);
+  net.record(/*is_put=*/true, bytes, ctx.rank(), pe);
   return net.get_cost(ctx.rank(), pe, bytes) +
          net.put_cost(ctx.rank(), pe, bytes);
 }

@@ -172,6 +172,7 @@ void* xbrtime_stage_alloc(std::size_t bytes) {
   st.lifo.push_back(st.top);
   st.top += need;
   ctx.clock().advance(kApiCallCycles);
+  ctx.trace().record(EventKind::kStagingAlloc, -1, need);
   return p;
 }
 
@@ -185,6 +186,7 @@ void xbrtime_stage_free(void* ptr) {
   st.lifo.pop_back();
   st.top = offset;
   ctx.clock().advance(kApiCallCycles);
+  ctx.trace().record(EventKind::kStagingFree);
 }
 
 std::size_t xbrtime_stage_avail() {

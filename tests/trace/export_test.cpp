@@ -1,0 +1,178 @@
+// Exporter schema tests: the Chrome trace_event document must be strict
+// JSON with one named track per PE, matched begin/end spans, and the
+// required per-event fields; the CSV must be rectangular with the declared
+// header.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "json_checker.hpp"
+#include "trace/export_chrome.hpp"
+#include "trace/export_csv.hpp"
+#include "trace/tracer.hpp"
+
+namespace xbgas {
+namespace {
+
+using testjson::parse;
+using testjson::ValuePtr;
+
+/// A tracer with a deterministic synthetic history on every PE: one stage
+/// wrapping one put and one barrier, plus an OLB hit instant.
+Tracer make_synthetic_tracer(int n_pes) {
+  Tracer tracer(n_pes, TraceConfig{.enabled = true, .ring_capacity = 64});
+  for (int pe = 0; pe < n_pes; ++pe) {
+    EventRing* ring = tracer.ring(pe);
+    if (ring == nullptr) continue;  // unreachable; keeps the deref provably safe
+    const auto push = [&](std::uint64_t at, EventKind k, std::int32_t target,
+                          std::uint64_t a, std::uint64_t b) {
+      ring->push(TraceEvent{
+          .cycles = at, .a = a, .b = b, .kind = k, .target_pe = target});
+    };
+    push(10, EventKind::kStageBegin, -1, 0, 1);
+    push(11, EventKind::kRmaPutIssue, (pe + 1) % n_pes, 256, 0);
+    push(12, EventKind::kOlbHit, -1, static_cast<std::uint64_t>(pe) + 1, 0);
+    push(90, EventKind::kRmaPutComplete, (pe + 1) % n_pes, 256, 0);
+    push(91, EventKind::kBarrierEnter, -1, 0, 2);
+    push(120, EventKind::kBarrierExit, -1, 0, 2);
+    push(120, EventKind::kStageEnd, -1, 0, 1);
+  }
+  return tracer;
+}
+
+TEST(ChromeExportTest, ProducesStrictlyValidJson) {
+  const Tracer tracer = make_synthetic_tracer(3);
+  std::string error;
+  const ValuePtr doc = parse(chrome_trace_json(tracer), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  ASSERT_TRUE(doc->is_object());
+  const ValuePtr events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_NE(doc->get("displayTimeUnit"), nullptr);
+}
+
+TEST(ChromeExportTest, EveryEventHasRequiredFields) {
+  const Tracer tracer = make_synthetic_tracer(2);
+  const ValuePtr doc = parse(chrome_trace_json(tracer));
+  ASSERT_NE(doc, nullptr);
+  for (const ValuePtr& e : doc->get("traceEvents")->array()) {
+    ASSERT_TRUE(e->is_object());
+    ASSERT_NE(e->get("name"), nullptr);
+    ASSERT_NE(e->get("ph"), nullptr);
+    ASSERT_NE(e->get("pid"), nullptr);
+    const std::string ph = e->get("ph")->str();
+    // Non-metadata events must carry a timestamp and a thread (track) id.
+    if (ph != "M") {
+      ASSERT_NE(e->get("ts"), nullptr);
+      ASSERT_NE(e->get("tid"), nullptr);
+    }
+    if (ph == "X") {
+      ASSERT_NE(e->get("dur"), nullptr);
+      EXPECT_GE(e->get("dur")->number(), 0.0);
+    }
+  }
+}
+
+TEST(ChromeExportTest, OneNamedTrackPerPe) {
+  constexpr int kPes = 5;
+  const Tracer tracer = make_synthetic_tracer(kPes);
+  const ValuePtr doc = parse(chrome_trace_json(tracer));
+  ASSERT_NE(doc, nullptr);
+
+  std::set<int> named_tracks;
+  std::set<int> event_tracks;
+  for (const ValuePtr& e : doc->get("traceEvents")->array()) {
+    const std::string ph = e->get("ph")->str();
+    if (ph == "M" && e->get("name")->str() == "thread_name") {
+      named_tracks.insert(static_cast<int>(e->get("tid")->number()));
+    } else if (ph != "M") {
+      event_tracks.insert(static_cast<int>(e->get("tid")->number()));
+    }
+  }
+  EXPECT_EQ(named_tracks.size(), kPes);
+  EXPECT_EQ(event_tracks.size(), kPes);
+  for (int pe = 0; pe < kPes; ++pe) {
+    EXPECT_TRUE(named_tracks.count(pe)) << "no thread_name for PE " << pe;
+  }
+}
+
+TEST(ChromeExportTest, PairsBeginEndIntoSpans) {
+  const Tracer tracer = make_synthetic_tracer(1);
+  const ValuePtr doc = parse(chrome_trace_json(tracer));
+  ASSERT_NE(doc, nullptr);
+
+  int stage_spans = 0, put_spans = 0, barrier_spans = 0, instants = 0;
+  for (const ValuePtr& e : doc->get("traceEvents")->array()) {
+    const std::string ph = e->get("ph")->str();
+    const std::string name = e->get("name")->str();
+    if (ph == "X") {
+      if (name == "stage") {
+        ++stage_spans;
+        EXPECT_EQ(e->get("ts")->number(), 10.0);
+        EXPECT_EQ(e->get("dur")->number(), 110.0);
+      }
+      if (name == "rma_put") {
+        ++put_spans;
+        EXPECT_EQ(e->get("ts")->number(), 11.0);
+        EXPECT_EQ(e->get("dur")->number(), 79.0);
+        EXPECT_EQ(e->get("args")->get("target_pe")->number(), 0.0);
+      }
+      if (name == "barrier") ++barrier_spans;
+    }
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(stage_spans, 1);
+  EXPECT_EQ(put_spans, 1);
+  EXPECT_EQ(barrier_spans, 1);
+  EXPECT_EQ(instants, 1);  // the OLB hit
+}
+
+TEST(ChromeExportTest, OrphanedEndDegradesToInstantNotInvalidJson) {
+  Tracer tracer(1, TraceConfig{.enabled = true, .ring_capacity = 16});
+  EventRing* ring = tracer.ring(0);
+  ASSERT_NE(ring, nullptr);
+  // An end with no begin (as after ring wraparound) and a begin never closed.
+  ring->push(TraceEvent{
+      .cycles = 5, .kind = EventKind::kBarrierExit, .target_pe = -1});
+  ring->push(TraceEvent{
+      .cycles = 9, .kind = EventKind::kStageBegin, .target_pe = -1});
+  std::string error;
+  const ValuePtr doc = parse(chrome_trace_json(tracer), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  int instants = 0;
+  for (const ValuePtr& e : doc->get("traceEvents")->array()) {
+    if (e->get("ph")->str() == "i") ++instants;
+  }
+  EXPECT_EQ(instants, 2);
+}
+
+TEST(ChromeExportTest, DisabledTracerStillExportsValidEmptyDocument) {
+  Tracer tracer(4, TraceConfig{.enabled = false});
+  std::string error;
+  const ValuePtr doc = parse(chrome_trace_json(tracer), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  for (const ValuePtr& e : doc->get("traceEvents")->array()) {
+    EXPECT_EQ(e->get("ph")->str(), "M");
+  }
+}
+
+TEST(CsvExportTest, RectangularWithHeader) {
+  const Tracer tracer = make_synthetic_tracer(2);
+  std::istringstream in(csv_trace(tracer));
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "pe,cycles,event,target_pe,a,b");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 5) << line;
+  }
+  EXPECT_EQ(rows, 2 * 7);  // 2 PEs x 7 synthetic events
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,211 @@
+#pragma once
+
+// Minimal strict JSON parser for exporter-schema tests. Supports the full
+// JSON grammar the exporters can emit (objects, arrays, strings without
+// escapes beyond \" and \\, integers, doubles, booleans, null) and rejects
+// trailing commas, unterminated values, and garbage after the document —
+// the failure modes a hand-rolled string emitter is likely to have.
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xbgas::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+using Object = std::map<std::string, ValuePtr>;
+using Array = std::vector<ValuePtr>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
+
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+
+  const Object& object() const { return std::get<Object>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+
+  /// Object member or nullptr.
+  ValuePtr get(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = object().find(key);
+    return it == object().end() ? nullptr : it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// Parse the whole document; returns nullptr (and sets error()) on any
+  /// syntax violation, including trailing garbage.
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    if (v == nullptr) return nullptr;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return fail("trailing characters after document");
+    }
+    return v;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  ValuePtr fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return nullptr;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return std::make_shared<Value>(Value{true});
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return std::make_shared<Value>(Value{false});
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_shared<Value>(Value{nullptr});
+    }
+    return fail("unexpected character");
+  }
+
+  ValuePtr parse_object() {
+    if (!consume('{')) return fail("expected '{'");
+    Object obj;
+    skip_ws();
+    if (consume('}')) return std::make_shared<Value>(Value{std::move(obj)});
+    while (true) {
+      skip_ws();
+      ValuePtr key = parse_string();
+      if (key == nullptr) return nullptr;
+      if (!consume(':')) return fail("expected ':'");
+      ValuePtr val = parse_value();
+      if (val == nullptr) return nullptr;
+      obj[key->str()] = val;
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    return std::make_shared<Value>(Value{std::move(obj)});
+  }
+
+  ValuePtr parse_array() {
+    if (!consume('[')) return fail("expected '['");
+    Array arr;
+    skip_ws();
+    if (consume(']')) return std::make_shared<Value>(Value{std::move(arr)});
+    while (true) {
+      ValuePtr val = parse_value();
+      if (val == nullptr) return nullptr;
+      arr.push_back(val);
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    return std::make_shared<Value>(Value{std::move(arr)});
+  }
+
+  ValuePtr parse_string() {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected '\"'");
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return std::make_shared<Value>(Value{std::move(out)});
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_ + 1];
+        if (e == '"' || e == '\\' || e == '/') {
+          out += e;
+        } else if (e == 'n') {
+          out += '\n';
+        } else if (e == 't') {
+          out += '\t';
+        } else {
+          return fail("unsupported escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ == start) return fail("bad number");
+    return std::make_shared<Value>(Value{std::stod(s_.substr(start, pos_ - start))});
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+inline ValuePtr parse(const std::string& text, std::string* error = nullptr) {
+  Parser p(text);
+  ValuePtr v = p.parse();
+  if (v == nullptr && error != nullptr) *error = p.error();
+  return v;
+}
+
+}  // namespace xbgas::testjson

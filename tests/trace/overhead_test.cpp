@@ -1,0 +1,91 @@
+// Disabled-path cost guard. The contract (DESIGN.md §Observability): with
+// tracing off, a record() call is one predictable branch — so a large batch
+// of disabled calls must complete in a time that only a pathological
+// regression (allocation, locking, atomic RMW per call) could exceed.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "trace/channel.hpp"
+#include "trace/tracer.hpp"
+
+namespace xbgas {
+namespace {
+
+/// Optimization barrier: forces the compiler to assume `p` is read and
+/// modified, so the disabled record() loop cannot be deleted wholesale.
+inline void clobber(void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : "+r"(p) : : "memory");
+#else
+  (void)p;
+#endif
+}
+
+TEST(TraceOverheadTest, DisabledChannelIsUnboundAndInert) {
+  TraceChannel channel;
+  EXPECT_FALSE(channel.enabled());
+  // Must be callable without a ring or clock attached.
+  channel.record(EventKind::kOlbHit, 3, 1, 2);
+  channel.record_at(99, EventKind::kBarrierExit);
+  EXPECT_FALSE(channel.enabled());
+}
+
+TEST(TraceOverheadTest, DisabledRecordStaysUnderBudget) {
+  // 20M disabled calls. At one branch per call this is a few tens of
+  // milliseconds on any machine; the one-second ceiling is ~50x headroom,
+  // loose enough for loaded CI but tight enough to catch a per-call lock,
+  // heap allocation, or string formatting sneaking onto the disabled path.
+  constexpr std::uint64_t kCalls = 20'000'000;
+  TraceChannel channel;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    clobber(&channel);
+    channel.record(EventKind::kCacheAccess, -1, i, i);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  EXPECT_LT(ms, 1000) << "disabled-path record() cost regressed: " << ms
+                      << " ms for " << kCalls << " calls";
+  EXPECT_FALSE(channel.enabled());
+}
+
+TEST(TraceOverheadTest, DisabledMachineAllocatesNoRings) {
+  // Tracer with tracing off must not allocate per-PE rings at all — the
+  // disabled path costs nothing at machine construction either.
+  Tracer tracer(64, TraceConfig{.enabled = false, .ring_capacity = 1 << 20});
+  for (int pe = 0; pe < 64; ++pe) {
+    ASSERT_EQ(tracer.ring(pe), nullptr);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(TraceOverheadTest, EnabledRecordIsBoundedToo) {
+  // Sanity ceiling on the enabled path as well: ring push is a store plus
+  // two relaxed/release counter ops, so 5M calls should stay well under a
+  // second even on slow CI.
+  constexpr std::uint64_t kCalls = 5'000'000;
+  SimClock clock;
+  EventRing ring(1 << 12);
+  TraceChannel channel;
+  channel.bind(&ring, &clock);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    channel.record(EventKind::kOlbHit, -1, i, i);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(ring.recorded(), kCalls);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  EXPECT_LT(ms, 2000) << "enabled-path record() cost: " << ms << " ms";
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,139 @@
+// EventRing: wraparound semantics, drop accounting, and writer-per-PE
+// concurrency (the production discipline: 12 PE threads, each the single
+// writer of its own ring).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "trace/ring.hpp"
+#include "trace/tracer.hpp"
+
+namespace xbgas {
+namespace {
+
+TraceEvent make_event(std::uint64_t i) {
+  return TraceEvent{.cycles = i,
+                    .a = i * 2,
+                    .b = i * 3,
+                    .kind = EventKind::kOlbHit,
+                    .target_pe = static_cast<std::int32_t>(i % 7)};
+}
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(1).capacity(), 2u);
+  EXPECT_EQ(EventRing(2).capacity(), 2u);
+  EXPECT_EQ(EventRing(3).capacity(), 4u);
+  EXPECT_EQ(EventRing(1000).capacity(), 1024u);
+  EXPECT_EQ(EventRing(1024).capacity(), 1024u);
+}
+
+TEST(EventRingTest, StoresInOrderBelowCapacity) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.stored(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].cycles, i);
+    EXPECT_EQ(events[i].a, i * 2);
+  }
+}
+
+TEST(EventRingTest, WraparoundKeepsNewestDropsOldest) {
+  EventRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 20; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.stored(), 8u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are exactly the newest 8, oldest-first.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].cycles, 12 + i);
+  }
+}
+
+TEST(EventRingTest, ClearResetsEverything) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 9; ++i) ring.push(make_event(i));
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.stored(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(EventRingTest, TwelveConcurrentSingleWriterRings) {
+  // The production pattern: 12 PEs, each thread the sole writer of its own
+  // ring, all writing simultaneously. Counts and contents must be exact.
+  constexpr int kPes = 12;
+  constexpr std::uint64_t kEvents = 20'000;
+  Tracer tracer(kPes, TraceConfig{.enabled = true, .ring_capacity = 1 << 12});
+
+  std::vector<std::thread> threads;
+  threads.reserve(kPes);
+  for (int pe = 0; pe < kPes; ++pe) {
+    threads.emplace_back([&tracer, pe] {
+      EventRing* ring = tracer.ring(pe);
+      for (std::uint64_t i = 0; i < kEvents; ++i) {
+        TraceEvent e = make_event(i);
+        e.target_pe = pe;
+        ring->push(e);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(tracer.total_recorded(), kPes * kEvents);
+  for (int pe = 0; pe < kPes; ++pe) {
+    const EventRing* ring = tracer.ring(pe);
+    EXPECT_EQ(ring->recorded(), kEvents);
+    EXPECT_EQ(ring->stored(), ring->capacity());
+    const auto events = ring->snapshot();
+    ASSERT_EQ(events.size(), ring->capacity());
+    // Newest events survived, in order, and belong to this PE only.
+    const std::uint64_t first = kEvents - ring->capacity();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].cycles, first + i);
+      EXPECT_EQ(events[i].target_pe, pe);
+    }
+  }
+}
+
+TEST(EventRingTest, ConcurrentReaderSeesConsistentCounts) {
+  // A reader polling while the writer streams: counters must be monotone
+  // and the snapshot must never exceed capacity or crash.
+  EventRing ring(1 << 10);
+  std::atomic<bool> done{false};
+  std::uint64_t last_seen = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t n = ring.recorded();
+      EXPECT_GE(n, last_seen);
+      last_seen = n;
+      EXPECT_LE(ring.snapshot().size(), ring.capacity());
+    }
+  });
+  for (std::uint64_t i = 0; i < 200'000; ++i) ring.push(make_event(i));
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(ring.recorded(), 200'000u);
+}
+
+TEST(TracerTest, DisabledTracerHasNoRings) {
+  Tracer tracer(4, TraceConfig{.enabled = false});
+  EXPECT_FALSE(tracer.enabled());
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(tracer.ring(pe), nullptr);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_EQ(tracer.total_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,161 @@
+// End-to-end tracing on a real machine: a traced broadcast must produce
+// exactly ceil(log2 n) stage-begin events per PE, RMA issue/complete events
+// must pair up, the Chrome export of a real run must be valid JSON with one
+// track per PE, and tracing must not perturb the deterministic modeled time.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "common/bits.hpp"
+#include "json_checker.hpp"
+#include "trace/collect.hpp"
+#include "trace/export_chrome.hpp"
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig traced_config(int n_pes) {
+  MachineConfig config;
+  config.n_pes = n_pes;
+  config.trace.enabled = true;
+  return config;
+}
+
+void run_broadcast(Machine& machine) {
+  machine.run([](PeContext&) {
+    xbrtime_init();
+    auto* dest = static_cast<long*>(xbrtime_malloc(32 * sizeof(long)));
+    std::vector<long> src(32, 42);
+    xbrtime_barrier();
+    broadcast(dest, src.data(), 32, 1, /*root=*/0);
+    xbrtime_barrier();
+    xbrtime_free(dest);
+    xbrtime_close();
+  });
+}
+
+std::vector<TraceEvent> events_of(const Machine& machine, int pe) {
+  const EventRing* ring = machine.tracer().ring(pe);
+  return ring != nullptr ? ring->snapshot() : std::vector<TraceEvent>{};
+}
+
+TEST(TraceIntegrationTest, BroadcastEmitsCeilLog2StagesPerPe) {
+  // The ISSUE.md acceptance assertion: n = 12 -> ceil(log2 12) = 4 stages,
+  // and *every* PE records every stage (the stage markers sit outside the
+  // sender/receiver guard).
+  constexpr int kPes = 12;
+  const auto kStages = ceil_log2(std::uint64_t{kPes});
+  ASSERT_EQ(kStages, 4u);
+
+  Machine machine(traced_config(kPes));
+  run_broadcast(machine);
+
+  for (int pe = 0; pe < kPes; ++pe) {
+    const auto events = events_of(machine, pe);
+    ASSERT_FALSE(events.empty()) << "PE " << pe << " recorded nothing";
+    std::uint64_t begins = 0, ends = 0;
+    std::set<std::uint64_t> stage_indices;
+    for (const TraceEvent& e : events) {
+      if (e.kind == EventKind::kStageBegin) {
+        ++begins;
+        stage_indices.insert(e.a);
+      }
+      if (e.kind == EventKind::kStageEnd) ++ends;
+    }
+    EXPECT_EQ(begins, kStages) << "PE " << pe;
+    EXPECT_EQ(ends, kStages) << "PE " << pe;
+    EXPECT_EQ(stage_indices.size(), kStages)
+        << "PE " << pe << ": stage indices not distinct";
+    EXPECT_TRUE(stage_indices.count(0)) << "PE " << pe;
+    EXPECT_TRUE(stage_indices.count(kStages - 1)) << "PE " << pe;
+  }
+}
+
+TEST(TraceIntegrationTest, RmaIssueAndCompleteEventsPairUp) {
+  constexpr int kPes = 6;
+  Machine machine(traced_config(kPes));
+  run_broadcast(machine);
+
+  std::uint64_t put_issues = 0, put_completes = 0;
+  for (int pe = 0; pe < kPes; ++pe) {
+    for (const TraceEvent& e : events_of(machine, pe)) {
+      if (e.kind == EventKind::kRmaPutIssue) {
+        ++put_issues;
+        EXPECT_GE(e.target_pe, 0);
+        EXPECT_LT(e.target_pe, kPes);
+        EXPECT_NE(e.target_pe, pe) << "local puts must not be traced";
+        EXPECT_EQ(e.a, 32 * sizeof(long)) << "bytes payload";
+      }
+      if (e.kind == EventKind::kRmaPutComplete) ++put_completes;
+    }
+  }
+  // A 6-PE binomial broadcast moves data over exactly n - 1 = 5 remote puts.
+  EXPECT_EQ(put_issues, 5u);
+  EXPECT_EQ(put_completes, put_issues);
+}
+
+TEST(TraceIntegrationTest, TracedEventsMatchOlbCounters) {
+  constexpr int kPes = 5;
+  Machine machine(traced_config(kPes));
+  run_broadcast(machine);
+
+  std::uint64_t hit_events = 0, miss_events = 0;
+  for (int pe = 0; pe < kPes; ++pe) {
+    for (const TraceEvent& e : events_of(machine, pe)) {
+      if (e.kind == EventKind::kOlbHit) ++hit_events;
+      if (e.kind == EventKind::kOlbMiss) ++miss_events;
+    }
+  }
+  const CounterRegistry reg = collect_counters(machine);
+  EXPECT_EQ(hit_events, *reg.get("olb.hits"));
+  EXPECT_EQ(miss_events, *reg.get("olb.misses"));
+  // Every remote RMA performs exactly one OLB translation.
+  EXPECT_EQ(hit_events + miss_events, *reg.get("net.messages"));
+}
+
+TEST(TraceIntegrationTest, ChromeExportOfRealRunIsLoadable) {
+  constexpr int kPes = 12;
+  Machine machine(traced_config(kPes));
+  run_broadcast(machine);
+
+  std::string error;
+  const auto doc = testjson::parse(chrome_trace_json(machine.tracer()), &error);
+  ASSERT_NE(doc, nullptr) << error;
+
+  std::set<int> tracks;
+  for (const auto& e : doc->get("traceEvents")->array()) {
+    if (e->get("ph")->str() != "M") {
+      tracks.insert(static_cast<int>(e->get("tid")->number()));
+      EXPECT_GE(e->get("ts")->number(), 0.0);
+    }
+  }
+  EXPECT_EQ(tracks.size(), kPes) << "expected one event track per PE";
+}
+
+TEST(TraceIntegrationTest, TracingDoesNotPerturbModeledTime) {
+  // The observability layer reads the clock; it must never advance it.
+  constexpr int kPes = 8;
+  MachineConfig off = traced_config(kPes);
+  off.trace.enabled = false;
+
+  Machine traced(traced_config(kPes));
+  Machine plain(off);
+  run_broadcast(traced);
+  run_broadcast(plain);
+
+  EXPECT_GT(traced.tracer().total_recorded(), 0u);
+  EXPECT_EQ(plain.tracer().total_recorded(), 0u);
+  EXPECT_EQ(traced.max_cycles(), plain.max_cycles());
+  for (int pe = 0; pe < kPes; ++pe) {
+    EXPECT_EQ(traced.pe(pe).clock().cycles(), plain.pe(pe).clock().cycles())
+        << "PE " << pe;
+  }
+}
+
+}  // namespace
+}  // namespace xbgas
