@@ -5,25 +5,29 @@
 #   2. the observability suite alone (ctest -R trace)
 #   3. the disabled-path overhead microbenchmark guard
 #   4. an end-to-end trace/counters smoke on bench_pt2pt
+#   5. a fault-injection smoke: deterministic placement + retry absorption
+#   6. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#      heavy suites: machine, trace, and fault
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [build-dir]   (default: build; the TSan stage
+# uses <build-dir>-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/4] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/6] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/4] observability suite (ctest -R trace) =="
+echo "== [2/6] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [3/4] disabled-path overhead guard =="
+echo "== [3/6] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [4/4] trace + counters smoke (bench_pt2pt) =="
+echo "== [4/6] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -41,5 +45,32 @@ assert counters["olb.hits"] + counters["olb.misses"] == counters["net.messages"]
 print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
+
+echo "== [5/6] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+"$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
+    --counters=json > "$TMP/fault1.txt"
+"$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
+    --counters=json > "$TMP/fault2.txt"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+a = open(f"{tmp}/fault1.txt").read()
+b = open(f"{tmp}/fault2.txt").read()
+assert a == b, "identical fault seeds must reproduce identical runs"
+counters = json.loads(a[a.index("{"):])
+assert counters["fault.injected.rma_drop"] > 0, "no drops were injected"
+assert counters["rma.retries"] > 0, "drops were injected but never retried"
+assert counters["machine.pes_failed"] == 0, \
+    "the retry path must absorb a 1% drop rate"
+print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
+      f"absorbed by {counters['rma.retries']} retries, deterministic replay")
+EOF
+
+echo "== [6/6] TSan pass (machine + trace + fault suites) =="
+cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
+    -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD-tsan" -j
+ctest --test-dir "$BUILD-tsan" -R '(machine|Machine|Barrier|trace|fault)' \
+    --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -1,5 +1,7 @@
 #include "benchlib/options.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace xbgas {
@@ -24,6 +26,47 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
   config.trace.ring_capacity = static_cast<std::size_t>(args.get_int(
       "trace-capacity",
       static_cast<std::int64_t>(config.trace.ring_capacity)));
+
+  config.fault.seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  config.fault.rma_drop_prob = args.get_double("fault-rma-drop", 0.0);
+  config.fault.rma_delay_prob = args.get_double("fault-rma-delay", 0.0);
+  config.fault.delay_cycles = static_cast<std::uint64_t>(args.get_int(
+      "fault-delay-cycles",
+      static_cast<std::int64_t>(config.fault.delay_cycles)));
+  config.fault.rma_bitflip_prob = args.get_double("fault-bitflip", 0.0);
+  config.fault.olb_fault_prob = args.get_double("fault-olb", 0.0);
+  config.fault.max_rma_retries = static_cast<int>(
+      args.get_int("fault-retries", config.fault.max_rma_retries));
+  // Without checksums an injected bit-flip would be silent corruption, so
+  // verification defaults on whenever bit-flips are being injected.
+  config.fault.verify_checksum =
+      args.get_bool("fault-checksum", config.fault.rma_bitflip_prob > 0.0);
+  config.fault.barrier_timeout_ms =
+      static_cast<std::uint64_t>(args.get_int("fault-timeout-ms", 0));
+
+  const std::string kill = args.get("fault-kill", "");
+  if (!kill.empty()) {
+    const std::size_t c1 = kill.find(':');
+    const std::size_t c2 = c1 == std::string::npos
+                               ? std::string::npos
+                               : kill.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      throw Error("--fault-kill expects RANK:SITE:K (e.g. 2:barrier:3), got " +
+                  kill);
+    }
+    const std::string site = kill.substr(c1 + 1, c2 - c1 - 1);
+    if (site == "barrier") {
+      config.fault.kill_site = KillSite::kBarrier;
+    } else if (site == "rma") {
+      config.fault.kill_site = KillSite::kRma;
+    } else {
+      throw Error("--fault-kill site must be barrier or rma, got " + site);
+    }
+    config.fault.kill_rank = std::stoi(kill.substr(0, c1));
+    config.fault.kill_at =
+        static_cast<std::uint64_t>(std::stoll(kill.substr(c2 + 1)));
+  }
 
   const std::string barrier = args.get("barrier", "dissemination");
   if (barrier == "dissemination") {

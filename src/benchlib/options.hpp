@@ -23,6 +23,20 @@ namespace xbgas {
 ///                                          to PATH at emit_observability
 ///                                          (.csv => CSV, else Chrome JSON)
 ///   --trace-capacity N                     events retained per PE
+///
+/// Fault-injection flags (docs/RESILIENCE.md):
+///   --fault-seed N             master seed; same seed => same fault placement
+///   --fault-rma-drop P         P(transient drop) per remote RMA attempt
+///   --fault-rma-delay P        P(extra delay) per remote RMA attempt
+///   --fault-delay-cycles N     cycles added when a delay fault fires
+///   --fault-bitflip P          P(one payload bit flipped) per transfer
+///   --fault-olb P              P(transient OLB translation fault)
+///   --fault-retries N          max retries per transfer (default 6)
+///   --fault-checksum 0|1       verify payload checksums (default: on when
+///                              --fault-bitflip > 0)
+///   --fault-timeout-ms N       barrier watchdog, host milliseconds (0 = off)
+///   --fault-kill RANK:SITE:K   kill RANK at its K-th SITE (barrier|rma),
+///                              e.g. --fault-kill 2:barrier:3
 MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes);
 
 /// PE counts from --pes a,b,c (default: the paper's 1,2,4,8).

@@ -30,12 +30,18 @@ std::shared_ptr<ClockSyncBarrier> acquire_barrier(Machine& machine, int start,
     if (auto existing = it->second.lock()) return existing;
   }
   const NetCostParams& params = machine.network().params();
+  std::vector<int> member_ranks(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    member_ranks[static_cast<std::size_t>(r)] = start + r * stride;
+  }
   auto* raw = new ClockSyncBarrier(
-      size, [params, size](std::uint64_t max_cycles, int) {
+      size,
+      [params, size](std::uint64_t max_cycles, int) {
         // Team barriers do not reconcile the global fabric phase (see
         // header); they only cost the modeled log2(size) exchange.
         return max_cycles + params.barrier_cycles(size);
-      });
+      },
+      machine.config().fault.barrier_timeout_ms, std::move(member_ranks));
   std::shared_ptr<ClockSyncBarrier> barrier(
       raw, [key, &machine](ClockSyncBarrier* b) {
         machine.unregister_barrier(b);
@@ -91,6 +97,8 @@ void Team::barrier() {
     ctx.clock().set(ctx.pending_completion());
   }
   ctx.clear_pending();
+  FaultInjector& fault = machine_->fault_injector();
+  if (fault.enabled()) fault.on_barrier_arrival(ctx.rank());  // scripted kill
   const std::uint64_t t = barrier_->arrive_and_wait(ctx.clock().cycles());
   ctx.clock().set(t);
 }

@@ -1,0 +1,45 @@
+#pragma once
+
+// Payload checksums for optional end-to-end RMA verification.
+//
+// FNV-1a over the (possibly strided) element payload. Chosen over CRC for
+// simplicity: the injector flips exactly one bit per corruption fault, and
+// FNV-1a detects any single-bit change, which is all the verification path
+// needs. The modeled cost of checksumming is charged by the caller
+// (rma_transfer) as a per-byte term so enabling verification shows up in
+// simulated time like any other software guard would.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xbgas {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over one contiguous byte range.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over a strided element layout (stride in elements, as in
+/// xbr_put/xbr_get): checksums exactly the bytes the transfer moves.
+inline std::uint64_t strided_checksum(const void* data, std::size_t elem_size,
+                                      std::size_t nelems, int stride) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  if (stride == 1) return fnv1a(p, elem_size * nelems);
+  const std::size_t step = elem_size * static_cast<std::size_t>(stride);
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::size_t i = 0; i < nelems; ++i) {
+    h = fnv1a(p + i * step, elem_size, h);
+  }
+  return h;
+}
+
+}  // namespace xbgas

@@ -1,0 +1,75 @@
+#pragma once
+
+// FaultConfig — the deterministic fault-injection plan for one Machine.
+//
+// The paper's pitch (§3.1) is that xBGAS remote load/stores bypass the whole
+// protocol stack; the flip side is that the runtime inherits none of the
+// stack's fault tolerance. This config describes, up front and seeded, every
+// fault the simulated fabric may inject: transient remote-transfer drops,
+// extra wire delay, payload bit-flips, OLB translation faults, and scripted
+// PE crashes at the k-th barrier or k-th RMA of a chosen rank.
+//
+// Determinism contract: all probabilistic draws come from per-PE, per-site
+// RNG streams keyed on (seed, rank, site) — see FaultInjector — so a given
+// (config, program, PE count) produces bit-identical fault placement on
+// every run, independent of host thread scheduling. Identical seeds replay
+// identical faults; that is what makes failure paths testable.
+
+#include <cstdint>
+
+namespace xbgas {
+
+/// Where a scripted PE kill fires (FaultConfig::kill_*).
+enum class KillSite : std::uint8_t {
+  kNone,     ///< no scripted kill
+  kBarrier,  ///< at the victim's k-th barrier arrival
+  kRma,      ///< at the victim's k-th remote RMA issue
+};
+
+struct FaultConfig {
+  /// Master seed for every injection stream. Two runs with the same seed
+  /// (and same program) inject faults at identical points.
+  std::uint64_t seed = 0;
+
+  // -- Probabilistic transient faults (per remote RMA attempt) --
+  double rma_drop_prob = 0.0;     ///< transfer attempt dropped in flight
+  double rma_delay_prob = 0.0;    ///< transfer delivered late
+  double rma_bitflip_prob = 0.0;  ///< one payload bit flipped in flight
+  double olb_fault_prob = 0.0;    ///< OLB translation transiently faults
+
+  /// Extra modeled cycles charged when a delay fault fires.
+  std::uint64_t delay_cycles = 500;
+
+  // -- Resilience knobs --
+  /// Max re-transmissions after the first attempt of a remote transfer.
+  /// Retries are charged to the SimClock with exponential backoff, so
+  /// resilience has a measurable modeled-time cost.
+  int max_rma_retries = 6;
+  /// First retry waits this long; attempt i waits base << i (capped).
+  std::uint64_t backoff_base_cycles = 64;
+  /// Verify a checksum over the payload after every remote transfer and
+  /// treat a mismatch (an injected bit-flip) as a transient failure to
+  /// retry. Off by default: checksums model an optional software guard the
+  /// paper's raw load/store path does not pay for.
+  bool verify_checksum = false;
+  /// Host-time watchdog for every ClockSyncBarrier (milliseconds). When a
+  /// participant waits longer than this, the barrier is poisoned and every
+  /// waiter throws BarrierTimeoutError naming the missing ranks instead of
+  /// hanging forever. 0 disables the watchdog.
+  std::uint64_t barrier_timeout_ms = 0;
+
+  // -- Scripted PE crash --
+  KillSite kill_site = KillSite::kNone;
+  int kill_rank = -1;        ///< world rank of the victim
+  std::uint64_t kill_at = 1; ///< 1-based: fire at the k-th barrier/RMA
+
+  /// True when any injection can ever fire (the hot paths consult this
+  /// before touching the injector).
+  bool any_faults() const {
+    return rma_drop_prob > 0.0 || rma_delay_prob > 0.0 ||
+           rma_bitflip_prob > 0.0 || olb_fault_prob > 0.0 ||
+           kill_site != KillSite::kNone;
+  }
+};
+
+}  // namespace xbgas

@@ -1,0 +1,102 @@
+#pragma once
+
+// Typed errors of the resilience layer.
+//
+// All of them derive from xbgas::Error so existing catch sites keep working;
+// the subtypes carry the structured facts (which rank died, which ranks
+// reached a barrier, how many retries were spent) that the fault-sweep tests
+// and post-mortem tooling assert on.
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+/// A remote transfer kept failing after the bounded retry/backoff budget
+/// (FaultConfig::max_rma_retries) was exhausted.
+class RmaRetriesExhaustedError : public Error {
+ public:
+  RmaRetriesExhaustedError(const std::string& what_arg, int attempts)
+      : Error(what_arg), attempts_(attempts) {}
+
+  /// Total attempts performed (first try + retries).
+  int attempts() const { return attempts_; }
+
+ private:
+  int attempts_;
+};
+
+/// A barrier watchdog fired: some participants never arrived within the
+/// host-time budget. Carries the rendezvous roster so diagnostics can say
+/// exactly who was missing instead of just "hung".
+class BarrierTimeoutError : public Error {
+ public:
+  BarrierTimeoutError(const std::string& what_arg, std::vector<int> arrived,
+                      std::vector<int> missing)
+      : Error(what_arg),
+        arrived_(std::move(arrived)),
+        missing_(std::move(missing)) {}
+
+  /// World ranks that reached the barrier before the watchdog fired.
+  const std::vector<int>& arrived_ranks() const { return arrived_; }
+  /// World ranks that never arrived (empty if the roster is unknown).
+  const std::vector<int>& missing_ranks() const { return missing_; }
+
+ private:
+  std::vector<int> arrived_;
+  std::vector<int> missing_;
+};
+
+/// Thrown by every *surviving* participant of a barrier/collective when a
+/// peer PE died: the fail-fast protocol's consistent verdict. Names the
+/// first dead world rank.
+class PeFailedError : public Error {
+ public:
+  PeFailedError(const std::string& what_arg, int failed_rank)
+      : Error(what_arg), failed_rank_(failed_rank) {}
+
+  /// World rank of the (first) failed PE, or -1 if unknown.
+  int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// The exception a scripted FaultConfig kill throws *on the victim PE*.
+class PeKilledError : public Error {
+ public:
+  PeKilledError(const std::string& what_arg, int rank)
+      : Error(what_arg), rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// One PE's failure inside an SPMD region, as recorded by Machine::run.
+struct PeFailure {
+  int rank = -1;
+  std::string what;
+  /// True when the failure is a secondary PeFailedError/poison unwind
+  /// triggered by another PE's death rather than an independent fault.
+  bool secondary = false;
+};
+
+/// The composite report Machine::run throws when one or more PEs fail:
+/// every failed rank and its cause, primaries before secondaries, instead
+/// of silently dropping all but the first exception.
+class SpmdRegionError : public Error {
+ public:
+  SpmdRegionError(const std::string& what_arg, std::vector<PeFailure> failures)
+      : Error(what_arg), failures_(std::move(failures)) {}
+
+  const std::vector<PeFailure>& failures() const { return failures_; }
+
+ private:
+  std::vector<PeFailure> failures_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,157 @@
+#pragma once
+
+// FaultInjector — the deterministic fault source for one Machine.
+//
+// One injector per Machine, consulted from the RMA hot path and the barrier
+// arrival paths. Every probabilistic decision is drawn from a per-PE,
+// per-site xoshiro256** stream seeded from (FaultConfig::seed, rank, site):
+// each PE thread only ever advances its own streams, in its own program
+// order, so fault placement is bit-reproducible for a given seed and
+// program regardless of how the host schedules the PE threads.
+//
+// Scripted kills (the k-th barrier / k-th RMA of a chosen rank) are counted
+// here too and fire by throwing PeKilledError on the victim's thread; the
+// Machine's failure handling then turns that into barrier poisoning and a
+// PeFailedError on every survivor.
+//
+// The injector also owns the resilience counter block (fault.injected.*,
+// rma.retries, barrier.timeouts, ...) surfaced through collect_counters().
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/config.hpp"
+#include "fault/errors.hpp"
+
+namespace xbgas {
+
+/// Injection site identifiers — trace payloads (EventKind::kFaultInject `a`
+/// field) and diagnostics.
+enum class FaultSite : std::uint8_t {
+  kRmaDrop = 0,
+  kRmaDelay = 1,
+  kRmaBitflip = 2,
+  kOlbFault = 3,
+  kKill = 4,
+};
+
+constexpr const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kRmaDrop: return "rma_drop";
+    case FaultSite::kRmaDelay: return "rma_delay";
+    case FaultSite::kRmaBitflip: return "rma_bitflip";
+    case FaultSite::kOlbFault: return "olb_fault";
+    case FaultSite::kKill: return "kill";
+  }
+  return "unknown";
+}
+
+/// Machine-wide fault/resilience counters. Incremented from PE threads
+/// (relaxed atomics: they are statistics, not synchronization).
+struct FaultCounters {
+  std::atomic<std::uint64_t> rma_drops{0};
+  std::atomic<std::uint64_t> rma_delays{0};
+  std::atomic<std::uint64_t> rma_bitflips{0};
+  std::atomic<std::uint64_t> olb_faults{0};
+  std::atomic<std::uint64_t> kills{0};
+  std::atomic<std::uint64_t> rma_retries{0};
+  std::atomic<std::uint64_t> checksum_failures{0};
+  std::atomic<std::uint64_t> barrier_timeouts{0};
+
+  void reset() {
+    rma_drops = 0;
+    rma_delays = 0;
+    rma_bitflips = 0;
+    olb_faults = 0;
+    kills = 0;
+    rma_retries = 0;
+    checksum_failures = 0;
+    barrier_timeouts = 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, int n_pes);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+
+  /// True when any fault can ever fire; hot paths gate on this so a
+  /// fault-free machine pays one predictable branch.
+  bool enabled() const { return enabled_; }
+
+  // -- Per-attempt probabilistic draws (calling PE's own streams) --
+  bool draw_rma_drop(int rank) {
+    return draw(rank, StreamId::kDrop, config_.rma_drop_prob);
+  }
+  bool draw_rma_delay(int rank) {
+    return draw(rank, StreamId::kDelay, config_.rma_delay_prob);
+  }
+  bool draw_rma_bitflip(int rank) {
+    return draw(rank, StreamId::kBitflip, config_.rma_bitflip_prob);
+  }
+  bool draw_olb_fault(int rank) {
+    return draw(rank, StreamId::kOlb, config_.olb_fault_prob);
+  }
+
+  /// Flip one deterministic payload bit in the (possibly strided) element
+  /// layout at `data` — the corruption a bit-flip fault delivers.
+  void corrupt_payload(int rank, void* data, std::size_t elem_size,
+                       std::size_t nelems, int stride);
+
+  /// Scripted-kill hooks: count this PE's barrier arrivals / RMA issues and
+  /// throw PeKilledError on the victim at the configured trigger point.
+  void on_barrier_arrival(int rank) {
+    if (config_.kill_site != KillSite::kBarrier || rank != config_.kill_rank)
+      return;
+    count_and_maybe_kill(rank, "barrier");
+  }
+  void on_rma_issue(int rank) {
+    if (config_.kill_site != KillSite::kRma || rank != config_.kill_rank)
+      return;
+    count_and_maybe_kill(rank, "RMA");
+  }
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Zero the counters (between benchmark repetitions). The RNG streams are
+  /// deliberately NOT rewound: the fault timeline keeps advancing so a
+  /// multi-region program stays on one deterministic schedule.
+  void reset_counters() { counters_.reset(); }
+
+ private:
+  enum class StreamId : std::uint8_t {
+    kDrop = 0,
+    kDelay,
+    kBitflip,
+    kOlb,
+    kBits,  // bit-position picks for corrupt_payload
+    kCount,
+  };
+  static constexpr int kStreams = static_cast<int>(StreamId::kCount);
+
+  /// One PE's private injection state; cache-line separated so concurrent
+  /// PEs never share a line.
+  struct alignas(64) PeState {
+    std::vector<Xoshiro256ss> streams;  // one per StreamId
+    std::uint64_t trigger_count = 0;    // barrier arrivals or RMA issues
+  };
+
+  bool draw(int rank, StreamId id, double prob);
+  Xoshiro256ss& stream(int rank, StreamId id);
+  void count_and_maybe_kill(int rank, const char* site);
+
+  FaultConfig config_;
+  bool enabled_;
+  std::vector<std::unique_ptr<PeState>> pes_;
+  FaultCounters counters_;
+};
+
+}  // namespace xbgas

@@ -1,9 +1,12 @@
 #include "machine/barrier.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "fault/injector.hpp"
 #include "machine/machine.hpp"
 
 namespace xbgas {
@@ -22,23 +25,53 @@ void trace_barrier(EventKind kind, std::uint64_t at_cycles, int n) {
   pe->trace().record_at(at_cycles, kind, -1, algorithm, rounds);
 }
 
+std::string rank_list(const std::vector<int>& ranks) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(ranks[i]);
+  }
+  return out + "]";
+}
+
 }  // namespace
 
-ClockSyncBarrier::ClockSyncBarrier(int n_participants, Reconcile reconcile)
-    : n_(n_participants), reconcile_(std::move(reconcile)) {
+ClockSyncBarrier::ClockSyncBarrier(int n_participants, Reconcile reconcile,
+                                   std::uint64_t watchdog_ms,
+                                   std::vector<int> member_ranks)
+    : n_(n_participants),
+      reconcile_(std::move(reconcile)),
+      watchdog_ms_(watchdog_ms),
+      member_ranks_(std::move(member_ranks)) {
   XBGAS_CHECK(n_participants >= 1, "barrier needs >= 1 participant");
+}
+
+void ClockSyncBarrier::throw_poisoned_locked() const {
+  // Copy out before throwing: the unwind releases the lock and another
+  // thread may poison again (no-op) or read the info concurrently.
+  const BarrierPoison p = poison_;
+  if (p.failed_rank >= 0) throw PeFailedError(p.reason, p.failed_rank);
+  if (p.timeout) throw BarrierTimeoutError(p.reason, p.arrived, p.missing);
+  throw Error(p.reason.empty()
+                  ? "barrier poisoned: a PE terminated abnormally"
+                  : p.reason);
 }
 
 std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
   trace_barrier(EventKind::kBarrierEnter, my_cycles, n_);
+  PeContext* pe = current_pe_context();
+  const int my_rank = pe != nullptr ? pe->rank() : -1;
+
   std::unique_lock<std::mutex> lock(mutex_);
-  if (poisoned_) throw Error("barrier poisoned: a PE terminated abnormally");
+  if (poisoned_) throw_poisoned_locked();
 
   max_cycles_ = std::max(max_cycles_, my_cycles);
+  arrived_ranks_.push_back(my_rank);
   if (++arrived_ == n_) {
     // Last arriver: reconcile, open the next generation, release everyone.
     result_ = reconcile_ ? reconcile_(max_cycles_, n_) : max_cycles_;
     arrived_ = 0;
+    arrived_ranks_.clear();
     max_cycles_ = 0;
     ++generation_;
     cv_.notify_all();
@@ -49,17 +82,60 @@ std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
   }
 
   const std::uint64_t my_generation = generation_;
-  cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
-  if (poisoned_) throw Error("barrier poisoned: a PE terminated abnormally");
+  const auto released = [&] {
+    return generation_ != my_generation || poisoned_;
+  };
+  if (watchdog_ms_ == 0) {
+    cv_.wait(lock, released);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(watchdog_ms_),
+                           released)) {
+    // Watchdog fired: some participants never arrived. Poison with the full
+    // rendezvous roster so the hang becomes a diagnosis, then throw like
+    // every other waiter will.
+    BarrierPoison info;
+    info.timeout = true;
+    info.arrived = arrived_ranks_;
+    if (!member_ranks_.empty()) {
+      for (const int r : member_ranks_) {
+        if (std::find(info.arrived.begin(), info.arrived.end(), r) ==
+            info.arrived.end()) {
+          info.missing.push_back(r);
+        }
+      }
+    }
+    info.reason = strfmt(
+        "barrier watchdog: %d of %d participants arrived within %llu ms; "
+        "arrived ranks %s, missing ranks %s",
+        arrived_, n_, static_cast<unsigned long long>(watchdog_ms_),
+        rank_list(info.arrived).c_str(),
+        member_ranks_.empty() ? "(unknown)" : rank_list(info.missing).c_str());
+    poisoned_ = true;
+    poison_ = info;
+    cv_.notify_all();
+    if (pe != nullptr) {
+      pe->machine().fault_injector().counters().barrier_timeouts.fetch_add(
+          1, std::memory_order_relaxed);
+      pe->trace().record(EventKind::kBarrierTimeout, -1,
+                         static_cast<std::uint64_t>(info.arrived.size()),
+                         static_cast<std::uint64_t>(n_));
+    }
+    throw_poisoned_locked();
+  }
+  if (poisoned_) throw_poisoned_locked();
   const std::uint64_t r = result_;
   lock.unlock();
   trace_barrier(EventKind::kBarrierExit, r, n_);
   return r;
 }
 
-void ClockSyncBarrier::poison() {
+void ClockSyncBarrier::poison() { poison(BarrierPoison{}); }
+
+void ClockSyncBarrier::poison(BarrierPoison info) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  poisoned_ = true;
+  if (!poisoned_) {
+    poisoned_ = true;
+    poison_ = std::move(info);
+  }
   cv_.notify_all();
 }
 

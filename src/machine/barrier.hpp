@@ -8,9 +8,20 @@
 // which folds in shared-fabric serialization and the barrier's own modeled
 // cost) and every participant leaves with the agreed post-barrier clock.
 //
-// The barrier can be *poisoned* when a PE dies with an exception: all
-// current and future waiters throw instead of deadlocking, letting
-// Machine::run unwind the whole SPMD region and rethrow the original error.
+// Failure semantics (docs/RESILIENCE.md):
+//
+//  * The barrier can be *poisoned* when a PE dies with an exception: all
+//    current and future waiters throw instead of deadlocking, letting
+//    Machine::run unwind the whole SPMD region. A poison carries its cause —
+//    when a PE death triggered it, waiters throw PeFailedError naming the
+//    dead rank (the team fail-fast protocol); a generic poison throws plain
+//    xbgas::Error, preserving the original behavior.
+//
+//  * An optional *watchdog* (FaultConfig::barrier_timeout_ms, host time)
+//    bounds how long a participant may wait. When it fires, the waiter
+//    poisons the barrier itself and every participant throws
+//    BarrierTimeoutError listing which ranks arrived and which never did —
+//    a hang becomes a diagnosis.
 //
 // Implementation: mutex + condvar sense/generation barrier. The host may be
 // heavily oversubscribed (PEs >> cores), so sleeping waiters beat spinners.
@@ -19,39 +30,68 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/errors.hpp"
 
 namespace xbgas {
+
+/// Why a barrier was poisoned; decides which exception waiters throw.
+struct BarrierPoison {
+  std::string reason;     ///< full diagnostic message (empty = generic)
+  int failed_rank = -1;   ///< >= 0: a PE died -> waiters throw PeFailedError
+  bool timeout = false;   ///< watchdog fired -> waiters throw BarrierTimeoutError
+  std::vector<int> arrived;  ///< world ranks that reached the rendezvous
+  std::vector<int> missing;  ///< world ranks that never arrived (if known)
+};
 
 class ClockSyncBarrier {
  public:
   using Reconcile = std::function<std::uint64_t(std::uint64_t max_cycles, int n)>;
 
   /// `reconcile` may be empty, in which case the barrier result is simply
-  /// the max of the participants' clocks.
-  explicit ClockSyncBarrier(int n_participants, Reconcile reconcile = {});
+  /// the max of the participants' clocks. `watchdog_ms` (host milliseconds,
+  /// 0 = off) bounds each wait; `member_ranks`, when provided, is the world
+  /// ranks of the expected participants, used only to name missing ranks in
+  /// watchdog diagnostics.
+  explicit ClockSyncBarrier(int n_participants, Reconcile reconcile = {},
+                            std::uint64_t watchdog_ms = 0,
+                            std::vector<int> member_ranks = {});
 
   /// Block until all participants arrive; returns the reconciled clock.
-  /// Throws xbgas::Error if the barrier is (or becomes) poisoned.
+  /// Throws (per BarrierPoison) if the barrier is or becomes poisoned, and
+  /// BarrierTimeoutError if this waiter's watchdog fires first.
   std::uint64_t arrive_and_wait(std::uint64_t my_cycles);
 
-  /// Wake every waiter with an error. Safe to call from any thread.
+  /// Wake every waiter with a generic error. Safe to call from any thread.
   void poison();
+
+  /// Wake every waiter with a typed cause. The first poison wins; later
+  /// calls only re-notify.
+  void poison(BarrierPoison info);
 
   bool poisoned() const;
 
   int participants() const { return n_; }
 
  private:
+  [[noreturn]] void throw_poisoned_locked() const;
+
   const int n_;
   Reconcile reconcile_;
+  const std::uint64_t watchdog_ms_;
+  const std::vector<int> member_ranks_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   int arrived_ = 0;
+  std::vector<int> arrived_ranks_;  ///< world ranks in the open generation
   std::uint64_t generation_ = 0;
   std::uint64_t max_cycles_ = 0;
   std::uint64_t result_ = 0;
   bool poisoned_ = false;
+  BarrierPoison poison_;
 };
 
 }  // namespace xbgas

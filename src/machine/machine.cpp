@@ -52,8 +52,10 @@ const std::byte* PeContext::resolve_symmetric(int pe, const void* local) const {
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       network_(make_topology(config.topology_name, config.n_pes), config.net),
-      tracer_(config.n_pes, config.trace) {
+      tracer_(config.n_pes, config.trace),
+      fault_injector_(config.fault, config.n_pes) {
   XBGAS_CHECK(config.n_pes >= 1, "machine needs >= 1 PE");
+  dead_.assign(static_cast<std::size_t>(config.n_pes), 0);
   pes_.reserve(static_cast<std::size_t>(config.n_pes));
   for (int r = 0; r < config.n_pes; ++r) {
     pes_.push_back(std::make_unique<PeContext>(*this, r, config_));
@@ -73,10 +75,16 @@ Machine::Machine(const MachineConfig& config)
     }
   }
   validation_slots_.assign(static_cast<std::size_t>(config.n_pes), 0);
+  std::vector<int> world_ranks(static_cast<std::size_t>(config.n_pes));
+  for (int r = 0; r < config.n_pes; ++r) {
+    world_ranks[static_cast<std::size_t>(r)] = r;
+  }
   world_barrier_ = std::make_unique<ClockSyncBarrier>(
-      config.n_pes, [this](std::uint64_t max_cycles, int n) {
+      config.n_pes,
+      [this](std::uint64_t max_cycles, int n) {
         return network_.reconcile_phase(max_cycles, n);
-      });
+      },
+      config.fault.barrier_timeout_ms, std::move(world_ranks));
   register_barrier(world_barrier_.get());
   set_log_rank_provider(&log_rank_provider);
 }
@@ -94,29 +102,97 @@ const PeContext& Machine::pe(int rank) const {
 }
 
 void Machine::run(const std::function<void(PeContext&)>& body) {
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // One slot per PE, written only by that PE's thread and read after join —
+  // no exception is ever dropped, and the report below lists all of them.
+  struct Slot {
+    bool failed = false;
+    PeFailure failure;
+  };
+  std::vector<Slot> slots(pes_.size());
 
   std::vector<std::thread> threads;
   threads.reserve(pes_.size());
-  for (auto& pe_ptr : pes_) {
-    threads.emplace_back([&, ctx = pe_ptr.get()] {
+  for (std::size_t i = 0; i < pes_.size(); ++i) {
+    threads.emplace_back([&, ctx = pes_[i].get(), i] {
       t_current_pe = ctx;
+      const int rank = ctx->rank();
       try {
         body(*ctx);
+      } catch (const PeFailedError& e) {
+        // Secondary: this PE unwound from a barrier poisoned by another
+        // PE's death. The barriers are already poisoned with the primary's
+        // cause — don't re-poison with the echo.
+        slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/true}};
+      } catch (const std::exception& e) {
+        slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/false}};
+        poison_all_barriers(rank, e.what());
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        poison_all_barriers();
+        slots[i] = Slot{true, PeFailure{rank, "unknown exception",
+                                        /*secondary=*/false}};
+        poison_all_barriers(rank, "unknown exception");
       }
       t_current_pe = nullptr;
     });
   }
   for (auto& t : threads) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  // Collect primaries before secondaries, each in rank order.
+  std::vector<PeFailure> region_failures;
+  for (const Slot& s : slots) {
+    if (s.failed && !s.failure.secondary) region_failures.push_back(s.failure);
+  }
+  const std::size_t n_primary = region_failures.size();
+  for (const Slot& s : slots) {
+    if (s.failed && s.failure.secondary) region_failures.push_back(s.failure);
+  }
+  if (region_failures.empty()) return;
+
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const PeFailure& f : region_failures) {
+      // Secondaries are survivors that failed *fast* because someone else
+      // died; only primaries count as dead in the health view.
+      if (!f.secondary) dead_[static_cast<std::size_t>(f.rank)] = 1;
+      failures_.push_back(f);
+    }
+  }
+
+  std::string msg = "SPMD region failed on " +
+                    std::to_string(region_failures.size()) + " of " +
+                    std::to_string(pes_.size()) + " PEs (" +
+                    std::to_string(n_primary) + " primary):";
+  for (const PeFailure& f : region_failures) {
+    msg += "\n  rank " + std::to_string(f.rank) +
+           (f.secondary ? " (secondary): " : ": ") + f.what;
+  }
+  throw SpmdRegionError(msg, std::move(region_failures));
+}
+
+bool Machine::alive(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes(), "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  return dead_[static_cast<std::size_t>(rank)] == 0;
+}
+
+int Machine::n_alive() const {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  int n = 0;
+  for (const char d : dead_) n += d == 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<int> Machine::failed_ranks() const {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  std::vector<int> out;
+  for (std::size_t r = 0; r < dead_.size(); ++r) {
+    if (dead_[r] != 0) out.push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+std::vector<PeFailure> Machine::failures() const {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  return failures_;
 }
 
 std::uint64_t Machine::max_cycles() const {
@@ -137,6 +213,9 @@ void Machine::reset_time_and_stats() {
   network_.reset_totals();
   network_.reset_phase();
   tracer_.clear();
+  // Fault counters reset with the other statistics; the injection RNG
+  // streams deliberately keep their position (see FaultInjector).
+  fault_injector_.reset_counters();
 }
 
 std::uint64_t& Machine::validation_slot(int rank) {
@@ -151,7 +230,7 @@ void Machine::register_barrier(ClockSyncBarrier* barrier) {
   // dead PE: poison it at birth or a surviving registrant waits forever
   // (e.g. a team member re-creating the shared rendezvous barrier after the
   // first copy was destroyed on the failure path).
-  if (pe_failed_) barrier->poison();
+  if (pe_failed_) barrier->poison(first_poison_);
 }
 
 void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
@@ -159,10 +238,15 @@ void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
   std::erase(barriers_, barrier);
 }
 
-void Machine::poison_all_barriers() {
+void Machine::poison_all_barriers(int failed_rank, const std::string& cause) {
+  BarrierPoison info;
+  info.failed_rank = failed_rank;
+  info.reason = "PE " + std::to_string(failed_rank) + " failed (" + cause +
+                "); surviving PEs fail fast";
   const std::lock_guard<std::mutex> lock(barriers_mutex_);
   pe_failed_ = true;
-  for (auto* b : barriers_) b->poison();
+  if (first_poison_.reason.empty()) first_poison_ = info;
+  for (auto* b : barriers_) b->poison(info);
 }
 
 }  // namespace xbgas

@@ -6,8 +6,11 @@
 // A Machine owns N processing elements. Each PE has its own memory arena
 // (Figure 2 layout), OLB pre-populated with every peer's shared segment,
 // cache hierarchy, simulated clock, and deterministic allocators. run()
-// executes an SPMD body on one std::thread per PE and rethrows the first
-// PE failure after poisoning the world barrier so no thread deadlocks.
+// executes an SPMD body on one std::thread per PE; a failing PE poisons
+// every registered barrier (so no thread deadlocks) and run() throws a
+// composite SpmdRegionError listing every failed rank and cause. The
+// machine also owns the FaultInjector (src/fault) and a post-mortem health
+// view (alive / failed_ranks / failures).
 
 #include <exception>
 #include <functional>
@@ -15,6 +18,9 @@
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "fault/config.hpp"
+#include "fault/errors.hpp"
+#include "fault/injector.hpp"
 #include "machine/barrier.hpp"
 #include "machine/port.hpp"
 #include "memory/arena.hpp"
@@ -36,6 +42,7 @@ struct MachineConfig {
   NetCostParams net{};
   HierarchyConfig cache{};
   TraceConfig trace{};
+  FaultConfig fault{};
 };
 
 /// Per-PE state handed to the SPMD body. Owned by the Machine; never
@@ -115,16 +122,39 @@ class Machine {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
 
+  FaultInjector& fault_injector() { return fault_injector_; }
+  const FaultInjector& fault_injector() const { return fault_injector_; }
+
   ClockSyncBarrier& world_barrier() { return *world_barrier_; }
 
   PeContext& pe(int rank);
   const PeContext& pe(int rank) const;
 
-  /// Execute `body` as an SPMD region: one thread per PE. Exceptions from
-  /// any PE poison the world barrier and the first one is rethrown here.
-  /// During the region, current_pe_context() returns the calling thread's
-  /// context.
+  /// Execute `body` as an SPMD region: one thread per PE. A failing PE
+  /// poisons every registered barrier with its rank and cause, so surviving
+  /// waiters unwind with PeFailedError instead of deadlocking. Every PE's
+  /// failure is collected; when any PE failed, run throws SpmdRegionError
+  /// listing each failed rank and cause (primaries before the secondary
+  /// poison unwinds) — no exception is silently dropped. During the region,
+  /// current_pe_context() returns the calling thread's context.
   void run(const std::function<void(PeContext&)>& body);
+
+  // -- Post-mortem health view (docs/RESILIENCE.md) --
+
+  /// True while `rank` has never *primarily* failed in any SPMD region on
+  /// this machine. Survivors that unwound with PeFailedError because some
+  /// other PE died (secondary failures) stay alive.
+  bool alive(int rank) const;
+
+  /// Number of PEs that are still alive.
+  int n_alive() const;
+
+  /// World ranks that have primarily failed, ascending.
+  std::vector<int> failed_ranks() const;
+
+  /// Every recorded PE failure (rank, cause, primary/secondary), in rank
+  /// order per region, accumulated across regions.
+  std::vector<PeFailure> failures() const;
 
   /// Max simulated clock across PEs (the "makespan" of the last region).
   std::uint64_t max_cycles() const;
@@ -146,11 +176,14 @@ class Machine {
   void unregister_barrier(ClockSyncBarrier* barrier);
 
  private:
-  void poison_all_barriers();
+  /// Poison every registered barrier with the failing rank and cause; the
+  /// first failure's poison info also applies to late-registered barriers.
+  void poison_all_barriers(int failed_rank, const std::string& cause);
 
   MachineConfig config_;
   NetworkModel network_;
   Tracer tracer_;
+  FaultInjector fault_injector_;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<ClockSyncBarrier> world_barrier_;
   std::vector<std::uint64_t> validation_slots_;
@@ -158,6 +191,11 @@ class Machine {
   std::mutex barriers_mutex_;
   std::vector<ClockSyncBarrier*> barriers_;
   bool pe_failed_ = false;  ///< a PE died; poison late-registered barriers too
+  BarrierPoison first_poison_;  ///< cause applied to late-registered barriers
+
+  mutable std::mutex health_mutex_;
+  std::vector<char> dead_;            ///< per-rank "has ever failed" flags
+  std::vector<PeFailure> failures_;   ///< accumulated failure records
 };
 
 /// The PE context bound to the calling thread inside Machine::run, or

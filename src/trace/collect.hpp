@@ -63,6 +63,22 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("trace.enabled", tracer.enabled() ? 1 : 0);
   reg.set("trace.recorded", tracer.total_recorded());
   reg.set("trace.dropped", tracer.total_dropped());
+
+  const FaultCounters& fault = machine.fault_injector().counters();
+  const auto ld = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  reg.set("fault.injected.rma_drop", ld(fault.rma_drops));
+  reg.set("fault.injected.rma_delay", ld(fault.rma_delays));
+  reg.set("fault.injected.bitflip", ld(fault.rma_bitflips));
+  reg.set("fault.injected.olb_fault", ld(fault.olb_faults));
+  reg.set("fault.injected.kills", ld(fault.kills));
+  reg.set("rma.retries", ld(fault.rma_retries));
+  reg.set("rma.checksum_failures", ld(fault.checksum_failures));
+  reg.set("barrier.timeouts", ld(fault.barrier_timeouts));
+  reg.set("machine.pes_alive", static_cast<std::uint64_t>(machine.n_alive()));
+  reg.set("machine.pes_failed",
+          static_cast<std::uint64_t>(machine.n_pes() - machine.n_alive()));
   return reg;
 }
 

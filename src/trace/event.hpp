@@ -42,9 +42,18 @@ enum class EventKind : std::uint8_t {
   // Collective staging allocator (LIFO scratch, runtime §3.3). a = bytes.
   kStagingAlloc,
   kStagingFree,
+  // Fault injection + resilience (src/fault). An injected fault landing on
+  // this PE: a = FaultSite as int, b = attempt number within the transfer.
+  kFaultInject,
+  // A remote transfer being re-tried after a transient fault.
+  // a = attempt number, b = backoff cycles charged.
+  kRmaRetry,
+  // Barrier watchdog fired on this PE. a = participants that arrived,
+  // b = expected participants.
+  kBarrierTimeout,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kStagingFree) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kBarrierTimeout) + 1;
 
 /// Stable short name for exporters and dumps.
 constexpr const char* event_kind_name(EventKind k) {
@@ -65,6 +74,9 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kTlbMiss: return "tlb_miss";
     case EventKind::kStagingAlloc: return "staging_alloc";
     case EventKind::kStagingFree: return "staging_free";
+    case EventKind::kFaultInject: return "fault_inject";
+    case EventKind::kRmaRetry: return "rma_retry";
+    case EventKind::kBarrierTimeout: return "barrier_timeout";
   }
   return "unknown";
 }

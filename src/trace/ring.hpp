@@ -7,11 +7,16 @@
 // or allocating on the hot path. Readers (exporters, tests) normally run
 // after Machine::run has joined the PE threads, when the ring is quiescent;
 // a concurrent snapshot is safe in the sense that it never crashes and the
-// recorded/dropped counters are exact, but in-flight slots may hold either
-// the old or the new event.
+// recorded/dropped counters are exact, but a slot being overwritten during
+// the copy may yield a mix of the old and new events' words. Slots are
+// stored as relaxed atomic words so that concurrent access is defined
+// behavior (and TSan-clean) without adding anything to the hot path —
+// relaxed stores compile to plain moves.
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "trace/event.hpp"
@@ -34,7 +39,12 @@ class EventRing {
   /// Append one event. Owner-thread only; never allocates, never blocks.
   void push(const TraceEvent& e) {
     const std::uint64_t n = count_.load(std::memory_order_relaxed);
-    buf_[static_cast<std::size_t>(n) & mask_] = e;
+    Slot& slot = buf_[static_cast<std::size_t>(n) & mask_];
+    std::uint64_t words[kSlotWords] = {};
+    std::memcpy(words, &e, sizeof(e));
+    for (std::size_t w = 0; w < kSlotWords; ++w) {
+      slot.words[w].store(words[w], std::memory_order_relaxed);
+    }
     count_.store(n + 1, std::memory_order_release);
   }
 
@@ -59,7 +69,14 @@ class EventRing {
     std::vector<TraceEvent> out;
     out.reserve(static_cast<std::size_t>(held));
     for (std::uint64_t i = n - held; i < n; ++i) {
-      out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+      const Slot& slot = buf_[static_cast<std::size_t>(i) & mask_];
+      std::uint64_t words[kSlotWords];
+      for (std::size_t w = 0; w < kSlotWords; ++w) {
+        words[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      TraceEvent e;
+      std::memcpy(&e, words, sizeof(e));
+      out.push_back(e);
     }
     return out;
   }
@@ -68,13 +85,21 @@ class EventRing {
   void clear() { count_.store(0, std::memory_order_release); }
 
  private:
+  static constexpr std::size_t kSlotWords =
+      (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+  static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+  struct Slot {
+    std::atomic<std::uint64_t> words[kSlotWords];
+  };
+
   static std::size_t next_pow2(std::size_t v) {
     std::size_t p = 1;
     while (p < v) p <<= 1;
     return p;
   }
 
-  std::vector<TraceEvent> buf_;
+  std::vector<Slot> buf_;
   std::size_t mask_;
   std::atomic<std::uint64_t> count_{0};
 };

@@ -1,8 +1,12 @@
 #include "xbrtime/rma.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/error.hpp"
+#include "fault/checksum.hpp"
+#include "fault/injector.hpp"
 #include "net/fabric.hpp"
 #include "olb/olb.hpp"
 
@@ -46,9 +50,68 @@ void copy_elements(std::byte* dst, const std::byte* src, std::size_t elem_size,
   }
 }
 
+/// Modeled cost of software checksum verification: one pass over the moved
+/// bytes on each side of the transfer at cache-line throughput.
+std::uint64_t checksum_cycles(std::size_t bytes) { return (2 * bytes) / 8 + 1; }
+
+/// Exponential backoff for retry attempt `attempt` (1-based), capped so the
+/// shift never overflows. Charged to the SimClock by the caller: resilience
+/// has a measurable modeled-time cost.
+std::uint64_t backoff_cycles(const FaultConfig& fc, int attempt) {
+  const int shift = std::min(attempt - 1, 16);
+  return fc.backoff_base_cycles << shift;
+}
+
+/// Count one retry: the counter, the trace event, and the backoff charge.
+std::uint64_t note_retry(PeContext& ctx, FaultInjector& fault, int pe,
+                         int attempt) {
+  fault.counters().rma_retries.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t backoff = backoff_cycles(fault.config(), attempt);
+  ctx.trace().record(EventKind::kRmaRetry, pe,
+                     static_cast<std::uint64_t>(attempt), backoff);
+  return backoff;
+}
+
+void note_fault(PeContext& ctx, int pe, FaultSite site, int attempt) {
+  ctx.trace().record(EventKind::kFaultInject, pe,
+                     static_cast<std::uint64_t>(site),
+                     static_cast<std::uint64_t>(attempt));
+}
+
 }  // namespace
 
 namespace detail {
+
+void validate_rma(const char* fn, const void* dest, const void* src,
+                  std::size_t nelems, int stride, int pe) {
+  PeContext& ctx = xbrtime_ctx();
+  if (pe < 0 || pe >= ctx.n_pes()) {
+    throw Error(std::string(fn) + ": pe " + std::to_string(pe) +
+                " out of range [0, " + std::to_string(ctx.n_pes()) + ")");
+  }
+  if (stride < 1) {
+    throw Error(std::string(fn) + ": stride must be >= 1 (got " +
+                std::to_string(stride) + ")");
+  }
+  if (nelems == 0) return;  // a zero-length transfer touches no memory
+  if (dest == nullptr) {
+    throw Error(std::string(fn) + ": dest must not be null");
+  }
+  if (src == nullptr) {
+    throw Error(std::string(fn) + ": src must not be null");
+  }
+}
+
+void validate_amo(const char* fn, const void* dest, int pe) {
+  PeContext& ctx = xbrtime_ctx();
+  if (pe < 0 || pe >= ctx.n_pes()) {
+    throw Error(std::string(fn) + ": pe " + std::to_string(pe) +
+                " out of range [0, " + std::to_string(ctx.n_pes()) + ")");
+  }
+  if (dest == nullptr) {
+    throw Error(std::string(fn) + ": dest must not be null");
+  }
+}
 
 void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
@@ -67,7 +130,9 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
 
   if (pe == ctx.rank()) {
     // Local transfer: the §3.2 object-ID-0 shortcut. Plain memory-to-memory
-    // copy with cache-model accounting, no network involvement.
+    // copy with cache-model accounting; never crosses the fabric, so the
+    // fault injector (whose sites are all remote-transfer sites) is not
+    // consulted.
     const std::uint64_t cycles = local_access_cycles(ctx, src_ptr, span) +
                                  local_access_cycles(ctx, dst_ptr, span) +
                                  issue_cycles(ctx.machine().network().params(),
@@ -78,31 +143,108 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   }
 
   NetworkModel& net = ctx.machine().network();
+  FaultInjector& fault = ctx.machine().fault_injector();
+  const FaultConfig& fc = fault.config();
+  const bool faults_on = fault.enabled();
+  const int rank = ctx.rank();
+  if (faults_on) fault.on_rma_issue(rank);  // scripted-kill site (may throw)
+
   std::uint64_t cycles = issue_cycles(net.params(), nelems);
   ctx.trace().record(remote_is_dest ? EventKind::kRmaPutIssue
                                     : EventKind::kRmaGetIssue,
                      pe, bytes);
-  // The architectural OLB translation every remote access performs (§3.2);
-  // keeps the per-PE OLB statistics faithful on the fast path too.
-  (void)ctx.olb().lookup(object_id_for_pe(pe));
 
+  // Local-side cost and symmetric-address rebase (once; retries re-use the
+  // translation result but re-pay the wire).
   if (remote_is_dest) {
-    // put: rebase the symmetric dest onto the target PE.
     cycles += local_access_cycles(ctx, src_ptr, span);
     dst_ptr = ctx.resolve_symmetric(pe, dst_ptr);
-    cycles += net.put_cost(ctx.rank(), pe, bytes);
-    net.record(/*is_put=*/true, bytes, ctx.rank(), pe);
   } else {
-    // get: rebase the symmetric src onto the target PE.
     cycles += local_access_cycles(ctx, dst_ptr, span);
     src_ptr = ctx.resolve_symmetric(pe, src_ptr);
-    cycles += net.get_cost(ctx.rank(), pe, bytes);
-    net.record(/*is_put=*/false, bytes, ctx.rank(), pe);
   }
 
-  // Data always moves eagerly (host memory is coherent); only the modeled
-  // completion time differs between blocking and non-blocking forms.
-  copy_elements(dst_ptr, src_ptr, elem_size, nelems, stride);
+  // Bounded retry with exponential backoff: each attempt performs the
+  // architectural OLB translation (§3.2), pays the full wire cost, and is
+  // recorded in the phase/lifetime traffic accounting — a retransmission
+  // consumes fabric bandwidth exactly like a first attempt.
+  const int max_attempts = 1 + std::max(0, fc.max_rma_retries);
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    (void)ctx.olb().lookup(object_id_for_pe(pe));
+    cycles += remote_is_dest ? net.put_cost(rank, pe, bytes)
+                             : net.get_cost(rank, pe, bytes);
+    net.record(remote_is_dest, bytes, rank, pe);
+
+    if (faults_on && fault.draw_olb_fault(rank)) {
+      fault.counters().olb_faults.fetch_add(1, std::memory_order_relaxed);
+      note_fault(ctx, pe, FaultSite::kOlbFault, attempt);
+      if (attempt >= max_attempts) {
+        ctx.clock().advance(cycles);
+        throw RmaRetriesExhaustedError(
+            "rma_transfer: OLB translation fault persisted through " +
+                std::to_string(attempt) + " attempts (PE " +
+                std::to_string(rank) + " -> " + std::to_string(pe) + ")",
+            attempt);
+      }
+      cycles += note_retry(ctx, fault, pe, attempt);
+      continue;
+    }
+
+    if (faults_on && fault.draw_rma_drop(rank)) {
+      fault.counters().rma_drops.fetch_add(1, std::memory_order_relaxed);
+      note_fault(ctx, pe, FaultSite::kRmaDrop, attempt);
+      if (attempt >= max_attempts) {
+        ctx.clock().advance(cycles);
+        throw RmaRetriesExhaustedError(
+            "rma_transfer: remote transfer dropped " + std::to_string(attempt) +
+                " times, retries exhausted (PE " + std::to_string(rank) +
+                " -> " + std::to_string(pe) + ", " + std::to_string(bytes) +
+                " bytes)",
+            attempt);
+      }
+      cycles += note_retry(ctx, fault, pe, attempt);
+      continue;
+    }
+
+    if (faults_on && fault.draw_rma_delay(rank)) {
+      fault.counters().rma_delays.fetch_add(1, std::memory_order_relaxed);
+      note_fault(ctx, pe, FaultSite::kRmaDelay, attempt);
+      cycles += fc.delay_cycles;
+    }
+
+    copy_elements(dst_ptr, src_ptr, elem_size, nelems, stride);
+
+    if (faults_on && fault.draw_rma_bitflip(rank)) {
+      fault.counters().rma_bitflips.fetch_add(1, std::memory_order_relaxed);
+      note_fault(ctx, pe, FaultSite::kRmaBitflip, attempt);
+      fault.corrupt_payload(rank, dst_ptr, elem_size, nelems, stride);
+    }
+
+    if (fc.verify_checksum) {
+      cycles += checksum_cycles(bytes);
+      const std::uint64_t want =
+          strided_checksum(src_ptr, elem_size, nelems, stride);
+      const std::uint64_t got =
+          strided_checksum(dst_ptr, elem_size, nelems, stride);
+      if (want != got) {
+        fault.counters().checksum_failures.fetch_add(
+            1, std::memory_order_relaxed);
+        if (attempt >= max_attempts) {
+          ctx.clock().advance(cycles);
+          throw RmaRetriesExhaustedError(
+              "rma_transfer: payload checksum mismatch persisted through " +
+                  std::to_string(attempt) + " attempts (PE " +
+                  std::to_string(rank) + " -> " + std::to_string(pe) + ")",
+              attempt);
+        }
+        cycles += note_retry(ctx, fault, pe, attempt);
+        continue;
+      }
+    }
+    break;
+  }
 
   const EventKind done_kind = remote_is_dest ? EventKind::kRmaPutComplete
                                              : EventKind::kRmaGetComplete;
@@ -132,6 +274,8 @@ std::uint64_t amo_cycles(const void* local_addr, std::size_t bytes, int pe) {
     return local_access_cycles(ctx, local_addr, bytes) +
            ctx.cache().config().costs.l1_hit_cycles;
   }
+  FaultInjector& fault = ctx.machine().fault_injector();
+  if (fault.enabled()) fault.on_rma_issue(ctx.rank());  // scripted-kill site
   NetworkModel& net = ctx.machine().network();
   ctx.trace().record(EventKind::kAmo, pe, bytes);
   (void)ctx.olb().lookup(object_id_for_pe(pe));

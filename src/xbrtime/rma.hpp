@@ -20,6 +20,12 @@
 // message — startup (OLB + injection + hop latency) + bytes/link-bandwidth
 // serialization + remote memory access + a per-element issue cost that
 // drops once `nelems` crosses the runtime's loop-unrolling threshold.
+//
+// Resilience (docs/RESILIENCE.md): under an active FaultConfig each remote
+// transfer is attempted up to 1 + max_rma_retries times with exponential
+// backoff charged to the SimClock — retries show up in modeled time — and
+// optional checksum verification turns injected payload corruption into the
+// same retry path instead of silent data loss.
 
 #include <atomic>
 #include <cstddef>
@@ -38,28 +44,42 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
                   bool nonblocking);
 
+/// Entry-point argument validation: throws xbgas::Error naming `fn` and the
+/// offending argument (bad pe, stride < 1, null dest/src) *before* any cost
+/// is charged or any deep machinery (resolve_symmetric) is entered. Null
+/// pointers are permitted for zero-length transfers, which touch no memory.
+void validate_rma(const char* fn, const void* dest, const void* src,
+                  std::size_t nelems, int stride, int pe);
+
+/// Same for the AMO entry points (pe range, null dest).
+void validate_amo(const char* fn, const void* dest, int pe);
+
 }  // namespace detail
 
 template <class T>
 void xbr_put(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::validate_rma("xbr_put", dest, src, nelems, stride, pe);
   detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
                        /*remote_is_dest=*/true, /*nonblocking=*/false);
 }
 
 template <class T>
 void xbr_get(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::validate_rma("xbr_get", dest, src, nelems, stride, pe);
   detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
                        /*remote_is_dest=*/false, /*nonblocking=*/false);
 }
 
 template <class T>
 void xbr_put_nb(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::validate_rma("xbr_put_nb", dest, src, nelems, stride, pe);
   detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
                        /*remote_is_dest=*/true, /*nonblocking=*/true);
 }
 
 template <class T>
 void xbr_get_nb(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
+  detail::validate_rma("xbr_get_nb", dest, src, nelems, stride, pe);
   detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
                        /*remote_is_dest=*/false, /*nonblocking=*/true);
 }
@@ -79,6 +99,7 @@ std::uint64_t amo_cycles(const void* local_addr, std::size_t bytes, int pe);
 template <class T>
   requires(std::is_integral_v<T> && (sizeof(T) == 4 || sizeof(T) == 8))
 T xbr_amo_xor(T* dest, T value, int pe) {
+  detail::validate_amo("xbr_amo_xor", dest, pe);
   PeContext& ctx = xbrtime_ctx();
   T* target = dest;
   if (pe != ctx.rank()) {
@@ -93,6 +114,7 @@ T xbr_amo_xor(T* dest, T value, int pe) {
 template <class T>
   requires(std::is_integral_v<T> && (sizeof(T) == 4 || sizeof(T) == 8))
 T xbr_amo_add(T* dest, T value, int pe) {
+  detail::validate_amo("xbr_amo_add", dest, pe);
   PeContext& ctx = xbrtime_ctx();
   T* target = dest;
   if (pe != ctx.rank()) {

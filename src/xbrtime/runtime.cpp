@@ -102,6 +102,8 @@ void xbrtime_barrier() {
     ctx.clock().set(ctx.pending_completion());
   }
   ctx.clear_pending();
+  FaultInjector& fault = ctx.machine().fault_injector();
+  if (fault.enabled()) fault.on_barrier_arrival(ctx.rank());  // scripted kill
   const std::uint64_t t =
       ctx.machine().world_barrier().arrive_and_wait(ctx.clock().cycles());
   ctx.clock().set(t);

@@ -1,0 +1,188 @@
+// Barrier poison semantics: typed causes, late registration after a PE
+// death, Team barrier churn racing a crash, and the watchdog timeout path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collectives/team.hpp"
+#include "machine/machine.hpp"
+#include "trace/collect.hpp"
+#include "xbrtime/rma.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig small_config(int n_pes, std::uint64_t barrier_timeout_ms = 0) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 256 * 1024};
+  c.fault.barrier_timeout_ms = barrier_timeout_ms;
+  return c;
+}
+
+TEST(BarrierPoisonTest, GenericPoisonThrowsPlainError) {
+  ClockSyncBarrier barrier(2);
+  barrier.poison();
+  try {
+    barrier.arrive_and_wait(0);
+    FAIL() << "poisoned barrier must throw";
+  } catch (const PeFailedError&) {
+    FAIL() << "generic poison must not masquerade as a PE failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("poisoned"), std::string::npos);
+  }
+}
+
+TEST(BarrierPoisonTest, TypedPoisonThrowsPeFailedWithRank) {
+  ClockSyncBarrier barrier(2);
+  BarrierPoison info;
+  info.failed_rank = 3;
+  info.reason = "PE 3 failed (boom); surviving PEs fail fast";
+  barrier.poison(std::move(info));
+  try {
+    barrier.arrive_and_wait(0);
+    FAIL() << "poisoned barrier must throw";
+  } catch (const PeFailedError& e) {
+    EXPECT_EQ(e.failed_rank(), 3);
+    EXPECT_NE(std::string(e.what()).find("PE 3"), std::string::npos);
+  }
+}
+
+TEST(BarrierPoisonTest, FirstPoisonCauseWins) {
+  ClockSyncBarrier barrier(2);
+  BarrierPoison first;
+  first.failed_rank = 1;
+  first.reason = "PE 1 failed (first)";
+  barrier.poison(first);
+  BarrierPoison second;
+  second.failed_rank = 2;
+  second.reason = "PE 2 failed (second)";
+  barrier.poison(second);
+  try {
+    barrier.arrive_and_wait(0);
+    FAIL() << "poisoned barrier must throw";
+  } catch (const PeFailedError& e) {
+    EXPECT_EQ(e.failed_rank(), 1);
+  }
+}
+
+TEST(BarrierPoisonTest, LateRegistrationAfterFailureIsPoisonedWithCause) {
+  Machine machine(small_config(2));
+  EXPECT_THROW(machine.run([](PeContext& pe) {
+                 if (pe.rank() == 0) throw Error("injected failure");
+               }),
+               SpmdRegionError);
+
+  // A barrier born after the region failed inherits the first failure's
+  // cause, so anyone who waits on it learns *which* PE died.
+  ClockSyncBarrier late(2);
+  machine.register_barrier(&late);
+  EXPECT_TRUE(late.poisoned());
+  try {
+    late.arrive_and_wait(0);
+    FAIL() << "late-registered barrier must be poisoned";
+  } catch (const PeFailedError& e) {
+    EXPECT_EQ(e.failed_rank(), 0);
+    EXPECT_NE(std::string(e.what()).find("injected failure"),
+              std::string::npos);
+  }
+  machine.unregister_barrier(&late);
+}
+
+TEST(BarrierPoisonTest, TeamChurnRacingPeDeathNeverDeadlocks) {
+  // PEs 0 and 2 repeatedly create/destroy a team (register/unregister churn
+  // on the machine's barrier list) while PE 1 dies at a random point. The
+  // survivors must always unwind — with PeFailedError naming rank 1 when
+  // the poison lands inside a team barrier.
+  for (int round = 0; round < 8; ++round) {
+    Machine machine(small_config(3));
+    std::atomic<int> team_barriers_survived{0};
+    try {
+      machine.run([&](PeContext& pe) {
+        xbrtime_init();
+        if (pe.rank() == 1) {
+          // Die somewhere inside the survivors' churn loop.
+          std::this_thread::sleep_for(std::chrono::microseconds(round * 300));
+          xbrtime_close();
+          throw Error("injected failure on rank 1");
+        }
+        for (int i = 0; i < 50; ++i) {
+          Team team(0, 2, 2);  // PEs {0, 2}
+          team.barrier();
+          team_barriers_survived.fetch_add(1, std::memory_order_relaxed);
+        }
+        xbrtime_close();
+      });
+      FAIL() << "rank 1's failure must propagate out of run()";
+    } catch (const SpmdRegionError& e) {
+      ASSERT_FALSE(e.failures().empty());
+      EXPECT_EQ(e.failures().front().rank, 1);
+      for (const PeFailure& f : e.failures()) {
+        if (f.rank == 1) continue;
+        EXPECT_TRUE(f.secondary);
+        EXPECT_NE(f.what.find("PE 1 failed"), std::string::npos);
+      }
+    }
+    EXPECT_FALSE(machine.alive(1));
+  }
+}
+
+TEST(BarrierPoisonTest, WatchdogTimeoutNamesArrivedAndMissingRanks) {
+  // PE 1 never arrives at the world barrier; PE 0's watchdog must convert
+  // the hang into a BarrierTimeoutError that names both sides.
+  Machine machine(small_config(2, /*barrier_timeout_ms=*/200));
+  try {
+    machine.run([](PeContext& pe) {
+      if (pe.rank() == 0) {
+        pe.machine().world_barrier().arrive_and_wait(0);
+      }
+      // PE 1 returns without arriving.
+    });
+    FAIL() << "watchdog must fire";
+  } catch (const SpmdRegionError& e) {
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+    ASSERT_FALSE(e.failures().empty());
+    EXPECT_EQ(e.failures().front().rank, 0);
+    EXPECT_NE(e.failures().front().what.find("arrived ranks [0]"),
+              std::string::npos);
+    EXPECT_NE(e.failures().front().what.find("missing ranks [1]"),
+              std::string::npos);
+  }
+  const CounterRegistry counters = collect_counters(machine);
+  EXPECT_EQ(counters.get("barrier.timeouts").value(), 1u);
+}
+
+TEST(BarrierPoisonTest, WatchdogTimeoutThrowsTypedErrorDirectly) {
+  // Outside a Machine, the watchdog still produces the typed error with the
+  // arrived/missing rosters (non-PE threads record rank -1).
+  ClockSyncBarrier barrier(2, {}, /*watchdog_ms=*/100, {0, 1});
+  try {
+    barrier.arrive_and_wait(0);
+    FAIL() << "watchdog must fire";
+  } catch (const BarrierTimeoutError& e) {
+    EXPECT_EQ(e.missing_ranks(), (std::vector<int>{0, 1}));
+    EXPECT_EQ(e.arrived_ranks(), (std::vector<int>{-1}));
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+  EXPECT_TRUE(barrier.poisoned());
+}
+
+TEST(BarrierPoisonTest, WatchdogDoesNotFireWhenAllArrive) {
+  ClockSyncBarrier barrier(2, {}, /*watchdog_ms=*/5000);
+  std::uint64_t other = 0;
+  std::thread peer([&] { other = barrier.arrive_and_wait(7); });
+  const std::uint64_t mine = barrier.arrive_and_wait(3);
+  peer.join();
+  EXPECT_EQ(mine, 7u);
+  EXPECT_EQ(other, 7u);
+  EXPECT_FALSE(barrier.poisoned());
+}
+
+}  // namespace
+}  // namespace xbgas
