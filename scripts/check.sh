@@ -2,12 +2,16 @@
 # Local verification gauntlet:
 #   1. tier-1 verify (ROADMAP.md): configure + build + full test suite,
 #      with -Wall -Wextra -Werror enforced (XBGAS_WERROR defaults ON)
-#   2. the observability suite alone (ctest -R trace)
-#   3. the disabled-path overhead microbenchmark guard
-#   4. an end-to-end trace/counters smoke on bench_pt2pt
-#   5. a fault-injection smoke: deterministic placement + retry absorption
-#   6. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
-#      heavy suites: machine, trace, and fault
+#   2. fast pre-commit path: the unit label alone (ctest -L unit) — what
+#      you run on every edit; stages 3+ are the full gauntlet
+#   3. the observability suite alone (ctest -R trace)
+#   4. the disabled-path overhead microbenchmark guard
+#   5. an end-to-end trace/counters smoke on bench_pt2pt
+#   6. a fault-injection smoke: deterministic placement + retry absorption
+#   7. a collective-policy smoke: --coll-algo dispatch counters line up
+#   8. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#      heavy suites: machine, trace, fault, and the collectives conformance
+#      sweep (every algorithm family under the race detector)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build; the TSan stage
 # uses <build-dir>-tsan)
@@ -16,18 +20,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/6] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/8] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/6] observability suite (ctest -R trace) =="
+echo "== [2/8] fast path: unit label only (ctest -L unit) =="
+ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$(nproc)"
+
+echo "== [3/8] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [3/6] disabled-path overhead guard =="
+echo "== [4/8] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [4/6] trace + counters smoke (bench_pt2pt) =="
+echo "== [5/8] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -46,7 +53,7 @@ print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
 
-echo "== [5/6] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+echo "== [6/8] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
     --counters=json > "$TMP/fault1.txt"
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
@@ -66,11 +73,29 @@ print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
       f"absorbed by {counters['rma.retries']} retries, deterministic replay")
 EOF
 
-echo "== [6/6] TSan pass (machine + trace + fault suites) =="
+echo "== [7/8] collective-policy smoke (docs/COLLECTIVES.md) =="
+"$BUILD"/bench/bench_policy_crossover --pes 8 --sizes 16,4096 --reps 1 \
+    --json "$TMP/cross.json" > /dev/null
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+data = json.load(open(f"{tmp}/cross.json"))
+points = {p["nelems"]: p for p in data["pes"][0]["points"]}
+assert points[16]["auto_algo"] == "tree", "auto must pick tree at 16 elems"
+assert points[4096]["auto_algo"] == "ring", "auto must pick ring at 4096 elems"
+for p in points.values():
+    assert p["auto_cycles"] <= min(p["tree_cycles"], p["ring_cycles"]) * 1.01, \
+        f"auto must track min(tree, ring) at {p['nelems']} elems"
+print("policy smoke OK: auto flips tree->ring across the crossover and "
+      "tracks the faster family")
+EOF
+
+echo "== [8/8] TSan pass (machine + trace + fault + conformance suites) =="
 cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-tsan" -j
-ctest --test-dir "$BUILD-tsan" -R '(machine|Machine|Barrier|trace|fault)' \
+ctest --test-dir "$BUILD-tsan" \
+    -R '(machine|Machine|Barrier|trace|fault|Conformance)' \
     --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

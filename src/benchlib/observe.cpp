@@ -1,7 +1,9 @@
 #include "benchlib/observe.hpp"
 
 #include <cstdio>
+#include <string>
 
+#include "collectives/policy.hpp"
 #include "common/error.hpp"
 #include "trace/collect.hpp"
 #include "trace/export_chrome.hpp"
@@ -34,7 +36,25 @@ void emit_observability(Machine& machine, const CliArgs& args) {
 
   const std::string mode = args.get("counters", "off");
   if (mode == "off") return;
-  const CounterRegistry counters = collect_counters(machine);
+  CounterRegistry counters = collect_counters(machine);
+  // Fold the process-wide collective-dispatch counters in. They live in the
+  // collectives layer (the trace-layer collector can't see them), so the
+  // benchlib does the merge.
+  const CollDispatchCounts coll = coll_dispatch_counts();
+  counters.set("coll.dispatch.total", coll.total);
+  counters.set("coll.dispatch.auto", coll.auto_resolved);
+  for (int a = 1; a < kCollAlgoCount; ++a) {
+    counters.set(std::string("coll.algo.") +
+                     coll_algo_name(static_cast<CollAlgo>(a)),
+                 coll.by_algo[a]);
+    for (int k = 0; k < kCollKindCount; ++k) {
+      if (coll.by_kind_algo[k][a] == 0) continue;  // keep the dump readable
+      counters.set(std::string("coll.") +
+                       coll_kind_name(static_cast<CollKind>(k)) + "." +
+                       coll_algo_name(static_cast<CollAlgo>(a)),
+                   coll.by_kind_algo[k][a]);
+    }
+  }
   if (mode == "table") {
     counters.dump_table(stdout);
   } else if (mode == "json") {

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "collectives/policy.hpp"
 #include "common/error.hpp"
 
 namespace xbgas {
@@ -67,6 +68,9 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
     config.fault.kill_at =
         static_cast<std::uint64_t>(std::stoll(kill.substr(c2 + 1)));
   }
+
+  config.coll_algo = args.get("coll-algo", "auto");
+  (void)parse_coll_algo(config.coll_algo);  // validate eagerly, clear error
 
   const std::string barrier = args.get("barrier", "dissemination");
   if (barrier == "dissemination") {

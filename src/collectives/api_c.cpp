@@ -1,6 +1,6 @@
 #include "collectives/api_c.hpp"
 
-#include "collectives/collectives.hpp"
+#include "collectives/policy.hpp"
 
 namespace xbgas {
 
@@ -8,27 +8,27 @@ namespace xbgas {
   void xbrtime_##NAME##_broadcast(TYPE* dest, const TYPE* src,              \
                                   std::size_t nelems, int stride,           \
                                   int root) {                               \
-    broadcast(dest, src, nelems, stride, root);                             \
+    dispatch_broadcast(dest, src, nelems, stride, root);                             \
   }                                                                         \
   void xbrtime_##NAME##_reduce_sum(TYPE* dest, const TYPE* src,             \
                                    std::size_t nelems, int stride,          \
                                    int root) {                              \
-    reduce<OpSum>(dest, src, nelems, stride, root);                         \
+    dispatch_reduce<OpSum>(dest, src, nelems, stride, root);                         \
   }                                                                         \
   void xbrtime_##NAME##_reduce_prod(TYPE* dest, const TYPE* src,            \
                                     std::size_t nelems, int stride,         \
                                     int root) {                             \
-    reduce<OpProd>(dest, src, nelems, stride, root);                        \
+    dispatch_reduce<OpProd>(dest, src, nelems, stride, root);                        \
   }                                                                         \
   void xbrtime_##NAME##_reduce_min(TYPE* dest, const TYPE* src,             \
                                    std::size_t nelems, int stride,          \
                                    int root) {                              \
-    reduce<OpMin>(dest, src, nelems, stride, root);                         \
+    dispatch_reduce<OpMin>(dest, src, nelems, stride, root);                         \
   }                                                                         \
   void xbrtime_##NAME##_reduce_max(TYPE* dest, const TYPE* src,             \
                                    std::size_t nelems, int stride,          \
                                    int root) {                              \
-    reduce<OpMax>(dest, src, nelems, stride, root);                         \
+    dispatch_reduce<OpMax>(dest, src, nelems, stride, root);                         \
   }                                                                         \
   void xbrtime_##NAME##_scatter(TYPE* dest, const TYPE* src,                \
                                 const int* pe_msgs, const int* pe_disp,     \
@@ -49,17 +49,17 @@ XBGAS_FOREACH_TYPE(XBGAS_DEFINE_COLL)
   void xbrtime_##NAME##_reduce_and(TYPE* dest, const TYPE* src,             \
                                    std::size_t nelems, int stride,          \
                                    int root) {                              \
-    reduce<OpBand>(dest, src, nelems, stride, root);                        \
+    dispatch_reduce<OpBand>(dest, src, nelems, stride, root);                        \
   }                                                                         \
   void xbrtime_##NAME##_reduce_or(TYPE* dest, const TYPE* src,              \
                                   std::size_t nelems, int stride,           \
                                   int root) {                               \
-    reduce<OpBor>(dest, src, nelems, stride, root);                         \
+    dispatch_reduce<OpBor>(dest, src, nelems, stride, root);                         \
   }                                                                         \
   void xbrtime_##NAME##_reduce_xor(TYPE* dest, const TYPE* src,             \
                                    std::size_t nelems, int stride,          \
                                    int root) {                              \
-    reduce<OpBxor>(dest, src, nelems, stride, root);                        \
+    dispatch_reduce<OpBxor>(dest, src, nelems, stride, root);                        \
   }
 
 XBGAS_FOREACH_INT_TYPE(XBGAS_DEFINE_COLL_BITWISE)

@@ -13,21 +13,27 @@
 //   collect     — variable-count allgather (gather+bcast)
 //   fcollect    — fixed-count allgather
 //   alltoall    — personalized all-to-all exchange (pairwise puts)
+//
+// reduce_all and fcollect route through the CollectivePolicy dispatcher
+// (policy.hpp), so large payloads automatically switch from the composed
+// tree form to the bandwidth-optimal ring algorithms.
 
+#include <climits>
 #include <cstddef>
 #include <vector>
 
 #include "collectives/collectives.hpp"
+#include "collectives/policy.hpp"
 
 namespace xbgas {
 
 /// Reduction-to-all: `dest` must be symmetric on every PE and receives the
-/// full reduction result everywhere.
+/// full reduction result everywhere. Algorithm chosen by the active
+/// CollectivePolicy (tree reduce+bcast, or ring reduce-scatter+allgather).
 template <class Op, class T>
 void reduce_all(T* dest, const T* src, std::size_t nelems, int stride,
                 Communicator& comm = world_comm()) {
-  reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
-  broadcast(dest, dest, nelems, stride, /*root=*/0, comm);
+  dispatch_reduce_all<Op>(dest, src, nelems, stride, comm);
 }
 
 template <class T>
@@ -48,19 +54,20 @@ void collect(T* dest, const T* src, const int* pe_msgs, const int* pe_disp,
 
 /// Fixed-count gather-to-all (OpenSHMEM `fcollect`): every PE contributes
 /// exactly `nelems_per_pe` elements; dest must hold n_pes * nelems_per_pe.
+/// Algorithm chosen by the active CollectivePolicy (gather+bcast tree or
+/// ring allgather). The total element count must fit in int because the
+/// gather path's per-PE displacements are int (OpenSHMEM ABI).
 template <class T>
 void fcollect(T* dest, const T* src, std::size_t nelems_per_pe,
               Communicator& comm = world_comm()) {
   const int n = comm.n_pes();
-  std::vector<int> msgs(static_cast<std::size_t>(n),
-                        static_cast<int>(nelems_per_pe));
-  std::vector<int> disp(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    disp[static_cast<std::size_t>(r)] =
-        r * static_cast<int>(nelems_per_pe);
-  }
-  collect(dest, src, msgs.data(), disp.data(),
-          nelems_per_pe * static_cast<std::size_t>(n), comm);
+  // Displacements are computed in size_t; r * int(nelems_per_pe) in int
+  // arithmetic silently overflowed for large per-PE counts.
+  const std::size_t total = nelems_per_pe * static_cast<std::size_t>(n);
+  XBGAS_CHECK(nelems_per_pe <= total, "fcollect: total element count overflow");
+  XBGAS_CHECK(total <= static_cast<std::size_t>(INT_MAX),
+              "fcollect: total element count exceeds INT_MAX");
+  dispatch_fcollect(dest, src, nelems_per_pe, comm);
 }
 
 /// Personalized all-to-all: the segment src[d*nelems_per_pair ..) of every

@@ -1,0 +1,318 @@
+#include "collectives/policy.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "net/topology.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+const char* coll_algo_name(CollAlgo algo) {
+  switch (algo) {
+    case CollAlgo::kAuto: return "auto";
+    case CollAlgo::kTree: return "tree";
+    case CollAlgo::kRing: return "ring";
+    case CollAlgo::kHier: return "hier";
+  }
+  return "unknown";
+}
+
+const char* coll_kind_name(CollKind kind) {
+  switch (kind) {
+    case CollKind::kBroadcast: return "broadcast";
+    case CollKind::kReduce: return "reduce";
+    case CollKind::kAllreduce: return "allreduce";
+    case CollKind::kAllgather: return "allgather";
+  }
+  return "unknown";
+}
+
+CollAlgo parse_coll_algo(const std::string& name) {
+  if (name == "auto") return CollAlgo::kAuto;
+  if (name == "tree") return CollAlgo::kTree;
+  if (name == "ring") return CollAlgo::kRing;
+  if (name == "hier") return CollAlgo::kHier;
+  throw Error("unknown collective algorithm: " + name +
+              " (auto|tree|ring|hier)");
+}
+
+CollectivePolicy::CollectivePolicy() = default;
+
+CollectivePolicy::CollectivePolicy(const MachineConfig& config,
+                                   CollAlgo forced)
+    : net_(config.net),
+      forced_(forced == CollAlgo::kAuto ? parse_coll_algo(config.coll_algo)
+                                        : forced) {
+  const auto topology = make_topology(config.topology_name, config.n_pes);
+  mean_hops_ = config.n_pes > 1 ? topology->mean_hops() : 1.0;
+  if (const auto* cluster =
+          dynamic_cast<const ClusterTopology*>(topology.get())) {
+    cluster_group_ = cluster->group_size();
+    cluster_remote_hops_ = cluster->remote_hops();
+  }
+}
+
+namespace {
+
+/// Per-message startup cost with an explicit hop distance.
+double alpha_cycles(const NetCostParams& net, double hops) {
+  return static_cast<double>(net.olb_lookup_cycles) +
+         static_cast<double>(net.injection_cycles) +
+         hops * static_cast<double>(net.per_hop_cycles) +
+         static_cast<double>(net.remote_mem_cycles) +
+         static_cast<double>(net.fabric_message_cycles) +
+         static_cast<double>(net.message_header_bytes) /
+             net.link_bytes_per_cycle;
+}
+
+double message_with_hops(const NetCostParams& net, double hops,
+                         std::size_t bytes) {
+  return alpha_cycles(net, hops) +
+         static_cast<double>(bytes) / net.link_bytes_per_cycle;
+}
+
+constexpr double kGamma = static_cast<double>(detail::kReduceOpCycles);
+
+}  // namespace
+
+double CollectivePolicy::message_cost(std::size_t bytes) const {
+  return message_with_hops(net_, mean_hops_, bytes);
+}
+
+double CollectivePolicy::barrier_cost(int n_pes) const {
+  return static_cast<double>(net_.barrier_cycles(std::max(n_pes, 1)));
+}
+
+double CollectivePolicy::tree_cost(CollKind kind, int n_pes,
+                                   std::size_t nelems,
+                                   std::size_t elem_size) const {
+  if (n_pes <= 1) return 0.0;
+  const std::size_t bytes = nelems * elem_size;
+  const auto levels = static_cast<double>(
+      ceil_log2(static_cast<std::uint64_t>(n_pes)));
+  const double bar = barrier_cost(n_pes);
+  switch (kind) {
+    case CollKind::kBroadcast:
+      return levels * (message_cost(bytes) + bar);
+    case CollKind::kReduce:
+      return levels *
+             (message_cost(bytes) + bar + kGamma * static_cast<double>(nelems));
+    case CollKind::kAllreduce:
+      return tree_cost(CollKind::kReduce, n_pes, nelems, elem_size) +
+             tree_cost(CollKind::kBroadcast, n_pes, nelems, elem_size);
+    case CollKind::kAllgather: {
+      // Gather with doubling subtree payloads (nelems is the TOTAL element
+      // count for allgather kinds), then a full-payload broadcast.
+      double gather = 0.0;
+      const auto n = static_cast<std::size_t>(n_pes);
+      for (std::size_t sub = 1; sub < n; sub *= 2) {
+        const std::size_t stage_bytes =
+            std::min(sub, n) * (bytes / n + elem_size);
+        gather += message_cost(stage_bytes) + bar;
+      }
+      return gather + tree_cost(CollKind::kBroadcast, n_pes, nelems, elem_size);
+    }
+  }
+  return 0.0;
+}
+
+double CollectivePolicy::ring_cost(CollKind kind, int n_pes,
+                                   std::size_t nelems,
+                                   std::size_t elem_size) const {
+  if (n_pes <= 1) return 0.0;
+  const std::size_t bytes = nelems * elem_size;
+  const auto n = static_cast<double>(n_pes);
+  const double bar = barrier_cost(n_pes);
+  switch (kind) {
+    case CollKind::kBroadcast:
+    case CollKind::kReduce: {
+      const auto segs = static_cast<double>(ring_default_segments(nelems));
+      const double steps = (n - 2.0) + segs;
+      const double per_step =
+          message_cost(static_cast<std::size_t>(
+              static_cast<double>(bytes) / segs)) + bar;
+      const double combine = kind == CollKind::kReduce
+                                 ? kGamma * static_cast<double>(nelems)
+                                 : 0.0;
+      return steps * per_step + combine;
+    }
+    case CollKind::kAllreduce: {
+      const auto chunk = static_cast<std::size_t>(
+          static_cast<double>(bytes) / n);
+      return 2.0 * (n - 1.0) * (message_cost(chunk) + bar) +
+             kGamma * static_cast<double>(nelems);
+    }
+    case CollKind::kAllgather: {
+      const auto chunk = static_cast<std::size_t>(
+          static_cast<double>(bytes) / n);
+      return (n - 1.0) * (message_cost(chunk) + bar);
+    }
+  }
+  return 0.0;
+}
+
+bool CollectivePolicy::hier_eligible(CollKind kind, int n_pes) const {
+  if (cluster_group_ <= 1 || n_pes <= 1) return false;
+  if (kind != CollKind::kBroadcast && kind != CollKind::kAllreduce) {
+    return false;
+  }
+  return n_pes % cluster_group_ == 0 && cluster_group_ < n_pes;
+}
+
+double CollectivePolicy::hier_cost(CollKind kind, int n_pes,
+                                   std::size_t nelems,
+                                   std::size_t elem_size) const {
+  if (!hier_eligible(kind, n_pes)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t bytes = nelems * elem_size;
+  const double bar = barrier_cost(n_pes);
+  const int groups = n_pes / cluster_group_;
+  const auto levels_groups = static_cast<double>(
+      ceil_log2(static_cast<std::uint64_t>(groups)));
+  const auto levels_local = static_cast<double>(
+      ceil_log2(static_cast<std::uint64_t>(cluster_group_)));
+  // root -> leader handoff (local) + leaders tree over the long links +
+  // per-node local tree + the two explicit world barriers.
+  const double bcast =
+      message_with_hops(net_, 1.0, bytes) +
+      levels_groups *
+          (message_with_hops(net_, static_cast<double>(cluster_remote_hops_),
+                             bytes) +
+           bar) +
+      levels_local * (message_with_hops(net_, 1.0, bytes) + bar) + 2.0 * bar;
+  if (kind == CollKind::kAllreduce) {
+    return tree_cost(CollKind::kReduce, n_pes, nelems, elem_size) + bcast;
+  }
+  return bcast;
+}
+
+CollAlgo CollectivePolicy::choose(CollKind kind, int n_pes,
+                                  std::size_t nelems, std::size_t elem_size,
+                                  bool world) const {
+  const bool ring_ok = n_pes >= 2;
+  const bool hier_ok = world && hier_eligible(kind, n_pes);
+  if (forced_ != CollAlgo::kAuto) {
+    if (forced_ == CollAlgo::kRing && !ring_ok) return CollAlgo::kTree;
+    if (forced_ == CollAlgo::kHier && !hier_ok) return CollAlgo::kTree;
+    return forced_;
+  }
+  const double tree = tree_cost(kind, n_pes, nelems, elem_size);
+  const double ring = ring_ok ? ring_cost(kind, n_pes, nelems, elem_size)
+                              : std::numeric_limits<double>::infinity();
+  const double hier = hier_ok ? hier_cost(kind, n_pes, nelems, elem_size)
+                              : std::numeric_limits<double>::infinity();
+  CollAlgo best = CollAlgo::kTree;
+  double best_cost = tree;
+  if (ring < best_cost) {
+    best = CollAlgo::kRing;
+    best_cost = ring;
+  }
+  if (hier < best_cost) {
+    best = CollAlgo::kHier;
+  }
+  return best;
+}
+
+std::size_t CollectivePolicy::crossover_nelems(CollKind kind, int n_pes,
+                                               std::size_t elem_size) const {
+  if (n_pes < 2) return std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t kCap = std::size_t{1} << 24;
+  const auto ring_wins = [&](std::size_t x) {
+    return ring_cost(kind, n_pes, x, elem_size) <=
+           tree_cost(kind, n_pes, x, elem_size);
+  };
+  std::size_t hi = 1;
+  while (hi <= kCap && !ring_wins(hi)) hi *= 2;
+  if (hi > kCap) return std::numeric_limits<std::size_t>::max();
+  std::size_t lo = hi / 2;  // ring loses at lo (or lo == 0)
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ring_wins(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch bookkeeping
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_total{0};
+std::atomic<std::uint64_t> g_auto{0};
+std::atomic<std::uint64_t> g_by_algo[kCollAlgoCount] = {};
+std::atomic<std::uint64_t> g_by_kind_algo[kCollKindCount][kCollAlgoCount] = {};
+
+}  // namespace
+
+CollDispatchCounts coll_dispatch_counts() {
+  CollDispatchCounts out;
+  out.total = g_total.load(std::memory_order_relaxed);
+  out.auto_resolved = g_auto.load(std::memory_order_relaxed);
+  for (int a = 0; a < kCollAlgoCount; ++a) {
+    out.by_algo[a] = g_by_algo[a].load(std::memory_order_relaxed);
+    for (int k = 0; k < kCollKindCount; ++k) {
+      out.by_kind_algo[k][a] =
+          g_by_kind_algo[k][a].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void reset_coll_dispatch_counts() {
+  g_total.store(0, std::memory_order_relaxed);
+  g_auto.store(0, std::memory_order_relaxed);
+  for (int a = 0; a < kCollAlgoCount; ++a) {
+    g_by_algo[a].store(0, std::memory_order_relaxed);
+    for (int k = 0; k < kCollKindCount; ++k) {
+      g_by_kind_algo[k][a].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+const CollectivePolicy& active_collective_policy() {
+  // PE threads are created fresh for every SPMD region, so the caches can
+  // never outlive the Machine they were built from.
+  thread_local const Machine* cached_for = nullptr;
+  thread_local CollectivePolicy cached;
+  const Machine& machine = xbrtime_ctx().machine();
+  if (cached_for != &machine) {
+    cached = CollectivePolicy(machine.config());
+    cached_for = &machine;
+  }
+  return cached;
+}
+
+namespace detail {
+
+CollAlgo resolve_and_record(CollKind kind, int n_pes, std::size_t nelems,
+                            std::size_t elem_size, bool world) {
+  const CollectivePolicy& policy = active_collective_policy();
+  const CollAlgo algo = policy.choose(kind, n_pes, nelems, elem_size, world);
+  g_total.fetch_add(1, std::memory_order_relaxed);
+  if (policy.forced() == CollAlgo::kAuto) {
+    g_auto.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_by_algo[static_cast<int>(algo)].fetch_add(1, std::memory_order_relaxed);
+  g_by_kind_algo[static_cast<int>(kind)][static_cast<int>(algo)].fetch_add(
+      1, std::memory_order_relaxed);
+  xbrtime_ctx().trace().record(
+      EventKind::kCollDispatch, -1,
+      (static_cast<std::uint64_t>(kind) << 8) |
+          static_cast<std::uint64_t>(algo),
+      nelems * elem_size);
+  return algo;
+}
+
+}  // namespace detail
+
+}  // namespace xbgas

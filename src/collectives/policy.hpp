@@ -1,0 +1,233 @@
+#pragma once
+
+// Cost-model-driven collective algorithm selection — the layer the paper's
+// §7 future work asks for once "algorithms optimized for larger message
+// sizes" exist alongside the binomial tree. The repo now carries three
+// algorithm families (tree in collectives.hpp, segmented ring in ring.hpp,
+// locality-aware hierarchical in hierarchical.hpp); CollectivePolicy is the
+// analytic latency–bandwidth model that picks between them per collective
+// and per (n_pes, payload bytes) point, and the dispatch_* templates below
+// are the call sites that consult it.
+//
+// The model is the classic alpha–beta decomposition parameterized from the
+// machine's own NetCostParams (docs/COLLECTIVES.md derives the formulas):
+//
+//   message(b) = alpha + b * beta
+//     alpha = OLB lookup + injection + mean_hops * per_hop + remote memory
+//             + fabric per-message cost + header serialization
+//     beta  = 1 / link_bytes_per_cycle
+//   barrier(n) = NetCostParams::barrier_cycles(n)   (modeled exchange)
+//   gamma      = cycles per reduced element (detail::kReduceOpCycles)
+//
+//   tree      ceil(log2 n) stages, the WHOLE payload per stage
+//   ring      pipelined: (n-2)+S steps of B/S bytes (bcast/reduce) or
+//             2(n-1) steps of B/n bytes (allreduce), n-1 steps (allgather)
+//   hier      leaders-then-local two-level tree; only modeled when the
+//             machine topology is a cluster (locality to exploit)
+//
+// Selection: MachineConfig::coll_algo ("auto" | "tree" | "ring" | "hier")
+// forces a family or leaves the argmin of the model in charge; benches
+// expose it as --coll-algo. Every dispatch bumps the process-wide
+// coll.algo.<name> counters and records a kCollDispatch trace event.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "collectives/hierarchical.hpp"
+#include "collectives/ring.hpp"
+
+namespace xbgas {
+
+/// Algorithm family. kAuto is only a *request* (forced() value); choose()
+/// and the dispatchers always resolve to a concrete family.
+enum class CollAlgo : std::uint8_t { kAuto = 0, kTree, kRing, kHier };
+inline constexpr int kCollAlgoCount = 4;
+
+/// The collective shapes the policy distinguishes.
+enum class CollKind : std::uint8_t {
+  kBroadcast = 0,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+};
+inline constexpr int kCollKindCount = 4;
+
+const char* coll_algo_name(CollAlgo algo);
+const char* coll_kind_name(CollKind kind);
+
+/// Parse "auto" | "tree" | "ring" | "hier"; throws xbgas::Error otherwise.
+CollAlgo parse_coll_algo(const std::string& name);
+
+class CollectivePolicy {
+ public:
+  /// Default NetCostParams on a flat fabric, auto selection.
+  CollectivePolicy();
+
+  /// Parameterize from a machine configuration: wire costs from config.net,
+  /// hop distances (and cluster grouping, when present) from
+  /// config.topology_name, forced algorithm from config.coll_algo unless
+  /// `forced` overrides it.
+  explicit CollectivePolicy(const MachineConfig& config,
+                            CollAlgo forced = CollAlgo::kAuto);
+
+  CollAlgo forced() const { return forced_; }
+  void set_forced(CollAlgo algo) { forced_ = algo; }
+
+  /// Cluster group size from the topology (0 on non-cluster fabrics).
+  int cluster_group() const { return cluster_group_; }
+
+  // -- Analytic cost model (cycles; exposed for tests and the bench) --
+
+  double message_cost(std::size_t bytes) const;
+  double barrier_cost(int n_pes) const;
+  double tree_cost(CollKind kind, int n_pes, std::size_t nelems,
+                   std::size_t elem_size) const;
+  double ring_cost(CollKind kind, int n_pes, std::size_t nelems,
+                   std::size_t elem_size) const;
+  /// +infinity unless `hier_eligible(kind, n_pes)`.
+  double hier_cost(CollKind kind, int n_pes, std::size_t nelems,
+                   std::size_t elem_size) const;
+
+  /// The hierarchical family only implements broadcast, over the world
+  /// communicator, on a cluster topology whose group divides n_pes.
+  bool hier_eligible(CollKind kind, int n_pes) const;
+
+  /// Resolve the algorithm for one call site: the forced family when set
+  /// (with ineligible choices degrading to tree), else the model argmin.
+  /// `world` tells the policy whether the communicator spans the machine
+  /// (hierarchical needs it). Never returns kAuto.
+  CollAlgo choose(CollKind kind, int n_pes, std::size_t nelems,
+                  std::size_t elem_size, bool world = true) const;
+
+  /// Smallest element count at which the model prefers the ring over the
+  /// tree for this collective (the crossover the bench plots), or SIZE_MAX
+  /// when the ring never wins below the search cap (2^24 elements).
+  std::size_t crossover_nelems(CollKind kind, int n_pes,
+                               std::size_t elem_size) const;
+
+ private:
+  NetCostParams net_{};
+  double mean_hops_ = 1.0;
+  int cluster_group_ = 0;
+  int cluster_remote_hops_ = 0;
+  CollAlgo forced_ = CollAlgo::kAuto;
+};
+
+/// Snapshot of the process-wide dispatch counters (every PE's dispatch
+/// counts once). Reset between benchmark repetitions with
+/// reset_coll_dispatch_counts(); benchlib's emit_observability folds these
+/// into the counter registry as coll.algo.<name> / coll.<kind>.<algo>.
+struct CollDispatchCounts {
+  std::uint64_t total = 0;
+  std::uint64_t auto_resolved = 0;  ///< dispatches decided by the model
+  std::uint64_t by_algo[kCollAlgoCount] = {};
+  std::uint64_t by_kind_algo[kCollKindCount][kCollAlgoCount] = {};
+};
+
+CollDispatchCounts coll_dispatch_counts();
+void reset_coll_dispatch_counts();
+
+/// The policy in force for the calling PE (built from its machine's config
+/// and cached per thread). Requires an initialized runtime.
+const CollectivePolicy& active_collective_policy();
+
+namespace detail {
+
+/// Consult the active policy, bump the dispatch counters, and record the
+/// kCollDispatch trace event (a = (kind << 8) | algo, b = payload bytes).
+/// Returns the concrete algorithm to run.
+CollAlgo resolve_and_record(CollKind kind, int n_pes, std::size_t nelems,
+                            std::size_t elem_size, bool world);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points (same contracts as the tree primitives)
+// ---------------------------------------------------------------------------
+
+template <class T>
+void dispatch_broadcast(T* dest, const T* src, std::size_t nelems, int stride,
+                        int root, Communicator& comm = world_comm()) {
+  const bool world = &comm == &world_comm();
+  switch (detail::resolve_and_record(CollKind::kBroadcast, comm.n_pes(),
+                                     nelems, sizeof(T), world)) {
+    case CollAlgo::kRing:
+      ring_broadcast(dest, src, nelems, stride, root, comm);
+      break;
+    case CollAlgo::kHier:
+      hierarchical_broadcast(dest, src, nelems, stride, root,
+                             active_collective_policy().cluster_group());
+      break;
+    default:
+      broadcast(dest, src, nelems, stride, root, comm);
+      break;
+  }
+}
+
+template <class Op, class T>
+void dispatch_reduce(T* dest, const T* src, std::size_t nelems, int stride,
+                     int root, Communicator& comm = world_comm()) {
+  const bool world = &comm == &world_comm();
+  switch (detail::resolve_and_record(CollKind::kReduce, comm.n_pes(), nelems,
+                                     sizeof(T), world)) {
+    case CollAlgo::kRing:
+      ring_reduce<Op>(dest, src, nelems, stride, root, comm);
+      break;
+    default:
+      reduce<Op>(dest, src, nelems, stride, root, comm);
+      break;
+  }
+}
+
+template <class Op, class T>
+void dispatch_reduce_all(T* dest, const T* src, std::size_t nelems,
+                         int stride, Communicator& comm = world_comm()) {
+  const bool world = &comm == &world_comm();
+  switch (detail::resolve_and_record(CollKind::kAllreduce, comm.n_pes(),
+                                     nelems, sizeof(T), world)) {
+    case CollAlgo::kRing:
+      ring_allreduce<Op>(dest, src, nelems, stride, comm);
+      break;
+    case CollAlgo::kHier:
+      reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
+      hierarchical_broadcast(dest, dest, nelems, stride, /*root=*/0,
+                             active_collective_policy().cluster_group());
+      break;
+    default:
+      reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
+      broadcast(dest, dest, nelems, stride, /*root=*/0, comm);
+      break;
+  }
+}
+
+template <class T>
+void dispatch_fcollect(T* dest, const T* src, std::size_t nelems_per_pe,
+                       Communicator& comm = world_comm()) {
+  const int n = comm.n_pes();
+  const bool world = &comm == &world_comm();
+  const std::size_t total =
+      nelems_per_pe * static_cast<std::size_t>(n);
+  switch (detail::resolve_and_record(CollKind::kAllgather, n, total,
+                                     sizeof(T), world)) {
+    case CollAlgo::kRing:
+      ring_allgather(dest, src, nelems_per_pe, comm);
+      break;
+    default: {
+      // The paper's composition: gather to rank 0, then broadcast.
+      std::vector<int> msgs(static_cast<std::size_t>(n),
+                            static_cast<int>(nelems_per_pe));
+      std::vector<int> disp(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        disp[static_cast<std::size_t>(r)] = static_cast<int>(
+            static_cast<std::size_t>(r) * nelems_per_pe);
+      }
+      gather(dest, src, msgs.data(), disp.data(), total, /*root=*/0, comm);
+      broadcast(dest, dest, total, /*stride=*/1, /*root=*/0, comm);
+      break;
+    }
+  }
+}
+
+}  // namespace xbgas

@@ -43,6 +43,11 @@ struct MachineConfig {
   HierarchyConfig cache{};
   TraceConfig trace{};
   FaultConfig fault{};
+  /// Collective algorithm selection: "auto" (cost model), "tree", "ring",
+  /// or "hier". Parsed by the collectives policy layer
+  /// (src/collectives/policy.hpp); kept as a string here so the machine
+  /// substrate stays independent of the collectives layer.
+  std::string coll_algo = "auto";
 };
 
 /// Per-PE state handed to the SPMD body. Owned by the Machine; never

@@ -51,9 +51,12 @@ enum class EventKind : std::uint8_t {
   // Barrier watchdog fired on this PE. a = participants that arrived,
   // b = expected participants.
   kBarrierTimeout,
+  // Collective algorithm dispatch (src/collectives/policy.hpp).
+  // a = (CollKind << 8) | chosen CollAlgo, b = payload bytes.
+  kCollDispatch,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kBarrierTimeout) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kCollDispatch) + 1;
 
 /// Stable short name for exporters and dumps.
 constexpr const char* event_kind_name(EventKind k) {
@@ -77,6 +80,7 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kFaultInject: return "fault_inject";
     case EventKind::kRmaRetry: return "rma_retry";
     case EventKind::kBarrierTimeout: return "barrier_timeout";
+    case EventKind::kCollDispatch: return "coll_dispatch";
   }
   return "unknown";
 }

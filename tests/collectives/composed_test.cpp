@@ -135,6 +135,32 @@ TEST(ComposedTest, AlltoallZeroElements) {
   });
 }
 
+TEST(ComposedTest, FcollectRejectsIntOverflowTotals) {
+  // Regression: the displacement loop used to compute
+  // `r * static_cast<int>(nelems_per_pe)` in int arithmetic, which silently
+  // overflowed for per-PE counts near INT_MAX. The total is now computed in
+  // std::size_t and validated up front, before any allocation — so the huge
+  // request fails loudly (SpmdRegionError wrapping the contract violation)
+  // instead of corrupting displacements.
+  const std::size_t per = static_cast<std::size_t>(INT_MAX) / 2 + 1;
+  EXPECT_THROW(run_spmd(2,
+                        [&](PeContext&) {
+                          int sink = 0;
+                          int src[1] = {7};
+                          fcollect(&sink, src, per);
+                        }),
+               SpmdRegionError);
+  // And a 32-bit-wrapping per-PE count is rejected on one PE too.
+  const std::size_t wrap = static_cast<std::size_t>(INT_MAX) + 1;
+  EXPECT_THROW(run_spmd(1,
+                        [&](PeContext&) {
+                          int sink = 0;
+                          int src[1] = {7};
+                          fcollect(&sink, src, wrap);
+                        }),
+               SpmdRegionError);
+}
+
 TEST(ComposedTest, ChainedComposition) {
   // fcollect then reduce_all over the collected vector: stresses staging
   // reuse across consecutive collectives.

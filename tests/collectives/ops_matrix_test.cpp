@@ -1,0 +1,149 @@
+// Op x type coverage matrix (ISSUE PR 3, satellite 2).
+//
+// Every reduction operator in ops.hpp — OpSum, OpProd, OpMin, OpMax for all
+// 24 Table-1 types, OpBand/OpBor/OpBxor for the 21 integral types — run
+// through the policy-dispatched reduce/reduce_all against a sequential
+// golden fold. Input values are kept tiny (sums <= 24, products <= 16) so
+// even the 8-bit types stay in range and floating-point arithmetic on them
+// is exact. A separate test pins down float-sum determinism: for a fixed
+// (seed, n_pes) the reduction is bitwise reproducible run over run, for
+// every algorithm family.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "collectives/composed.hpp"
+#include "collectives/policy.hpp"
+#include "xbrtime/types.hpp"
+#include "helpers.hpp"
+
+namespace xbgas {
+namespace {
+
+using testing::run_spmd;
+
+constexpr std::size_t kNelems = 9;
+constexpr int kPes = 6;  // non-power-of-two: exercises the vrank guard
+
+/// Arithmetic-op inputs: 0..3 for sum/min/max, 1..2 for prod.
+template <class T>
+T arith_val(int rank, std::size_t i) {
+  return static_cast<T>((static_cast<std::size_t>(rank) * 7 + i * 3) % 4);
+}
+template <class T>
+T prod_val(int rank, std::size_t i) {
+  return static_cast<T>(1 + (static_cast<std::size_t>(rank) + i) % 2);
+}
+
+/// Bitwise-op inputs: a byte-sized pattern valid for every integral type.
+template <class T>
+T bit_val(int rank, std::size_t i) {
+  return static_cast<T>((static_cast<std::size_t>(rank) * 29 + i * 7 + 0x5A) %
+                        0x60);
+}
+
+template <class Op, class T, class ValueFn>
+void check_reduce(PeContext& pe, int n, ValueFn value, const char* op_name) {
+  auto* dest = static_cast<T*>(xbrtime_malloc(kNelems * sizeof(T)));
+  std::vector<T> src(kNelems);
+  for (std::size_t i = 0; i < kNelems; ++i) src[i] = value(pe.rank(), i);
+  xbrtime_barrier();
+  reduce<Op>(dest, src.data(), kNelems, 1, /*root=*/1);
+  if (pe.rank() == 1) {
+    for (std::size_t i = 0; i < kNelems; ++i) {
+      T golden = value(0, i);
+      for (int r = 1; r < n; ++r) golden = Op::apply(golden, value(r, i));
+      ASSERT_EQ(dest[i], golden) << op_name << " reduce i=" << i;
+    }
+  }
+  xbrtime_barrier();
+  reduce_all<Op>(dest, src.data(), kNelems, 1);
+  for (std::size_t i = 0; i < kNelems; ++i) {
+    T golden = value(0, i);
+    for (int r = 1; r < n; ++r) golden = Op::apply(golden, value(r, i));
+    ASSERT_EQ(dest[i], golden)
+        << op_name << " reduce_all pe=" << pe.rank() << " i=" << i;
+  }
+  xbrtime_barrier();
+  xbrtime_free(dest);
+}
+
+template <class T>
+void arith_ops_body(PeContext& pe) {
+  check_reduce<OpSum, T>(pe, kPes, arith_val<T>, "sum");
+  check_reduce<OpProd, T>(pe, kPes, prod_val<T>, "prod");
+  check_reduce<OpMin, T>(pe, kPes, arith_val<T>, "min");
+  check_reduce<OpMax, T>(pe, kPes, arith_val<T>, "max");
+}
+
+template <class T>
+void bitwise_ops_body(PeContext& pe) {
+  check_reduce<OpBand, T>(pe, kPes, bit_val<T>, "band");
+  check_reduce<OpBor, T>(pe, kPes, bit_val<T>, "bor");
+  check_reduce<OpBxor, T>(pe, kPes, bit_val<T>, "bxor");
+}
+
+// One test per Table-1 type; all four arithmetic ops per test.
+#define XBGAS_OPS_MATRIX_ARITH(NAME, TYPE)                       \
+  TEST(OpsMatrixTest, Arith_##NAME) {                            \
+    run_spmd(kPes, [](PeContext& pe) { arith_ops_body<TYPE>(pe); }); \
+  }
+XBGAS_FOREACH_TYPE(XBGAS_OPS_MATRIX_ARITH)
+#undef XBGAS_OPS_MATRIX_ARITH
+
+// Bitwise ops exist only for the integral subset (paper §4.4).
+#define XBGAS_OPS_MATRIX_BITWISE(NAME, TYPE)                       \
+  TEST(OpsMatrixTest, Bitwise_##NAME) {                            \
+    run_spmd(kPes, [](PeContext& pe) { bitwise_ops_body<TYPE>(pe); }); \
+  }
+XBGAS_FOREACH_INT_TYPE(XBGAS_OPS_MATRIX_BITWISE)
+#undef XBGAS_OPS_MATRIX_BITWISE
+
+/// One float reduce_all run; returns rank 0's result bit patterns.
+std::vector<std::uint32_t> float_sum_bits(int n, const std::string& algo,
+                                          std::uint64_t seed) {
+  MachineConfig config = testing::test_config(n);
+  config.coll_algo = algo;
+  Machine machine(config);
+  std::vector<std::uint32_t> bits(kNelems, 0);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* dest = static_cast<float*>(xbrtime_malloc(kNelems * sizeof(float)));
+    std::vector<float> src(kNelems);
+    for (std::size_t i = 0; i < kNelems; ++i) {
+      // Fractional values: any reordering of the sum would change the bits.
+      src[i] = 0.1f * static_cast<float>(pe.rank() + 1) +
+               0.013f * static_cast<float>((seed + i) % 17);
+    }
+    xbrtime_barrier();
+    reduce_all<OpSum>(dest, src.data(), kNelems, 1);
+    if (pe.rank() == 0) {
+      for (std::size_t i = 0; i < kNelems; ++i) {
+        std::memcpy(&bits[i], &dest[i], sizeof(float));
+      }
+    }
+    xbrtime_barrier();
+    xbrtime_free(dest);
+    xbrtime_close();
+  });
+  return bits;
+}
+
+TEST(OpsMatrixTest, FloatSumBitwiseDeterministicPerAlgo) {
+  // For a fixed (seed, n_pes), repeated runs must agree bit for bit —
+  // each algorithm family combines in a fixed order (trees by stage,
+  // the ring in fixed ring order), so there is no run-to-run reordering.
+  constexpr std::uint64_t kSeed = 42;
+  for (const char* algo : {"auto", "tree", "ring"}) {
+    for (const int n : {3, 6, 8}) {
+      const auto first = float_sum_bits(n, algo, kSeed);
+      const auto second = float_sum_bits(n, algo, kSeed);
+      EXPECT_EQ(first, second) << "algo=" << algo << " n_pes=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbgas
