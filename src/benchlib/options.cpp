@@ -72,6 +72,8 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
   config.coll_algo = args.get("coll-algo", "auto");
   (void)parse_coll_algo(config.coll_algo);  // validate eagerly, clear error
 
+  config.san.mode = parse_san_mode(args.get("xbrsan", "off"));
+
   const std::string barrier = args.get("barrier", "dissemination");
   if (barrier == "dissemination") {
     config.net.barrier_algorithm = BarrierAlgorithm::kDissemination;

@@ -37,6 +37,12 @@ namespace xbgas {
 ///   --fault-timeout-ms N       barrier watchdog, host milliseconds (0 = off)
 ///   --fault-kill RANK:SITE:K   kill RANK at its K-th SITE (barrier|rma),
 ///                              e.g. --fault-kill 2:barrier:3
+///
+/// XbrSan runtime sanitizer (docs/SANITIZER.md):
+///   --xbrsan off|bounds|full   off (default): no checking; bounds: validate
+///                              every remote-access target against the target
+///                              PE's live symmetric allocations; full: bounds
+///                              plus epoch-based RMA conflict detection
 MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes);
 
 /// PE counts from --pes a,b,c (default: the paper's 1,2,4,8).

@@ -41,7 +41,14 @@ std::shared_ptr<ClockSyncBarrier> acquire_barrier(Machine& machine, int start,
         // header); they only cost the modeled log2(size) exchange.
         return max_cycles + params.barrier_cycles(size);
       },
-      machine.config().fault.barrier_timeout_ms, std::move(member_ranks));
+      machine.config().fault.barrier_timeout_ms, member_ranks);
+  if (machine.sanitizer().conflicts_enabled()) {
+    // XbrSan epoch join over exactly the member set: a team barrier orders
+    // its members' accesses (vector-clock join), not the whole world's.
+    raw->set_all_arrived_hook([&machine, member_ranks] {
+      machine.sanitizer().on_barrier_all_arrived(member_ranks);
+    });
+  }
   std::shared_ptr<ClockSyncBarrier> barrier(
       raw, [key, &machine](ClockSyncBarrier* b) {
         machine.unregister_barrier(b);
@@ -97,6 +104,7 @@ void Team::barrier() {
     ctx.clock().set(ctx.pending_completion());
   }
   ctx.clear_pending();
+  machine_->sanitizer().on_wait(ctx.rank());
   FaultInjector& fault = machine_->fault_injector();
   if (fault.enabled()) fault.on_barrier_arrival(ctx.rank());  // scripted kill
   const std::uint64_t t = barrier_->arrive_and_wait(ctx.clock().cycles());

@@ -72,4 +72,15 @@ struct FaultConfig {
   }
 };
 
+/// Exponential backoff charged before retry attempt `attempt` (1-based):
+/// base << (attempt-1), saturating at 2^63 cycles — a large configured base
+/// must clamp, not wrap, so the charged backoff stays monotone in `attempt`.
+inline std::uint64_t backoff_cycles(const FaultConfig& fc, int attempt) {
+  constexpr std::uint64_t kMax = std::uint64_t{1} << 63;
+  const int shift = attempt > 1 ? (attempt - 1 < 16 ? attempt - 1 : 16) : 0;
+  const std::uint64_t base = fc.backoff_base_cycles;
+  if (base >= (kMax >> shift)) return kMax;
+  return base << shift;
+}
+
 }  // namespace xbgas

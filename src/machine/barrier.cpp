@@ -68,7 +68,10 @@ std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
   max_cycles_ = std::max(max_cycles_, my_cycles);
   arrived_ranks_.push_back(my_rank);
   if (++arrived_ == n_) {
-    // Last arriver: reconcile, open the next generation, release everyone.
+    // Last arriver: every other participant is blocked on cv_, so the hook
+    // observes all members quiescent (XbrSan epoch join).
+    if (all_arrived_) all_arrived_();
+    // Reconcile, open the next generation, release everyone.
     result_ = reconcile_ ? reconcile_(max_cycles_, n_) : max_cycles_;
     arrived_ = 0;
     arrived_ranks_.clear();

@@ -49,6 +49,7 @@ struct BarrierPoison {
 class ClockSyncBarrier {
  public:
   using Reconcile = std::function<std::uint64_t(std::uint64_t max_cycles, int n)>;
+  using AllArrived = std::function<void()>;
 
   /// `reconcile` may be empty, in which case the barrier result is simply
   /// the max of the participants' clocks. `watchdog_ms` (host milliseconds,
@@ -58,6 +59,13 @@ class ClockSyncBarrier {
   explicit ClockSyncBarrier(int n_participants, Reconcile reconcile = {},
                             std::uint64_t watchdog_ms = 0,
                             std::vector<int> member_ranks = {});
+
+  /// Install a hook the last arriver runs under the barrier mutex, while
+  /// every other participant is still blocked in the rendezvous. XbrSan uses
+  /// this to join the members' vector clocks at the only moment the join is
+  /// both race-free and exact (every member quiescent). Keep it cheap: it
+  /// executes inside the critical section of every barrier crossing.
+  void set_all_arrived_hook(AllArrived hook) { all_arrived_ = std::move(hook); }
 
   /// Block until all participants arrive; returns the reconciled clock.
   /// Throws (per BarrierPoison) if the barrier is or becomes poisoned, and
@@ -80,6 +88,7 @@ class ClockSyncBarrier {
 
   const int n_;
   Reconcile reconcile_;
+  AllArrived all_arrived_;
   const std::uint64_t watchdog_ms_;
   const std::vector<int> member_ranks_;
 

@@ -53,7 +53,8 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       network_(make_topology(config.topology_name, config.n_pes), config.net),
       tracer_(config.n_pes, config.trace),
-      fault_injector_(config.fault, config.n_pes) {
+      fault_injector_(config.fault, config.n_pes),
+      sanitizer_(config.san, config.n_pes) {
   XBGAS_CHECK(config.n_pes >= 1, "machine needs >= 1 PE");
   dead_.assign(static_cast<std::size_t>(config.n_pes), 0);
   pes_.reserve(static_cast<std::size_t>(config.n_pes));
@@ -84,7 +85,11 @@ Machine::Machine(const MachineConfig& config)
       [this](std::uint64_t max_cycles, int n) {
         return network_.reconcile_phase(max_cycles, n);
       },
-      config.fault.barrier_timeout_ms, std::move(world_ranks));
+      config.fault.barrier_timeout_ms, world_ranks);
+  if (sanitizer_.conflicts_enabled()) {
+    world_barrier_->set_all_arrived_hook(
+        [this, world_ranks] { sanitizer_.on_barrier_all_arrived(world_ranks); });
+  }
   register_barrier(world_barrier_.get());
   set_log_rank_provider(&log_rank_provider);
 }

@@ -28,6 +28,8 @@
 #include "net/fabric.hpp"
 #include "net/sim_clock.hpp"
 #include "olb/olb.hpp"
+#include "san/config.hpp"
+#include "san/sanitizer.hpp"
 #include "trace/channel.hpp"
 #include "trace/tracer.hpp"
 
@@ -43,6 +45,7 @@ struct MachineConfig {
   HierarchyConfig cache{};
   TraceConfig trace{};
   FaultConfig fault{};
+  SanConfig san{};
   /// Collective algorithm selection: "auto" (cost model), "tree", "ring",
   /// or "hier". Parsed by the collectives policy layer
   /// (src/collectives/policy.hpp); kept as a string here so the machine
@@ -130,6 +133,9 @@ class Machine {
   FaultInjector& fault_injector() { return fault_injector_; }
   const FaultInjector& fault_injector() const { return fault_injector_; }
 
+  Sanitizer& sanitizer() { return sanitizer_; }
+  const Sanitizer& sanitizer() const { return sanitizer_; }
+
   ClockSyncBarrier& world_barrier() { return *world_barrier_; }
 
   PeContext& pe(int rank);
@@ -189,6 +195,7 @@ class Machine {
   NetworkModel network_;
   Tracer tracer_;
   FaultInjector fault_injector_;
+  Sanitizer sanitizer_;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<ClockSyncBarrier> world_barrier_;
   std::vector<std::uint64_t> validation_slots_;

@@ -1,9 +1,29 @@
 #include "memory/arena.hpp"
 
+#include <cstdint>
+
 #include "common/error.hpp"
 #include "common/strfmt.hpp"
 
 namespace xbgas {
+
+namespace {
+
+/// Overflow-safe "[p, p+len) lies wholly inside [seg, seg+seg_len)" on
+/// integer addresses. Relational comparison of raw pointers into different
+/// complete objects is unspecified, and `p + len` can wrap for huge spans —
+/// both bite exactly when callers probe arbitrary host pointers (test stack
+/// buffers, near-end spans), so the containment test must be integer-domain.
+bool range_within(const void* p, std::size_t len, const std::byte* seg,
+                  std::size_t seg_len) {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  const auto lo = reinterpret_cast<std::uintptr_t>(seg);
+  if (a < lo) return false;
+  const std::uintptr_t delta = a - lo;
+  return delta <= seg_len && len <= seg_len - delta;
+}
+
+}  // namespace
 
 MemoryArena::MemoryArena(const MemoryLayout& layout)
     : layout_(layout),
@@ -12,13 +32,11 @@ MemoryArena::MemoryArena(const MemoryLayout& layout)
 }
 
 bool MemoryArena::contains(const void* p, std::size_t len) const {
-  const auto* b = static_cast<const std::byte*>(p);
-  return b >= base() && b + len <= base() + size();
+  return range_within(p, len, base(), size());
 }
 
 bool MemoryArena::in_shared(const void* p, std::size_t len) const {
-  const auto* b = static_cast<const std::byte*>(p);
-  return b >= shared_base() && b + len <= shared_base() + shared_size();
+  return range_within(p, len, shared_base(), shared_size());
 }
 
 std::size_t MemoryArena::shared_offset_of(const void* p) const {

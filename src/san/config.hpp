@@ -1,0 +1,65 @@
+#pragma once
+
+// SanConfig — the XbrSan runtime-sanitizer plan for one Machine.
+//
+// The paper's one-sided xbr_put/get semantics (§3.2-§3.3) place the whole
+// correctness burden on the programmer: nothing in the architecture stops an
+// out-of-bounds remote write, a put into a freed symmetric buffer, or two
+// PEs racing on the same range between barriers. XbrSan (src/san) is the
+// opt-in guard rail: it validates every remote access against the target
+// PE's live symmetric-heap allocations and, in full mode, detects
+// conflicting same-epoch accesses via barrier-synchronization reasoning.
+//
+// This header is deliberately dependency-free so MachineConfig can embed a
+// SanConfig without the machine layer linking against the sanitizer's
+// implementation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+/// How much checking XbrSan performs (--xbrsan {off,bounds,full}).
+enum class SanMode : std::uint8_t {
+  kOff,     ///< no checking; the hot paths pay one predictable branch
+  kBounds,  ///< bounds + lifetime validation of every remote access target
+  kFull,    ///< kBounds plus epoch-based conflict detection (access ledger)
+};
+
+constexpr const char* san_mode_name(SanMode m) {
+  switch (m) {
+    case SanMode::kOff: return "off";
+    case SanMode::kBounds: return "bounds";
+    case SanMode::kFull: return "full";
+  }
+  return "unknown";
+}
+
+inline SanMode parse_san_mode(const std::string& name) {
+  if (name == "off") return SanMode::kOff;
+  if (name == "bounds") return SanMode::kBounds;
+  if (name == "full") return SanMode::kFull;
+  throw Error("unknown --xbrsan mode: " + name + " (off|bounds|full)");
+}
+
+struct SanConfig {
+  SanMode mode = SanMode::kOff;
+
+  /// Freed-block history retained per PE for use-after-free diagnosis. A
+  /// freed offset that gets re-allocated leaves the history (the block is
+  /// live again), so this only bounds diagnostics, not correctness.
+  std::size_t freed_history = 256;
+
+  /// Hard cap on ledger records retained per target PE within one epoch.
+  /// Overflow drops the oldest records (counted in san.ledger_dropped) so a
+  /// pathological epoch cannot exhaust host memory.
+  std::size_t max_ledger_entries = 1 << 16;
+
+  bool enabled() const { return mode != SanMode::kOff; }
+  bool conflicts_enabled() const { return mode == SanMode::kFull; }
+};
+
+}  // namespace xbgas

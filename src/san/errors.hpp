@@ -1,0 +1,71 @@
+#pragma once
+
+// Typed XbrSan violations.
+//
+// Every finding is a SanViolationError carrying the structured facts the
+// negative tests and post-mortem tooling assert on: which check fired, which
+// API entry point issued the access, the issuing and target world ranks, and
+// the shared-segment byte range involved. The what() string is the full
+// human-readable diagnosis (docs/SANITIZER.md lists the taxonomy).
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+/// Which XbrSan check fired.
+enum class SanViolationKind : std::uint8_t {
+  kOutOfBounds,       ///< target range not covered by any live allocation
+  kUseAfterFree,      ///< target range intersects a freed symmetric block
+  kStraddle,          ///< target range spans two distinct live allocations
+  kWriteWriteConflict,  ///< same-epoch overlapping writes from two PEs
+  kReadWriteConflict,   ///< same-epoch overlapping read + write, two PEs
+  kNbReadBeforeWait,  ///< local use of an in-flight nonblocking destination
+};
+
+constexpr const char* san_violation_name(SanViolationKind k) {
+  switch (k) {
+    case SanViolationKind::kOutOfBounds: return "out_of_bounds";
+    case SanViolationKind::kUseAfterFree: return "use_after_free";
+    case SanViolationKind::kStraddle: return "straddle";
+    case SanViolationKind::kWriteWriteConflict: return "write_write_conflict";
+    case SanViolationKind::kReadWriteConflict: return "read_write_conflict";
+    case SanViolationKind::kNbReadBeforeWait: return "nb_read_before_wait";
+  }
+  return "unknown";
+}
+
+class SanViolationError : public Error {
+ public:
+  SanViolationError(const std::string& what_arg, SanViolationKind kind,
+                    const char* fn, int issuing_rank, int target_rank,
+                    std::size_t offset, std::size_t bytes)
+      : Error(what_arg),
+        kind_(kind),
+        fn_(fn),
+        issuing_rank_(issuing_rank),
+        target_rank_(target_rank),
+        offset_(offset),
+        bytes_(bytes) {}
+
+  SanViolationKind kind() const { return kind_; }
+  /// API entry point that issued the offending access (e.g. "xbr_put").
+  const char* fn() const { return fn_; }
+  int issuing_rank() const { return issuing_rank_; }
+  int target_rank() const { return target_rank_; }
+  /// Shared-segment byte offset of the offending range on the target PE.
+  std::size_t offset() const { return offset_; }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  SanViolationKind kind_;
+  const char* fn_;
+  int issuing_rank_;
+  int target_rank_;
+  std::size_t offset_;
+  std::size_t bytes_;
+};
+
+}  // namespace xbgas

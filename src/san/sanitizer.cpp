@@ -1,0 +1,304 @@
+#include "san/sanitizer.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/strfmt.hpp"
+#include "trace/event.hpp"
+
+namespace xbgas {
+
+namespace {
+
+std::string range_str(std::size_t lo, std::size_t hi) {
+  return strfmt("[0x%zx, 0x%zx)", lo, hi);
+}
+
+/// True when [a_lo, a_hi) and [b_lo, b_hi) intersect.
+bool overlaps(std::size_t a_lo, std::size_t a_hi, std::size_t b_lo,
+              std::size_t b_hi) {
+  return a_lo < b_hi && b_lo < a_hi;
+}
+
+/// Two access classes conflict when they overlap, are unordered, and are
+/// not both reads or both atomics (an AMO is atomic with respect to other
+/// AMOs, but not with respect to plain transfers).
+bool classes_conflict(SanAccess a, SanAccess b) {
+  if (a == SanAccess::kRead && b == SanAccess::kRead) return false;
+  if (a == SanAccess::kAtomic && b == SanAccess::kAtomic) return false;
+  return true;
+}
+
+}  // namespace
+
+Sanitizer::Sanitizer(const SanConfig& config, int n_pes)
+    : config_(config), n_pes_(n_pes) {
+  if (!config_.enabled()) return;
+  shadow_.resize(static_cast<std::size_t>(n_pes));
+  vc_.assign(static_cast<std::size_t>(n_pes),
+             std::vector<std::uint64_t>(static_cast<std::size_t>(n_pes), 0));
+}
+
+Sanitizer::Counters Sanitizer::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void Sanitizer::on_alloc(int rank, std::size_t offset, std::size_t bytes) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PeShadow& sh = shadow_[static_cast<std::size_t>(rank)];
+  sh.live[offset] = bytes;
+  // The block is live again: drop any freed-history entries it covers so a
+  // re-allocated offset is not misdiagnosed as use-after-free.
+  std::erase_if(sh.freed, [&](const FreedBlock& f) {
+    return overlaps(f.offset, f.offset + f.bytes, offset, offset + bytes);
+  });
+}
+
+void Sanitizer::on_free(int rank, std::size_t offset, std::size_t bytes) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PeShadow& sh = shadow_[static_cast<std::size_t>(rank)];
+  sh.live.erase(offset);
+  sh.freed.push_back(FreedBlock{offset, bytes});
+  while (sh.freed.size() > config_.freed_history) sh.freed.pop_front();
+}
+
+void Sanitizer::check_remote(const char* fn, int issuing_rank, int target_rank,
+                             std::size_t offset, std::size_t bytes,
+                             std::size_t segment_bytes, SanAccess access,
+                             std::uint64_t issue_cycles, TraceChannel* trace) {
+  if (!enabled() || bytes == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.bounds_checks;
+  const char* verb = access == SanAccess::kRead ? "reads" : "writes";
+  // Overflow-safe segment containment: checked before forming offset+bytes.
+  if (offset > segment_bytes || bytes > segment_bytes - offset) {
+    raise_locked(SanViolationKind::kOutOfBounds, fn, issuing_rank, target_rank,
+                 offset, bytes,
+                 strfmt("%s %zu bytes at offset 0x%zx of PE %d's symmetric "
+                        "segment, which is only %zu bytes long",
+                        verb, bytes, offset, target_rank, segment_bytes),
+                 trace);
+  }
+  const std::size_t hi = offset + bytes;
+  bounds_check_locked(fn, issuing_rank, target_rank, offset, hi, access,
+                      trace);
+  if (conflicts_enabled()) {
+    conflict_check_locked(fn, issuing_rank, target_rank, offset, hi, access,
+                          issue_cycles, trace);
+  }
+}
+
+void Sanitizer::bounds_check_locked(const char* fn, int issuing_rank,
+                                    int target_rank, std::size_t lo,
+                                    std::size_t hi, SanAccess access,
+                                    TraceChannel* trace) {
+  const PeShadow& sh = shadow_[static_cast<std::size_t>(target_rank)];
+  const char* verb = access == SanAccess::kRead ? "reads" : "writes";
+
+  // Live allocation containing the range start, if any.
+  auto it = sh.live.upper_bound(lo);
+  if (it != sh.live.begin()) {
+    const auto& [aoff, abytes] = *std::prev(it);
+    if (lo < aoff + abytes) {  // starts inside this allocation
+      if (hi <= aoff + abytes) return;  // fully contained: OK
+      // Runs past the end. If the overrun lands in another live allocation
+      // the span straddles two objects; otherwise it is a plain overflow.
+      const bool into_next = it != sh.live.end() && it->first < hi;
+      raise_locked(
+          into_next ? SanViolationKind::kStraddle
+                    : SanViolationKind::kOutOfBounds,
+          fn, issuing_rank, target_rank, lo, hi - lo,
+          into_next
+              ? strfmt("%s %s of PE %d's symmetric heap, straddling the live "
+                       "allocation %s and the distinct allocation at 0x%zx — "
+                       "one transfer may touch at most one symmetric object",
+                       verb, range_str(lo, hi).c_str(), target_rank,
+                       range_str(aoff, aoff + abytes).c_str(), it->first)
+              : strfmt("%s %s of PE %d's symmetric heap, overflowing the live "
+                       "allocation %s by %zu bytes",
+                       verb, range_str(lo, hi).c_str(), target_rank,
+                       range_str(aoff, aoff + abytes).c_str(),
+                       hi - (aoff + abytes)),
+          trace);
+    }
+  }
+
+  // Start is outside every live allocation: freed block or wild range?
+  for (const FreedBlock& f : sh.freed) {
+    if (overlaps(lo, hi, f.offset, f.offset + f.bytes)) {
+      raise_locked(SanViolationKind::kUseAfterFree, fn, issuing_rank,
+                   target_rank, lo, hi - lo,
+                   strfmt("%s %s of PE %d's symmetric heap, which intersects "
+                          "the freed allocation %s — the block was released "
+                          "by xbrtime_free and not re-allocated",
+                          verb, range_str(lo, hi).c_str(), target_rank,
+                          range_str(f.offset, f.offset + f.bytes).c_str()),
+                   trace);
+    }
+  }
+  raise_locked(SanViolationKind::kOutOfBounds, fn, issuing_rank, target_rank,
+               lo, hi - lo,
+               strfmt("%s %s of PE %d's symmetric heap, which intersects no "
+                      "live allocation",
+                      verb, range_str(lo, hi).c_str(), target_rank),
+               trace);
+}
+
+void Sanitizer::conflict_check_locked(const char* fn, int issuing_rank,
+                                      int target_rank, std::size_t lo,
+                                      std::size_t hi, SanAccess access,
+                                      std::uint64_t issue_cycles,
+                                      TraceChannel* trace) {
+  PeShadow& sh = shadow_[static_cast<std::size_t>(target_rank)];
+  const std::vector<std::uint64_t>& my_vc =
+      vc_[static_cast<std::size_t>(issuing_rank)];
+
+  for (const Record& rec : sh.ledger) {
+    if (rec.issuer == issuing_rank) continue;  // program order on one PE
+    if (!overlaps(lo, hi, rec.lo, rec.hi)) continue;
+    if (!classes_conflict(access, rec.access)) continue;
+    // Ordered iff a barrier chain carried the recorder's progress to us:
+    // our view of the recorder's epoch must exceed its epoch at record time.
+    const auto p = static_cast<std::size_t>(rec.issuer);
+    if (my_vc[p] > rec.vc[p]) continue;  // happens-before: no conflict
+
+    // Both sides mutate (write or AMO) -> write/write; otherwise one side
+    // is a plain read -> read/write.
+    const SanViolationKind kind =
+        access != SanAccess::kRead && rec.access != SanAccess::kRead
+            ? SanViolationKind::kWriteWriteConflict
+            : SanViolationKind::kReadWriteConflict;
+    raise_locked(
+        kind, fn, issuing_rank, target_rank, lo, hi - lo,
+        strfmt("%s (%s) %s of PE %d's symmetric heap in the same "
+               "synchronization epoch as %s from PE %d (%s) touching %s — "
+               "epochs %llu and %llu, issue cycles %llu and %llu; overlapping "
+               "remote accesses from different PEs must be separated by a "
+               "barrier",
+               san_access_name(access), fn, range_str(lo, hi).c_str(),
+               target_rank, rec.fn, rec.issuer, san_access_name(rec.access),
+               range_str(rec.lo, rec.hi).c_str(),
+               static_cast<unsigned long long>(
+                   my_vc[static_cast<std::size_t>(issuing_rank)]),
+               static_cast<unsigned long long>(
+                   rec.vc[static_cast<std::size_t>(rec.issuer)]),
+               static_cast<unsigned long long>(issue_cycles),
+               static_cast<unsigned long long>(rec.cycles)),
+        trace);
+  }
+
+  if (sh.ledger.size() >= config_.max_ledger_entries) {
+    sh.ledger.erase(sh.ledger.begin());
+    ++counters_.ledger_dropped;
+  }
+  sh.ledger.push_back(Record{lo, hi, access, issuing_rank, fn, issue_cycles,
+                             my_vc});
+  ++counters_.ledger_records;
+}
+
+void Sanitizer::note_nb_dest(const char* fn, int rank, const void* p,
+                             std::size_t bytes) {
+  if (!conflicts_enabled() || bytes == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  shadow_[static_cast<std::size_t>(rank)].open_nb.push_back(
+      OpenNb{lo, lo + bytes, fn});
+  ++counters_.nb_tracked;
+}
+
+void Sanitizer::check_local(const char* fn, int rank, const void* p,
+                            std::size_t bytes, bool is_write,
+                            TraceChannel* trace) {
+  if (!conflicts_enabled() || bytes == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const PeShadow& sh = shadow_[static_cast<std::size_t>(rank)];
+  if (sh.open_nb.empty()) return;
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  const auto hi = lo + bytes;
+  for (const OpenNb& nb : sh.open_nb) {
+    if (lo < nb.hi && nb.lo < hi) {
+      raise_locked(
+          SanViolationKind::kNbReadBeforeWait, fn, rank, rank,
+          static_cast<std::size_t>(lo - nb.lo), bytes,
+          strfmt("%s a local range overlapping the landing zone of an "
+                 "in-flight %s on PE %d — the nonblocking transfer has not "
+                 "completed; call xbr_wait() (or reach a barrier) before "
+                 "touching its destination",
+                 is_write ? "writes" : "reads", nb.fn, rank),
+          trace);
+    }
+  }
+}
+
+void Sanitizer::on_wait(int rank) {
+  if (!conflicts_enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shadow_[static_cast<std::size_t>(rank)].open_nb.clear();
+}
+
+void Sanitizer::on_barrier_all_arrived(const std::vector<int>& members) {
+  if (!conflicts_enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Every member is blocked in the rendezvous except the caller, so the
+  // join below observes a consistent snapshot of each member's clock.
+  for (const int m : members) {
+    ++vc_[static_cast<std::size_t>(m)][static_cast<std::size_t>(m)];
+  }
+  std::vector<std::uint64_t> joined(static_cast<std::size_t>(n_pes_), 0);
+  for (const int m : members) {
+    const auto& mv = vc_[static_cast<std::size_t>(m)];
+    for (std::size_t i = 0; i < joined.size(); ++i) {
+      joined[i] = std::max(joined[i], mv[i]);
+    }
+  }
+  for (const int m : members) {
+    vc_[static_cast<std::size_t>(m)] = joined;
+    // A barrier completes all outstanding nonblocking transfers.
+    shadow_[static_cast<std::size_t>(m)].open_nb.clear();
+  }
+  ++counters_.epochs;
+  purge_dead_records_locked();
+}
+
+void Sanitizer::purge_dead_records_locked() {
+  // A record by PE p is dead once every *other* PE's view of p's epoch has
+  // moved past the record's: any future access is then ordered after it.
+  for (PeShadow& sh : shadow_) {
+    std::erase_if(sh.ledger, [&](const Record& rec) {
+      const auto p = static_cast<std::size_t>(rec.issuer);
+      for (int q = 0; q < n_pes_; ++q) {
+        if (q == rec.issuer) continue;
+        if (vc_[static_cast<std::size_t>(q)][p] <= rec.vc[p]) return false;
+      }
+      return true;
+    });
+  }
+}
+
+std::uint64_t Sanitizer::epoch(int rank) const {
+  if (!enabled()) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto r = static_cast<std::size_t>(rank);
+  return vc_[r][r];
+}
+
+void Sanitizer::raise_locked(SanViolationKind kind, const char* fn,
+                             int issuing_rank, int target_rank,
+                             std::size_t offset, std::size_t bytes,
+                             const std::string& detail, TraceChannel* trace) {
+  ++counters_.violations;
+  if (trace != nullptr) {
+    trace->record(EventKind::kSanViolation, target_rank,
+                  static_cast<std::uint64_t>(kind),
+                  static_cast<std::uint64_t>(offset));
+  }
+  throw SanViolationError(
+      strfmt("XbrSan[%s]: %s from PE %d %s", san_violation_name(kind), fn,
+             issuing_rank, detail.c_str()),
+      kind, fn, issuing_rank, target_rank, offset, bytes);
+}
+
+}  // namespace xbgas

@@ -1,0 +1,191 @@
+#pragma once
+
+// XbrSan — the opt-in runtime sanitizer for the xBGAS memory model.
+//
+// Two layers of checking (SanMode, docs/SANITIZER.md):
+//
+//  * Bounds + lifetime (kBounds): every remote transfer or AMO target that
+//    resolves through resolve_symmetric is validated against a shadow of the
+//    target PE's FreeListAllocator live-allocation map. Out-of-bounds spans,
+//    spans straddling two allocations, and accesses to freed blocks throw a
+//    typed SanViolationError *before* the copy lands, so the simulated heap
+//    is never corrupted by the access being diagnosed.
+//
+//  * Epoch-based conflict detection (kFull): a per-target-PE access ledger
+//    records (range, read/write/atomic, issuing rank, epoch) for every
+//    remote transfer and AMO. Barriers advance each participant's epoch —
+//    transitively, via per-PE vector clocks joined when a barrier's last
+//    arriver releases it, so team (subset) barriers order exactly their
+//    members. Two overlapping accesses from different PEs that no chain of
+//    barriers separates, at least one of them a write, are reported with
+//    both endpoints' context. Nonblocking transfers additionally leave their
+//    local destination "open" until xbr_wait(), catching reads of an
+//    xbr_get_nb landing zone before the wait.
+//
+// Concurrency: one mutex guards all sanitizer state. Every hook is a no-op
+// behind a single predictable branch when the mode is kOff, preserving the
+// disabled-path cost contract of the observability layer. Epoch joins run
+// inside the barrier rendezvous (ClockSyncBarrier's all-arrived hook), when
+// every member is blocked — the only moment the join is race-free *and*
+// exact.
+//
+// The sanitizer deliberately depends only on common + trace so the machine
+// layer can own one without a dependency cycle; hooks traffic in ranks and
+// byte offsets, never in machine types.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "san/config.hpp"
+#include "san/errors.hpp"
+#include "trace/channel.hpp"
+
+namespace xbgas {
+
+/// How a remote access touches its target range.
+enum class SanAccess : std::uint8_t {
+  kRead,    ///< get: target range is read
+  kWrite,   ///< put: target range is written
+  kAtomic,  ///< AMO: atomic read-modify-write (never conflicts with itself)
+};
+
+constexpr const char* san_access_name(SanAccess a) {
+  switch (a) {
+    case SanAccess::kRead: return "read";
+    case SanAccess::kWrite: return "write";
+    case SanAccess::kAtomic: return "atomic";
+  }
+  return "unknown";
+}
+
+class Sanitizer {
+ public:
+  /// Point-in-time counter snapshot (collect_counters folds these into the
+  /// machine-wide registry as san.*).
+  struct Counters {
+    std::uint64_t bounds_checks = 0;   ///< remote targets validated
+    std::uint64_t ledger_records = 0;  ///< accesses recorded for conflicts
+    std::uint64_t ledger_dropped = 0;  ///< records lost to the per-PE cap
+    std::uint64_t epochs = 0;          ///< barrier epoch advances observed
+    std::uint64_t nb_tracked = 0;      ///< nonblocking destinations tracked
+    std::uint64_t violations = 0;      ///< SanViolationErrors raised
+  };
+
+  Sanitizer(const SanConfig& config, int n_pes);
+
+  Sanitizer(const Sanitizer&) = delete;
+  Sanitizer& operator=(const Sanitizer&) = delete;
+
+  bool enabled() const { return config_.enabled(); }
+  bool conflicts_enabled() const { return config_.conflicts_enabled(); }
+  const SanConfig& config() const { return config_; }
+  Counters counters() const;
+
+  // -- Symmetric-heap lifetime mirror (hooks in xbrtime_malloc/free) --
+
+  /// A symmetric block of `bytes` became live at `offset` on PE `rank`.
+  void on_alloc(int rank, std::size_t offset, std::size_t bytes);
+
+  /// The block at `offset` on PE `rank` was released.
+  void on_free(int rank, std::size_t offset, std::size_t bytes);
+
+  // -- Remote-access validation (hooks in rma_transfer / AMO entry) --
+
+  /// Validate the remote range [offset, offset+bytes) of PE `target_rank`'s
+  /// symmetric segment (`segment_bytes` long) for an access issued by
+  /// `issuing_rank` via API entry `fn`. In bounds mode this is the
+  /// bounds/lifetime check; in full mode the access is additionally recorded
+  /// in the target's ledger and checked for same-epoch conflicts. Throws
+  /// SanViolationError (after recording a kSanViolation trace event on
+  /// `trace`) when a check fires. `issue_cycles` is the issuing PE's
+  /// simulated clock, carried into conflict diagnostics.
+  void check_remote(const char* fn, int issuing_rank, int target_rank,
+                    std::size_t offset, std::size_t bytes,
+                    std::size_t segment_bytes, SanAccess access,
+                    std::uint64_t issue_cycles, TraceChannel* trace);
+
+  // -- Nonblocking-hazard tracking (full mode; hooks in rma_transfer) --
+
+  /// Record that the local range [p, p+bytes) on PE `rank` is the landing
+  /// zone of an in-flight nonblocking transfer issued via `fn`.
+  void note_nb_dest(const char* fn, int rank, const void* p,
+                    std::size_t bytes);
+
+  /// Check a local-side use (read or write of [p, p+bytes)) by PE `rank`
+  /// against its open nonblocking landing zones; throws kNbReadBeforeWait.
+  void check_local(const char* fn, int rank, const void* p, std::size_t bytes,
+                   bool is_write, TraceChannel* trace);
+
+  /// xbr_wait / barrier on PE `rank`: all its nonblocking transfers are
+  /// complete, so its open landing zones close.
+  void on_wait(int rank);
+
+  // -- Epoch advancement (ClockSyncBarrier all-arrived hook) --
+
+  /// Called by the last arriver of a barrier over world ranks `members`
+  /// while every other member is still blocked in the rendezvous: advances
+  /// each member's epoch, joins their vector clocks, and purges ledger
+  /// records that are now ordered before every PE.
+  void on_barrier_all_arrived(const std::vector<int>& members);
+
+  /// PE `rank`'s own barrier count (its epoch), for tests and diagnostics.
+  std::uint64_t epoch(int rank) const;
+
+ private:
+  struct FreedBlock {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// One remote access in a target PE's ledger.
+  struct Record {
+    std::size_t lo = 0;  ///< shared-segment byte range [lo, hi)
+    std::size_t hi = 0;
+    SanAccess access = SanAccess::kRead;
+    int issuer = -1;
+    const char* fn = "";
+    std::uint64_t cycles = 0;            ///< issuer's clock at issue
+    std::vector<std::uint64_t> vc;       ///< issuer's vector clock at issue
+  };
+
+  /// An open nonblocking landing zone on the issuing PE (host addresses).
+  struct OpenNb {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    const char* fn = "";
+  };
+
+  struct PeShadow {
+    std::map<std::size_t, std::size_t> live;  ///< offset -> bytes
+    std::deque<FreedBlock> freed;             ///< bounded history
+    std::vector<Record> ledger;               ///< remote accesses *onto* us
+    std::vector<OpenNb> open_nb;              ///< our in-flight nb dests
+  };
+
+  void bounds_check_locked(const char* fn, int issuing_rank, int target_rank,
+                           std::size_t lo, std::size_t hi, SanAccess access,
+                           TraceChannel* trace);
+  void conflict_check_locked(const char* fn, int issuing_rank, int target_rank,
+                             std::size_t lo, std::size_t hi, SanAccess access,
+                             std::uint64_t issue_cycles, TraceChannel* trace);
+  void purge_dead_records_locked();
+  [[noreturn]] void raise_locked(SanViolationKind kind, const char* fn,
+                                 int issuing_rank, int target_rank,
+                                 std::size_t offset, std::size_t bytes,
+                                 const std::string& detail,
+                                 TraceChannel* trace);
+
+  const SanConfig config_;
+  const int n_pes_;
+
+  mutable std::mutex mutex_;
+  std::vector<PeShadow> shadow_;                  ///< indexed by world rank
+  std::vector<std::vector<std::uint64_t>> vc_;    ///< per-PE vector clocks
+  Counters counters_;
+};
+
+}  // namespace xbgas

@@ -79,6 +79,16 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("machine.pes_alive", static_cast<std::uint64_t>(machine.n_alive()));
   reg.set("machine.pes_failed",
           static_cast<std::uint64_t>(machine.n_pes() - machine.n_alive()));
+
+  const Sanitizer& san = machine.sanitizer();
+  const Sanitizer::Counters sc = san.counters();
+  reg.set("san.enabled", san.enabled() ? 1 : 0);
+  reg.set("san.bounds_checks", sc.bounds_checks);
+  reg.set("san.ledger_records", sc.ledger_records);
+  reg.set("san.ledger_dropped", sc.ledger_dropped);
+  reg.set("san.epochs", sc.epochs);
+  reg.set("san.nb_tracked", sc.nb_tracked);
+  reg.set("san.violations", sc.violations);
   return reg;
 }
 

@@ -54,9 +54,12 @@ enum class EventKind : std::uint8_t {
   // Collective algorithm dispatch (src/collectives/policy.hpp).
   // a = (CollKind << 8) | chosen CollAlgo, b = payload bytes.
   kCollDispatch,
+  // XbrSan finding (src/san). a = SanViolationKind as int, b = offending
+  // shared-segment byte offset; target_pe = the PE whose memory is involved.
+  kSanViolation,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kCollDispatch) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kSanViolation) + 1;
 
 /// Stable short name for exporters and dumps.
 constexpr const char* event_kind_name(EventKind k) {
@@ -81,6 +84,7 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kRmaRetry: return "rma_retry";
     case EventKind::kBarrierTimeout: return "barrier_timeout";
     case EventKind::kCollDispatch: return "coll_dispatch";
+    case EventKind::kSanViolation: return "san_violation";
   }
   return "unknown";
 }

@@ -9,6 +9,7 @@
 #include "fault/injector.hpp"
 #include "net/fabric.hpp"
 #include "olb/olb.hpp"
+#include "san/sanitizer.hpp"
 
 namespace xbgas {
 
@@ -17,13 +18,17 @@ namespace {
 /// Cycles for touching [ptr, ptr+bytes) in this PE's local memory. Pointers
 /// outside the arena (ordinary host heap/stack buffers used in tests and
 /// examples) are charged a flat L1-hit cost — they model registers/private
-/// scratch rather than simulated DRAM.
+/// scratch rather than simulated DRAM. Containment goes through
+/// MemoryArena::contains (integer-domain, overflow-safe): most pointers
+/// probed here are *not* arena pointers, where raw relational comparison is
+/// unspecified behavior and `b + bytes` can wrap.
 std::uint64_t local_access_cycles(PeContext& ctx, const void* ptr,
                                   std::size_t bytes) {
-  const auto* b = static_cast<const std::byte*>(ptr);
   const MemoryArena& arena = ctx.arena();
-  if (b >= arena.base() && b + bytes <= arena.base() + arena.size()) {
-    const auto addr = static_cast<std::uint64_t>(b - arena.base());
+  if (arena.contains(ptr, bytes)) {
+    // Defined: contains() proved both pointers address the arena array.
+    const auto addr = static_cast<std::uint64_t>(
+        static_cast<const std::byte*>(ptr) - arena.base());
     return ctx.cache().access(addr, bytes);
   }
   return ctx.cache().config().costs.l1_hit_cycles;
@@ -37,7 +42,9 @@ std::uint64_t issue_cycles(const NetCostParams& p, std::size_t nelems) {
   return per * nelems;
 }
 
-/// Strided element-wise copy; memcpy/memmove fast path when contiguous.
+/// Strided element-wise copy; memmove throughout — a local (pe == rank)
+/// transfer may have overlapping src/dst ranges, where per-element memcpy is
+/// undefined behavior even when each element pair happens to be disjoint.
 void copy_elements(std::byte* dst, const std::byte* src, std::size_t elem_size,
                    std::size_t nelems, int stride) {
   if (stride == 1) {
@@ -46,7 +53,7 @@ void copy_elements(std::byte* dst, const std::byte* src, std::size_t elem_size,
   }
   const std::size_t step = elem_size * static_cast<std::size_t>(stride);
   for (std::size_t i = 0; i < nelems; ++i) {
-    std::memcpy(dst + i * step, src + i * step, elem_size);
+    std::memmove(dst + i * step, src + i * step, elem_size);
   }
 }
 
@@ -54,15 +61,8 @@ void copy_elements(std::byte* dst, const std::byte* src, std::size_t elem_size,
 /// bytes on each side of the transfer at cache-line throughput.
 std::uint64_t checksum_cycles(std::size_t bytes) { return (2 * bytes) / 8 + 1; }
 
-/// Exponential backoff for retry attempt `attempt` (1-based), capped so the
-/// shift never overflows. Charged to the SimClock by the caller: resilience
-/// has a measurable modeled-time cost.
-std::uint64_t backoff_cycles(const FaultConfig& fc, int attempt) {
-  const int shift = std::min(attempt - 1, 16);
-  return fc.backoff_base_cycles << shift;
-}
-
-/// Count one retry: the counter, the trace event, and the backoff charge.
+/// Count one retry: the counter, the trace event, and the backoff charge
+/// (backoff_cycles in fault/config.hpp — saturating, monotone in attempt).
 std::uint64_t note_retry(PeContext& ctx, FaultInjector& fault, int pe,
                          int attempt) {
   fault.counters().rma_retries.fetch_add(1, std::memory_order_relaxed);
@@ -76,6 +76,22 @@ void note_fault(PeContext& ctx, int pe, FaultSite site, int attempt) {
   ctx.trace().record(EventKind::kFaultInject, pe,
                      static_cast<std::uint64_t>(site),
                      static_cast<std::uint64_t>(attempt));
+}
+
+/// XbrSan validation of the remote (or local-symmetric) side of a transfer:
+/// bounds + lifetime against the target PE's live allocations, and in full
+/// mode the same-epoch conflict ledger. `sym` is the caller's own symmetric
+/// address for the range (the offset is identical on every PE by the
+/// symmetric-heap discipline). Throws SanViolationError *before* any bytes
+/// move, so the diagnosed access never lands.
+void san_check_target(Sanitizer& san, PeContext& ctx, const char* fn,
+                      int target_pe, const void* sym, std::size_t span,
+                      SanAccess access) {
+  if (!san.enabled()) return;
+  if (!ctx.arena().in_shared(sym, 0)) return;  // non-symmetric local scratch
+  san.check_remote(fn, ctx.rank(), target_pe, ctx.arena().shared_offset_of(sym),
+                   span, ctx.arena().shared_size(), access,
+                   ctx.clock().cycles(), &ctx.trace());
 }
 
 }  // namespace
@@ -128,11 +144,25 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   std::byte* dst_ptr = static_cast<std::byte*>(dest);
   const std::byte* src_ptr = static_cast<const std::byte*>(src);
 
+  Sanitizer& san = ctx.machine().sanitizer();
+  const char* fn = remote_is_dest ? (nonblocking ? "xbr_put_nb" : "xbr_put")
+                                  : (nonblocking ? "xbr_get_nb" : "xbr_get");
+
   if (pe == ctx.rank()) {
     // Local transfer: the §3.2 object-ID-0 shortcut. Plain memory-to-memory
     // copy with cache-model accounting; never crosses the fabric, so the
     // fault injector (whose sites are all remote-transfer sites) is not
-    // consulted.
+    // consulted. XbrSan still sees symmetric-heap ranges: the copy must not
+    // touch an open nonblocking landing zone, and in full mode it enters the
+    // ledger so a peer's same-epoch remote access to the range is caught.
+    if (san.conflicts_enabled()) {
+      san.check_local(fn, ctx.rank(), src_ptr, span, /*is_write=*/false,
+                      &ctx.trace());
+      san.check_local(fn, ctx.rank(), dst_ptr, span, /*is_write=*/true,
+                      &ctx.trace());
+    }
+    san_check_target(san, ctx, fn, pe, src_ptr, span, SanAccess::kRead);
+    san_check_target(san, ctx, fn, pe, dst_ptr, span, SanAccess::kWrite);
     const std::uint64_t cycles = local_access_cycles(ctx, src_ptr, span) +
                                  local_access_cycles(ctx, dst_ptr, span) +
                                  issue_cycles(ctx.machine().network().params(),
@@ -162,6 +192,17 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   } else {
     cycles += local_access_cycles(ctx, dst_ptr, span);
     src_ptr = ctx.resolve_symmetric(pe, src_ptr);
+  }
+
+  // XbrSan: validate the remote target range (bounds/lifetime/conflicts)
+  // and the local side (must not touch an open nonblocking landing zone)
+  // before any bytes move. The symmetric address passed by the caller has
+  // the same offset on every PE, so it names the remote range exactly.
+  san_check_target(san, ctx, fn, pe, remote_is_dest ? dest : src, span,
+                   remote_is_dest ? SanAccess::kWrite : SanAccess::kRead);
+  if (san.conflicts_enabled()) {
+    san.check_local(fn, rank, remote_is_dest ? src : dest, span,
+                    /*is_write=*/!remote_is_dest, &ctx.trace());
   }
 
   // Bounded retry with exponential backoff: each attempt performs the
@@ -256,6 +297,9 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
     ctx.note_pending(done_at);
     ctx.clock().advance(issue_only);
     ctx.trace().record_at(done_at, done_kind, pe, bytes);
+    // A nonblocking get's destination stays "open" until xbr_wait: reading
+    // it before then observes a half-landed transfer.
+    if (!remote_is_dest) san.note_nb_dest(fn, rank, dest, span);
   } else {
     ctx.clock().advance(cycles);
     ctx.trace().record(done_kind, pe, bytes);
@@ -266,8 +310,14 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
 
 namespace detail {
 
-std::uint64_t amo_cycles(const void* local_addr, std::size_t bytes, int pe) {
+std::uint64_t amo_cycles(const char* fn, const void* local_addr,
+                         std::size_t bytes, int pe) {
   PeContext& ctx = xbrtime_ctx();
+  // XbrSan: an AMO is an atomic access to the target range — atomic/atomic
+  // pairs are legitimate (the GUPs update pattern), atomic vs plain
+  // transfer is a conflict. Checked before any cost is charged.
+  san_check_target(ctx.machine().sanitizer(), ctx, fn, pe, local_addr, bytes,
+                   SanAccess::kAtomic);
   if (pe == ctx.rank()) {
     // Local RMW: the cache access dominates; the write-back hits the line
     // just fetched.
@@ -293,6 +343,7 @@ void xbr_wait() {
     ctx.clock().set(ctx.pending_completion());
   }
   ctx.clear_pending();
+  ctx.machine().sanitizer().on_wait(ctx.rank());
 }
 
 }  // namespace xbgas

@@ -88,7 +88,10 @@ void xbr_get_nb(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
 void xbr_wait();
 
 namespace detail {
-std::uint64_t amo_cycles(const void* local_addr, std::size_t bytes, int pe);
+/// Modeled AMO cost; also runs the XbrSan target check (`fn` names the
+/// calling entry point in any violation diagnostic).
+std::uint64_t amo_cycles(const char* fn, const void* local_addr,
+                         std::size_t bytes, int pe);
 }  // namespace detail
 
 /// Remote atomic XOR on a symmetric 32/64-bit integer (the GUPs update
@@ -105,7 +108,7 @@ T xbr_amo_xor(T* dest, T value, int pe) {
   if (pe != ctx.rank()) {
     target = reinterpret_cast<T*>(ctx.resolve_symmetric(pe, dest));
   }
-  ctx.clock().advance(detail::amo_cycles(dest, sizeof(T), pe));
+  ctx.clock().advance(detail::amo_cycles("xbr_amo_xor", dest, sizeof(T), pe));
   return std::atomic_ref<T>(*target).fetch_xor(value,
                                                std::memory_order_relaxed);
 }
@@ -120,7 +123,7 @@ T xbr_amo_add(T* dest, T value, int pe) {
   if (pe != ctx.rank()) {
     target = reinterpret_cast<T*>(ctx.resolve_symmetric(pe, dest));
   }
-  ctx.clock().advance(detail::amo_cycles(dest, sizeof(T), pe));
+  ctx.clock().advance(detail::amo_cycles("xbr_amo_add", dest, sizeof(T), pe));
   return std::atomic_ref<T>(*target).fetch_add(value,
                                                std::memory_order_relaxed);
 }

@@ -102,6 +102,7 @@ void xbrtime_barrier() {
     ctx.clock().set(ctx.pending_completion());
   }
   ctx.clear_pending();
+  ctx.machine().sanitizer().on_wait(ctx.rank());
   FaultInjector& fault = ctx.machine().fault_injector();
   if (fault.enabled()) fault.on_barrier_arrival(ctx.rank());  // scripted kill
   const std::uint64_t t =
@@ -135,6 +136,19 @@ void* xbrtime_malloc(std::size_t bytes) {
       mismatch = true;
     }
   }
+  // XbrSan mirrors the allocator state (its own shadow map, under its own
+  // lock) so remote-access bounds checks never race the target's allocator.
+  // Registration must happen BEFORE the final barrier: the moment a peer
+  // exits that barrier it may legally target this block, and it must find
+  // the shadow entry already present.
+  if (!mismatch && !any_failed) {
+    ++t_rt.live_allocations;
+    Sanitizer& san = machine.sanitizer();
+    if (san.enabled()) {
+      san.on_alloc(ctx.rank(), *offset,
+                   ctx.shared_allocator().allocation_size(*offset));
+    }
+  }
   xbrtime_barrier();  // slots may be rewritten by the next collective
 
   if (mismatch) {
@@ -146,7 +160,6 @@ void* xbrtime_malloc(std::size_t bytes) {
     if (offset) ctx.shared_allocator().release(*offset);  // roll back
     return nullptr;
   }
-  ++t_rt.live_allocations;
   return ctx.arena().shared_at(*offset);
 }
 
@@ -155,11 +168,19 @@ void xbrtime_free(void* ptr) {
   XBGAS_CHECK(ptr != nullptr, "xbrtime_free(nullptr)");
   ctx.clock().advance(kApiCallCycles);
   const std::size_t offset = ctx.arena().shared_offset_of(ptr);
+  // Free is collective in the SHMEM discipline: synchronize FIRST, so no
+  // peer can still be remotely touching the block when it is released. The
+  // barrier also orders the XbrSan shadow update — a lagging peer may
+  // legally target this block right up to its own free() call, so the
+  // shadow entry must stay live until every PE has arrived.
+  xbrtime_barrier();
+  Sanitizer& san = ctx.machine().sanitizer();
+  if (san.enabled()) {
+    san.on_free(ctx.rank(), offset,
+                ctx.shared_allocator().allocation_size(offset));
+  }
   ctx.shared_allocator().release(offset);
   --t_rt.live_allocations;
-  // Free is collective in the SHMEM discipline: synchronize so no peer can
-  // still be remotely touching the block.
-  xbrtime_barrier();
 }
 
 void* xbrtime_stage_alloc(std::size_t bytes) {

@@ -37,12 +37,18 @@ void run_spmd_algo(int n_pes, const std::string& algo,
                    const std::function<void(PeContext&)>& body) {
   MachineConfig config = testing::test_config(n_pes);
   config.coll_algo = algo;
+  // The whole sweep runs under XbrSan's strictest mode: the shipped
+  // collectives must be bounds-clean and conflict-free (ISSUE PR 4
+  // acceptance). A violation throws out of Machine::run; the counter check
+  // below guards against one being swallowed.
+  config.san.mode = SanMode::kFull;
   Machine machine(config);
   machine.run([&](PeContext& pe) {
     xbrtime_init();
     body(pe);
     xbrtime_close();
   });
+  ASSERT_EQ(machine.sanitizer().counters().violations, 0u);
 }
 
 /// One machine run: every collective once, with shapes drawn from `seed`.
@@ -277,12 +283,14 @@ TEST(ConformanceClusterTest, HierOnClusterTopologyMatchesGolden) {
   MachineConfig config = testing::test_config(8);
   config.topology_name = "cluster4x8";
   config.coll_algo = "hier";
+  config.san.mode = SanMode::kFull;
   Machine machine(config);
   machine.run([&](PeContext& pe) {
     xbrtime_init();
     conformance_pass(pe, 8, kSeed);
     xbrtime_close();
   });
+  ASSERT_EQ(machine.sanitizer().counters().violations, 0u);
 }
 
 }  // namespace

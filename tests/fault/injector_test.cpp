@@ -22,6 +22,43 @@ FaultConfig active_config(std::uint64_t seed) {
   return fc;
 }
 
+TEST(BackoffTest, GrowsExponentiallyFromBase) {
+  FaultConfig fc;
+  fc.backoff_base_cycles = 64;
+  EXPECT_EQ(backoff_cycles(fc, 1), 64u);
+  EXPECT_EQ(backoff_cycles(fc, 2), 128u);
+  EXPECT_EQ(backoff_cycles(fc, 3), 256u);
+  EXPECT_EQ(backoff_cycles(fc, 11), 64u << 10);
+}
+
+TEST(BackoffTest, SaturatesInsteadOfWrapping) {
+  // Regression: `base << (attempt - 1)` overflowed for a large configured
+  // base — a shifted-out wait wrapped to a tiny (or zero) backoff exactly
+  // when the system was most congested. The fix clamps at 2^63.
+  constexpr std::uint64_t kMax = std::uint64_t{1} << 63;
+  FaultConfig fc;
+  fc.backoff_base_cycles = std::uint64_t{1} << 60;
+  EXPECT_EQ(backoff_cycles(fc, 1), std::uint64_t{1} << 60);
+  EXPECT_EQ(backoff_cycles(fc, 4), kMax);   // 1<<63: at the cap
+  EXPECT_EQ(backoff_cycles(fc, 5), kMax);   // would wrap without the clamp
+  EXPECT_EQ(backoff_cycles(fc, 60), kMax);  // shift itself is also clamped
+}
+
+TEST(BackoffTest, MonotoneNonDecreasingInAttempt) {
+  for (const std::uint64_t base :
+       {std::uint64_t{1}, std::uint64_t{64}, std::uint64_t{1} << 40,
+        std::uint64_t{1} << 62, ~std::uint64_t{0}}) {
+    FaultConfig fc;
+    fc.backoff_base_cycles = base;
+    std::uint64_t prev = 0;
+    for (int attempt = 1; attempt <= 70; ++attempt) {
+      const std::uint64_t b = backoff_cycles(fc, attempt);
+      EXPECT_GE(b, prev) << "base=" << base << " attempt=" << attempt;
+      prev = b;
+    }
+  }
+}
+
 TEST(FaultInjectorTest, DisabledByDefault) {
   FaultInjector inj(FaultConfig{}, 4);
   EXPECT_FALSE(inj.enabled());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/error.hpp"
 
 namespace xbgas {
@@ -51,6 +53,34 @@ TEST(ArenaTest, SharedOffsetRejectsPrivateAddresses) {
 TEST(ArenaTest, SharedAtRejectsOutOfRange) {
   MemoryArena arena(small_layout());
   EXPECT_THROW(arena.shared_at(8193), Error);
+}
+
+TEST(ArenaTest, ContainmentNearArenaEndIsExact) {
+  // Regression: containment used to be computed by forming `p + len` with
+  // raw pointer arithmetic, which is UB for a span overhanging the segment
+  // end and can wrap. The uintptr_t rewrite must accept spans that end
+  // exactly at the boundary and reject every overhang by one byte.
+  MemoryArena arena(small_layout());
+  const std::size_t n = arena.size();
+  EXPECT_TRUE(arena.contains(arena.base() + n - 1, 1));
+  EXPECT_TRUE(arena.contains(arena.base() + n, 0));  // empty end span: OK
+  EXPECT_FALSE(arena.contains(arena.base() + n, 1));
+  EXPECT_FALSE(arena.contains(arena.base() + n - 1, 2));
+
+  const std::size_t s = arena.shared_size();
+  EXPECT_TRUE(arena.in_shared(arena.shared_base() + s - 16, 16));
+  EXPECT_FALSE(arena.in_shared(arena.shared_base() + s - 16, 17));
+}
+
+TEST(ArenaTest, ContainmentSurvivesHugeLengths) {
+  // A length near SIZE_MAX must not wrap the arithmetic into a false
+  // positive — the overflow guard, not modular arithmetic, must answer.
+  MemoryArena arena(small_layout());
+  EXPECT_FALSE(arena.contains(arena.base(), SIZE_MAX));
+  EXPECT_FALSE(arena.contains(arena.base() + 1, SIZE_MAX));
+  EXPECT_FALSE(arena.contains(arena.base() + 1, SIZE_MAX - 1));
+  EXPECT_FALSE(arena.in_shared(arena.shared_base(), SIZE_MAX));
+  EXPECT_FALSE(arena.in_shared(arena.shared_base() + 8, SIZE_MAX - 8));
 }
 
 TEST(ArenaTest, MemoryIsWritable) {

@@ -1,0 +1,173 @@
+// Nonblocking-transfer semantics (ISSUE PR 4 satellite: test coverage).
+//
+// Three contracts around xbr_put_nb/xbr_get_nb:
+//   1. xbr_wait advances the issuing PE's clock to the pending completion
+//      horizon and never moves it backwards (monotonicity).
+//   2. xbrtime_barrier drains the pending horizon — a barrier implies
+//      completion of every nonblocking transfer issued before it.
+//   3. Under --xbrsan full, touching an xbr_get_nb destination before
+//      xbr_wait is flagged as nb_read_before_wait; after xbr_wait (or a
+//      barrier) the same access is clean.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "san/errors.hpp"
+#include "xbrtime/rma.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes, SanMode mode) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout = MemoryLayout{.private_bytes = 64 * 1024,
+                          .shared_bytes = 1024 * 1024};
+  c.san.mode = mode;
+  return c;
+}
+
+TEST(NonblockingTest, XbrWaitAdvancesClockToPendingHorizonMonotonically) {
+  Machine machine(config(2, SanMode::kOff));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(256 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> src(256, 1);
+      xbr_put_nb(buf, src.data(), 256, 1, 1);
+      // Issue charges only injection; the completion horizon is ahead of us.
+      const std::uint64_t at_issue = pe.clock().cycles();
+      const std::uint64_t horizon = pe.pending_completion();
+      EXPECT_GT(horizon, at_issue);
+      xbr_wait();
+      const std::uint64_t after_wait = pe.clock().cycles();
+      EXPECT_GE(after_wait, horizon);  // wait completes the transfer
+      EXPECT_GE(after_wait, at_issue);
+      EXPECT_EQ(pe.pending_completion(), 0u);
+      // Idempotent: a second wait with nothing outstanding is a no-op.
+      xbr_wait();
+      EXPECT_EQ(pe.clock().cycles(), after_wait);
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NonblockingTest, OverlappedTransfersShareOneHorizon) {
+  // Two back-to-back nonblocking puts overlap: waiting for both costs the
+  // max of their horizons, not the sum (the point of the _nb forms).
+  Machine machine(config(3, SanMode::kOff));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(256 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> src(256, 1);
+      xbr_put_nb(buf, src.data(), 256, 1, 1);
+      const std::uint64_t h1 = pe.pending_completion();
+      xbr_put_nb(buf, src.data(), 256, 1, 2);
+      const std::uint64_t h2 = pe.pending_completion();
+      EXPECT_GE(h2, h1);  // the horizon only ever moves forward
+      xbr_wait();
+      EXPECT_GE(pe.clock().cycles(), h2);
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NonblockingTest, BarrierDrainsPendingHorizon) {
+  Machine machine(config(2, SanMode::kOff));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(256 * sizeof(long)));
+    xbrtime_barrier();
+    std::uint64_t horizon = 0;
+    if (pe.rank() == 0) {
+      std::vector<long> src(256, 2);
+      xbr_put_nb(buf, src.data(), 256, 1, 1);
+      horizon = pe.pending_completion();
+      EXPECT_GT(horizon, 0u);
+    }
+    xbrtime_barrier();  // must complete the outstanding put
+    if (pe.rank() == 0) {
+      EXPECT_EQ(pe.pending_completion(), 0u);
+      EXPECT_GE(pe.clock().cycles(), horizon);
+    }
+    if (pe.rank() == 1) {
+      for (int i = 0; i < 256; ++i) EXPECT_EQ(buf[i], 2);
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NonblockingTest, ReadingNbGetDestinationBeforeWaitIsFlagged) {
+  Machine machine(config(2, SanMode::kFull));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* remote_src = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    auto* landing = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    for (int i = 0; i < 64; ++i) remote_src[i] = 100 + pe.rank();
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      xbr_get_nb(landing, remote_src, 64, 1, 1);
+      // `landing` is still an open landing zone: forwarding it as the source
+      // of another transfer reads a half-landed buffer.
+      bool caught = false;
+      try {
+        xbr_put(remote_src, landing, 64, 1, 1);
+      } catch (const SanViolationError& e) {
+        caught = true;
+        EXPECT_EQ(e.kind(), SanViolationKind::kNbReadBeforeWait);
+        EXPECT_STREQ(e.fn(), "xbr_put");
+        EXPECT_NE(std::string(e.what()).find("xbr_wait"), std::string::npos)
+            << e.what();
+      }
+      EXPECT_TRUE(caught);
+      xbr_wait();
+      // After the wait the zone is closed and the same access is legitimate.
+      EXPECT_NO_THROW(xbr_put(remote_src, landing, 64, 1, 1));
+      EXPECT_EQ(landing[0], 101);
+    }
+    xbrtime_barrier();
+    xbrtime_free(landing);
+    xbrtime_free(remote_src);
+    xbrtime_close();
+  });
+  EXPECT_EQ(machine.sanitizer().counters().violations, 1u);
+  EXPECT_GT(machine.sanitizer().counters().nb_tracked, 0u);
+}
+
+TEST(NonblockingTest, BarrierAlsoClosesOpenLandingZones) {
+  Machine machine(config(2, SanMode::kFull));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* remote_src = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    auto* landing = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      xbr_get_nb(landing, remote_src, 64, 1, 1);
+    }
+    xbrtime_barrier();  // drains pending transfers => closes landing zones
+    if (pe.rank() == 0) {
+      EXPECT_NO_THROW(xbr_put(remote_src, landing, 64, 1, 1));
+    }
+    xbrtime_barrier();
+    xbrtime_free(landing);
+    xbrtime_free(remote_src);
+    xbrtime_close();
+  });
+  EXPECT_EQ(machine.sanitizer().counters().violations, 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

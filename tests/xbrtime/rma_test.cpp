@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -108,6 +111,40 @@ TEST(RmaTest, LocalPutIsAPlainCopy) {
     std::vector<int> dst(4, 0);
     xbr_put(dst.data(), src.data(), 4, 1, 0);  // pe == self, private buffers OK
     EXPECT_EQ(dst, src);
+    xbrtime_close();
+  });
+}
+
+TEST(RmaTest, OverlappingStridedLocalPutIsWellDefined) {
+  // Regression: the strided copy path used memcpy per element. A local
+  // (pe == self) put may legally have overlapping source and destination
+  // ranges — here shifted by half an element — where memcpy is undefined
+  // behavior (ASan's memcpy-param-overlap fires). The contract is a
+  // sequential per-element memmove in increasing index order.
+  Machine machine(config(1));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    constexpr std::size_t kElems = 6;
+    constexpr int kStride = 2;
+    constexpr std::size_t kStep = sizeof(std::uint64_t) * kStride;
+
+    std::vector<std::uint64_t> buf(kElems * kStride + 2);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = 0x0101010101010101ULL * (i + 1);
+    }
+    std::vector<std::uint64_t> ref = buf;
+
+    auto* base = reinterpret_cast<std::byte*>(buf.data());
+    auto* src = reinterpret_cast<std::uint64_t*>(base);
+    auto* dst = reinterpret_cast<std::uint64_t*>(base + 4);
+    xbr_put(dst, src, kElems, kStride, 0);
+
+    auto* rbase = reinterpret_cast<std::byte*>(ref.data());
+    for (std::size_t i = 0; i < kElems; ++i) {
+      std::memmove(rbase + 4 + i * kStep, rbase + i * kStep,
+                   sizeof(std::uint64_t));
+    }
+    EXPECT_EQ(buf, ref);
     xbrtime_close();
   });
 }
