@@ -12,10 +12,13 @@
 #   8. XbrSan smoke (docs/SANITIZER.md): positive — a full benchmark run
 #      under --xbrsan full reports zero violations; negative — the
 #      deliberately-buggy examples/san_violation is caught and says so
-#   9. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
-#  10. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
-#      heavy suites: machine, trace, fault, san, and the collectives
-#      conformance sweep (every algorithm family under the race detector)
+#   9. survivor-recovery chaos smoke (docs/RESILIENCE.md): bench_chaos under
+#      a scripted two-kill plan and a seeded-random soak — every run must
+#      shrink, restore, and verify its collectives after the deaths
+#  10. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
+#  11. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#      heavy suites: machine, trace, fault, san, recovery, and the
+#      collectives conformance sweep (every family under the race detector)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build; the ASan and TSan
 # stages use <build-dir>-asan and <build-dir>-tsan)
@@ -24,21 +27,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/10] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/11] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/10] fast path: unit label only (ctest -L unit) =="
+echo "== [2/11] fast path: unit label only (ctest -L unit) =="
 ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$(nproc)"
 
-echo "== [3/10] observability suite (ctest -R trace) =="
+echo "== [3/11] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [4/10] disabled-path overhead guard =="
+echo "== [4/11] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [5/10] trace + counters smoke (bench_pt2pt) =="
+echo "== [5/11] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -57,7 +60,7 @@ print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
 
-echo "== [6/10] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+echo "== [6/11] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
     --counters=json > "$TMP/fault1.txt"
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
@@ -77,7 +80,7 @@ print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
       f"absorbed by {counters['rma.retries']} retries, deterministic replay")
 EOF
 
-echo "== [7/10] collective-policy smoke (docs/COLLECTIVES.md) =="
+echo "== [7/11] collective-policy smoke (docs/COLLECTIVES.md) =="
 "$BUILD"/bench/bench_policy_crossover --pes 8 --sizes 16,4096 --reps 1 \
     --json "$TMP/cross.json" > /dev/null
 python3 - "$TMP" <<'EOF'
@@ -94,7 +97,7 @@ print("policy smoke OK: auto flips tree->ring across the crossover and "
       "tracks the faster family")
 EOF
 
-echo "== [8/10] XbrSan smoke (docs/SANITIZER.md) =="
+echo "== [8/11] XbrSan smoke (docs/SANITIZER.md) =="
 # Positive: a real workload under full checking finishes with 0 violations.
 "$BUILD"/bench/bench_pt2pt --xbrsan=full --counters=json > "$TMP/san.txt"
 python3 - "$TMP" <<'EOF'
@@ -116,18 +119,25 @@ EOF
 grep -q 'XbrSan\[out_of_bounds\]' "$TMP/san_neg.txt"
 echo "xbrsan negative smoke OK: planted bug detected"
 
-echo "== [9/10] ASan+UBSan pass (full test suite) =="
+echo "== [9/11] survivor-recovery chaos smoke (bench_chaos) =="
+# Scripted: the acceptance kill plan (mid-barrier + mid-RMA on 12 PEs).
+"$BUILD"/bench/bench_chaos --pes 12 --rounds 4 \
+    --fault-kill 3:barrier:11,7:rma:4
+# Soak: seeded-random kill plans; every seed must recover and verify.
+"$BUILD"/bench/bench_chaos --pes 10 --seeds 8 --rounds 4
+
+echo "== [10/11] ASan+UBSan pass (full test suite) =="
 cmake -B "$BUILD-asan" -S . -DXBGAS_SANITIZE=address -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-asan" -j
 ctest --test-dir "$BUILD-asan" --output-on-failure -j "$(nproc)"
 
-echo "== [10/10] TSan pass (machine + trace + fault + san + conformance) =="
+echo "== [11/11] TSan pass (machine + trace + fault + san + recovery + conformance) =="
 cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-tsan" -j
 ctest --test-dir "$BUILD-tsan" \
-    -R '(machine|Machine|Barrier|trace|fault|San|Nonblocking|Conformance)' \
+    -R '(machine|Machine|Barrier|trace|fault|San|Nonblocking|Conformance|Agree|Shrink|Checkpoint|Recovery|recovery)' \
     --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -43,30 +43,47 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
   // verification defaults on whenever bit-flips are being injected.
   config.fault.verify_checksum =
       args.get_bool("fault-checksum", config.fault.rma_bitflip_prob > 0.0);
-  config.fault.barrier_timeout_ms =
-      static_cast<std::uint64_t>(args.get_int("fault-timeout-ms", 0));
+  const std::int64_t timeout_ms = args.get_int("fault-timeout-ms", 0);
+  if (args.has("fault-timeout-ms") && timeout_ms <= 0) {
+    throw FaultConfigError(
+        "--fault-timeout-ms must be positive (omit the flag to disable the "
+        "barrier watchdog), got " + std::to_string(timeout_ms));
+  }
+  config.fault.barrier_timeout_ms = static_cast<std::uint64_t>(timeout_ms);
 
-  const std::string kill = args.get("fault-kill", "");
-  if (!kill.empty()) {
+  // One or more scripted kills: RANK:SITE:K[,RANK:SITE:K...]. Full
+  // validation (rank range, K >= 1) happens in validate_fault_config when
+  // the Machine is constructed.
+  std::string kills = args.get("fault-kill", "");
+  while (!kills.empty()) {
+    const std::size_t comma = kills.find(',');
+    const std::string kill = kills.substr(0, comma);
+    kills = comma == std::string::npos ? "" : kills.substr(comma + 1);
+
     const std::size_t c1 = kill.find(':');
     const std::size_t c2 = c1 == std::string::npos
                                ? std::string::npos
                                : kill.find(':', c1 + 1);
     if (c2 == std::string::npos) {
-      throw Error("--fault-kill expects RANK:SITE:K (e.g. 2:barrier:3), got " +
-                  kill);
+      throw Error(
+          "--fault-kill expects RANK:SITE:K[,RANK:SITE:K...] "
+          "(e.g. 2:barrier:3), got " + kill);
     }
+    KillSpec spec;
     const std::string site = kill.substr(c1 + 1, c2 - c1 - 1);
     if (site == "barrier") {
-      config.fault.kill_site = KillSite::kBarrier;
+      spec.site = KillSite::kBarrier;
     } else if (site == "rma") {
-      config.fault.kill_site = KillSite::kRma;
+      spec.site = KillSite::kRma;
+    } else if (site == "agree") {
+      spec.site = KillSite::kAgree;
     } else {
-      throw Error("--fault-kill site must be barrier or rma, got " + site);
+      throw Error("--fault-kill site must be barrier, rma, or agree, got " +
+                  site);
     }
-    config.fault.kill_rank = std::stoi(kill.substr(0, c1));
-    config.fault.kill_at =
-        static_cast<std::uint64_t>(std::stoll(kill.substr(c2 + 1)));
+    spec.rank = std::stoi(kill.substr(0, c1));
+    spec.at = static_cast<std::uint64_t>(std::stoll(kill.substr(c2 + 1)));
+    config.fault.kills.push_back(spec);
   }
 
   config.coll_algo = args.get("coll-algo", "auto");

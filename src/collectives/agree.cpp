@@ -1,0 +1,74 @@
+#include "collectives/agree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "fault/roster.hpp"
+#include "machine/machine.hpp"
+#include "net/fabric.hpp"
+#include "trace/event.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+namespace detail {
+
+AgreeResult agree_over_world_ranks(std::vector<int> expected,
+                                   std::uint64_t flag) {
+  PeContext& ctx = xbrtime_ctx();
+  Machine& machine = ctx.machine();
+  const int me = ctx.rank();
+
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  XBGAS_CHECK(!expected.empty(), "xbr_agree over an empty participant set");
+  XBGAS_CHECK(std::binary_search(expected.begin(), expected.end(), me),
+              "calling PE is not a participant of this agreement");
+
+  RecoveryState& rec = machine.recovery();
+  FaultInjector& fault = machine.fault_injector();
+
+  // Scripted kill site #1: die before publishing anything — the other
+  // participants must decide without this rank's contribution.
+  if (fault.enabled()) fault.on_agree_step(me);
+
+  const std::uint64_t seq = rec.begin_agreement(me);
+  rec.contribute(me, seq, expected, flag, ctx.clock().cycles());
+
+  // Scripted kill site #2: die after publishing — the decision must discard
+  // this rank's contribution and exclude it from the roster.
+  if (fault.enabled()) fault.on_agree_step(me);
+
+  const AgreeDecision d = rec.await_decision(
+      me, seq, expected, machine.config().fault.barrier_timeout_ms);
+
+  // Two tree-shaped phases (gather the contributions, broadcast the
+  // decision) over the expected set, on top of the decision's clock.
+  const NetCostParams& params = machine.network().params();
+  const std::uint64_t cost =
+      2 * params.barrier_cycles(static_cast<int>(expected.size()));
+  if (d.max_cycles + cost > ctx.clock().cycles()) {
+    ctx.clock().set(d.max_cycles + cost);
+  }
+
+  ctx.trace().record(EventKind::kRecovery, -1,
+                     static_cast<std::uint64_t>(RecoveryOp::kAgree),
+                     d.roster.size());
+  return AgreeResult{d.roster, d.flag, d.seq};
+}
+
+}  // namespace detail
+
+AgreeResult xbr_agree(std::uint64_t flag, Communicator& comm) {
+  std::vector<int> expected(static_cast<std::size_t>(comm.n_pes()));
+  for (int r = 0; r < comm.n_pes(); ++r) {
+    expected[static_cast<std::size_t>(r)] = comm.world_rank(r);
+  }
+  return detail::agree_over_world_ranks(std::move(expected), flag);
+}
+
+AgreeResult xbr_agree(std::uint64_t flag) { return xbr_agree(flag, world_comm()); }
+
+}  // namespace xbgas

@@ -1,0 +1,56 @@
+#pragma once
+
+// xbr_agree — fault-tolerant agreement, the consensus primitive under
+// survivor recovery (docs/RESILIENCE.md; the ULFM MPI_Comm_agree analogue).
+//
+// Every *surviving* participant returns the bitwise-identical decision:
+//
+//   * roster — the participants that are alive and reached the agreement,
+//     ascending world ranks. A participant that dies before or during the
+//     agreement is excluded on every survivor, identically.
+//   * flag   — the bitwise AND of the surviving participants' flag inputs
+//     (a vote: a bit stays set only if every survivor set it).
+//
+// Correctness under mid-agreement death: the decision is produced by the
+// smallest *live* expected rank once every expected rank has contributed or
+// failed; waiters re-derive that leader on every wake, so the duty migrates
+// if the leader itself dies (KillSite::kAgree exercises exactly this). A
+// contribution from a rank that subsequently died is discarded — the roster
+// only ever names live ranks.
+//
+// Cost model: the board is a binomial-tree fold over the participants, so
+// the modeled cost is two barrier-shaped phases (gather + broadcast) over
+// |expected| PEs, on top of the max contributor clock.
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/comm.hpp"
+
+namespace xbgas {
+
+/// What one agreement decided; identical on every surviving participant.
+struct AgreeResult {
+  std::vector<int> roster;  ///< surviving world ranks, ascending
+  std::uint64_t flag = 0;   ///< AND over surviving participants' flags
+  std::uint64_t epoch = 0;  ///< this agreement's sequence number
+};
+
+/// Fault-tolerant agreement over `comm`'s members. Collective over the
+/// *surviving* members: dead members are excluded from the decision rather
+/// than waited for. Throws AgreementTimeoutError if an expected member
+/// neither contributes nor fails within the fault watchdog window.
+AgreeResult xbr_agree(std::uint64_t flag, Communicator& comm);
+AgreeResult xbr_agree(std::uint64_t flag);
+
+namespace detail {
+
+/// The core protocol over an explicit world-rank set (sorted, deduplicated
+/// internally). xbr_team_shrink drives this directly with a shrinking
+/// expected set; the public overloads wrap the communicator's member list.
+AgreeResult agree_over_world_ranks(std::vector<int> expected,
+                                   std::uint64_t flag);
+
+}  // namespace detail
+
+}  // namespace xbgas

@@ -98,6 +98,19 @@ bool Team::contains_world_rank(int wr) const {
   return rel >= 0 && rel % stride_ == 0 && rel / stride_ < size_;
 }
 
+void Team::revoke() {
+  PeContext& ctx = xbrtime_ctx();
+  BarrierPoison info;
+  info.reason = "team (" + std::to_string(start_) + "," +
+                std::to_string(stride_) + "," + std::to_string(size_) +
+                ") revoked by rank " + std::to_string(ctx.rank());
+  barrier_->poison(info);
+  machine_->recovery().counters().revokes.fetch_add(1);
+  ctx.trace().record(EventKind::kRecovery, -1,
+                     static_cast<std::uint64_t>(RecoveryOp::kRevoke),
+                     static_cast<std::uint64_t>(size_));
+}
+
 void Team::barrier() {
   PeContext& ctx = xbrtime_ctx();
   if (ctx.pending_completion() > ctx.clock().cycles()) {

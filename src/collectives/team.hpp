@@ -45,6 +45,11 @@ class Team final : public Communicator {
   /// True if world rank `wr` belongs to this active set.
   bool contains_world_rank(int wr) const;
 
+  /// Poison this team's barrier with a generic "revoked" cause (the ULFM
+  /// MPI_Comm_revoke analogue): members blocked in — or later arriving at —
+  /// the team barrier throw plain Error, distinguishable from a PE death.
+  void revoke();
+
  private:
   int start_;
   int stride_;

@@ -1,0 +1,51 @@
+#include "fault/checkpoint_store.hpp"
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+CheckpointStore::CheckpointStore(int n_pes)
+    : entries_(static_cast<std::size_t>(n_pes)) {}
+
+std::uint64_t CheckpointStore::commit(int rank, std::vector<HeapShard> shards) {
+  XBGAS_CHECK(rank >= 0 && rank < static_cast<int>(entries_.size()),
+              "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[static_cast<std::size_t>(rank)];
+  e.shards = std::move(shards);
+  return ++e.version;
+}
+
+bool CheckpointStore::has_snapshot(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < static_cast<int>(entries_.size()),
+              "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[static_cast<std::size_t>(rank)].version != 0;
+}
+
+std::uint64_t CheckpointStore::version(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < static_cast<int>(entries_.size()),
+              "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[static_cast<std::size_t>(rank)].version;
+}
+
+std::vector<HeapShard> CheckpointStore::snapshot(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < static_cast<int>(entries_.size()),
+              "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[static_cast<std::size_t>(rank)].shards;
+}
+
+std::uint64_t CheckpointStore::bytes(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < static_cast<int>(entries_.size()),
+              "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const HeapShard& s : entries_[static_cast<std::size_t>(rank)].shards) {
+    total += s.data.size();
+  }
+  return total;
+}
+
+}  // namespace xbgas

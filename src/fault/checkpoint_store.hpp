@@ -1,0 +1,62 @@
+#pragma once
+
+// CheckpointStore — the survivor-replicated snapshot store behind
+// xbr_checkpoint / xbr_restore (docs/RESILIENCE.md).
+//
+// Each PE's snapshot is the set of its live symmetric-heap allocations,
+// captured as (offset, bytes) shards. The store lives in host memory on the
+// Machine — the simulation's stand-in for a snapshot replicated across
+// surviving PEs' memories (the modeled replication cost is charged by
+// xbr_checkpoint). After a failure, survivors restore their own shards in
+// place and the dead ranks' shards become *orphans*, deterministically
+// re-sharded round-robin onto the shrunken team (xbr_restore returns each
+// member its assigned orphan shards).
+//
+// Thread-safe: PE threads commit concurrently during the collective
+// checkpoint. Versions are per-rank commit counts; a collective checkpoint
+// advances every member's version by one, so members of one team always
+// agree on the version they took.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace xbgas {
+
+/// One contiguous piece of a PE's symmetric heap.
+struct HeapShard {
+  std::size_t offset = 0;        ///< shared-segment byte offset
+  std::vector<std::byte> data;   ///< snapshot of [offset, offset+size)
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int n_pes);
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Replace `rank`'s snapshot; returns its new version (1-based count).
+  std::uint64_t commit(int rank, std::vector<HeapShard> shards);
+
+  bool has_snapshot(int rank) const;
+  std::uint64_t version(int rank) const;  ///< 0 = never checkpointed
+
+  /// Copy of `rank`'s latest snapshot (empty when none).
+  std::vector<HeapShard> snapshot(int rank) const;
+
+  /// Payload bytes in `rank`'s latest snapshot.
+  std::uint64_t bytes(int rank) const;
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    std::vector<HeapShard> shards;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,67 @@
+#include "fault/config.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "fault/errors.hpp"
+
+namespace xbgas {
+
+namespace {
+
+void check_prob(const char* name, double p) {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    throw FaultConfigError("FaultConfig::" + std::string(name) +
+                           " must be a probability in [0, 1], got " +
+                           std::to_string(p));
+  }
+}
+
+const char* kill_site_name(KillSite s) {
+  switch (s) {
+    case KillSite::kNone: return "none";
+    case KillSite::kBarrier: return "barrier";
+    case KillSite::kRma: return "rma";
+    case KillSite::kAgree: return "agree";
+  }
+  return "unknown";
+}
+
+void check_kill(const KillSpec& k, int n_pes) {
+  if (k.site == KillSite::kNone) {
+    throw FaultConfigError("scripted kill has site=none; drop the entry "
+                           "instead of scheduling a kill that cannot fire");
+  }
+  if (k.rank < 0 || k.rank >= n_pes) {
+    throw FaultConfigError("scripted kill rank " + std::to_string(k.rank) +
+                           " out of range for a " + std::to_string(n_pes) +
+                           "-PE machine");
+  }
+  if (k.at == 0) {
+    throw FaultConfigError(
+        "scripted kill at " + std::string(kill_site_name(k.site)) +
+        " #0 can never fire (trigger counts are 1-based); use at >= 1");
+  }
+}
+
+}  // namespace
+
+void validate_fault_config(const FaultConfig& config, int n_pes) {
+  check_prob("rma_drop_prob", config.rma_drop_prob);
+  check_prob("rma_delay_prob", config.rma_delay_prob);
+  check_prob("rma_bitflip_prob", config.rma_bitflip_prob);
+  check_prob("olb_fault_prob", config.olb_fault_prob);
+  if (config.max_rma_retries < 0) {
+    throw FaultConfigError("FaultConfig::max_rma_retries must be >= 0, got " +
+                           std::to_string(config.max_rma_retries));
+  }
+  if (config.max_rma_retries > 0 && config.backoff_base_cycles == 0) {
+    throw FaultConfigError(
+        "FaultConfig::backoff_base_cycles is 0 with retries enabled: every "
+        "retry would be charged zero modeled time, silently understating the "
+        "cost of resilience; use a positive base (default 64)");
+  }
+  for (const KillSpec& k : config.all_kills()) check_kill(k, n_pes);
+}
+
+}  // namespace xbgas

@@ -16,14 +16,27 @@
 // identical faults; that is what makes failure paths testable.
 
 #include <cstdint>
+#include <vector>
 
 namespace xbgas {
 
-/// Where a scripted PE kill fires (FaultConfig::kill_*).
+/// Where a scripted PE kill fires (FaultConfig::kill_* / KillSpec).
 enum class KillSite : std::uint8_t {
   kNone,     ///< no scripted kill
   kBarrier,  ///< at the victim's k-th barrier arrival
   kRma,      ///< at the victim's k-th remote RMA issue
+  kAgree,    ///< at the victim's k-th xbr_agree protocol step
+};
+
+/// One scripted PE crash: `rank` dies at its `at`-th trigger of `site`.
+/// Trigger counts are per (rank, site) and 1-based; every site a rank has a
+/// kill scheduled at counts all of that rank's triggers there, so two kills
+/// on different ranks (or different sites) fire independently — the
+/// substrate the multi-failure recovery tests are built on.
+struct KillSpec {
+  int rank = -1;
+  KillSite site = KillSite::kNone;
+  std::uint64_t at = 1;
 };
 
 struct FaultConfig {
@@ -58,19 +71,42 @@ struct FaultConfig {
   /// hanging forever. 0 disables the watchdog.
   std::uint64_t barrier_timeout_ms = 0;
 
-  // -- Scripted PE crash --
+  // -- Scripted PE crashes --
+  /// Legacy single-kill form (kept so existing configs/tests keep working);
+  /// folded into the kill list by all_kills().
   KillSite kill_site = KillSite::kNone;
   int kill_rank = -1;        ///< world rank of the victim
   std::uint64_t kill_at = 1; ///< 1-based: fire at the k-th barrier/RMA
+
+  /// Scripted kills, any number of victims/sites (--fault-kill accepts a
+  /// comma-separated list). The recovery acceptance scenario — two ranks
+  /// dying at distinct points of a 12-PE run — is expressed here.
+  std::vector<KillSpec> kills;
+
+  /// The legacy single-kill fields and the kill list, merged.
+  std::vector<KillSpec> all_kills() const {
+    std::vector<KillSpec> out;
+    if (kill_site != KillSite::kNone) {
+      out.push_back(KillSpec{kill_rank, kill_site, kill_at});
+    }
+    out.insert(out.end(), kills.begin(), kills.end());
+    return out;
+  }
 
   /// True when any injection can ever fire (the hot paths consult this
   /// before touching the injector).
   bool any_faults() const {
     return rma_drop_prob > 0.0 || rma_delay_prob > 0.0 ||
            rma_bitflip_prob > 0.0 || olb_fault_prob > 0.0 ||
-           kill_site != KillSite::kNone;
+           kill_site != KillSite::kNone || !kills.empty();
   }
 };
+
+/// Validate `config` against a machine of `n_pes` PEs; throws
+/// FaultConfigError (fault/errors.hpp) describing the first bad parameter.
+/// Called by the FaultInjector constructor, i.e. at Machine construction —
+/// a bad fault plan is rejected before any PE thread runs.
+void validate_fault_config(const FaultConfig& config, int n_pes);
 
 /// Exponential backoff charged before retry attempt `attempt` (1-based):
 /// base << (attempt-1), saturating at 2^63 cycles — a large configured base

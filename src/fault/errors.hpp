@@ -14,6 +14,16 @@
 
 namespace xbgas {
 
+/// A FaultConfig (or watchdog parameter) that cannot describe a valid fault
+/// plan: probabilities outside [0, 1], a retry base of 0 cycles with retries
+/// enabled, a kill spec naming a rank the machine does not have, a 0 trigger
+/// count that could never fire. Raised at Machine construction (or CLI
+/// parse) instead of letting the bad value silently misbehave later.
+class FaultConfigError : public Error {
+ public:
+  explicit FaultConfigError(const std::string& what_arg) : Error(what_arg) {}
+};
+
 /// A remote transfer kept failing after the bounded retry/backoff budget
 /// (FaultConfig::max_rma_retries) was exhausted.
 class RmaRetriesExhaustedError : public Error {
@@ -46,6 +56,22 @@ class BarrierTimeoutError : public Error {
 
  private:
   std::vector<int> arrived_;
+  std::vector<int> missing_;
+};
+
+/// An xbr_agree participant waited longer than the agreement watchdog for
+/// the remaining contributions: some expected rank neither contributed nor
+/// was marked failed (e.g. it is blocked in an unrelated collective).
+/// Carries the roster so the diagnosis names who was missing.
+class AgreementTimeoutError : public Error {
+ public:
+  AgreementTimeoutError(const std::string& what_arg, std::vector<int> missing)
+      : Error(what_arg), missing_(std::move(missing)) {}
+
+  /// Expected world ranks that never contributed and never failed.
+  const std::vector<int>& missing_ranks() const { return missing_; }
+
+ private:
   std::vector<int> missing_;
 };
 

@@ -22,11 +22,15 @@ std::uint64_t stream_seed(std::uint64_t master, int rank, int site) {
 
 FaultInjector::FaultInjector(const FaultConfig& config, int n_pes)
     : config_(config), enabled_(config.any_faults()) {
-  XBGAS_CHECK(config.max_rma_retries >= 0,
-              "FaultConfig::max_rma_retries must be >= 0");
-  XBGAS_CHECK(config.kill_site == KillSite::kNone ||
-                  (config.kill_rank >= 0 && config.kill_rank < n_pes),
-              "FaultConfig::kill_rank out of range for this machine");
+  validate_fault_config(config, n_pes);
+  kills_ = config.all_kills();
+  kill_mask_.assign(static_cast<std::size_t>(n_pes), 0);
+  for (const KillSpec& k : kills_) {
+    kill_mask_[static_cast<std::size_t>(k.rank)] |=
+        k.site == KillSite::kBarrier ? kMaskBarrier
+        : k.site == KillSite::kRma   ? kMaskRma
+                                     : kMaskAgree;
+  }
   pes_.reserve(static_cast<std::size_t>(n_pes));
   for (int r = 0; r < n_pes; ++r) {
     auto state = std::make_unique<PeState>();
@@ -63,14 +67,19 @@ void FaultInjector::corrupt_payload(int rank, void* data,
       static_cast<unsigned char>(1u << (bit % 8));
 }
 
-void FaultInjector::count_and_maybe_kill(int rank, const char* site) {
-  std::uint64_t& n = pes_[static_cast<std::size_t>(rank)]->trigger_count;
-  if (++n != config_.kill_at) return;
-  counters_.kills.fetch_add(1, std::memory_order_relaxed);
-  throw PeKilledError("scripted fault: PE " + std::to_string(rank) +
-                          " killed at " + site + " #" +
-                          std::to_string(config_.kill_at),
-                      rank);
+void FaultInjector::count_and_maybe_kill(int rank, KillSite site,
+                                         const char* site_name) {
+  std::uint64_t& n =
+      pes_[static_cast<std::size_t>(rank)]->site_count[site_index(site)];
+  ++n;
+  for (const KillSpec& k : kills_) {
+    if (k.rank != rank || k.site != site || k.at != n) continue;
+    counters_.kills.fetch_add(1, std::memory_order_relaxed);
+    throw PeKilledError("scripted fault: PE " + std::to_string(rank) +
+                            " killed at " + site_name + " #" +
+                            std::to_string(k.at),
+                        rank);
+  }
 }
 
 }  // namespace xbgas

@@ -105,17 +105,23 @@ class FaultInjector {
   void corrupt_payload(int rank, void* data, std::size_t elem_size,
                        std::size_t nelems, int stride);
 
-  /// Scripted-kill hooks: count this PE's barrier arrivals / RMA issues and
-  /// throw PeKilledError on the victim at the configured trigger point.
+  /// Scripted-kill hooks: count this PE's barrier arrivals / RMA issues /
+  /// agreement steps and throw PeKilledError on the victim at a configured
+  /// trigger point. Counts are kept per (rank, site), but only for ranks
+  /// with a kill scheduled at that site, so the hot paths stay one branch
+  /// for everyone else and the legacy single-kill trigger sequence is
+  /// unchanged.
   void on_barrier_arrival(int rank) {
-    if (config_.kill_site != KillSite::kBarrier || rank != config_.kill_rank)
-      return;
-    count_and_maybe_kill(rank, "barrier");
+    if ((kill_mask(rank) & kMaskBarrier) == 0) return;
+    count_and_maybe_kill(rank, KillSite::kBarrier, "barrier");
   }
   void on_rma_issue(int rank) {
-    if (config_.kill_site != KillSite::kRma || rank != config_.kill_rank)
-      return;
-    count_and_maybe_kill(rank, "RMA");
+    if ((kill_mask(rank) & kMaskRma) == 0) return;
+    count_and_maybe_kill(rank, KillSite::kRma, "RMA");
+  }
+  void on_agree_step(int rank) {
+    if ((kill_mask(rank) & kMaskAgree) == 0) return;
+    count_and_maybe_kill(rank, KillSite::kAgree, "agree step");
   }
 
   FaultCounters& counters() { return counters_; }
@@ -137,19 +143,33 @@ class FaultInjector {
   };
   static constexpr int kStreams = static_cast<int>(StreamId::kCount);
 
+  static constexpr std::uint8_t kMaskBarrier = 1;
+  static constexpr std::uint8_t kMaskRma = 2;
+  static constexpr std::uint8_t kMaskAgree = 4;
+  static constexpr int kKillSites = 3;  // barrier, rma, agree
+
   /// One PE's private injection state; cache-line separated so concurrent
   /// PEs never share a line.
   struct alignas(64) PeState {
-    std::vector<Xoshiro256ss> streams;  // one per StreamId
-    std::uint64_t trigger_count = 0;    // barrier arrivals or RMA issues
+    std::vector<Xoshiro256ss> streams;        // one per StreamId
+    std::uint64_t site_count[kKillSites] = {};  // per-site trigger counts
   };
+
+  static int site_index(KillSite site) {
+    return site == KillSite::kBarrier ? 0 : site == KillSite::kRma ? 1 : 2;
+  }
+  std::uint8_t kill_mask(int rank) const {
+    return kill_mask_[static_cast<std::size_t>(rank)];
+  }
 
   bool draw(int rank, StreamId id, double prob);
   Xoshiro256ss& stream(int rank, StreamId id);
-  void count_and_maybe_kill(int rank, const char* site);
+  void count_and_maybe_kill(int rank, KillSite site, const char* site_name);
 
   FaultConfig config_;
   bool enabled_;
+  std::vector<KillSpec> kills_;          ///< legacy fields + list, merged
+  std::vector<std::uint8_t> kill_mask_;  ///< per-rank sites with kills
   std::vector<std::unique_ptr<PeState>> pes_;
   FaultCounters counters_;
 };

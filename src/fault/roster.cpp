@@ -1,0 +1,175 @@
+#include "fault/roster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+namespace {
+/// Safety net when no watchdog is configured: an agreement that cannot
+/// complete (an expected rank is stuck outside the protocol) must become a
+/// diagnosis, not a hang.
+constexpr std::uint64_t kDefaultAgreeTimeoutMs = 60'000;
+}  // namespace
+
+RecoveryState::RecoveryState(int n_pes)
+    : n_pes_(n_pes),
+      failed_(static_cast<std::size_t>(n_pes), 0),
+      acknowledged_(static_cast<std::size_t>(n_pes), 0),
+      participations_(static_cast<std::size_t>(n_pes), 0) {}
+
+void RecoveryState::mark_failed(int rank) {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes_, "PE rank out of range");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    failed_[static_cast<std::size_t>(rank)] = 1;
+  }
+  cv_.notify_all();
+}
+
+bool RecoveryState::failed(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes_, "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failed_[static_cast<std::size_t>(rank)] != 0;
+}
+
+int RecoveryState::n_failed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const char f : failed_) n += f != 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<int> RecoveryState::failed_ranks() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  for (std::size_t r = 0; r < failed_.size(); ++r) {
+    if (failed_[r] != 0) out.push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+bool RecoveryState::has_unacknowledged_failure() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t r = 0; r < failed_.size(); ++r) {
+    if (failed_[r] != 0 && acknowledged_[r] == 0) return true;
+  }
+  return false;
+}
+
+bool RecoveryState::acknowledged(int rank) const {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes_, "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto i = static_cast<std::size_t>(rank);
+  return failed_[i] != 0 && acknowledged_[i] != 0;
+}
+
+std::uint64_t RecoveryState::epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::uint64_t RecoveryState::begin_agreement(int rank) {
+  XBGAS_CHECK(rank >= 0 && rank < n_pes_, "PE rank out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ++participations_[static_cast<std::size_t>(rank)];
+}
+
+RecoveryState::Round& RecoveryState::round_locked(
+    std::uint64_t seq, const std::vector<int>& expected) {
+  return rounds_[RoundKey{seq, expected}];
+}
+
+void RecoveryState::contribute(int rank, std::uint64_t seq,
+                               const std::vector<int>& expected,
+                               std::uint64_t flag, std::uint64_t cycles) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    round_locked(seq, expected).contrib[rank] = Contribution{flag, cycles};
+  }
+  cv_.notify_all();
+}
+
+AgreeDecision RecoveryState::await_decision(int rank, std::uint64_t seq,
+                                            const std::vector<int>& expected,
+                                            std::uint64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timeout_ms == 0 ? kDefaultAgreeTimeoutMs
+                                                : timeout_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Round& rd = round_locked(seq, expected);
+    if (rd.decided) return rd.decision;
+
+    // Leader takeover: the decision duty belongs to the smallest-indexed
+    // *live* expected member, re-derived on every wake — when the current
+    // leader dies mid-agreement its failure flag moves the duty down the
+    // roster without any handoff message.
+    int leader = -1;
+    bool complete = true;
+    for (const int r : expected) {
+      const auto i = static_cast<std::size_t>(r);
+      if (leader < 0 && failed_[i] == 0) leader = r;
+      if (failed_[i] == 0 && rd.contrib.find(r) == rd.contrib.end()) {
+        complete = false;
+      }
+    }
+    if (leader == rank && complete) {
+      // Fold the live contributions in binomial-tree order (the order the
+      // xBGAS implementation would merge partial rosters up the tree; AND
+      // and max are associative, so the fold shape only matters for the
+      // modeled cost, charged by xbr_agree).
+      AgreeDecision d;
+      d.seq = seq;
+      d.flag = ~std::uint64_t{0};
+      for (const int r : expected) {
+        const auto it = rd.contrib.find(r);
+        if (it == rd.contrib.end() ||
+            failed_[static_cast<std::size_t>(r)] != 0) {
+          continue;  // dead, or died after contributing: excluded
+        }
+        d.roster.push_back(r);
+        d.flag &= it->second.flag;
+        d.max_cycles = std::max(d.max_cycles, it->second.cycles);
+      }
+      rd.decision = d;
+      rd.decided = true;
+      ++epoch_;
+      for (const int r : expected) {
+        const auto i = static_cast<std::size_t>(r);
+        if (failed_[i] != 0) acknowledged_[i] = 1;
+      }
+      counters_.agreements.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();
+      return rd.decision;
+    }
+
+    if (cv_.wait_until(lock, std::min(deadline,
+                                      std::chrono::steady_clock::now() +
+                                          std::chrono::milliseconds(10))) ==
+            std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
+      std::vector<int> missing;
+      for (const int r : expected) {
+        if (failed_[static_cast<std::size_t>(r)] == 0 &&
+            rd.contrib.find(r) == rd.contrib.end()) {
+          missing.push_back(r);
+        }
+      }
+      std::string msg = "xbr_agree timed out on rank " + std::to_string(rank) +
+                        " (agreement #" + std::to_string(seq) +
+                        "): no contribution or failure from ranks [";
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        msg += (i != 0 ? "," : "") + std::to_string(missing[i]);
+      }
+      msg += "]";
+      throw AgreementTimeoutError(msg, std::move(missing));
+    }
+  }
+}
+
+}  // namespace xbgas

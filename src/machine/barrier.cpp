@@ -124,7 +124,13 @@ std::uint64_t ClockSyncBarrier::arrive_and_wait(std::uint64_t my_cycles) {
     }
     throw_poisoned_locked();
   }
-  if (poisoned_) throw_poisoned_locked();
+  // A completed rendezvous is a completed rendezvous: if this waiter's
+  // generation closed before the poison landed, it leaves normally and
+  // observes the poison at its *next* arrival. Only a generation that can
+  // never complete throws here. This keeps survivor unwind points
+  // deterministic — every PE finishes exactly the barriers that fully
+  // rendezvoused before a death, regardless of wakeup timing.
+  if (generation_ == my_generation && poisoned_) throw_poisoned_locked();
   const std::uint64_t r = result_;
   lock.unlock();
   trace_barrier(EventKind::kBarrierExit, r, n_);
@@ -145,6 +151,18 @@ void ClockSyncBarrier::poison(BarrierPoison info) {
 bool ClockSyncBarrier::poisoned() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return poisoned_;
+}
+
+BarrierPoison ClockSyncBarrier::poison_info() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return poison_;
+}
+
+bool ClockSyncBarrier::excludes_rank(int rank) const {
+  // member_ranks_ is const after construction: no lock needed.
+  if (member_ranks_.empty()) return false;
+  return std::find(member_ranks_.begin(), member_ranks_.end(), rank) ==
+         member_ranks_.end();
 }
 
 }  // namespace xbgas

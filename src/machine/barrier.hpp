@@ -81,6 +81,14 @@ class ClockSyncBarrier {
 
   bool poisoned() const;
 
+  /// Copy of the poison diagnostics (meaningful only when poisoned()).
+  BarrierPoison poison_info() const;
+
+  /// True iff the member roster is known and `rank` is not on it — i.e. this
+  /// barrier can provably never be blocked by `rank`. A barrier constructed
+  /// without `member_ranks` conservatively reports false for every rank.
+  bool excludes_rank(int rank) const;
+
   int participants() const { return n_; }
 
  private:

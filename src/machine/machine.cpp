@@ -1,6 +1,7 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "common/error.hpp"
@@ -54,9 +55,12 @@ Machine::Machine(const MachineConfig& config)
       network_(make_topology(config.topology_name, config.n_pes), config.net),
       tracer_(config.n_pes, config.trace),
       fault_injector_(config.fault, config.n_pes),
-      sanitizer_(config.san, config.n_pes) {
+      sanitizer_(config.san, config.n_pes),
+      recovery_(config.n_pes),
+      checkpoint_store_(config.n_pes) {
+  static std::atomic<std::uint64_t> next_instance_id{1};
+  instance_id_ = next_instance_id.fetch_add(1, std::memory_order_relaxed);
   XBGAS_CHECK(config.n_pes >= 1, "machine needs >= 1 PE");
-  dead_.assign(static_cast<std::size_t>(config.n_pes), 0);
   pes_.reserve(static_cast<std::size_t>(config.n_pes));
   for (int r = 0; r < config.n_pes; ++r) {
     pes_.push_back(std::make_unique<PeContext>(*this, r, config_));
@@ -129,9 +133,15 @@ void Machine::run(const std::function<void(PeContext&)>& body) {
         // cause — don't re-poison with the echo.
         slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/true}};
       } catch (const std::exception& e) {
+        // Primary: mark the roster *before* poisoning so survivors running
+        // the recovery protocol observe the death as soon as they unwind.
+        recovery_.mark_failed(rank);
+        sanitizer_.on_pe_failed(rank);
         slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/false}};
         poison_all_barriers(rank, e.what());
       } catch (...) {
+        recovery_.mark_failed(rank);
+        sanitizer_.on_pe_failed(rank);
         slots[i] = Slot{true, PeFailure{rank, "unknown exception",
                                         /*secondary=*/false}};
         poison_all_barriers(rank, "unknown exception");
@@ -141,26 +151,44 @@ void Machine::run(const std::function<void(PeContext&)>& body) {
   }
   for (auto& t : threads) t.join();
 
-  // Collect primaries before secondaries, each in rank order.
   std::vector<PeFailure> region_failures;
+  std::size_t n_success = 0;
   for (const Slot& s : slots) {
-    if (s.failed && !s.failure.secondary) region_failures.push_back(s.failure);
-  }
-  const std::size_t n_primary = region_failures.size();
-  for (const Slot& s : slots) {
-    if (s.failed && s.failure.secondary) region_failures.push_back(s.failure);
+    if (s.failed) {
+      region_failures.push_back(s.failure);
+    } else {
+      ++n_success;
+    }
   }
   if (region_failures.empty()) return;
 
+  // Deterministic report order: primaries first, then by rank. Slot order
+  // already yields rank order; the explicit sort makes the invariant hold
+  // no matter how the collection above evolves (it is golden-tested).
+  std::stable_sort(region_failures.begin(), region_failures.end(),
+                   [](const PeFailure& a, const PeFailure& b) {
+                     if (a.secondary != b.secondary) return !a.secondary;
+                     return a.rank < b.rank;
+                   });
+  std::size_t n_primary = 0;
+  for (const PeFailure& f : region_failures) n_primary += f.secondary ? 0 : 1;
+
   {
     const std::lock_guard<std::mutex> lock(health_mutex_);
-    for (const PeFailure& f : region_failures) {
-      // Secondaries are survivors that failed *fast* because someone else
-      // died; only primaries count as dead in the health view.
-      if (!f.secondary) dead_[static_cast<std::size_t>(f.rank)] = 1;
-      failures_.push_back(f);
+    for (const PeFailure& f : region_failures) failures_.push_back(f);
+  }
+
+  // Recovered region: every failure is a primary death that the survivors
+  // acknowledged via agreement, and at least one PE finished its body. The
+  // job shrank and kept going — that is success, not an exception.
+  bool recovered = n_success > 0;
+  for (const PeFailure& f : region_failures) {
+    if (f.secondary || !recovery_.acknowledged(f.rank)) {
+      recovered = false;
+      break;
     }
   }
+  if (recovered) return;
 
   std::string msg = "SPMD region failed on " +
                     std::to_string(region_failures.size()) + " of " +
@@ -175,29 +203,44 @@ void Machine::run(const std::function<void(PeContext&)>& body) {
 
 bool Machine::alive(int rank) const {
   XBGAS_CHECK(rank >= 0 && rank < n_pes(), "PE rank out of range");
-  const std::lock_guard<std::mutex> lock(health_mutex_);
-  return dead_[static_cast<std::size_t>(rank)] == 0;
+  return !recovery_.failed(rank);
 }
 
-int Machine::n_alive() const {
-  const std::lock_guard<std::mutex> lock(health_mutex_);
-  int n = 0;
-  for (const char d : dead_) n += d == 0 ? 1 : 0;
-  return n;
-}
+int Machine::n_alive() const { return n_pes() - recovery_.n_failed(); }
 
 std::vector<int> Machine::failed_ranks() const {
-  const std::lock_guard<std::mutex> lock(health_mutex_);
-  std::vector<int> out;
-  for (std::size_t r = 0; r < dead_.size(); ++r) {
-    if (dead_[r] != 0) out.push_back(static_cast<int>(r));
-  }
-  return out;
+  return recovery_.failed_ranks();
 }
 
 std::vector<PeFailure> Machine::failures() const {
   const std::lock_guard<std::mutex> lock(health_mutex_);
   return failures_;
+}
+
+std::string Machine::health() const {
+  std::string out =
+      "alive " + std::to_string(n_alive()) + "/" + std::to_string(n_pes());
+  const std::vector<int> failed = recovery_.failed_ranks();
+  out += "\nfailed ranks: [";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(failed[i]);
+  }
+  out += "]";
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const PeFailure& f : failures_) {
+      out += "\n  rank " + std::to_string(f.rank) +
+             (f.secondary ? " (secondary): " : " (primary): ") + f.what;
+    }
+  }
+  const RecoveryCounters& rc = recovery_.counters();
+  out += "\nrecovery: epoch " + std::to_string(recovery_.epoch()) +
+         ", agreements " + std::to_string(rc.agreements.load()) +
+         ", shrinks " + std::to_string(rc.shrinks.load()) + ", checkpoints " +
+         std::to_string(rc.checkpoints.load()) + ", restores " +
+         std::to_string(rc.restores.load());
+  return out;
 }
 
 std::uint64_t Machine::max_cycles() const {
@@ -234,8 +277,15 @@ void Machine::register_barrier(ClockSyncBarrier* barrier) {
   // A barrier created after a PE already died can never be completed by the
   // dead PE: poison it at birth or a surviving registrant waits forever
   // (e.g. a team member re-creating the shared rendezvous barrier after the
-  // first copy was destroyed on the failure path).
-  if (pe_failed_) barrier->poison(first_poison_);
+  // first copy was destroyed on the failure path). Once survivors have
+  // acknowledged a death via agreement, barriers of the new recovery epoch
+  // must be born clean — only *unacknowledged* failures poison at birth.
+  for (const auto& [rank, poison] : primary_poisons_) {
+    if (!recovery_.acknowledged(rank)) {
+      barrier->poison(poison);
+      break;
+    }
+  }
 }
 
 void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
@@ -249,9 +299,19 @@ void Machine::poison_all_barriers(int failed_rank, const std::string& cause) {
   info.reason = "PE " + std::to_string(failed_rank) + " failed (" + cause +
                 "); surviving PEs fail fast";
   const std::lock_guard<std::mutex> lock(barriers_mutex_);
-  pe_failed_ = true;
-  if (first_poison_.reason.empty()) first_poison_ = info;
-  for (auto* b : barriers_) b->poison(info);
+  primary_poisons_[failed_rank] = info;
+  // Before the death is acknowledged, fail fast: poison everything so no
+  // waiter can deadlock on a rendezvous the dead PE will never join. Once
+  // survivors have acknowledged it via agreement, barriers whose rosters
+  // exclude the dead rank belong to the *new* recovery epoch and can never
+  // be blocked by it — poisoning them would inject a spurious failure into
+  // a healthy shrunken team, and make the number of agreement waves depend
+  // on how late this (host-scheduled) call lands relative to the fold.
+  const bool acknowledged = recovery_.acknowledged(failed_rank);
+  for (auto* b : barriers_) {
+    if (acknowledged && b->excludes_rank(failed_rank)) continue;
+    b->poison(info);
+  }
 }
 
 }  // namespace xbgas

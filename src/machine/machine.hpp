@@ -8,19 +8,27 @@
 // cache hierarchy, simulated clock, and deterministic allocators. run()
 // executes an SPMD body on one std::thread per PE; a failing PE poisons
 // every registered barrier (so no thread deadlocks) and run() throws a
-// composite SpmdRegionError listing every failed rank and cause. The
-// machine also owns the FaultInjector (src/fault) and a post-mortem health
-// view (alive / failed_ranks / failures).
+// composite SpmdRegionError listing every failed rank and cause — unless
+// the survivors *recovered* (acknowledged every death via xbr_team_shrink's
+// agreement), in which case run() returns normally. The machine also owns
+// the FaultInjector, the RecoveryState (failure roster + agreement board),
+// the CheckpointStore (src/fault), and a post-mortem health view
+// (alive / failed_ranks / failures / health).
 
 #include <exception>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include <map>
+#include <string>
+
 #include "cache/hierarchy.hpp"
+#include "fault/checkpoint_store.hpp"
 #include "fault/config.hpp"
 #include "fault/errors.hpp"
 #include "fault/injector.hpp"
+#include "fault/roster.hpp"
 #include "machine/barrier.hpp"
 #include "machine/port.hpp"
 #include "memory/arena.hpp"
@@ -124,6 +132,11 @@ class Machine {
   int n_pes() const { return config_.n_pes; }
   const MachineConfig& config() const { return config_; }
 
+  /// Process-unique, never-reused id for this Machine instance. Cross-machine
+  /// registries (e.g. the survivor-team rendezvous in collectives/shrink.cpp)
+  /// key on this instead of the address, which the allocator may reuse.
+  std::uint64_t instance_id() const { return instance_id_; }
+
   NetworkModel& network() { return network_; }
   const NetworkModel& network() const { return network_; }
 
@@ -141,12 +154,25 @@ class Machine {
   PeContext& pe(int rank);
   const PeContext& pe(int rank) const;
 
-  /// Execute `body` as an SPMD region: one thread per PE. A failing PE
-  /// poisons every registered barrier with its rank and cause, so surviving
-  /// waiters unwind with PeFailedError instead of deadlocking. Every PE's
-  /// failure is collected; when any PE failed, run throws SpmdRegionError
-  /// listing each failed rank and cause (primaries before the secondary
-  /// poison unwinds) — no exception is silently dropped. During the region,
+  /// Survivor-recovery state: failure roster, acknowledgment epochs, and
+  /// the xbr_agree board (docs/RESILIENCE.md).
+  RecoveryState& recovery() { return recovery_; }
+  const RecoveryState& recovery() const { return recovery_; }
+
+  /// Snapshot store behind xbr_checkpoint / xbr_restore.
+  CheckpointStore& checkpoint_store() { return checkpoint_store_; }
+  const CheckpointStore& checkpoint_store() const { return checkpoint_store_; }
+
+  /// Execute `body` as an SPMD region: one thread per PE. A failing PE is
+  /// marked failed in the recovery roster immediately and poisons every
+  /// registered barrier with its rank and cause, so surviving waiters
+  /// unwind with PeFailedError instead of deadlocking. Every PE's failure
+  /// is collected and recorded (primaries first, then by rank — the order
+  /// is deterministic and golden-testable). If at least one PE completed
+  /// normally and every failure is a primary that survivors acknowledged
+  /// via agreement (xbr_team_shrink), the region *recovered*: run returns
+  /// normally. Otherwise run throws SpmdRegionError listing each failed
+  /// rank and cause — no exception is silently dropped. During the region,
   /// current_pe_context() returns the calling thread's context.
   void run(const std::function<void(PeContext&)>& body);
 
@@ -163,9 +189,14 @@ class Machine {
   /// World ranks that have primarily failed, ascending.
   std::vector<int> failed_ranks() const;
 
-  /// Every recorded PE failure (rank, cause, primary/secondary), in rank
-  /// order per region, accumulated across regions.
+  /// Every recorded PE failure (rank, cause, primary/secondary), primaries
+  /// first then by rank within each region, accumulated across regions.
   std::vector<PeFailure> failures() const;
+
+  /// Deterministic multi-line health summary: alive count, failed ranks,
+  /// each recorded failure, and the recovery epoch — the post-mortem view
+  /// docs/RESILIENCE.md documents and the golden tests pin down.
+  std::string health() const;
 
   /// Max simulated clock across PEs (the "makespan" of the last region).
   std::uint64_t max_cycles() const;
@@ -187,8 +218,9 @@ class Machine {
   void unregister_barrier(ClockSyncBarrier* barrier);
 
  private:
-  /// Poison every registered barrier with the failing rank and cause; the
-  /// first failure's poison info also applies to late-registered barriers.
+  /// Poison every registered barrier with the failing rank and cause; while
+  /// the failure is unacknowledged its poison info also applies to
+  /// late-registered barriers (see register_barrier).
   void poison_all_barriers(int failed_rank, const std::string& cause);
 
   MachineConfig config_;
@@ -196,17 +228,22 @@ class Machine {
   Tracer tracer_;
   FaultInjector fault_injector_;
   Sanitizer sanitizer_;
+  RecoveryState recovery_;
+  CheckpointStore checkpoint_store_;
+  std::uint64_t instance_id_;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<ClockSyncBarrier> world_barrier_;
   std::vector<std::uint64_t> validation_slots_;
 
   std::mutex barriers_mutex_;
   std::vector<ClockSyncBarrier*> barriers_;
-  bool pe_failed_ = false;  ///< a PE died; poison late-registered barriers too
-  BarrierPoison first_poison_;  ///< cause applied to late-registered barriers
+  /// Poison info per primarily-failed rank; register_barrier applies the
+  /// smallest *unacknowledged* one to barriers born after a death, and
+  /// stops once agreement acknowledges the failure (shrunken-team barriers
+  /// of a later recovery epoch are born clean).
+  std::map<int, BarrierPoison> primary_poisons_;
 
   mutable std::mutex health_mutex_;
-  std::vector<char> dead_;            ///< per-rank "has ever failed" flags
   std::vector<PeFailure> failures_;   ///< accumulated failure records
 };
 

@@ -67,4 +67,12 @@ std::size_t FreeListAllocator::largest_free_block() const {
   return best;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>>
+FreeListAllocator::live_blocks() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(allocated_.size());
+  for (const auto& [offset, size] : allocated_) out.emplace_back(offset, size);
+  return out;
+}
+
 }  // namespace xbgas

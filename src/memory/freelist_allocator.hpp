@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 namespace xbgas {
 
@@ -42,6 +44,10 @@ class FreeListAllocator {
 
   /// Largest currently allocatable request (for exhaustion tests).
   std::size_t largest_free_block() const;
+
+  /// Every live allocation as (offset, bytes), ascending by offset — the
+  /// deterministic enumeration xbr_checkpoint snapshots.
+  std::vector<std::pair<std::size_t, std::size_t>> live_blocks() const;
 
  private:
   std::size_t region_bytes_;

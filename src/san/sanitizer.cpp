@@ -239,6 +239,16 @@ void Sanitizer::on_wait(int rank) {
   shadow_[static_cast<std::size_t>(rank)].open_nb.clear();
 }
 
+void Sanitizer::on_pe_failed(int rank) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (PeShadow& sh : shadow_) {
+    std::erase_if(sh.ledger,
+                  [rank](const Record& r) { return r.issuer == rank; });
+  }
+  shadow_[static_cast<std::size_t>(rank)].open_nb.clear();
+}
+
 void Sanitizer::on_barrier_all_arrived(const std::vector<int>& members) {
   if (!conflicts_enabled()) return;
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -135,6 +135,17 @@ class Sanitizer {
   /// PE `rank`'s own barrier count (its epoch), for tests and diagnostics.
   std::uint64_t epoch(int rank) const;
 
+  // -- Recovery (Machine::run failure handling) --
+
+  /// PE `rank` primarily failed. Its in-flight accesses can no longer be
+  /// ordered by any future barrier, so its issued ledger records and open
+  /// nonblocking landing zones are dropped — otherwise every survivor access
+  /// after recovery (restore writes, re-run collectives) would false-
+  /// positive against the dead PE's same-epoch traffic. Records issued BY
+  /// survivors onto the dead PE's memory are kept: survivor-vs-survivor
+  /// conflicts there are still real.
+  void on_pe_failed(int rank);
+
  private:
   struct FreedBlock {
     std::size_t offset = 0;

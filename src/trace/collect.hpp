@@ -80,6 +80,17 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("machine.pes_failed",
           static_cast<std::uint64_t>(machine.n_pes() - machine.n_alive()));
 
+  const RecoveryCounters& rc = machine.recovery().counters();
+  reg.set("recovery.epoch", machine.recovery().epoch());
+  reg.set("recovery.agreements", ld(rc.agreements));
+  reg.set("recovery.shrinks", ld(rc.shrinks));
+  reg.set("recovery.revokes", ld(rc.revokes));
+  reg.set("recovery.checkpoints", ld(rc.checkpoints));
+  reg.set("recovery.restores", ld(rc.restores));
+  reg.set("recovery.checkpointed_bytes", ld(rc.checkpointed_bytes));
+  reg.set("recovery.restored_bytes", ld(rc.restored_bytes));
+  reg.set("recovery.orphaned_bytes", ld(rc.orphaned_bytes));
+
   const Sanitizer& san = machine.sanitizer();
   const Sanitizer::Counters sc = san.counters();
   reg.set("san.enabled", san.enabled() ? 1 : 0);

@@ -57,9 +57,33 @@ enum class EventKind : std::uint8_t {
   // XbrSan finding (src/san). a = SanViolationKind as int, b = offending
   // shared-segment byte offset; target_pe = the PE whose memory is involved.
   kSanViolation,
+  // Survivor-recovery protocol step (docs/RESILIENCE.md). a = RecoveryOp as
+  // int, b = op-specific payload: roster size for agree/shrink, snapshot
+  // bytes for checkpoint/restore, 0 for revoke.
+  kRecovery,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kSanViolation) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kRecovery) + 1;
+
+/// Which recovery-protocol step a kRecovery event records (payload `a`).
+enum class RecoveryOp : std::uint8_t {
+  kAgree = 0,
+  kShrink,
+  kRevoke,
+  kCheckpoint,
+  kRestore,
+};
+
+constexpr const char* recovery_op_name(RecoveryOp op) {
+  switch (op) {
+    case RecoveryOp::kAgree: return "agree";
+    case RecoveryOp::kShrink: return "shrink";
+    case RecoveryOp::kRevoke: return "revoke";
+    case RecoveryOp::kCheckpoint: return "checkpoint";
+    case RecoveryOp::kRestore: return "restore";
+  }
+  return "unknown";
+}
 
 /// Stable short name for exporters and dumps.
 constexpr const char* event_kind_name(EventKind k) {
@@ -85,6 +109,7 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kBarrierTimeout: return "barrier_timeout";
     case EventKind::kCollDispatch: return "coll_dispatch";
     case EventKind::kSanViolation: return "san_violation";
+    case EventKind::kRecovery: return "recovery";
   }
   return "unknown";
 }

@@ -217,6 +217,19 @@ std::size_t xbrtime_stage_avail() {
   return st.capacity - st.top;
 }
 
+void xbrtime_stage_reset() {
+  StagingState& st = t_rt.staging;
+  st.top = 0;
+  st.lifo.clear();
+}
+
+std::size_t xbrtime_stage_offset() {
+  PeContext& ctx = xbrtime_ctx();
+  const StagingState& st = t_rt.staging;
+  XBGAS_CHECK(st.base != nullptr, "staging region not initialized");
+  return ctx.arena().shared_offset_of(st.base);
+}
+
 XbrtimeStats xbrtime_stats() {
   PeContext& ctx = xbrtime_ctx();
   return XbrtimeStats{

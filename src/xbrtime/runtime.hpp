@@ -65,6 +65,16 @@ void xbrtime_stage_free(void* ptr);
 /// Bytes available in the staging region right now (for capacity tests).
 std::size_t xbrtime_stage_avail();
 
+/// Abandon every live staging block and reset the LIFO stack to empty.
+/// Recovery-only: after a PE death unwinds a collective mid-flight, the
+/// survivors' staging stacks can disagree; xbr_team_shrink resets every
+/// survivor's stack so post-recovery collectives see symmetric offsets again.
+void xbrtime_stage_reset();
+
+/// Shared-segment offset of the staging region's base block. Used by
+/// xbr_checkpoint to skip the staging scratch when snapshotting the heap.
+std::size_t xbrtime_stage_offset();
+
 /// True if `addr` on this PE maps to a remotely accessible (symmetric
 /// shared-segment) address of PE `pe` — mirrors xbrtime's address-check
 /// helper used to validate user pointers.

@@ -1,0 +1,147 @@
+// xbr_checkpoint / xbr_restore — heap snapshot round-trips, versioning,
+// staging exclusion, and deterministic orphan re-sharding after a death.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "collectives/checkpoint.hpp"
+#include "collectives/shrink.hpp"
+#include "trace/collect.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+constexpr std::size_t kElems = 64;
+
+MachineConfig config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 1024 * 1024};
+  c.fault = fault;
+  return c;
+}
+
+std::uint64_t pattern(int rank, std::size_t i) {
+  return static_cast<std::uint64_t>(rank) * 100000 + i;
+}
+
+TEST(CheckpointTest, RoundTripRestoresScribbledData) {
+  constexpr int kPes = 4;
+  Machine machine(config(kPes));
+  std::vector<int> ok(kPes, 0);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < kElems; ++i) buf[i] = pattern(pe.rank(), i);
+
+    const std::uint64_t v1 = xbr_checkpoint();
+    EXPECT_EQ(v1, 1u);
+
+    std::memset(buf, 0xAB, kElems * sizeof(std::uint64_t));  // simulate loss
+    const RestoreReport rep = xbr_restore();
+    EXPECT_EQ(rep.version, 1u);
+    EXPECT_EQ(rep.restored_bytes, kElems * sizeof(std::uint64_t));
+    EXPECT_TRUE(rep.orphans.empty());
+
+    bool good = true;
+    for (std::size_t i = 0; i < kElems; ++i) {
+      good &= buf[i] == pattern(pe.rank(), i);
+    }
+    ok[static_cast<std::size_t>(pe.rank())] = good ? 1 : 0;
+
+    EXPECT_EQ(xbr_checkpoint(), 2u);  // versions advance per checkpoint
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+  for (const int r : ok) EXPECT_EQ(r, 1);
+
+  const CounterRegistry counters = collect_counters(machine);
+  EXPECT_EQ(counters.get("recovery.checkpoints").value(), 2u);
+  EXPECT_EQ(counters.get("recovery.restores").value(), 1u);
+  EXPECT_EQ(counters.get("recovery.checkpointed_bytes").value(),
+            2u * kPes * kElems * sizeof(std::uint64_t));
+  EXPECT_EQ(counters.get("recovery.restored_bytes").value(),
+            static_cast<std::uint64_t>(kPes) * kElems * sizeof(std::uint64_t));
+}
+
+TEST(CheckpointTest, StagingRegionIsExcludedFromSnapshots) {
+  Machine machine(config(2));
+  machine.run([&](PeContext&) {
+    xbrtime_init();  // allocates only the staging region
+    EXPECT_EQ(xbr_checkpoint(), 1u);
+    xbrtime_close();
+  });
+  const CounterRegistry counters = collect_counters(machine);
+  EXPECT_EQ(counters.get("recovery.checkpoints").value(), 1u);
+  EXPECT_EQ(counters.get("recovery.checkpointed_bytes").value(), 0u)
+      << "the runtime's staging scratch must not be snapshotted";
+}
+
+TEST(CheckpointTest, OrphanedSnapshotIsReShardedDeterministically) {
+  constexpr int kPes = 6;
+  FaultConfig fc;
+  // Arrivals: init = 3, buf malloc = 2 (#4, #5), checkpoint = 2 (#6, #7);
+  // the explicit barrier #8 is the kill point.
+  fc.kills.push_back(KillSpec{2, KillSite::kBarrier, 8});
+  Machine machine(config(kPes, fc));
+  std::vector<int> own_ok(kPes, 0);
+  std::vector<int> orphan_count(kPes, -1);
+  std::vector<int> orphan_ok(kPes, 0);
+
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < kElems; ++i) buf[i] = pattern(pe.rank(), i);
+    xbr_checkpoint();
+    try {
+      xbrtime_barrier();  // rank 2 dies
+    } catch (const PeFailedError&) {
+      auto team = xbr_team_shrink();
+      std::memset(buf, 0, kElems * sizeof(std::uint64_t));
+      const RestoreReport rep = xbr_restore(*team);
+
+      const auto me = static_cast<std::size_t>(pe.rank());
+      bool good = true;
+      for (std::size_t i = 0; i < kElems; ++i) {
+        good &= buf[i] == pattern(pe.rank(), i);
+      }
+      own_ok[me] = good ? 1 : 0;
+      orphan_count[me] = static_cast<int>(rep.orphans.size());
+      if (rep.orphans.size() == 1) {
+        const OrphanShard& shard = rep.orphans.front();
+        bool match = shard.world_rank == 2 &&
+                     shard.data.size() == kElems * sizeof(std::uint64_t);
+        if (match) {
+          std::vector<std::uint64_t> vals(kElems);
+          std::memcpy(vals.data(), shard.data.data(), shard.data.size());
+          for (std::size_t i = 0; i < kElems; ++i) {
+            match &= vals[i] == pattern(2, i);
+          }
+        }
+        orphan_ok[me] = match ? 1 : 0;
+      }
+    }
+  });
+
+  // Orphan 0 (rank 2's snapshot) deals onto team rank 0 == world rank 0.
+  for (const int wr : {0, 1, 3, 4, 5}) {
+    EXPECT_EQ(own_ok[static_cast<std::size_t>(wr)], 1)
+        << "world rank " << wr << " must restore its own snapshot";
+    EXPECT_EQ(orphan_count[static_cast<std::size_t>(wr)], wr == 0 ? 1 : 0);
+  }
+  EXPECT_EQ(orphan_ok[0], 1) << "rank 2's data must arrive intact on rank 0";
+
+  const CounterRegistry counters = collect_counters(machine);
+  EXPECT_EQ(counters.get("recovery.orphaned_bytes").value(),
+            kElems * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,143 @@
+// Machine::health() — a deterministic, golden-testable post-mortem: who
+// died, in what order (primaries first, then by rank), and what the
+// recovery layer did about it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "collectives/shrink.hpp"
+#include "trace/collect.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 512 * 1024};
+  c.fault = fault;
+  return c;
+}
+
+TEST(HealthReportTest, HealthyMachineReportsEveryoneAlive) {
+  Machine machine(config(3));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    xbrtime_close();
+  });
+  EXPECT_EQ(machine.health(),
+            "alive 3/3\n"
+            "failed ranks: []\n"
+            "recovery: epoch 0, agreements 0, shrinks 0, checkpoints 0, "
+            "restores 0");
+}
+
+TEST(HealthReportTest, SingleDeathMatchesGolden) {
+  // With one kill every secondary unwinds with the same poison reason, so
+  // the whole report is byte-for-byte deterministic.
+  constexpr int kPes = 4;
+  FaultConfig fc;
+  fc.kills.push_back(KillSpec{2, KillSite::kBarrier, 4});
+  Machine machine(config(kPes, fc));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    try {
+      xbrtime_barrier();  // barrier #4: rank 2 dies
+    } catch (const PeFailedError&) {
+      xbr_team_shrink();
+    }
+  });
+
+  const std::string cause = "scripted fault: PE 2 killed at barrier #4";
+  EXPECT_EQ(machine.health(),
+            "alive 3/4\n"
+            "failed ranks: [2]\n"
+            "  rank 2 (primary): " + cause + "\n"
+            "recovery: epoch 1, agreements 1, shrinks 1, checkpoints 0, "
+            "restores 0");
+}
+
+TEST(HealthReportTest, UnrecoveredRegionListsSecondariesAfterPrimaries) {
+  // Survivors do not catch, so the region fails and every PE lands on the
+  // failure roster: the primary first, then secondaries in rank order, each
+  // carrying the same poison reason.
+  constexpr int kPes = 4;
+  FaultConfig fc;
+  fc.kills.push_back(KillSpec{2, KillSite::kBarrier, 4});
+  Machine machine(config(kPes, fc));
+  EXPECT_THROW(machine.run([&](PeContext&) {
+    xbrtime_init();
+    xbrtime_barrier();  // rank 2 dies; nobody catches
+  }),
+               SpmdRegionError);
+
+  const std::string cause = "scripted fault: PE 2 killed at barrier #4";
+  const std::string poison =
+      "PE 2 failed (" + cause + "); surviving PEs fail fast";
+  EXPECT_EQ(machine.health(),
+            "alive 3/4\n"
+            "failed ranks: [2]\n"
+            "  rank 2 (primary): " + cause + "\n"
+            "  rank 0 (secondary): " + poison + "\n"
+            "  rank 1 (secondary): " + poison + "\n"
+            "  rank 3 (secondary): " + poison + "\n"
+            "recovery: epoch 0, agreements 0, shrinks 0, checkpoints 0, "
+            "restores 0");
+}
+
+TEST(HealthReportTest, TwoDeathsOrderPrimariesByRank) {
+  // Two kills on different ranks: the primaries must come out first and in
+  // rank order regardless of which PE thread unwound first. Secondary
+  // what-strings are timing-dependent (either poison may land first), so
+  // only the structure is asserted.
+  constexpr int kPes = 6;
+  FaultConfig fc;
+  fc.kills.push_back(KillSpec{4, KillSite::kBarrier, 4});
+  fc.kills.push_back(KillSpec{1, KillSite::kBarrier, 4});
+  Machine machine(config(kPes, fc));
+  EXPECT_THROW(machine.run([&](PeContext&) {
+    xbrtime_init();
+    xbrtime_barrier();  // ranks 1 and 4 both die here
+  }),
+               SpmdRegionError);
+
+  EXPECT_EQ(machine.failed_ranks(), (std::vector<int>{1, 4}));
+  const std::vector<PeFailure> failures = machine.failures();
+  ASSERT_EQ(failures.size(), static_cast<std::size_t>(kPes));
+  EXPECT_EQ(failures[0].rank, 1);
+  EXPECT_FALSE(failures[0].secondary);
+  EXPECT_EQ(failures[1].rank, 4);
+  EXPECT_FALSE(failures[1].secondary);
+  const std::vector<int> survivors{0, 2, 3, 5};
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(failures[2 + i].rank, survivors[i]);
+    EXPECT_TRUE(failures[2 + i].secondary);
+  }
+}
+
+TEST(HealthReportTest, RunTwiceProducesIdenticalReports) {
+  // Determinism is the point: the same config must yield the same
+  // post-mortem on every run.
+  auto one_run = [] {
+    FaultConfig fc;
+    fc.kills.push_back(KillSpec{2, KillSite::kBarrier, 4});
+    Machine machine(config(4, fc));
+    machine.run([&](PeContext&) {
+      xbrtime_init();
+      try {
+        xbrtime_barrier();
+      } catch (const PeFailedError&) {
+        xbr_team_shrink();
+      }
+    });
+    return machine.health();
+  };
+  EXPECT_EQ(one_run(), one_run());
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,333 @@
+// End-to-end survivor recovery (the PR's acceptance scenario) plus a
+// seeded chaos soak: PEs die at scripted or pseudo-random points of a real
+// workload; the survivors agree, shrink, restore, and finish with verified
+// results — and the whole run is bit-identical when repeated.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collectives/checkpoint.hpp"
+#include "collectives/collectives.hpp"
+#include "collectives/policy.hpp"
+#include "collectives/shrink.hpp"
+#include "trace/collect.hpp"
+#include "xbrtime/rma.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 1024 * 1024};
+  c.fault = fault;
+  return c;
+}
+
+std::uint64_t pattern(int rank, std::size_t i) {
+  return static_cast<std::uint64_t>(rank) * 1000003 + i;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance scenario: 12 PEs, two deaths at distinct points (one mid-RMA,
+// one mid-barrier), one shrink wave to a 10-PE team, checkpoint/restore,
+// and a verified allreduce on the survivors. Returned as a digest so the
+// determinism test can compare two complete runs.
+// ---------------------------------------------------------------------------
+
+struct RunDigest {
+  std::vector<std::vector<int>> rosters;  // per world rank
+  std::vector<std::uint64_t> reduced;     // per world rank
+  std::vector<int> verified;              // per world rank
+  std::vector<int> failed_ranks;
+  std::string health;
+  std::uint64_t kills = 0;
+  std::uint64_t agreements = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restores = 0;
+
+  bool operator==(const RunDigest& o) const {
+    return rosters == o.rosters && reduced == o.reduced &&
+           verified == o.verified && failed_ranks == o.failed_ranks &&
+           health == o.health && kills == o.kills &&
+           agreements == o.agreements && shrinks == o.shrinks &&
+           checkpoints == o.checkpoints && restores == o.restores;
+  }
+};
+
+RunDigest acceptance_run() {
+  constexpr int kPes = 12;
+  constexpr std::size_t kElems = 64;
+  FaultConfig fc;
+  // Barrier arrivals per PE: init = 3, data malloc = 2 (#4,#5), scratch
+  // malloc = 2 (#6,#7), checkpoint = 2 (#8,#9), phase-A barrier = #10,
+  // phase-B barrier = #11. Rank 7 issues 2 remote puts per phase, so its
+  // 4th RMA is mid-phase-B; rank 3 dies arriving at the phase-B barrier.
+  fc.kills.push_back(KillSpec{3, KillSite::kBarrier, 11});
+  fc.kills.push_back(KillSpec{7, KillSite::kRma, 4});
+  Machine machine(config(kPes, fc));
+
+  RunDigest d;
+  d.rosters.resize(kPes);
+  d.reduced.assign(kPes, 0);
+  d.verified.assign(kPes, 0);
+
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* data = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    auto* scratch = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < kElems; ++i) {
+      data[i] = pattern(pe.rank(), i);
+      scratch[i] = 0;
+    }
+    xbr_checkpoint();
+
+    const int right = (pe.rank() + 1) % kPes;
+    try {
+      // Phase A: two remote puts + barrier (#10) — everyone survives it.
+      xbr_put(scratch, data, kElems / 2, 1, right);
+      xbr_put(scratch + kElems / 2, data + kElems / 2, kElems / 2, 1, right);
+      xbrtime_barrier();
+      // Phase B: rank 7 dies at its 4th RMA; rank 3 dies at barrier #11.
+      xbr_put(scratch, data, kElems / 2, 1, right);
+      xbr_put(scratch + kElems / 2, data + kElems / 2, kElems / 2, 1, right);
+      xbrtime_barrier();
+      ADD_FAILURE() << "the phase-B barrier should have been poisoned";
+    } catch (const PeFailedError&) {
+      auto team = xbr_team_shrink();
+      const auto me = static_cast<std::size_t>(pe.rank());
+      d.rosters[me] = team->members();
+
+      // The deaths may have left `data` half-streamed-over on some ranks;
+      // prove the checkpoint brings it back.
+      std::memset(data, 0xCD, kElems * sizeof(std::uint64_t));
+      xbr_restore(*team);
+      bool ok = true;
+      for (std::size_t i = 0; i < kElems; ++i) {
+        ok &= data[i] == pattern(pe.rank(), i);
+      }
+
+      // Survivors finish the job: a verified allreduce over the new team.
+      for (std::size_t i = 0; i < kElems; ++i) {
+        data[i] = static_cast<std::uint64_t>(pe.rank() + 1);
+      }
+      dispatch_reduce_all<OpSum>(scratch, data, kElems, 1, *team);
+      std::uint64_t expect = 0;
+      for (const int wr : team->members()) {
+        expect += static_cast<std::uint64_t>(wr + 1);
+      }
+      for (std::size_t i = 0; i < kElems; ++i) ok &= scratch[i] == expect;
+      d.reduced[me] = scratch[0];
+      d.verified[me] = ok ? 1 : 0;
+    }
+  });
+
+  d.failed_ranks = machine.failed_ranks();
+  d.health = machine.health();
+  const CounterRegistry counters = collect_counters(machine);
+  d.kills = counters.get("fault.injected.kills").value();
+  d.agreements = counters.get("recovery.agreements").value();
+  d.shrinks = counters.get("recovery.shrinks").value();
+  d.checkpoints = counters.get("recovery.checkpoints").value();
+  d.restores = counters.get("recovery.restores").value();
+  return d;
+}
+
+TEST(RecoveryIntegrationTest, TwoDeathsShrinkToTenSurvivorsWithGoldenResult) {
+  const RunDigest d = acceptance_run();
+
+  const std::vector<int> survivors{0, 1, 2, 4, 5, 6, 8, 9, 10, 11};
+  std::uint64_t golden = 0;
+  for (const int wr : survivors) golden += static_cast<std::uint64_t>(wr + 1);
+
+  EXPECT_EQ(d.failed_ranks, (std::vector<int>{3, 7}));
+  for (const int wr : survivors) {
+    const auto i = static_cast<std::size_t>(wr);
+    EXPECT_EQ(d.rosters[i], survivors) << "world rank " << wr;
+    EXPECT_EQ(d.reduced[i], golden) << "world rank " << wr;
+    EXPECT_EQ(d.verified[i], 1) << "world rank " << wr;
+  }
+  EXPECT_EQ(d.kills, 2u);
+  EXPECT_EQ(d.agreements, 1u);
+  EXPECT_EQ(d.shrinks, 1u);
+  EXPECT_EQ(d.checkpoints, 1u);
+  EXPECT_EQ(d.restores, 1u);
+}
+
+TEST(RecoveryIntegrationTest, AcceptanceScenarioIsDeterministic) {
+  const RunDigest first = acceptance_run();
+  const RunDigest second = acceptance_run();
+  EXPECT_TRUE(first == second)
+      << "two runs of the same fault plan diverged;\nfirst:\n"
+      << first.health << "\nsecond:\n" << second.health;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: kills derived from a SplitMix64 stream per seed. Whatever the
+// plan, survivors must end on an agreed team with a verified allreduce, and
+// the machine's books must balance (alive = n - kills that actually fired).
+// ---------------------------------------------------------------------------
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// 1-2 kills on distinct ranks. Barrier kills land at arrival >= 10 so the
+// symmetric setup (init + 2 mallocs + checkpoint = 9 arrivals) always
+// completes; rma/agree kills can fire anywhere they are reached.
+std::vector<KillSpec> derive_kills(std::uint64_t seed, int n_pes,
+                                   int rounds) {
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ull + 1;
+  std::vector<KillSpec> kills;
+  const int n_kills = 1 + static_cast<int>(splitmix64(s) % 2);
+  std::vector<int> used;
+  for (int i = 0; i < n_kills; ++i) {
+    KillSpec k;
+    do {
+      k.rank = static_cast<int>(splitmix64(s) %
+                                static_cast<std::uint64_t>(n_pes));
+    } while (std::find(used.begin(), used.end(), k.rank) != used.end());
+    used.push_back(k.rank);
+    switch (splitmix64(s) % 3) {
+      case 0:
+        k.site = KillSite::kBarrier;
+        k.at = 10 + splitmix64(s) %
+                        static_cast<std::uint64_t>(
+                            static_cast<unsigned>(rounds) + 4u);
+        break;
+      case 1:
+        k.site = KillSite::kRma;
+        k.at = 1 + splitmix64(s) % 8;
+        break;
+      default:
+        k.site = KillSite::kAgree;
+        k.at = 1 + splitmix64(s) % 2;
+        break;
+    }
+    kills.push_back(k);
+  }
+  return kills;
+}
+
+void soak_one_seed(std::uint64_t seed) {
+  constexpr int kPes = 6;
+  constexpr int kRounds = 4;
+  constexpr std::size_t kElems = 32;
+  FaultConfig fc;
+  fc.kills = derive_kills(seed, kPes, kRounds);
+  Machine machine(config(kPes, fc));
+  std::vector<int> bad(kPes, 0);
+
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* data = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    auto* scratch = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < kElems; ++i) {
+      data[i] = pattern(pe.rank(), i);
+    }
+    xbr_checkpoint();
+
+    const auto me = static_cast<std::size_t>(pe.rank());
+    std::unique_ptr<SurvivorTeam> team;  // null while the world is whole
+    auto recover = [&] {
+      // Both the shrink and the restore can themselves be interrupted by a
+      // further death; retry until a quorum holds still long enough. With a
+      // finite kill plan this terminates.
+      for (;;) {
+        try {
+          team = team ? xbr_team_shrink(*team) : xbr_team_shrink();
+          // Restore proves the heap survives any interruption point.
+          std::memset(data, 0, kElems * sizeof(std::uint64_t));
+          xbr_restore(*team);
+          for (std::size_t i = 0; i < kElems; ++i) {
+            if (data[i] != pattern(pe.rank(), i)) bad[me] = 1;
+          }
+          return;
+        } catch (const PeFailedError&) {
+        }
+      }
+    };
+
+    for (int round = 0; round < kRounds; ++round) {
+      bool done = false;
+      while (!done) {
+        try {
+          for (std::size_t i = 0; i < kElems; ++i) {
+            data[i] = static_cast<std::uint64_t>(pe.rank() + 1 + round);
+          }
+          // Verify *before* the closing barrier: once a neighbour passes
+          // it, its next-round put may land in this PE's scratch.
+          std::uint64_t expect = 0;
+          if (team) {
+            dispatch_reduce_all<OpSum>(scratch, data, kElems, 1, *team);
+            for (const int wr : team->members()) {
+              expect += static_cast<std::uint64_t>(wr + 1 + round);
+            }
+            for (std::size_t i = 0; i < kElems; ++i) {
+              if (scratch[i] != expect) bad[me] = 1;
+            }
+            team->barrier();
+          } else {
+            // Healthy path: a remote put to the neighbor plus a world
+            // reduce keeps both rma and barrier kill sites live. The
+            // barrier drains the puts before the reduce reuses scratch.
+            xbr_put(scratch, data, kElems, 1, (pe.rank() + 1) % kPes);
+            xbrtime_barrier();
+            dispatch_reduce_all<OpSum>(scratch, data, kElems, 1);
+            for (int wr = 0; wr < kPes; ++wr) {
+              expect += static_cast<std::uint64_t>(wr + 1 + round);
+            }
+            for (std::size_t i = 0; i < kElems; ++i) {
+              if (scratch[i] != expect) bad[me] = 1;
+            }
+            xbrtime_barrier();
+          }
+          done = true;
+        } catch (const PeFailedError&) {
+          recover();
+        }
+      }
+    }
+  });
+
+  const CounterRegistry counters = collect_counters(machine);
+  const auto fired = counters.get("fault.injected.kills").value();
+  EXPECT_EQ(machine.n_alive(),
+            kPes - static_cast<int>(fired))
+      << "seed " << seed << ": books must balance\n" << machine.health();
+  EXPECT_EQ(machine.failed_ranks().size(), fired) << "seed " << seed;
+  for (int r = 0; r < kPes; ++r) {
+    if (machine.alive(r)) {
+      EXPECT_EQ(bad[static_cast<std::size_t>(r)], 0)
+          << "seed " << seed << ": survivor rank " << r
+          << " saw a wrong reduction or a bad restore";
+    }
+  }
+}
+
+TEST(RecoveryIntegrationTest, ChaosSoakTwentyFourSeeds) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    soak_one_seed(seed);
+  }
+}
+
+}  // namespace
+}  // namespace xbgas
