@@ -89,6 +89,28 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
   config.coll_algo = args.get("coll-algo", "auto");
   (void)parse_coll_algo(config.coll_algo);  // validate eagerly, clear error
 
+  config.sched.mode = args.get("sched", "fibers");
+  if (config.sched.mode != "fibers" && config.sched.mode != "threads") {
+    throw Error("--sched must be fibers or threads, got " + config.sched.mode);
+  }
+  const std::int64_t workers = args.get_int("sched-workers", 0);
+  if (workers < 0) {
+    throw Error("--sched-workers must be >= 0 (0 = hardware concurrency)");
+  }
+  config.sched.workers = static_cast<int>(workers);
+  const std::int64_t stack_kb = args.get_int("sched-stack-kb", 512);
+  if (stack_kb < 64) {
+    throw Error("--sched-stack-kb must be >= 64 (PE bodies need headroom)");
+  }
+  config.sched.stack_bytes = static_cast<std::size_t>(stack_kb) << 10;
+  config.sched.yield_inject_prob = args.get_double("sched-yield-inject", 0.0);
+  if (config.sched.yield_inject_prob < 0.0 ||
+      config.sched.yield_inject_prob > 1.0) {
+    throw Error("--sched-yield-inject must be a probability in [0, 1]");
+  }
+  config.sched.yield_inject_seed =
+      static_cast<std::uint64_t>(args.get_int("sched-yield-seed", 0));
+
   config.san.mode = parse_san_mode(args.get("xbrsan", "off"));
 
   const std::string barrier = args.get("barrier", "dissemination");

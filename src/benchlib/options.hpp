@@ -43,6 +43,16 @@ namespace xbgas {
 ///                              every remote-access target against the target
 ///                              PE's live symmetric allocations; full: bounds
 ///                              plus epoch-based RMA conflict detection
+///
+/// PE execution model (docs/SCALING.md):
+///   --sched fibers|threads     N:M fiber scheduling (default) or legacy
+///                              one std::thread per PE
+///   --sched-workers N          fiber-mode worker threads
+///                              (default 0 = min(hw concurrency, n_pes))
+///   --sched-stack-kb N         stack KiB per PE fiber (default 512)
+///   --sched-yield-inject P     P(extra yield) per cooperative poll point
+///                              (test/shake-out aid; default 0)
+///   --sched-yield-seed N       seed for the injected-yield stream
 MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes);
 
 /// PE counts from --pes a,b,c (default: the paper's 1,2,4,8).

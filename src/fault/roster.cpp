@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "machine/fiber.hpp"
 
 namespace xbgas {
 
@@ -148,11 +149,7 @@ AgreeDecision RecoveryState::await_decision(int rank, std::uint64_t seq,
       return rd.decision;
     }
 
-    if (cv_.wait_until(lock, std::min(deadline,
-                                      std::chrono::steady_clock::now() +
-                                          std::chrono::milliseconds(10))) ==
-            std::cv_status::timeout &&
-        std::chrono::steady_clock::now() >= deadline) {
+    if (std::chrono::steady_clock::now() >= deadline) {
       std::vector<int> missing;
       for (const int r : expected) {
         if (failed_[static_cast<std::size_t>(r)] == 0 &&
@@ -168,6 +165,21 @@ AgreeDecision RecoveryState::await_decision(int rank, std::uint64_t seq,
       }
       msg += "]";
       throw AgreementTimeoutError(msg, std::move(missing));
+    }
+
+    if (FiberScheduler::on_fiber()) {
+      // N:M invariant: a fiber must not sleep on the condvar — the worker
+      // it would block may be the only one left to run the contributor or
+      // leader fiber this wait depends on. Release the board, park
+      // cooperatively, re-derive everything on resume. (`rd` is refetched
+      // at the loop top; map references stay valid regardless.)
+      lock.unlock();
+      FiberScheduler::yield_waiting();
+      lock.lock();
+    } else {
+      cv_.wait_until(lock, std::min(deadline,
+                                    std::chrono::steady_clock::now() +
+                                        std::chrono::milliseconds(10)));
     }
   }
 }

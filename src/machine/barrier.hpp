@@ -2,30 +2,47 @@
 
 // ClockSyncBarrier — the rendezvous primitive under every xbrtime barrier.
 //
-// Besides synchronizing threads, the barrier is where simulated time is
+// Besides synchronizing PE contexts, the barrier is where simulated time is
 // reconciled: each participant arrives with its SimClock value; the last
 // arriver runs a reconcile callback (normally NetworkModel::reconcile_phase,
 // which folds in shared-fabric serialization and the barrier's own modeled
 // cost) and every participant leaves with the agreed post-barrier clock.
 //
-// Failure semantics (docs/RESILIENCE.md):
+// Arrival is a radix-8 *combining tree* (docs/SCALING.md): each arriver
+// folds its clock into a leaf node with two atomic operations; the last
+// arriver at a node carries the node's max up one level, so the critical
+// path from first arrival to release is O(log_8 n) combining steps and no
+// arrival ever takes the barrier mutex. The old central mutex+counter
+// serialized all n arrivals through one critical section — measurable at
+// 12 PEs, prohibitive at 1024. Release is a single generation word every
+// waiter observes (sense-reversal broadcast).
+//
+// Waiting is execution-model aware: a PE fiber must never block its worker
+// thread (the N:M scheduler invariant, src/machine/fiber.hpp), so fiber
+// waiters poll the generation word and yield_waiting() between probes —
+// re-run by the scheduler, they can never miss a wakeup. Plain host threads
+// (tests, legacy "threads" mode) sleep on the condition variable exactly as
+// before.
+//
+// Failure semantics (docs/RESILIENCE.md), unchanged from the thread-per-PE
+// implementation:
 //
 //  * The barrier can be *poisoned* when a PE dies with an exception: all
 //    current and future waiters throw instead of deadlocking, letting
 //    Machine::run unwind the whole SPMD region. A poison carries its cause —
 //    when a PE death triggered it, waiters throw PeFailedError naming the
 //    dead rank (the team fail-fast protocol); a generic poison throws plain
-//    xbgas::Error, preserving the original behavior.
+//    xbgas::Error. A generation that fully rendezvoused before the poison
+//    landed still completes normally — survivor unwind points stay
+//    deterministic.
 //
 //  * An optional *watchdog* (FaultConfig::barrier_timeout_ms, host time)
 //    bounds how long a participant may wait. When it fires, the waiter
 //    poisons the barrier itself and every participant throws
 //    BarrierTimeoutError listing which ranks arrived and which never did —
 //    a hang becomes a diagnosis.
-//
-// Implementation: mutex + condvar sense/generation barrier. The host may be
-// heavily oversubscribed (PEs >> cores), so sleeping waiters beat spinners.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -60,11 +77,12 @@ class ClockSyncBarrier {
                             std::uint64_t watchdog_ms = 0,
                             std::vector<int> member_ranks = {});
 
-  /// Install a hook the last arriver runs under the barrier mutex, while
-  /// every other participant is still blocked in the rendezvous. XbrSan uses
-  /// this to join the members' vector clocks at the only moment the join is
-  /// both race-free and exact (every member quiescent). Keep it cheap: it
-  /// executes inside the critical section of every barrier crossing.
+  /// Install a hook the last arriver runs while every other participant is
+  /// still parked in the rendezvous (fiber waiters only poll the release
+  /// word; they touch no shared state). XbrSan uses this to join the
+  /// members' vector clocks at the only moment the join is both race-free
+  /// and exact (every member quiescent). Keep it cheap: it executes on the
+  /// release critical path of every barrier crossing.
   void set_all_arrived_hook(AllArrived hook) { all_arrived_ = std::move(hook); }
 
   /// Block until all participants arrive; returns the reconciled clock.
@@ -92,7 +110,32 @@ class ClockSyncBarrier {
   int participants() const { return n_; }
 
  private:
-  [[noreturn]] void throw_poisoned_locked() const;
+  /// One combining-tree node, cache-line isolated so sibling arrivals don't
+  /// false-share.
+  struct alignas(64) TreeNode {
+    std::atomic<int> count{0};
+    std::atomic<std::uint64_t> max_cycles{0};
+  };
+
+  /// Number of direct children of node `idx` at `level` (tickets feed the
+  /// leaves, level k-1 nodes feed level k).
+  int fanin(std::size_t level, std::size_t idx) const;
+
+  /// Climb the combining tree with this arrival's clock. Returns true when
+  /// the caller completed the root (the release duty is theirs) and leaves
+  /// the tree-wide max in `carry`.
+  bool combine(int ticket, std::uint64_t& carry);
+
+  /// Winner-only: run hook + reconcile, reset the tree, publish the next
+  /// generation, wake condvar waiters. Returns the reconciled clock.
+  std::uint64_t release(std::uint64_t tree_max);
+
+  /// Waiter: poll (fiber) or sleep (thread) until the generation advances
+  /// past `my_gen`, poison lands, or the watchdog expires.
+  std::uint64_t await_release(std::uint64_t my_gen);
+
+  [[noreturn]] void throw_poisoned();
+  [[noreturn]] void watchdog_expired();
 
   const int n_;
   Reconcile reconcile_;
@@ -100,14 +143,24 @@ class ClockSyncBarrier {
   const std::uint64_t watchdog_ms_;
   const std::vector<int> member_ranks_;
 
+  // -- Lock-free arrival state --
+  // level_offset_/level_width_ are declared (hence constructed) before
+  // nodes_: the constructor's tree-shape computation fills them while
+  // initializing nodes_.
+  std::vector<std::size_t> level_offset_;  ///< first node of each level
+  std::vector<int> level_width_;           ///< nodes per level
+  std::vector<TreeNode> nodes_;            ///< level-major combining tree
+  std::atomic<int> tickets_{0};            ///< arrival order within generation
+  std::vector<std::atomic<int>> arrived_slots_;  ///< rank per ticket (diagnostics)
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> poisoned_flag_{false};
+  /// Reconciled clock of the latest closed generation. Plain: written before
+  /// the generation_ release-store, read after its acquire-load.
+  std::uint64_t result_ = 0;
+
+  // -- Slow paths (poison, watchdog diagnostics, condvar waiters) --
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  int arrived_ = 0;
-  std::vector<int> arrived_ranks_;  ///< world ranks in the open generation
-  std::uint64_t generation_ = 0;
-  std::uint64_t max_cycles_ = 0;
-  std::uint64_t result_ = 0;
-  bool poisoned_ = false;
   BarrierPoison poison_;
 };
 

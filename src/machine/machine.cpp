@@ -11,14 +11,22 @@
 namespace xbgas {
 
 namespace {
+/// Threads-mode binding only. In fiber mode the PE context rides on the
+/// fiber (user_data), never on the worker thread — fibers migrate.
 thread_local PeContext* t_current_pe = nullptr;
 
 int log_rank_provider() {
-  return t_current_pe != nullptr ? t_current_pe->rank() : -1;
+  PeContext* pe = current_pe_context();
+  return pe != nullptr ? pe->rank() : -1;
 }
 }  // namespace
 
-PeContext* current_pe_context() { return t_current_pe; }
+PeContext* current_pe_context() {
+  if (void* ud = FiberScheduler::current_user_data(); ud != nullptr) {
+    return static_cast<PeContext*>(ud);
+  }
+  return t_current_pe;
+}
 
 PeContext::PeContext(Machine& machine, int rank, const MachineConfig& config)
     : machine_(machine),
@@ -111,45 +119,79 @@ const PeContext& Machine::pe(int rank) const {
 }
 
 void Machine::run(const std::function<void(PeContext&)>& body) {
-  // One slot per PE, written only by that PE's thread and read after join —
-  // no exception is ever dropped, and the report below lists all of them.
+  const std::string& mode = config_.sched.mode;
+  XBGAS_CHECK(mode == "fibers" || mode == "threads",
+              "MachineConfig::sched.mode must be \"fibers\" or \"threads\"");
+
+  // One slot per PE, written only by that PE's fiber/thread and read after
+  // all of them stop — no exception is ever dropped, and the report below
+  // lists all of them.
   struct Slot {
     bool failed = false;
     PeFailure failure;
   };
   std::vector<Slot> slots(pes_.size());
 
-  std::vector<std::thread> threads;
-  threads.reserve(pes_.size());
-  for (std::size_t i = 0; i < pes_.size(); ++i) {
-    threads.emplace_back([&, ctx = pes_[i].get(), i] {
-      t_current_pe = ctx;
-      const int rank = ctx->rank();
-      try {
-        body(*ctx);
-      } catch (const PeFailedError& e) {
-        // Secondary: this PE unwound from a barrier poisoned by another
-        // PE's death. The barriers are already poisoned with the primary's
-        // cause — don't re-poison with the echo.
-        slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/true}};
-      } catch (const std::exception& e) {
-        // Primary: mark the roster *before* poisoning so survivors running
-        // the recovery protocol observe the death as soon as they unwind.
-        recovery_.mark_failed(rank);
-        sanitizer_.on_pe_failed(rank);
-        slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/false}};
-        poison_all_barriers(rank, e.what());
-      } catch (...) {
-        recovery_.mark_failed(rank);
-        sanitizer_.on_pe_failed(rank);
-        slots[i] = Slot{true, PeFailure{rank, "unknown exception",
-                                        /*secondary=*/false}};
-        poison_all_barriers(rank, "unknown exception");
-      }
-      t_current_pe = nullptr;
-    });
+  // A PE's xbrtime state used to be thread-local and therefore fresh for
+  // every region; preserve that — notably, a PE that died mid-region must
+  // not look "initialized" to the next region's body.
+  for (auto& pe_ptr : pes_) pe_ptr->xbrtime_state() = XbrtimeRuntimeState{};
+
+  // The PE body, identical under either execution model. Catches
+  // *everything*: no exception may cross back into the scheduler.
+  auto pe_body = [&](std::size_t i) {
+    PeContext* ctx = pes_[i].get();
+    const int rank = ctx->rank();
+    try {
+      body(*ctx);
+    } catch (const PeFailedError& e) {
+      // Secondary: this PE unwound from a barrier poisoned by another
+      // PE's death. The barriers are already poisoned with the primary's
+      // cause — don't re-poison with the echo.
+      slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/true}};
+    } catch (const std::exception& e) {
+      // Primary: mark the roster *before* poisoning so survivors running
+      // the recovery protocol observe the death as soon as they unwind.
+      recovery_.mark_failed(rank);
+      sanitizer_.on_pe_failed(rank);
+      slots[i] = Slot{true, PeFailure{rank, e.what(), /*secondary=*/false}};
+      poison_all_barriers(rank, e.what());
+    } catch (...) {
+      recovery_.mark_failed(rank);
+      sanitizer_.on_pe_failed(rank);
+      slots[i] = Slot{true, PeFailure{rank, "unknown exception",
+                                      /*secondary=*/false}};
+      poison_all_barriers(rank, "unknown exception");
+    }
+  };
+
+  if (mode == "fibers") {
+    FiberScheduler sched(config_.sched, config_.n_pes);
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+      sched.spawn([&pe_body, i] { pe_body(i); }, pes_[i].get());
+    }
+    sched.run();
+    const SchedStats& s = sched.stats();
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    sched_stats_.regions += s.regions;
+    sched_stats_.fibers += s.fibers;
+    sched_stats_.workers = std::max(sched_stats_.workers, s.workers);
+    sched_stats_.switches += s.switches;
+    sched_stats_.yields_waiting += s.yields_waiting;
+    sched_stats_.injected_yields += s.injected_yields;
+    sched_stats_.naps += s.naps;
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pes_.size());
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+      threads.emplace_back([&pe_body, ctx = pes_[i].get(), i] {
+        t_current_pe = ctx;
+        pe_body(i);
+        t_current_pe = nullptr;
+      });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
 
   std::vector<PeFailure> region_failures;
   std::size_t n_success = 0;
@@ -199,6 +241,11 @@ void Machine::run(const std::function<void(PeContext&)>& body) {
            (f.secondary ? " (secondary): " : ": ") + f.what;
   }
   throw SpmdRegionError(msg, std::move(region_failures));
+}
+
+SchedStats Machine::sched_stats() const {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  return sched_stats_;
 }
 
 bool Machine::alive(int rank) const {

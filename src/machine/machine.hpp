@@ -6,8 +6,11 @@
 // A Machine owns N processing elements. Each PE has its own memory arena
 // (Figure 2 layout), OLB pre-populated with every peer's shared segment,
 // cache hierarchy, simulated clock, and deterministic allocators. run()
-// executes an SPMD body on one std::thread per PE; a failing PE poisons
-// every registered barrier (so no thread deadlocks) and run() throws a
+// executes an SPMD body with one cooperative *fiber* per PE multiplexed
+// over a bounded worker pool (FiberScheduler, docs/SCALING.md) — so a
+// 1024-PE machine runs on a handful of host cores; MachineConfig::sched
+// selects the legacy 1:1 thread-per-PE model instead. A failing PE poisons
+// every registered barrier (so no waiter deadlocks) and run() throws a
 // composite SpmdRegionError listing every failed rank and cause — unless
 // the survivors *recovered* (acknowledged every death via xbr_team_shrink's
 // agreement), in which case run() returns normally. The machine also owns
@@ -30,6 +33,7 @@
 #include "fault/injector.hpp"
 #include "fault/roster.hpp"
 #include "machine/barrier.hpp"
+#include "machine/fiber.hpp"
 #include "machine/port.hpp"
 #include "memory/arena.hpp"
 #include "memory/freelist_allocator.hpp"
@@ -59,6 +63,24 @@ struct MachineConfig {
   /// (src/collectives/policy.hpp); kept as a string here so the machine
   /// substrate stays independent of the collectives layer.
   std::string coll_algo = "auto";
+  /// PE execution model: fiber N:M scheduling (default) or legacy
+  /// thread-per-PE (docs/SCALING.md).
+  SchedConfig sched{};
+};
+
+/// Per-PE xbrtime runtime state (src/xbrtime/runtime.cpp). This used to be
+/// thread-local — correct when each PE owned a thread, wrong once fibers
+/// migrate between workers — so it lives in the PeContext now. Machine::run
+/// resets it at region start, preserving the old fresh-thread-per-region
+/// semantics.
+struct XbrtimeRuntimeState {
+  bool initialized = false;
+  std::size_t live_allocations = 0;
+  /// Collective staging stack carved from the symmetric heap.
+  std::byte* staging_base = nullptr;
+  std::size_t staging_capacity = 0;
+  std::size_t staging_top = 0;
+  std::vector<std::size_t> staging_lifo;  ///< live block offsets, stack order
 };
 
 /// Per-PE state handed to the SPMD body. Owned by the Machine; never
@@ -107,8 +129,12 @@ class PeContext {
   }
   void clear_pending() { pending_completion_ = 0; }
 
+  /// xbrtime runtime state for this PE; only the xbrtime layer mutates it.
+  XbrtimeRuntimeState& xbrtime_state() { return xbrtime_state_; }
+
  private:
   std::uint64_t pending_completion_ = 0;
+  XbrtimeRuntimeState xbrtime_state_;
   Machine& machine_;
   int rank_;
   MemoryArena arena_;
@@ -163,18 +189,24 @@ class Machine {
   CheckpointStore& checkpoint_store() { return checkpoint_store_; }
   const CheckpointStore& checkpoint_store() const { return checkpoint_store_; }
 
-  /// Execute `body` as an SPMD region: one thread per PE. A failing PE is
-  /// marked failed in the recovery roster immediately and poisons every
-  /// registered barrier with its rank and cause, so surviving waiters
-  /// unwind with PeFailedError instead of deadlocking. Every PE's failure
-  /// is collected and recorded (primaries first, then by rank — the order
-  /// is deterministic and golden-testable). If at least one PE completed
-  /// normally and every failure is a primary that survivors acknowledged
-  /// via agreement (xbr_team_shrink), the region *recovered*: run returns
-  /// normally. Otherwise run throws SpmdRegionError listing each failed
-  /// rank and cause — no exception is silently dropped. During the region,
-  /// current_pe_context() returns the calling thread's context.
+  /// Execute `body` as an SPMD region: one fiber per PE over the bounded
+  /// worker pool (or one thread per PE when config().sched.mode ==
+  /// "threads"). A failing PE is marked failed in the recovery roster
+  /// immediately and poisons every registered barrier with its rank and
+  /// cause, so surviving waiters unwind with PeFailedError instead of
+  /// deadlocking. Every PE's failure is collected and recorded (primaries
+  /// first, then by rank — the order is deterministic and golden-testable).
+  /// If at least one PE completed normally and every failure is a primary
+  /// that survivors acknowledged via agreement (xbr_team_shrink), the
+  /// region *recovered*: run returns normally. Otherwise run throws
+  /// SpmdRegionError listing each failed rank and cause — no exception is
+  /// silently dropped. During the region, current_pe_context() returns the
+  /// calling fiber's (or thread's) PE context.
   void run(const std::function<void(PeContext&)>& body);
+
+  /// Scheduler statistics accumulated across every run() on this machine
+  /// (sched.* counters, docs/OBSERVABILITY.md).
+  SchedStats sched_stats() const;
 
   // -- Post-mortem health view (docs/RESILIENCE.md) --
 
@@ -245,10 +277,11 @@ class Machine {
 
   mutable std::mutex health_mutex_;
   std::vector<PeFailure> failures_;   ///< accumulated failure records
+  SchedStats sched_stats_;            ///< accumulated, under health_mutex_
 };
 
-/// The PE context bound to the calling thread inside Machine::run, or
-/// nullptr outside any SPMD region.
+/// The PE context bound to the calling fiber (fiber mode) or thread
+/// (threads mode) inside Machine::run, or nullptr outside any SPMD region.
 PeContext* current_pe_context();
 
 }  // namespace xbgas

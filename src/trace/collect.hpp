@@ -91,6 +91,15 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("recovery.restored_bytes", ld(rc.restored_bytes));
   reg.set("recovery.orphaned_bytes", ld(rc.orphaned_bytes));
 
+  const SchedStats ss = machine.sched_stats();
+  reg.set("sched.regions", ss.regions);
+  reg.set("sched.fibers", ss.fibers);
+  reg.set("sched.workers", ss.workers);
+  reg.set("sched.switches", ss.switches);
+  reg.set("sched.yields_waiting", ss.yields_waiting);
+  reg.set("sched.injected_yields", ss.injected_yields);
+  reg.set("sched.naps", ss.naps);
+
   const Sanitizer& san = machine.sanitizer();
   const Sanitizer::Counters sc = san.counters();
   reg.set("san.enabled", san.enabled() ? 1 : 0);

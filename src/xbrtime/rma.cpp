@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "fault/checksum.hpp"
 #include "fault/injector.hpp"
+#include "machine/fiber.hpp"
 #include "net/fabric.hpp"
 #include "olb/olb.hpp"
 #include "san/sanitizer.hpp"
@@ -132,6 +133,10 @@ void validate_amo(const char* fn, const void* dest, int pe) {
 void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
                   bool nonblocking) {
+  // Cooperative poll point: RMA issues are the densest operation in a PE
+  // body, so they bound a fiber's uninterrupted slice (and host the seeded
+  // yield injection the scheduler tests rely on).
+  FiberScheduler::poll_yield();
   PeContext& ctx = xbrtime_ctx();
   XBGAS_CHECK(pe >= 0 && pe < ctx.n_pes(), "RMA target PE out of range");
   XBGAS_CHECK(stride >= 1, "RMA stride must be >= 1");

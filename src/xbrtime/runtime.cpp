@@ -12,20 +12,11 @@ namespace xbgas {
 
 namespace {
 
-struct StagingState {
-  std::byte* base = nullptr;
-  std::size_t capacity = 0;
-  std::size_t top = 0;
-  std::vector<std::size_t> lifo;  // offsets of live blocks, stack order
-};
-
-struct RuntimeTls {
-  PeContext* ctx = nullptr;
-  std::size_t live_allocations = 0;
-  StagingState staging;
-};
-
-thread_local RuntimeTls t_rt;
+// The runtime's per-PE state (init flag, allocation count, staging stack)
+// lives in PeContext::xbrtime_state(), NOT in a thread_local: PE fibers
+// migrate between worker threads, so thread identity no longer implies PE
+// identity. current_pe_context() resolves the calling fiber's (or, in
+// threads mode, thread's) PE.
 
 constexpr std::uint64_t kAllocFailed = std::numeric_limits<std::uint64_t>::max();
 
@@ -33,24 +24,35 @@ constexpr std::uint64_t kAllocFailed = std::numeric_limits<std::uint64_t>::max()
 /// paper's library is "as lightweight as possible", so this is a token cost.
 constexpr std::uint64_t kApiCallCycles = 10;
 
+/// The calling PE's runtime state, or nullptr outside an SPMD region.
+XbrtimeRuntimeState* rt_state() {
+  PeContext* ctx = current_pe_context();
+  return ctx != nullptr ? &ctx->xbrtime_state() : nullptr;
+}
+
 }  // namespace
 
 PeContext& xbrtime_ctx() {
-  XBGAS_CHECK(t_rt.ctx != nullptr,
-              "xbrtime runtime not initialized on this thread "
+  PeContext* ctx = current_pe_context();
+  XBGAS_CHECK(ctx != nullptr && ctx->xbrtime_state().initialized,
+              "xbrtime runtime not initialized on this PE "
               "(call xbrtime_init() inside Machine::run)");
-  return *t_rt.ctx;
+  return *ctx;
 }
 
-bool xbrtime_initialized() { return t_rt.ctx != nullptr; }
+bool xbrtime_initialized() {
+  const XbrtimeRuntimeState* st = rt_state();
+  return st != nullptr && st->initialized;
+}
 
 int xbrtime_init() {
   PeContext* ctx = current_pe_context();
   XBGAS_CHECK(ctx != nullptr,
               "xbrtime_init must be called from an SPMD region");
-  XBGAS_CHECK(t_rt.ctx == nullptr, "xbrtime_init called twice");
-  t_rt.ctx = ctx;
-  t_rt.live_allocations = 0;
+  XbrtimeRuntimeState& st = ctx->xbrtime_state();
+  XBGAS_CHECK(!st.initialized, "xbrtime_init called twice");
+  st.initialized = true;
+  st.live_allocations = 0;
   ctx->clock().advance(kApiCallCycles);
   xbrtime_barrier();  // init is collective
 
@@ -61,38 +63,42 @@ int xbrtime_init() {
                             std::size_t{16} << 20);
   void* stage = xbrtime_malloc(stage_bytes);
   XBGAS_CHECK(stage != nullptr, "failed to allocate collective staging region");
-  t_rt.staging.base = static_cast<std::byte*>(stage);
-  t_rt.staging.capacity = stage_bytes;
-  t_rt.staging.top = 0;
-  t_rt.staging.lifo.clear();
+  st.staging_base = static_cast<std::byte*>(stage);
+  st.staging_capacity = stage_bytes;
+  st.staging_top = 0;
+  st.staging_lifo.clear();
   return 0;
 }
 
 void xbrtime_close() {
   PeContext& ctx = xbrtime_ctx();
-  if (!t_rt.staging.lifo.empty()) {
+  XbrtimeRuntimeState& st = ctx.xbrtime_state();
+  if (!st.staging_lifo.empty()) {
     XBGAS_LOG_WARN("xbrtime_close: %zu staging blocks still live on PE %d",
-                   t_rt.staging.lifo.size(), ctx.rank());
+                   st.staging_lifo.size(), ctx.rank());
   }
-  if (t_rt.staging.base != nullptr) {
-    xbrtime_free(t_rt.staging.base);
-    t_rt.staging = StagingState{};
+  if (st.staging_base != nullptr) {
+    xbrtime_free(st.staging_base);
+    st.staging_base = nullptr;
+    st.staging_capacity = 0;
+    st.staging_top = 0;
+    st.staging_lifo.clear();
   }
   xbrtime_barrier();  // close is collective
-  if (t_rt.live_allocations != 0) {
+  if (st.live_allocations != 0) {
     XBGAS_LOG_WARN("xbrtime_close: %zu symmetric allocations leaked on PE %d",
-                   t_rt.live_allocations, ctx.rank());
+                   st.live_allocations, ctx.rank());
   }
   ctx.clock().advance(kApiCallCycles);
-  t_rt = RuntimeTls{};
+  st = XbrtimeRuntimeState{};
 }
 
 int xbrtime_mype() {
-  return t_rt.ctx != nullptr ? t_rt.ctx->rank() : -1;
+  return xbrtime_initialized() ? current_pe_context()->rank() : -1;
 }
 
 int xbrtime_num_pes() {
-  return t_rt.ctx != nullptr ? t_rt.ctx->n_pes() : 0;
+  return xbrtime_initialized() ? current_pe_context()->n_pes() : 0;
 }
 
 void xbrtime_barrier() {
@@ -142,7 +148,7 @@ void* xbrtime_malloc(std::size_t bytes) {
   // exits that barrier it may legally target this block, and it must find
   // the shadow entry already present.
   if (!mismatch && !any_failed) {
-    ++t_rt.live_allocations;
+    ++ctx.xbrtime_state().live_allocations;
     Sanitizer& san = machine.sanitizer();
     if (san.enabled()) {
       san.on_alloc(ctx.rank(), *offset,
@@ -180,20 +186,20 @@ void xbrtime_free(void* ptr) {
                 ctx.shared_allocator().allocation_size(offset));
   }
   ctx.shared_allocator().release(offset);
-  --t_rt.live_allocations;
+  --ctx.xbrtime_state().live_allocations;
 }
 
 void* xbrtime_stage_alloc(std::size_t bytes) {
   PeContext& ctx = xbrtime_ctx();
-  StagingState& st = t_rt.staging;
-  XBGAS_CHECK(st.base != nullptr, "staging region not initialized");
+  XbrtimeRuntimeState& st = ctx.xbrtime_state();
+  XBGAS_CHECK(st.staging_base != nullptr, "staging region not initialized");
   const std::size_t need = align_up(bytes == 0 ? 1 : bytes, 16);
-  XBGAS_CHECK(st.top + need <= st.capacity,
+  XBGAS_CHECK(st.staging_top + need <= st.staging_capacity,
               "collective staging region exhausted - raise "
               "MemoryLayout::shared_bytes");
-  std::byte* p = st.base + st.top;
-  st.lifo.push_back(st.top);
-  st.top += need;
+  std::byte* p = st.staging_base + st.staging_top;
+  st.staging_lifo.push_back(st.staging_top);
+  st.staging_top += need;
   ctx.clock().advance(kApiCallCycles);
   ctx.trace().record(EventKind::kStagingAlloc, -1, need);
   return p;
@@ -201,33 +207,33 @@ void* xbrtime_stage_alloc(std::size_t bytes) {
 
 void xbrtime_stage_free(void* ptr) {
   PeContext& ctx = xbrtime_ctx();
-  StagingState& st = t_rt.staging;
-  XBGAS_CHECK(!st.lifo.empty(), "stage_free with no live staging block");
-  const std::size_t offset = st.lifo.back();
-  XBGAS_CHECK(static_cast<std::byte*>(ptr) == st.base + offset,
+  XbrtimeRuntimeState& st = ctx.xbrtime_state();
+  XBGAS_CHECK(!st.staging_lifo.empty(), "stage_free with no live staging block");
+  const std::size_t offset = st.staging_lifo.back();
+  XBGAS_CHECK(static_cast<std::byte*>(ptr) == st.staging_base + offset,
               "stage_free must release the most recent staging block (LIFO)");
-  st.lifo.pop_back();
-  st.top = offset;
+  st.staging_lifo.pop_back();
+  st.staging_top = offset;
   ctx.clock().advance(kApiCallCycles);
   ctx.trace().record(EventKind::kStagingFree);
 }
 
 std::size_t xbrtime_stage_avail() {
-  const StagingState& st = t_rt.staging;
-  return st.capacity - st.top;
+  const XbrtimeRuntimeState& st = xbrtime_ctx().xbrtime_state();
+  return st.staging_capacity - st.staging_top;
 }
 
 void xbrtime_stage_reset() {
-  StagingState& st = t_rt.staging;
-  st.top = 0;
-  st.lifo.clear();
+  XbrtimeRuntimeState& st = xbrtime_ctx().xbrtime_state();
+  st.staging_top = 0;
+  st.staging_lifo.clear();
 }
 
 std::size_t xbrtime_stage_offset() {
   PeContext& ctx = xbrtime_ctx();
-  const StagingState& st = t_rt.staging;
-  XBGAS_CHECK(st.base != nullptr, "staging region not initialized");
-  return ctx.arena().shared_offset_of(st.base);
+  const XbrtimeRuntimeState& st = ctx.xbrtime_state();
+  XBGAS_CHECK(st.staging_base != nullptr, "staging region not initialized");
+  return ctx.arena().shared_offset_of(st.staging_base);
 }
 
 XbrtimeStats xbrtime_stats() {

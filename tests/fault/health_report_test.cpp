@@ -119,6 +119,33 @@ TEST(HealthReportTest, TwoDeathsOrderPrimariesByRank) {
   }
 }
 
+TEST(HealthReportTest, GoldenReportHoldsAt256Pes) {
+  // The same golden-string discipline at scale (docs/SCALING.md): one death
+  // in a 256-PE world, survivors recover, and the report must still be
+  // byte-for-byte deterministic — aggregation is sorted, never
+  // arrival-ordered, no matter how 256 fibers interleave.
+  constexpr int kPes = 256;
+  FaultConfig fc;
+  fc.kills.push_back(KillSpec{100, KillSite::kBarrier, 4});
+  Machine machine(config(kPes, fc));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    try {
+      xbrtime_barrier();  // barrier #4: rank 100 dies
+    } catch (const PeFailedError&) {
+      xbr_team_shrink();
+    }
+  });
+
+  const std::string cause = "scripted fault: PE 100 killed at barrier #4";
+  EXPECT_EQ(machine.health(),
+            "alive 255/256\n"
+            "failed ranks: [100]\n"
+            "  rank 100 (primary): " + cause + "\n"
+            "recovery: epoch 1, agreements 1, shrinks 1, checkpoints 0, "
+            "restores 0");
+}
+
 TEST(HealthReportTest, RunTwiceProducesIdenticalReports) {
   // Determinism is the point: the same config must yield the same
   // post-mortem on every run.

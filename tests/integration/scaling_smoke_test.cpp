@@ -1,0 +1,88 @@
+// 1024-PE smoke (docs/SCALING.md, labeled `slow`): the headline scale the
+// N:M scheduler exists for. One region runs barriers and an allreduce over
+// 1024 fibers multiplexed onto a laptop-class worker pool; a second region
+// kills PEs at scale and checks Machine::run's failure aggregation stays
+// deterministically ordered (primaries by rank, then secondaries by rank)
+// when the report is ~1000 entries long.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "collectives/composed.hpp"
+#include "fault/errors.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+constexpr int kWorld = 1024;
+
+MachineConfig smoke_config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 256 * 1024};
+  c.fault = fault;
+  return c;
+}
+
+TEST(ScalingSmokeTest, BarrierAndAllreduceAt1024) {
+  Machine machine(smoke_config(kWorld));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* sum = static_cast<long*>(xbrtime_malloc(sizeof(long)));
+    const long mine = static_cast<long>(pe.rank()) + 1;
+    xbrtime_barrier();
+    reduce_all<OpSum>(sum, &mine, 1, 1);
+    // sum(1..1024) on every PE.
+    ASSERT_EQ(*sum, static_cast<long>(kWorld) * (kWorld + 1) / 2)
+        << "pe=" << pe.rank();
+    xbrtime_barrier();
+    xbrtime_free(sum);
+    xbrtime_close();
+  });
+  const SchedStats s = machine.sched_stats();
+  EXPECT_EQ(s.fibers, static_cast<std::uint64_t>(kWorld));
+  // The whole point: 1024 PEs never meant 1024 OS threads.
+  EXPECT_LT(s.workers, 64u);
+}
+
+TEST(ScalingSmokeTest, FailureAggregationIsOrderedAt1024) {
+  // Kill every 8th PE (128 primaries) with nobody catching: the region is
+  // unrecovered, so run() must throw one SpmdRegionError aggregating all
+  // ~1024 failures in deterministic order — primaries ascending by rank,
+  // then the secondary unwinds ascending by rank.
+  FaultConfig fc;
+  for (int r = kWorld - 8; r >= 0; r -= 8) {  // scripted in DESCENDING order
+    fc.kills.push_back(KillSpec{r, KillSite::kBarrier, 1});
+  }
+  Machine machine(smoke_config(kWorld, fc));
+  try {
+    machine.run([](PeContext&) {
+      xbrtime_init();  // first init barrier arrival fires every kill
+    });
+    FAIL() << "expected SpmdRegionError";
+  } catch (const SpmdRegionError& e) {
+    const std::vector<PeFailure>& f = e.failures();
+    ASSERT_EQ(f.size(), static_cast<std::size_t>(kWorld));
+    constexpr std::size_t kPrimaries = kWorld / 8;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      EXPECT_EQ(f[i].secondary, i >= kPrimaries) << "slot " << i;
+      if (i > 0 && f[i].secondary == f[i - 1].secondary) {
+        EXPECT_GT(f[i].rank, f[i - 1].rank) << "slot " << i;
+      }
+    }
+    EXPECT_EQ(f[0].rank, 0);
+    EXPECT_EQ(f[kPrimaries - 1].rank, kWorld - 8);
+  }
+  EXPECT_EQ(machine.n_alive(), kWorld - kWorld / 8);
+  const std::vector<int> failed = machine.failed_ranks();
+  ASSERT_EQ(failed.size(), static_cast<std::size_t>(kWorld / 8));
+  EXPECT_TRUE(std::is_sorted(failed.begin(), failed.end()));
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -1,0 +1,169 @@
+// At-scale integration (docs/SCALING.md): the fiber-scheduled machine must
+// run 256-PE worlds through the same conformance and recovery scenarios the
+// unit suites pin down at 1-12 PEs — correct collective results against
+// golden models, log-depth barrier clock reconciliation, and
+// shrink-and-continue recovery — all multiplexed over a bounded worker
+// pool. A seeded chaos soak checks the whole story is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "collectives/composed.hpp"
+#include "collectives/shrink.hpp"
+#include "common/rng.hpp"
+#include "fault/errors.hpp"
+#include "trace/collect.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+constexpr int kWorld = 256;
+
+MachineConfig scale_config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  // The default layout is sized for paper-scale (12 PE) runs; hundreds of
+  // PEs on one host need slim segments (docs/SCALING.md, "memory budget").
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 512 * 1024};
+  c.fault = fault;
+  return c;
+}
+
+/// Deterministic input: pure function of (rank, index), computable by any
+/// PE — golden results need no extra communication.
+long val(int rank, std::size_t i) {
+  return static_cast<long>((rank * 37 + static_cast<int>(i) * 11) % 1000);
+}
+
+TEST(ScalingTest, ConformanceAllreduceAndBroadcastAt256) {
+  constexpr std::size_t kElems = 16;
+  Machine machine(scale_config(kWorld));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const int me = pe.rank();
+    auto* buf = static_cast<long*>(xbrtime_malloc(kElems * sizeof(long)));
+    std::vector<long> src(kElems);
+    for (std::size_t j = 0; j < kElems; ++j) src[j] = val(me, j);
+    xbrtime_barrier();
+
+    reduce_all<OpSum>(buf, src.data(), kElems, 1);
+    for (std::size_t j = 0; j < kElems; ++j) {
+      long golden = 0;
+      for (int r = 0; r < kWorld; ++r) golden += val(r, j);
+      ASSERT_EQ(buf[j], golden) << "reduce_all pe=" << me << " j=" << j;
+    }
+    xbrtime_barrier();
+
+    broadcast(buf, src.data(), kElems, 1, /*root=*/131);
+    for (std::size_t j = 0; j < kElems; ++j) {
+      ASSERT_EQ(buf[j], val(131, j)) << "broadcast pe=" << me << " j=" << j;
+    }
+
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(ScalingTest, BarrierReconcilesClocksIdenticallyAt256) {
+  Machine machine(scale_config(kWorld));
+  std::vector<std::uint64_t> exit_clock(kWorld, 0);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    // Skew the clocks: every PE idles a different amount, then the barrier
+    // must hand every participant the same reconciled value, monotonically
+    // increasing across rounds.
+    std::uint64_t prev = 0;
+    for (int round = 0; round < 4; ++round) {
+      pe.clock().advance(static_cast<std::uint64_t>(pe.rank() % 97));
+      xbrtime_barrier();
+      const std::uint64_t now = pe.clock().cycles();
+      ASSERT_GT(now, prev);
+      prev = now;
+    }
+    exit_clock[static_cast<std::size_t>(pe.rank())] = prev;
+    xbrtime_close();
+  });
+  for (int r = 1; r < kWorld; ++r) {
+    ASSERT_EQ(exit_clock[static_cast<std::size_t>(r)], exit_clock[0])
+        << "rank " << r;
+  }
+}
+
+TEST(ScalingTest, RecoveryShrinkAndContinueAt256) {
+  // Two deaths at a mid-workload barrier; every survivor catches, agrees,
+  // and finishes on the shrunken team. The region must *recover* (no
+  // throw), with exactly the two primaries on the roster.
+  FaultConfig fc;
+  fc.kills.push_back(KillSpec{100, KillSite::kBarrier, 4});
+  fc.kills.push_back(KillSpec{200, KillSite::kBarrier, 4});
+  Machine machine(scale_config(kWorld, fc));
+  std::vector<int> team_size(kWorld, 0);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    try {
+      xbrtime_barrier();  // barrier #4: ranks 100 and 200 die here
+    } catch (const PeFailedError&) {
+      auto team = xbr_team_shrink();
+      team_size[static_cast<std::size_t>(pe.rank())] = team->n_pes();
+      team->barrier();
+    }
+  });
+  EXPECT_EQ(machine.failed_ranks(), (std::vector<int>{100, 200}));
+  EXPECT_EQ(machine.n_alive(), kWorld - 2);
+  for (int r = 0; r < kWorld; ++r) {
+    if (r == 100 || r == 200) continue;
+    EXPECT_EQ(team_size[static_cast<std::size_t>(r)], kWorld - 2)
+        << "rank " << r;
+  }
+}
+
+TEST(ScalingTest, ChaosSoakIsDeterministicAt256) {
+  // Seeded chaos: each seed scripts kills at seed-derived ranks/arrivals.
+  // The entire post-mortem (health string, counters) must be bit-identical
+  // when the same seed runs twice.
+  auto one_run = [](std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    FaultConfig fc;
+    const int n_kills = 1 + static_cast<int>(rng.next() % 3);
+    for (int k = 0; k < n_kills; ++k) {
+      const int rank = static_cast<int>(rng.next() % kWorld);
+      // All kills land at the same arrival so one shrink absorbs every
+      // death; staggered kills could fire inside the survivor team's own
+      // barrier, which is a different scenario (revocation, not recovery).
+      fc.kills.push_back(KillSpec{rank, KillSite::kBarrier, 4});
+    }
+    Machine machine(scale_config(kWorld, fc));
+    machine.run([&](PeContext&) {
+      xbrtime_init();
+      for (int round = 0; round < 4; ++round) {
+        try {
+          xbrtime_barrier();
+        } catch (const PeFailedError&) {
+          auto team = xbr_team_shrink();
+          team->barrier();
+          break;
+        }
+      }
+    });
+    const CounterRegistry reg = collect_counters(machine);
+    return machine.health() + "\nkills=" +
+           std::to_string(reg.get("fault.injected.kills").value()) +
+           " agreements=" +
+           std::to_string(reg.get("recovery.agreements").value());
+  };
+  for (const std::uint64_t seed : {3u, 17u, 40u}) {
+    const std::string first = one_run(seed);
+    EXPECT_EQ(first, one_run(seed)) << "seed " << seed;
+    EXPECT_NE(first.find("failed ranks: ["), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -7,11 +7,11 @@
 // SanViolationError carrying the right kind, entry point, ranks, and range.
 //
 // Violating accesses are issued inside the SPMD body and caught there, on
-// the issuing PE's own thread, so each test can assert on the structured
+// the issuing PE's own fiber, so each test can assert on the structured
 // error fields and then let the region finish cleanly. Where two issuers
 // must hit the target in a known order, a host-side std::atomic sequences
-// the *threads*; the sanitizer itself only reasons about barriers, so the
-// accesses remain concurrent in the simulated-synchronization sense.
+// the *PE contexts*; the sanitizer itself only reasons about barriers, so
+// the accesses remain concurrent in the simulated-synchronization sense.
 
 #include "san/sanitizer.hpp"
 
@@ -24,6 +24,7 @@
 
 #include "collectives/team.hpp"
 #include "fault/errors.hpp"
+#include "machine/fiber.hpp"
 #include "machine/machine.hpp"
 #include "trace/collect.hpp"
 #include "xbrtime/rma.hpp"
@@ -41,9 +42,15 @@ MachineConfig config(int n_pes, SanMode mode) {
   return c;
 }
 
-/// Spin until `flag` is true — host-side thread sequencing only.
+/// Spin until `flag` is true — host-side sequencing only. Must park the
+/// calling *fiber*, not just the OS thread: with PEs multiplexed over a
+/// bounded worker pool, a raw spin could monopolize the worker the
+/// flag-setter needs (src/machine/fiber.hpp invariants).
 void await(const std::atomic<bool>& flag) {
-  while (!flag.load(std::memory_order_acquire)) std::this_thread::yield();
+  while (!flag.load(std::memory_order_acquire)) {
+    FiberScheduler::yield_waiting();  // no-op in threads mode
+    std::this_thread::yield();
+  }
 }
 
 TEST(SanBoundsTest, OutOfBoundsPutDetectedWithTypedError) {
