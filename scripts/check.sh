@@ -15,13 +15,18 @@
 #   9. survivor-recovery chaos smoke (docs/RESILIENCE.md): bench_chaos under
 #      a scripted two-kill plan and a seeded-random soak — every run must
 #      shrink, restore, and verify its collectives after the deaths
-#  10. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
+#  10. serving chaos smoke (docs/SERVING.md): bench_serving seeded soak —
+#      every seeded run must fail over and keep serving with balanced
+#      request books (requests == served + failed on every survivor),
+#      identical accounting on a same-seed replay, and post-failover
+#      throughput >= 50% of pre-failover
+#  11. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
 #      1024-PE slow smoke, and a bench_scaling run checking the modeled
 #      barrier latency actually grows log-depth, not linearly
-#  11. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
-#  12. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#  12. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
+#  13. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
 #      heavy suites: machine (incl. the fiber scheduler), trace, fault, san,
-#      recovery, scaling, and the collectives conformance sweep
+#      recovery, serving, scaling, and the collectives conformance sweep
 #
 # Usage: scripts/check.sh [build-dir]   (default: build; the ASan and TSan
 # stages use <build-dir>-asan and <build-dir>-tsan)
@@ -30,21 +35,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/12] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/13] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/12] fast path: unit label only (ctest -L unit) =="
+echo "== [2/13] fast path: unit label only (ctest -L unit) =="
 ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$(nproc)"
 
-echo "== [3/12] observability suite (ctest -R trace) =="
+echo "== [3/13] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [4/12] disabled-path overhead guard =="
+echo "== [4/13] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [5/12] trace + counters smoke (bench_pt2pt) =="
+echo "== [5/13] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -63,7 +68,7 @@ print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
 
-echo "== [6/12] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+echo "== [6/13] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
     --counters=json > "$TMP/fault1.txt"
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
@@ -83,7 +88,7 @@ print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
       f"absorbed by {counters['rma.retries']} retries, deterministic replay")
 EOF
 
-echo "== [7/12] collective-policy smoke (docs/COLLECTIVES.md) =="
+echo "== [7/13] collective-policy smoke (docs/COLLECTIVES.md) =="
 "$BUILD"/bench/bench_policy_crossover --pes 8 --sizes 16,4096 --reps 1 \
     --json "$TMP/cross.json" > /dev/null
 python3 - "$TMP" <<'EOF'
@@ -100,7 +105,7 @@ print("policy smoke OK: auto flips tree->ring across the crossover and "
       "tracks the faster family")
 EOF
 
-echo "== [8/12] XbrSan smoke (docs/SANITIZER.md) =="
+echo "== [8/13] XbrSan smoke (docs/SANITIZER.md) =="
 # Positive: a real workload under full checking finishes with 0 violations.
 "$BUILD"/bench/bench_pt2pt --xbrsan=full --counters=json > "$TMP/san.txt"
 python3 - "$TMP" <<'EOF'
@@ -122,14 +127,25 @@ EOF
 grep -q 'XbrSan\[out_of_bounds\]' "$TMP/san_neg.txt"
 echo "xbrsan negative smoke OK: planted bug detected"
 
-echo "== [9/12] survivor-recovery chaos smoke (bench_chaos) =="
+echo "== [9/13] survivor-recovery chaos smoke (bench_chaos) =="
 # Scripted: the acceptance kill plan (mid-barrier + mid-RMA on 12 PEs).
 "$BUILD"/bench/bench_chaos --pes 12 --rounds 4 \
     --fault-kill 3:barrier:11,7:rma:4
 # Soak: seeded-random kill plans; every seed must recover and verify.
 "$BUILD"/bench/bench_chaos --pes 10 --seeds 8 --rounds 4
 
-echo "== [10/12] scaling smoke (docs/SCALING.md) =="
+echo "== [10/13] serving chaos smoke (bench_serving, docs/SERVING.md) =="
+# Scripted: one mid-RMA kill under default transport faults on 12 PEs.
+"$BUILD"/bench/bench_serving --pes 12 --batches 12 --ops-per-batch 32 \
+    --fault-kill 5:rma:40
+# Soak: seeded kill plans + double-run determinism check. The bench itself
+# exits nonzero unless every seed recovers (shrink + restore + failover),
+# every survivor's books balance, accounting replays identically, and
+# post-failover throughput holds >= 50% of pre-failover.
+"$BUILD"/bench/bench_serving --pes 10 --batches 12 --ops-per-batch 32 \
+    --seeds 4
+
+echo "== [11/13] scaling smoke (docs/SCALING.md) =="
 # 256-PE conformance/recovery/chaos cases ride the integration suite; the
 # 1024-PE smoke is its own slow-labeled binary.
 ctest --test-dir "$BUILD" -R 'Scaling' --output-on-failure
@@ -150,18 +166,18 @@ print(f"scaling smoke OK: barrier {points[16]['barrier_cycles']} -> "
       f"{points[1024]['workers']} worker(s)")
 EOF
 
-echo "== [11/12] ASan+UBSan pass (full test suite) =="
+echo "== [12/13] ASan+UBSan pass (full test suite) =="
 cmake -B "$BUILD-asan" -S . -DXBGAS_SANITIZE=address -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-asan" -j
 ctest --test-dir "$BUILD-asan" --output-on-failure -j "$(nproc)"
 
-echo "== [12/12] TSan pass (machine + sched + trace + fault + san + recovery + conformance + scaling) =="
+echo "== [13/13] TSan pass (machine + sched + trace + fault + san + recovery + serving + conformance + scaling) =="
 cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-tsan" -j
 ctest --test-dir "$BUILD-tsan" \
-    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Conformance|Agree|Shrink|Checkpoint|Recovery|recovery|Scaling)' \
+    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Conformance|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling)' \
     --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -5,6 +5,7 @@
 
 #include "collectives/policy.hpp"
 #include "common/error.hpp"
+#include "serving/counters.hpp"
 #include "trace/collect.hpp"
 #include "trace/export_chrome.hpp"
 #include "trace/export_csv.hpp"
@@ -54,6 +55,28 @@ void emit_observability(Machine& machine, const CliArgs& args) {
                        coll_algo_name(static_cast<CollAlgo>(a)),
                    coll.by_kind_algo[k][a]);
     }
+  }
+  // Same story for the serving layer's process-wide ledger; skip the block
+  // entirely for non-serving workloads so their dumps stay unchanged.
+  const ServingCounters serving = serving_counters_snapshot();
+  if (serving.requests > 0) {
+    counters.set("serving.requests", serving.requests);
+    counters.set("serving.gets", serving.gets);
+    counters.set("serving.puts", serving.puts);
+    counters.set("serving.incrs", serving.incrs);
+    counters.set("serving.served", serving.served);
+    counters.set("serving.failed", serving.failed);
+    counters.set("serving.retries", serving.retries);
+    counters.set("serving.requests_retried", serving.requests_retried);
+    counters.set("serving.attempt_timeouts", serving.attempt_timeouts);
+    counters.set("serving.hedges", serving.hedges);
+    counters.set("serving.redirected", serving.redirected);
+    counters.set("serving.replica_skips", serving.replica_skips);
+    counters.set("serving.failovers", serving.failovers);
+    counters.set("serving.replayed", serving.replayed);
+    counters.set("serving.failed_fast", serving.failed_fast);
+    counters.set("serving.rebalanced_keys", serving.rebalanced_keys);
+    counters.set("serving.hot_folds", serving.hot_folds);
   }
   if (mode == "table") {
     counters.dump_table(stdout);

@@ -37,6 +37,8 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
       static_cast<std::int64_t>(config.fault.delay_cycles)));
   config.fault.rma_bitflip_prob = args.get_double("fault-bitflip", 0.0);
   config.fault.olb_fault_prob = args.get_double("fault-olb", 0.0);
+  config.fault.amo_drop_prob = args.get_double("fault-amo-drop", 0.0);
+  config.fault.amo_delay_prob = args.get_double("fault-amo-delay", 0.0);
   config.fault.max_rma_retries = static_cast<int>(
       args.get_int("fault-retries", config.fault.max_rma_retries));
   // Without checksums an injected bit-flip would be silent corruption, so
@@ -50,6 +52,14 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
         "barrier watchdog), got " + std::to_string(timeout_ms));
   }
   config.fault.barrier_timeout_ms = static_cast<std::uint64_t>(timeout_ms);
+  const std::int64_t agree_ms = args.get_int("fault-agree-timeout-ms", 0);
+  if (args.has("fault-agree-timeout-ms") && agree_ms <= 0) {
+    throw FaultConfigError(
+        "--fault-agree-timeout-ms must be positive (omit the flag to keep "
+        "the agreement board's 60 s safety net), got " +
+        std::to_string(agree_ms));
+  }
+  config.fault.agree_timeout_ms = static_cast<std::uint64_t>(agree_ms);
 
   // One or more scripted kills: RANK:SITE:K[,RANK:SITE:K...]. Full
   // validation (rank range, K >= 1) happens in validate_fault_config when

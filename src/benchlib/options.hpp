@@ -31,10 +31,14 @@ namespace xbgas {
 ///   --fault-delay-cycles N     cycles added when a delay fault fires
 ///   --fault-bitflip P          P(one payload bit flipped) per transfer
 ///   --fault-olb P              P(transient OLB translation fault)
+///   --fault-amo-drop P         P(remote RMW request dropped) per AMO attempt
+///   --fault-amo-delay P        P(extra delay) per remote AMO attempt
 ///   --fault-retries N          max retries per transfer (default 6)
 ///   --fault-checksum 0|1       verify payload checksums (default: on when
 ///                              --fault-bitflip > 0)
 ///   --fault-timeout-ms N       barrier watchdog, host milliseconds (0 = off)
+///   --fault-agree-timeout-ms N xbr_agree decision watchdog, host
+///                              milliseconds (0 = the 60 s safety net)
 ///   --fault-kill RANK:SITE:K   kill RANK at its K-th SITE (barrier|rma),
 ///                              e.g. --fault-kill 2:barrier:3
 ///

@@ -1,0 +1,67 @@
+#include "benchlib/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s) {
+  XBGAS_CHECK(n > 0, "ZipfGenerator: n must be >= 1");
+  XBGAS_CHECK(s >= 0.0, "ZipfGenerator: exponent must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (std::size_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfGenerator::sample(Xoshiro256ss& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+ServingTraffic::ServingTraffic(std::uint64_t seed, int rank,
+                               std::size_t n_keys, const ServingMix& mix)
+    : zipf_(n_keys, mix.zipf_s),
+      // Expand (seed, rank) exactly like the fault layer expands
+      // (seed, rank, site): one SplitMix64 hop per dimension, so traffic
+      // streams never correlate with fault placement streams.
+      rng_(SplitMix64(SplitMix64(seed).next() ^
+                      (std::uint64_t{0x517cc1b727220a95} *
+                       static_cast<std::uint64_t>(rank + 1)))
+               .next()),
+      mix_(mix),
+      n_keys_(n_keys) {
+  XBGAS_CHECK(mix.put_pct >= 0 && mix.incr_pct >= 0 &&
+                  mix.put_pct + mix.incr_pct <= 100,
+              "ServingMix: put/incr percentages must be >= 0 and sum <= 100");
+  // Odd multiplier derived from the seed: a bijection over keys mod 2^k is
+  // overkill here — we only need hot ranks scattered deterministically, so
+  // map rank -> (rank * scatter) % n_keys with scatter coprime-ish (odd).
+  scatter_ = (SplitMix64(seed ^ 0x9e3779b97f4a7c15ull).next() | 1ull);
+}
+
+ServingRequest ServingTraffic::next() {
+  ServingRequest req;
+  const std::size_t rank = zipf_.sample(rng_);
+  req.key = (rank * scatter_) % n_keys_;
+  const std::uint64_t roll = rng_.next_below(100);
+  if (roll < static_cast<std::uint64_t>(mix_.put_pct)) {
+    req.kind = ServingRequest::Kind::kPut;
+    req.value = rng_.next() & ((std::uint64_t{1} << 24) - 1);
+  } else if (roll < static_cast<std::uint64_t>(mix_.put_pct + mix_.incr_pct)) {
+    req.kind = ServingRequest::Kind::kIncr;
+    req.value = 1 + rng_.next_below(7);
+  } else {
+    req.kind = ServingRequest::Kind::kGet;
+  }
+  return req;
+}
+
+}  // namespace xbgas

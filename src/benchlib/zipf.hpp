@@ -1,0 +1,71 @@
+#pragma once
+
+// ZipfGenerator / ServingTraffic — deterministic skewed request streams for
+// the serving workload (docs/SERVING.md).
+//
+// Traffic shaped like millions of users is heavy-tailed: a few keys take
+// most of the hits. ZipfGenerator samples key ranks from a Zipf(s)
+// distribution by inverting the empirical CDF with a precomputed cumulative
+// table (exact, no rejection loop — every sample consumes exactly one RNG
+// draw, which keeps per-PE streams aligned and runs bit-reproducible).
+// Sampled ranks are scattered over the key space with a fixed multiplicative
+// permutation so the hot set is not one contiguous shard: hot keys spread
+// across every PE, like real hash-sharded stores.
+//
+// ServingTraffic derives per-PE request streams from one workload seed via
+// SplitMix64, mirroring how the fault layer builds per-(rank, site) streams:
+// same seed => the same requests in the same order on every run, regardless
+// of scheduler interleaving.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serving/client.hpp"
+
+namespace xbgas {
+
+class ZipfGenerator {
+ public:
+  /// Zipf over ranks [0, n) with exponent `s` (s = 0 degenerates to
+  /// uniform). Throws Error when n == 0 or s < 0.
+  ZipfGenerator(std::size_t n, double s);
+
+  /// Sample a rank: 0 is the hottest, 1 the next, ... Consumes exactly one
+  /// draw from `rng`.
+  std::size_t sample(Xoshiro256ss& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+/// Workload mix in percent; the remainder up to 100 is gets.
+struct ServingMix {
+  int put_pct = 20;
+  int incr_pct = 10;
+  double zipf_s = 0.99;  ///< classic YCSB skew
+};
+
+/// Per-PE deterministic request stream.
+class ServingTraffic {
+ public:
+  /// Streams for `rank` out of a workload seeded with `seed` over `n_keys`
+  /// keys. Each (seed, rank) pair gets an independent xoshiro stream.
+  ServingTraffic(std::uint64_t seed, int rank, std::size_t n_keys,
+                 const ServingMix& mix);
+
+  /// Next request in this PE's stream.
+  ServingRequest next();
+
+ private:
+  ZipfGenerator zipf_;
+  Xoshiro256ss rng_;
+  ServingMix mix_;
+  std::size_t n_keys_;
+  std::uint64_t scatter_;  ///< odd multiplier scattering ranks over keys
+};
+
+}  // namespace xbgas

@@ -42,7 +42,7 @@ AgreeResult agree_over_world_ranks(std::vector<int> expected,
   if (fault.enabled()) fault.on_agree_step(me);
 
   const AgreeDecision d = rec.await_decision(
-      me, seq, expected, machine.config().fault.barrier_timeout_ms);
+      me, seq, expected, machine.config().fault.agree_timeout_ms);
 
   // Two tree-shaped phases (gather the contributions, broadcast the
   // decision) over the expected set, on top of the decision's clock.

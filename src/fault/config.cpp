@@ -51,6 +51,8 @@ void validate_fault_config(const FaultConfig& config, int n_pes) {
   check_prob("rma_delay_prob", config.rma_delay_prob);
   check_prob("rma_bitflip_prob", config.rma_bitflip_prob);
   check_prob("olb_fault_prob", config.olb_fault_prob);
+  check_prob("amo_drop_prob", config.amo_drop_prob);
+  check_prob("amo_delay_prob", config.amo_delay_prob);
   if (config.max_rma_retries < 0) {
     throw FaultConfigError("FaultConfig::max_rma_retries must be >= 0, got " +
                            std::to_string(config.max_rma_retries));

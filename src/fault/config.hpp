@@ -50,6 +50,16 @@ struct FaultConfig {
   double rma_bitflip_prob = 0.0;  ///< one payload bit flipped in flight
   double olb_fault_prob = 0.0;    ///< OLB translation transiently faults
 
+  // -- Probabilistic transient faults (per remote AMO attempt) --
+  // Remote atomics ride the same fabric as RMA transfers but skip the
+  // payload path (the RMW happens at the target), so they have their own
+  // drop/delay sites: a dropped AMO is retried with the same backoff as a
+  // dropped transfer, a delayed one charges delay_cycles. Bit-flips do not
+  // apply — the operand travels in the request header, which the drop site
+  // already models losing wholesale.
+  double amo_drop_prob = 0.0;   ///< remote RMW request dropped in flight
+  double amo_delay_prob = 0.0;  ///< remote RMW delivered late
+
   /// Extra modeled cycles charged when a delay fault fires.
   std::uint64_t delay_cycles = 500;
 
@@ -70,6 +80,12 @@ struct FaultConfig {
   /// waiter throws BarrierTimeoutError naming the missing ranks instead of
   /// hanging forever. 0 disables the watchdog.
   std::uint64_t barrier_timeout_ms = 0;
+  /// Host-time watchdog for xbr_agree decisions (milliseconds). An agreement
+  /// can stall independently of any barrier (a participant may die between
+  /// contributing and deciding), so it gets its own budget instead of
+  /// borrowing the barrier watchdog's. 0 keeps the agreement board's 60 s
+  /// safety net (RecoveryState::await_decision).
+  std::uint64_t agree_timeout_ms = 0;
 
   // -- Scripted PE crashes --
   /// Legacy single-kill form (kept so existing configs/tests keep working);
@@ -98,6 +114,7 @@ struct FaultConfig {
   bool any_faults() const {
     return rma_drop_prob > 0.0 || rma_delay_prob > 0.0 ||
            rma_bitflip_prob > 0.0 || olb_fault_prob > 0.0 ||
+           amo_drop_prob > 0.0 || amo_delay_prob > 0.0 ||
            kill_site != KillSite::kNone || !kills.empty();
   }
 };

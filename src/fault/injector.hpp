@@ -36,6 +36,8 @@ enum class FaultSite : std::uint8_t {
   kRmaBitflip = 2,
   kOlbFault = 3,
   kKill = 4,
+  kAmoDrop = 5,
+  kAmoDelay = 6,
 };
 
 constexpr const char* fault_site_name(FaultSite s) {
@@ -45,6 +47,8 @@ constexpr const char* fault_site_name(FaultSite s) {
     case FaultSite::kRmaBitflip: return "rma_bitflip";
     case FaultSite::kOlbFault: return "olb_fault";
     case FaultSite::kKill: return "kill";
+    case FaultSite::kAmoDrop: return "amo_drop";
+    case FaultSite::kAmoDelay: return "amo_delay";
   }
   return "unknown";
 }
@@ -60,6 +64,9 @@ struct FaultCounters {
   std::atomic<std::uint64_t> rma_retries{0};
   std::atomic<std::uint64_t> checksum_failures{0};
   std::atomic<std::uint64_t> barrier_timeouts{0};
+  std::atomic<std::uint64_t> amo_drops{0};
+  std::atomic<std::uint64_t> amo_delays{0};
+  std::atomic<std::uint64_t> amo_retries{0};
 
   void reset() {
     rma_drops = 0;
@@ -70,6 +77,9 @@ struct FaultCounters {
     rma_retries = 0;
     checksum_failures = 0;
     barrier_timeouts = 0;
+    amo_drops = 0;
+    amo_delays = 0;
+    amo_retries = 0;
   }
 };
 
@@ -98,6 +108,12 @@ class FaultInjector {
   }
   bool draw_olb_fault(int rank) {
     return draw(rank, StreamId::kOlb, config_.olb_fault_prob);
+  }
+  bool draw_amo_drop(int rank) {
+    return draw(rank, StreamId::kAmoDrop, config_.amo_drop_prob);
+  }
+  bool draw_amo_delay(int rank) {
+    return draw(rank, StreamId::kAmoDelay, config_.amo_delay_prob);
   }
 
   /// Flip one deterministic payload bit in the (possibly strided) element
@@ -139,6 +155,10 @@ class FaultInjector {
     kBitflip,
     kOlb,
     kBits,  // bit-position picks for corrupt_payload
+    // AMO sites appended (not interleaved) so the (seed, rank, site) ->
+    // sequence mapping of every pre-existing stream is unchanged.
+    kAmoDrop,
+    kAmoDelay,
     kCount,
   };
   static constexpr int kStreams = static_cast<int>(StreamId::kCount);

@@ -1,0 +1,388 @@
+#include "serving/client.hpp"
+
+#include <cstdint>
+
+#include "collectives/checkpoint.hpp"
+#include "collectives/comm.hpp"
+#include "fault/errors.hpp"
+#include "machine/machine.hpp"
+#include "trace/event.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+namespace {
+
+constexpr std::uint64_t kPayloadMask = (std::uint64_t{1} << 24) - 1;
+
+/// Serving-level backoff for attempt `att` (>= 1): base doubled per prior
+/// attempt, saturating well below uint64 overflow.
+std::uint64_t serving_backoff(std::uint64_t base, int att) {
+  std::uint64_t b = base;
+  for (int i = 1; i < att; ++i) {
+    if (b >= (std::uint64_t{1} << 62)) return std::uint64_t{1} << 62;
+    b <<= 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+ServingClient::ServingClient(KvStore& store, const ServingConfig& config)
+    : store_(store), config_(config) {
+  validate_serving_config(config_);
+  view_ = world_shard_view(xbrtime_ctx().n_pes());
+  // Baseline checkpoint: anchors the first suspect-log window, and gives
+  // xbr_restore a snapshot for ranks that die before the first periodic
+  // checkpoint fires.
+  xbr_checkpoint();
+}
+
+bool ServingClient::attempt(const ServingRequest& request, int target,
+                            int primary, int replica,
+                            std::uint64_t* value_out) {
+  using Kind = ServingRequest::Kind;
+  try {
+    switch (request.kind) {
+      case Kind::kGet: {
+        store_.bump_hot(request.key, target);
+        const std::uint64_t v = store_.load(request.key, target);
+        // A tag mismatch means the slot never received this key (routing or
+        // re-shard bug, or a read raced a failover window): surface it as a
+        // failed attempt so the retry/hedge machinery re-drives it instead
+        // of returning wrong data.
+        if (!KvStore::tag_matches(request.key, v)) return false;
+        *value_out = v;
+        return true;
+      }
+      case Kind::kPut: {
+        store_.bump_hot(request.key, primary);
+        const std::uint64_t v =
+            KvStore::tag(request.key) | (request.value & kPayloadMask);
+        store_.store_value(request.key, v, primary);
+        if (replica != primary) {
+          // Write-through to the replica. A replica-side transport failure
+          // is absorbed — the primary write landed, the request is served —
+          // but counted: replica_skips bounds how far the replica may lag,
+          // which is exactly the data a later failover could lose.
+          try {
+            store_.store_value(request.key, v, replica);
+          } catch (const RmaRetriesExhaustedError&) {
+            ++counters_.replica_skips;
+          }
+        }
+        *value_out = v;
+        return true;
+      }
+      case Kind::kIncr: {
+        store_.bump_hot(request.key, primary);
+        const std::uint64_t delta = request.value & kPayloadMask;
+        const std::uint64_t pre =
+            store_.add_value(request.key, delta, primary);
+        if (replica != primary) {
+          try {
+            store_.add_value(request.key, delta, replica);
+          } catch (const RmaRetriesExhaustedError&) {
+            ++counters_.replica_skips;
+          }
+        }
+        *value_out = pre + delta;
+        return true;
+      }
+    }
+  } catch (const RmaRetriesExhaustedError&) {
+    // The machine's own RMA/AMO retry layer gave up on this transfer; that
+    // is one failed serving attempt. (PeKilledError is deliberately not
+    // caught — the dying PE itself must unwind.)
+    return false;
+  }
+  return false;
+}
+
+ServingOutcome ServingClient::execute(const ServingRequest& request) {
+  using Kind = ServingRequest::Kind;
+  PeContext& ctx = xbrtime_ctx();
+
+  ++counters_.requests;
+  switch (request.kind) {
+    case Kind::kGet: ++counters_.gets; break;
+    case Kind::kPut: ++counters_.puts; break;
+    case Kind::kIncr: ++counters_.incrs; break;
+  }
+
+  const std::uint64_t start = ctx.clock().cycles();
+  const std::uint64_t deadline = start + config_.op_timeout_cycles;
+  const int primary = view_.primary(request.key);
+  const int replica = config_.replicate && view_.n() > 1
+                          ? view_.replica(request.key)
+                          : primary;
+
+  ServingOutcome out;
+  bool hedged = false;
+  bool retried = false;
+  int attempts_used = 0;
+  int slow_failed_primary = 0;
+  const int max_attempts = 1 + config_.max_request_retries;
+
+  const auto serve = [&](int source, std::uint64_t value) {
+    out.served = true;
+    out.value = value;
+    out.attempts = attempts_used;
+    out.latency_cycles = ctx.clock().cycles() - start;
+    ++counters_.served;
+    if (retried) ++counters_.requests_retried;
+    if (request.kind == Kind::kGet && source == replica &&
+        replica != primary) {
+      out.redirected = true;
+      ++counters_.redirected;
+      ctx.trace().record(EventKind::kServing, source,
+                         static_cast<std::uint64_t>(ServingOp::kRedirect),
+                         request.key);
+    }
+    if (request.kind != Kind::kGet) {
+      // Served write: suspect until a checkpoint covers it. If the primary
+      // dies before then, resolve_suspects replays or fail-fasts it.
+      log_.push_back(Suspect{request.kind, request.key,
+                             request.value & kPayloadMask});
+    }
+  };
+
+  for (int att = 0; att < max_attempts; ++att) {
+    if (att > 0) {
+      // Serving-level retry: charge the exponential backoff to the modeled
+      // clock, and stop once the whole-request deadline cannot fit another
+      // attempt. (The deadline gates *further* attempts only — an attempt
+      // already in flight that completes late is still served; a write that
+      // landed cannot be un-acknowledged by a timer.)
+      ++counters_.retries;
+      retried = true;
+      ctx.trace().record(EventKind::kServing, primary,
+                         static_cast<std::uint64_t>(ServingOp::kRetry),
+                         request.key);
+      ctx.clock().advance(
+          serving_backoff(config_.retry_backoff_cycles, att));
+      if (ctx.clock().cycles() >= deadline) break;
+    }
+    const int target =
+        request.kind == Kind::kGet && hedged ? replica : primary;
+    ++attempts_used;
+    const std::uint64_t a0 = ctx.clock().cycles();
+    std::uint64_t value = 0;
+    const bool ok = attempt(request, target, primary, replica, &value);
+    const bool slow =
+        ctx.clock().cycles() - a0 > config_.attempt_timeout_cycles;
+    if (slow) ++counters_.attempt_timeouts;
+    if (target == primary && (!ok || slow)) ++slow_failed_primary;
+
+    const bool may_hedge = request.kind == Kind::kGet && !hedged &&
+                           replica != primary && config_.hedge_after > 0 &&
+                           slow_failed_primary >= config_.hedge_after;
+    if (ok && !slow) {
+      serve(target, value);
+      return out;
+    }
+    if (ok) {  // slow but complete: tail-latency suspect
+      if (may_hedge) {
+        // Classic tail hedge: duplicate the read to the replica; serve the
+        // hedge if it comes back inside the budget, else fall back to the
+        // late-but-valid primary value.
+        hedged = true;
+        ++counters_.hedges;
+        ctx.trace().record(EventKind::kServing, replica,
+                           static_cast<std::uint64_t>(ServingOp::kHedge),
+                           request.key);
+        ++attempts_used;
+        const std::uint64_t h0 = ctx.clock().cycles();
+        std::uint64_t hedge_value = 0;
+        const bool hok =
+            attempt(request, replica, primary, replica, &hedge_value);
+        const bool hslow =
+            ctx.clock().cycles() - h0 > config_.attempt_timeout_cycles;
+        if (hslow) ++counters_.attempt_timeouts;
+        if (hok && !hslow) {
+          serve(replica, hedge_value);
+          return out;
+        }
+      }
+      serve(target, value);
+      return out;
+    }
+    // Failed attempt: arm the hedge so the next retry targets the replica.
+    if (may_hedge) {
+      hedged = true;
+      ++counters_.hedges;
+      ctx.trace().record(EventKind::kServing, replica,
+                         static_cast<std::uint64_t>(ServingOp::kHedge),
+                         request.key);
+    }
+  }
+
+  // Retries exhausted (or deadline passed). Last resort for gets that never
+  // touched the replica: one direct replica read before giving up.
+  if (request.kind == Kind::kGet && !hedged && replica != primary) {
+    hedged = true;
+    ++counters_.hedges;
+    ctx.trace().record(EventKind::kServing, replica,
+                       static_cast<std::uint64_t>(ServingOp::kHedge),
+                       request.key);
+    ++attempts_used;
+    const std::uint64_t f0 = ctx.clock().cycles();
+    std::uint64_t value = 0;
+    const bool ok = attempt(request, replica, primary, replica, &value);
+    if (ctx.clock().cycles() - f0 > config_.attempt_timeout_cycles) {
+      ++counters_.attempt_timeouts;
+    }
+    if (ok) {
+      serve(replica, value);
+      return out;
+    }
+  }
+
+  ++counters_.failed;
+  if (retried) ++counters_.requests_retried;
+  out.served = false;
+  out.attempts = attempts_used;
+  out.latency_cycles = ctx.clock().cycles() - start;
+  ctx.trace().record(EventKind::kServing, primary,
+                     static_cast<std::uint64_t>(ServingOp::kFail),
+                     request.key);
+  return out;
+}
+
+bool ServingClient::end_batch() {
+  bool failed_over = false;
+  for (;;) {
+    try {
+      if (team_) {
+        team_->barrier();
+      } else {
+        xbrtime_barrier();
+      }
+      if (++batches_since_ckpt_ >= config_.checkpoint_every) {
+        checkpoint_now();
+      }
+      return failed_over;
+    } catch (const PeFailedError&) {
+      recover();
+      failed_over = true;
+    }
+  }
+}
+
+void ServingClient::checkpoint_now() {
+  if (team_) {
+    xbr_checkpoint(*team_);
+  } else {
+    xbr_checkpoint();
+  }
+  // Only now is the logged tail durable: clear after the checkpoint
+  // returns, so a death mid-checkpoint still replays it.
+  log_.clear();
+  batches_since_ckpt_ = 0;
+}
+
+void ServingClient::recover() {
+  PeContext& ctx = xbrtime_ctx();
+  ++counters_.failovers;
+  ctx.trace().record(EventKind::kServing, -1,
+                     static_cast<std::uint64_t>(ServingOp::kFailoverBegin),
+                     view_.epoch);
+  const ShardView old_view = view_;
+  for (;;) {
+    try {
+      team_ = team_ ? xbr_team_shrink(*team_) : xbr_team_shrink();
+      // Fresh survivor commit before restoring: every survivor's own-block
+      // restore becomes a no-op (nobody rolls back), and a rank that dies
+      // later in this sequence leaves a current snapshot to orphan-deal.
+      xbr_checkpoint(*team_);
+      const RestoreReport report = xbr_restore(*team_);
+      view_.roster = team_->members();
+      view_.epoch = team_->epoch();
+      store_.rebalance(old_view, view_, report, counters_);
+      team_->barrier();
+      resolve_suspects(old_view);
+      team_->barrier();
+      // Commit the re-shard so a back-to-back failure never restores a
+      // pre-rebalance snapshot; only then is the suspect log retired.
+      xbr_checkpoint(*team_);
+      log_.clear();
+      batches_since_ckpt_ = 0;
+      break;
+    } catch (const PeFailedError&) {
+      // Another member died mid-recovery: re-enter over the smaller roster.
+      // old_view stays the pre-failure view, and the suspect log is still
+      // intact, so replay is at-least-once across nested recoveries.
+      continue;
+    }
+  }
+  ctx.trace().record(EventKind::kServing, -1,
+                     static_cast<std::uint64_t>(ServingOp::kFailoverEnd),
+                     view_.epoch);
+}
+
+void ServingClient::resolve_suspects(const ShardView& old_view) {
+  using Kind = ServingRequest::Kind;
+  PeContext& ctx = xbrtime_ctx();
+  for (const Suspect& s : log_) {
+    const int old_p = old_view.primary(s.key);
+    const int old_r = config_.replicate && old_view.n() > 1
+                          ? old_view.replica(s.key)
+                          : old_p;
+    // The write survives if either old owner is still live: rebalance
+    // sourced the key from the surviving primary (authoritative) or from
+    // the replica's write-through copy. It is lost only when both died —
+    // then the new owners hold the orphaned *checkpoint*, which predates
+    // this suspect window.
+    const bool lost = !view_.alive(old_p) &&
+                      (old_r == old_p || !view_.alive(old_r));
+    if (!lost) continue;
+    if (config_.policy == InflightPolicy::kReplay) {
+      const int new_p = view_.primary(s.key);
+      const int new_r = config_.replicate && view_.n() > 1
+                            ? view_.replica(s.key)
+                            : new_p;
+      try {
+        if (s.kind == Kind::kPut) {
+          const std::uint64_t v = KvStore::tag(s.key) | s.value;
+          store_.store_value(s.key, v, new_p);
+          if (new_r != new_p) store_.store_value(s.key, v, new_r);
+        } else {
+          // Incr replay re-applies the delta (at-least-once: a nested death
+          // mid-replay can apply it twice; accounting stays exact and the
+          // tag is untouched — documented in docs/SERVING.md).
+          store_.add_value(s.key, s.value, new_p);
+          if (new_r != new_p) store_.add_value(s.key, s.value, new_r);
+        }
+        ++counters_.replayed;
+        ctx.trace().record(EventKind::kServing, new_p,
+                           static_cast<std::uint64_t>(ServingOp::kReplay),
+                           s.key);
+      } catch (const RmaRetriesExhaustedError&) {
+        // Replay itself hit transport faults past the retry budget: the
+        // write cannot be re-established, so withdraw the acknowledgment —
+        // the failfast path, taken per-suspect. Never silently dropped.
+        --counters_.served;
+        ++counters_.failed;
+        ++counters_.failed_fast;
+        ctx.trace().record(EventKind::kServing, new_p,
+                           static_cast<std::uint64_t>(ServingOp::kFail),
+                           s.key);
+      }
+    } else {
+      --counters_.served;
+      ++counters_.failed;
+      ++counters_.failed_fast;
+      ctx.trace().record(EventKind::kServing, -1,
+                         static_cast<std::uint64_t>(ServingOp::kFail),
+                         s.key);
+    }
+  }
+}
+
+void ServingClient::finish() {
+  if (finished_) return;
+  finished_ = true;
+  serving_counters_accumulate(counters_);
+}
+
+}  // namespace xbgas

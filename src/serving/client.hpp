@@ -1,0 +1,116 @@
+#pragma once
+
+// ServingClient — per-PE request pipeline and failover state machine
+// (docs/SERVING.md).
+//
+// Request path: every request gets a whole-op deadline and a per-attempt
+// budget (modeled cycles). A transport failure (RmaRetriesExhaustedError
+// from the machine's own retry layer) or a slow attempt triggers bounded
+// exponential-backoff serving-level retries; slow gets additionally hedge to
+// the replica. Every request ends accounted exactly once — served or failed
+// — never silently dropped.
+//
+// Failover path: PE deaths surface as PeFailedError at the batch barrier.
+// end_batch() catches it and runs recover():
+//
+//   xbr_team_shrink  -> agree on the survivor roster
+//   xbr_checkpoint   -> fresh survivor commit (makes the next step's
+//                       own-block restore a no-op, so survivors keep their
+//                       latest values)
+//   xbr_restore      -> deal the dead ranks' orphaned snapshots out
+//   KvStore::rebalance -> push every re-homed key onto its new owners
+//   replay/failfast  -> resolve the suspect log (writes acked to the dead
+//                       primary since the last checkpoint) by policy
+//   xbr_checkpoint   -> commit the re-shard so back-to-back failures do not
+//                       orphan a pre-rebalance snapshot
+//
+// Nested deaths anywhere in that sequence re-enter the loop over the
+// smaller roster. The suspect log carries forward across recoveries until a
+// checkpoint covers it, so a write replayed onto a new primary that also
+// dies is replayed again.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collectives/shrink.hpp"
+#include "serving/config.hpp"
+#include "serving/counters.hpp"
+#include "serving/store.hpp"
+
+namespace xbgas {
+
+struct ServingRequest {
+  enum class Kind : std::uint8_t { kGet, kPut, kIncr };
+  Kind kind = Kind::kGet;
+  std::size_t key = 0;
+  std::uint64_t value = 0;  ///< put payload / incr delta (low 24 bits)
+};
+
+/// Traffic phase relative to the (first) failover, for the bench's
+/// pre/during/post SLO split.
+enum class ServingPhase : int { kPre = 0, kDuring = 1, kPost = 2 };
+
+/// One request's fate, for the driver's latency accounting.
+struct ServingOutcome {
+  bool served = false;
+  bool redirected = false;        ///< get answered by the replica
+  int attempts = 1;
+  std::uint64_t latency_cycles = 0;
+  std::uint64_t value = 0;        ///< get result (tag-verified)
+};
+
+class ServingClient {
+ public:
+  /// Collective: establishes the world view and takes the baseline
+  /// checkpoint that anchors the first suspect-log window.
+  ServingClient(KvStore& store, const ServingConfig& config);
+
+  ServingClient(const ServingClient&) = delete;
+  ServingClient& operator=(const ServingClient&) = delete;
+
+  /// Execute one request to completion (served or failed — always
+  /// accounted). Throws PeKilledError only on the dying PE itself.
+  ServingOutcome execute(const ServingRequest& request);
+
+  /// Batch boundary: barrier over the current team, plus a checkpoint every
+  /// config.checkpoint_every batches. Handles PeFailedError by running the
+  /// full failover sequence; returns true when one or more failovers
+  /// happened inside this call.
+  bool end_batch();
+
+  /// Fold this client's ledger into the process-wide serving.* block. Call
+  /// once per PE at the end of the SPMD body; dead PEs never reach it, so
+  /// the global ledger aggregates exactly the survivors.
+  void finish();
+
+  const ServingCounters& counters() const { return counters_; }
+  const ShardView& view() const { return view_; }
+  /// Survivor team after a failover; nullptr while the full world is live.
+  SurvivorTeam* team() { return team_.get(); }
+
+ private:
+  struct Suspect {
+    ServingRequest::Kind kind;
+    std::size_t key;
+    std::uint64_t value;
+  };
+
+  bool attempt(const ServingRequest& request, int target, int primary,
+               int replica, std::uint64_t* value_out);
+  void recover();
+  void resolve_suspects(const ShardView& old_view);
+  void checkpoint_now();
+
+  KvStore& store_;
+  ServingConfig config_;
+  ShardView view_;
+  std::unique_ptr<SurvivorTeam> team_;
+  std::vector<Suspect> log_;  ///< served writes since the last checkpoint
+  ServingCounters counters_;
+  int batches_since_ckpt_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace xbgas

@@ -1,0 +1,59 @@
+#include "serving/config.hpp"
+
+namespace xbgas {
+
+InflightPolicy parse_inflight_policy(const std::string& name) {
+  if (name == "replay") return InflightPolicy::kReplay;
+  if (name == "failfast") return InflightPolicy::kFailFast;
+  throw ServingConfigError("unknown in-flight policy: " + name +
+                           " (replay|failfast)");
+}
+
+void validate_serving_config(const ServingConfig& config) {
+  if (config.n_keys == 0) {
+    throw ServingConfigError("ServingConfig::n_keys must be >= 1");
+  }
+  if (config.n_keys > (std::size_t{1} << 24)) {
+    throw ServingConfigError(
+        "ServingConfig::n_keys must be <= 2^24: the self-verifying value "
+        "tag keeps the key in the high bits and " +
+        std::to_string(config.n_keys) + " keys would collide with payloads");
+  }
+  if (config.hot_stripes == 0) {
+    throw ServingConfigError("ServingConfig::hot_stripes must be >= 1");
+  }
+  if (config.attempt_timeout_cycles == 0) {
+    throw ServingConfigError(
+        "ServingConfig::attempt_timeout_cycles must be >= 1: a zero budget "
+        "marks every attempt slow and hedges every get");
+  }
+  if (config.op_timeout_cycles < config.attempt_timeout_cycles) {
+    throw ServingConfigError(
+        "ServingConfig::op_timeout_cycles (" +
+        std::to_string(config.op_timeout_cycles) +
+        ") must be >= attempt_timeout_cycles (" +
+        std::to_string(config.attempt_timeout_cycles) +
+        "); the first attempt could never fit the request deadline");
+  }
+  if (config.max_request_retries < 0) {
+    throw ServingConfigError(
+        "ServingConfig::max_request_retries must be >= 0, got " +
+        std::to_string(config.max_request_retries));
+  }
+  if (config.max_request_retries > 0 && config.retry_backoff_cycles == 0) {
+    throw ServingConfigError(
+        "ServingConfig::retry_backoff_cycles is 0 with retries enabled: "
+        "serving-level retries would be charged zero modeled time");
+  }
+  if (config.hedge_after < 0) {
+    throw ServingConfigError("ServingConfig::hedge_after must be >= 0, got " +
+                             std::to_string(config.hedge_after));
+  }
+  if (config.checkpoint_every < 1) {
+    throw ServingConfigError(
+        "ServingConfig::checkpoint_every must be >= 1, got " +
+        std::to_string(config.checkpoint_every));
+  }
+}
+
+}  // namespace xbgas

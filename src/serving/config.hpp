@@ -1,0 +1,89 @@
+#pragma once
+
+// ServingConfig — the sharded KV/parameter-server's tuning surface
+// (docs/SERVING.md).
+//
+// The serving layer (store.hpp + client.hpp) is the repo's production
+// scenario: shards on the symmetric heap, word-atomic RMA for get/put,
+// AMOs for hot counters, and the PR 5 agree/shrink/restore path for live
+// failover. Everything time-like below is in *modeled* cycles — the request
+// pipeline's timeouts react to simulated tail latency (injected delays,
+// retry backoff), never to host scheduling, which is what keeps chaos runs
+// bit-reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+/// A ServingConfig that cannot describe a runnable server: zero keys, a
+/// per-attempt budget larger than the whole request's, a tag-breaking key
+/// count. Raised before any shard is allocated.
+class ServingConfigError : public Error {
+ public:
+  explicit ServingConfigError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// What happens to suspect in-flight writes when their owner dies
+/// (docs/SERVING.md): replay them onto the new owners (at-least-once), or
+/// withdraw the acknowledgment and re-account the request as failed.
+/// Either way every request stays accounted — nothing is silently dropped.
+enum class InflightPolicy : std::uint8_t {
+  kReplay,
+  kFailFast,
+};
+
+constexpr const char* inflight_policy_name(InflightPolicy p) {
+  return p == InflightPolicy::kReplay ? "replay" : "failfast";
+}
+
+/// Parse "replay" / "failfast"; throws ServingConfigError otherwise.
+InflightPolicy parse_inflight_policy(const std::string& name);
+
+struct ServingConfig {
+  // -- Shard geometry --
+  /// Keys in the table. Every PE symmetric-allocates one value slot per key;
+  /// ownership is key % roster-size over the live roster. Capped at 2^24 so
+  /// the self-verifying value tag (key in the high 40 bits) never collides
+  /// with the payload bits.
+  std::size_t n_keys = 4096;
+  /// Hot-counter stripes per PE (bumped with xbr_amo_add on every request
+  /// the stripe's owner serves).
+  std::size_t hot_stripes = 64;
+  /// Write-through replication: every put lands on the primary and on the
+  /// next live member, gets may hedge to that replica, and failover can
+  /// re-home a dead primary's keys from the replica's fresh copy instead of
+  /// its checkpoint.
+  bool replicate = true;
+
+  // -- Request pipeline (modeled cycles) --
+  /// Whole-request deadline; past it the request fails (and is accounted).
+  std::uint64_t op_timeout_cycles = 400000;
+  /// Per-attempt budget: an attempt that completes later than this is a
+  /// tail-latency suspect — it counts a timeout and, for gets, arms the
+  /// hedge. Machine-level RMA retries/backoff surface here as slow attempts.
+  std::uint64_t attempt_timeout_cycles = 4000;
+  /// Serving-level retries after the first attempt (on top of the machine's
+  /// own per-transfer RMA retries).
+  int max_request_retries = 3;
+  /// First serving-level retry backoff; doubles per attempt (clamped).
+  std::uint64_t retry_backoff_cycles = 256;
+  /// Slow/failed attempts on the primary before a get is hedged to the
+  /// replica. 0 disables hedging.
+  int hedge_after = 1;
+
+  // -- Failover --
+  /// Policy for suspect in-flight writes on the dead primary.
+  InflightPolicy policy = InflightPolicy::kReplay;
+  /// Batches between checkpoints; the suspect log spans at most this many
+  /// batches, bounding both replay work and worst-case data loss.
+  int checkpoint_every = 4;
+};
+
+/// Throws ServingConfigError naming the first bad parameter.
+void validate_serving_config(const ServingConfig& config);
+
+}  // namespace xbgas

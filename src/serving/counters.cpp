@@ -1,0 +1,114 @@
+#include "serving/counters.hpp"
+
+#include <atomic>
+
+namespace xbgas {
+
+void ServingCounters::add(const ServingCounters& other) {
+  requests += other.requests;
+  gets += other.gets;
+  puts += other.puts;
+  incrs += other.incrs;
+  served += other.served;
+  failed += other.failed;
+  retries += other.retries;
+  requests_retried += other.requests_retried;
+  attempt_timeouts += other.attempt_timeouts;
+  hedges += other.hedges;
+  redirected += other.redirected;
+  replica_skips += other.replica_skips;
+  failovers += other.failovers;
+  replayed += other.replayed;
+  failed_fast += other.failed_fast;
+  rebalanced_keys += other.rebalanced_keys;
+  hot_folds += other.hot_folds;
+}
+
+namespace {
+
+// Process-wide ledger, one atomic per field. PE fibers run on multiple
+// workers, so finish() calls may race; relaxed adds suffice — readers only
+// run after Machine::run returns (or tolerate a torn-in-time view).
+struct GlobalLedger {
+  std::atomic<std::uint64_t> requests{0}, gets{0}, puts{0}, incrs{0};
+  std::atomic<std::uint64_t> served{0}, failed{0};
+  std::atomic<std::uint64_t> retries{0}, requests_retried{0};
+  std::atomic<std::uint64_t> attempt_timeouts{0}, hedges{0}, redirected{0};
+  std::atomic<std::uint64_t> replica_skips{0};
+  std::atomic<std::uint64_t> failovers{0}, replayed{0}, failed_fast{0};
+  std::atomic<std::uint64_t> rebalanced_keys{0}, hot_folds{0};
+};
+
+GlobalLedger& ledger() {
+  static GlobalLedger g;
+  return g;
+}
+
+}  // namespace
+
+void serving_counters_accumulate(const ServingCounters& c) {
+  GlobalLedger& g = ledger();
+  g.requests.fetch_add(c.requests, std::memory_order_relaxed);
+  g.gets.fetch_add(c.gets, std::memory_order_relaxed);
+  g.puts.fetch_add(c.puts, std::memory_order_relaxed);
+  g.incrs.fetch_add(c.incrs, std::memory_order_relaxed);
+  g.served.fetch_add(c.served, std::memory_order_relaxed);
+  g.failed.fetch_add(c.failed, std::memory_order_relaxed);
+  g.retries.fetch_add(c.retries, std::memory_order_relaxed);
+  g.requests_retried.fetch_add(c.requests_retried, std::memory_order_relaxed);
+  g.attempt_timeouts.fetch_add(c.attempt_timeouts, std::memory_order_relaxed);
+  g.hedges.fetch_add(c.hedges, std::memory_order_relaxed);
+  g.redirected.fetch_add(c.redirected, std::memory_order_relaxed);
+  g.replica_skips.fetch_add(c.replica_skips, std::memory_order_relaxed);
+  g.failovers.fetch_add(c.failovers, std::memory_order_relaxed);
+  g.replayed.fetch_add(c.replayed, std::memory_order_relaxed);
+  g.failed_fast.fetch_add(c.failed_fast, std::memory_order_relaxed);
+  g.rebalanced_keys.fetch_add(c.rebalanced_keys, std::memory_order_relaxed);
+  g.hot_folds.fetch_add(c.hot_folds, std::memory_order_relaxed);
+}
+
+ServingCounters serving_counters_snapshot() {
+  GlobalLedger& g = ledger();
+  ServingCounters c;
+  c.requests = g.requests.load(std::memory_order_relaxed);
+  c.gets = g.gets.load(std::memory_order_relaxed);
+  c.puts = g.puts.load(std::memory_order_relaxed);
+  c.incrs = g.incrs.load(std::memory_order_relaxed);
+  c.served = g.served.load(std::memory_order_relaxed);
+  c.failed = g.failed.load(std::memory_order_relaxed);
+  c.retries = g.retries.load(std::memory_order_relaxed);
+  c.requests_retried = g.requests_retried.load(std::memory_order_relaxed);
+  c.attempt_timeouts = g.attempt_timeouts.load(std::memory_order_relaxed);
+  c.hedges = g.hedges.load(std::memory_order_relaxed);
+  c.redirected = g.redirected.load(std::memory_order_relaxed);
+  c.replica_skips = g.replica_skips.load(std::memory_order_relaxed);
+  c.failovers = g.failovers.load(std::memory_order_relaxed);
+  c.replayed = g.replayed.load(std::memory_order_relaxed);
+  c.failed_fast = g.failed_fast.load(std::memory_order_relaxed);
+  c.rebalanced_keys = g.rebalanced_keys.load(std::memory_order_relaxed);
+  c.hot_folds = g.hot_folds.load(std::memory_order_relaxed);
+  return c;
+}
+
+void serving_counters_reset() {
+  GlobalLedger& g = ledger();
+  g.requests.store(0, std::memory_order_relaxed);
+  g.gets.store(0, std::memory_order_relaxed);
+  g.puts.store(0, std::memory_order_relaxed);
+  g.incrs.store(0, std::memory_order_relaxed);
+  g.served.store(0, std::memory_order_relaxed);
+  g.failed.store(0, std::memory_order_relaxed);
+  g.retries.store(0, std::memory_order_relaxed);
+  g.requests_retried.store(0, std::memory_order_relaxed);
+  g.attempt_timeouts.store(0, std::memory_order_relaxed);
+  g.hedges.store(0, std::memory_order_relaxed);
+  g.redirected.store(0, std::memory_order_relaxed);
+  g.replica_skips.store(0, std::memory_order_relaxed);
+  g.failovers.store(0, std::memory_order_relaxed);
+  g.replayed.store(0, std::memory_order_relaxed);
+  g.failed_fast.store(0, std::memory_order_relaxed);
+  g.rebalanced_keys.store(0, std::memory_order_relaxed);
+  g.hot_folds.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace xbgas

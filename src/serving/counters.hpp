@@ -1,0 +1,59 @@
+#pragma once
+
+// ServingCounters — the request-accounting ledger (docs/SERVING.md).
+//
+// The central invariant: requests == served + failed, exactly, on every
+// surviving client. Retries, hedges, redirects, replays, and failfast
+// conversions all preserve it — a request changes *how* it is accounted,
+// never whether. The chaos bench asserts books_balance() per survivor and
+// in aggregate after every seeded kill.
+//
+// Each ServingClient keeps a plain (single-fiber) instance; finish() folds
+// it into a process-wide atomic block that emit_observability publishes as
+// serving.* counter rows, mirroring how collective dispatch counts flow.
+
+#include <cstdint>
+
+namespace xbgas {
+
+struct ServingCounters {
+  // Demand.
+  std::uint64_t requests = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t incrs = 0;
+
+  // Outcomes (requests == served + failed).
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;
+
+  // Pipeline mechanics.
+  std::uint64_t retries = 0;           ///< serving-level retry attempts
+  std::uint64_t requests_retried = 0;  ///< distinct requests that retried
+  std::uint64_t attempt_timeouts = 0;  ///< attempts slower than the budget
+  std::uint64_t hedges = 0;            ///< gets duplicated to the replica
+  std::uint64_t redirected = 0;        ///< served from the replica
+  std::uint64_t replica_skips = 0;     ///< put replica copies abandoned
+
+  // Failover.
+  std::uint64_t failovers = 0;         ///< recover() entries on this client
+  std::uint64_t replayed = 0;          ///< suspect writes re-applied
+  std::uint64_t failed_fast = 0;       ///< suspect writes re-accounted failed
+  std::uint64_t rebalanced_keys = 0;   ///< re-shard pushes issued by this PE
+  std::uint64_t hot_folds = 0;         ///< orphan hot stripes folded
+
+  void add(const ServingCounters& other);
+  bool books_balance() const { return requests == served + failed; }
+};
+
+/// Fold a client's ledger into the process-wide block (ServingClient::finish
+/// calls this once per surviving PE).
+void serving_counters_accumulate(const ServingCounters& c);
+
+/// Snapshot of the process-wide block (emit_observability, tests).
+ServingCounters serving_counters_snapshot();
+
+/// Zero the process-wide block (between Machine runs in one process).
+void serving_counters_reset();
+
+}  // namespace xbgas

@@ -1,0 +1,215 @@
+#include "serving/store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+
+#include "collectives/checkpoint.hpp"
+#include "common/error.hpp"
+#include "fault/errors.hpp"
+#include "serving/counters.hpp"
+#include "trace/event.hpp"
+#include "xbrtime/rma.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+
+bool ShardView::alive(int world_rank) const {
+  return std::binary_search(roster.begin(), roster.end(), world_rank);
+}
+
+ShardView world_shard_view(int n_pes) {
+  ShardView view;
+  view.roster.resize(static_cast<std::size_t>(n_pes));
+  for (int r = 0; r < n_pes; ++r) view.roster[static_cast<std::size_t>(r)] = r;
+  view.epoch = 0;
+  return view;
+}
+
+KvStore::KvStore(const ServingConfig& config) : config_(config) {
+  validate_serving_config(config_);
+  values_ = static_cast<std::uint64_t*>(
+      xbrtime_malloc(config_.n_keys * sizeof(std::uint64_t)));
+  if (values_ == nullptr) {
+    throw Error("KvStore: symmetric heap exhausted allocating the value "
+                "table (" +
+                std::to_string(config_.n_keys) + " keys)");
+  }
+  hot_ = static_cast<std::uint64_t*>(
+      xbrtime_malloc(config_.hot_stripes * sizeof(std::uint64_t)));
+  if (hot_ == nullptr) {
+    xbrtime_free(values_);
+    throw Error("KvStore: symmetric heap exhausted allocating hot stripes");
+  }
+  PeContext& ctx = xbrtime_ctx();
+  values_offset_ = ctx.arena().shared_offset_of(values_);
+  hot_offset_ = ctx.arena().shared_offset_of(hot_);
+  for (std::size_t k = 0; k < config_.n_keys; ++k) values_[k] = tag(k);
+  for (std::size_t s = 0; s < config_.hot_stripes; ++s) hot_[s] = 0;
+  xbrtime_barrier();
+}
+
+std::uint64_t* KvStore::value_slot(std::size_t key) const {
+  XBGAS_CHECK(key < config_.n_keys,
+              "KvStore: key " + std::to_string(key) + " out of range");
+  return values_ + key;
+}
+
+std::uint64_t KvStore::load(std::size_t key, int pe) const {
+  std::uint64_t value = 0;
+  xbr_get_atomic(&value, value_slot(key), 1, 1, pe);
+  return value;
+}
+
+void KvStore::store_value(std::size_t key, std::uint64_t value, int pe) {
+  xbr_put_atomic(value_slot(key), &value, 1, 1, pe);
+}
+
+std::uint64_t KvStore::add_value(std::size_t key, std::uint64_t delta,
+                                 int pe) {
+  return xbr_amo_add(value_slot(key), delta, pe);
+}
+
+void KvStore::bump_hot(std::size_t key, int pe) {
+  xbr_amo_add(hot_ + key % config_.hot_stripes, std::uint64_t{1}, pe);
+}
+
+std::uint64_t KvStore::local_value(std::size_t key) const {
+  return std::atomic_ref<std::uint64_t>(*value_slot(key))
+      .load(std::memory_order_relaxed);
+}
+
+std::uint64_t KvStore::hot_sum() const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < config_.hot_stripes; ++s) {
+    sum += std::atomic_ref<std::uint64_t>(hot_[s])
+               .load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void KvStore::rebalance(const ShardView& old_view, const ShardView& new_view,
+                        const RestoreReport& report,
+                        ServingCounters& counters) {
+  PeContext& ctx = xbrtime_ctx();
+  const int me = ctx.rank();
+
+  // Which dead ranks' orphaned snapshots landed on this PE. xbr_restore
+  // deals whole allocation blocks; ours are identified by their symmetric
+  // offsets, which every PE shares by construction.
+  std::map<int, const OrphanShard*> orphan_values;
+  std::map<int, const OrphanShard*> orphan_hot;
+  for (const OrphanShard& shard : report.orphans) {
+    if (shard.offset == values_offset_ &&
+        shard.data.size() == config_.n_keys * sizeof(std::uint64_t)) {
+      orphan_values[shard.world_rank] = &shard;
+    } else if (shard.offset == hot_offset_ &&
+               shard.data.size() ==
+                   config_.hot_stripes * sizeof(std::uint64_t)) {
+      orphan_hot[shard.world_rank] = &shard;
+    }
+  }
+
+  // Re-shard pushes run under the same injected transport faults as
+  // serving traffic, but unlike a request they have no client retry loop
+  // above them — an uncaught RmaRetriesExhaustedError here would abort the
+  // whole recovery. Re-drive each push a few times; with machine-level
+  // retries underneath, the residual failure probability is negligible, and
+  // a genuinely unpushable key still fails loudly rather than leaving a
+  // silently stale shard.
+  const auto push_retrying = [this](std::size_t key, std::uint64_t value,
+                                    int pe) {
+    for (int tries = 0;; ++tries) {
+      try {
+        store_value(key, value, pe);
+        return;
+      } catch (const RmaRetriesExhaustedError&) {
+        if (tries >= 8) throw;
+      }
+    }
+  };
+
+  std::uint64_t pushes = 0;
+  const bool replicated = config_.replicate;
+  for (std::size_t k = 0; k < config_.n_keys; ++k) {
+    const int old_p = old_view.primary(k);
+    const int old_r =
+        replicated && old_view.n() > 1 ? old_view.replica(k) : old_p;
+    // Authoritative source under the new roster: the old primary if it
+    // survived, else the replica's write-through copy, else the holder of
+    // the old primary's orphaned checkpoint (stale by up to one suspect-log
+    // window; the client replays the logged tail on top).
+    std::uint64_t value = 0;
+    int src = -1;
+    if (new_view.alive(old_p)) {
+      src = old_p;
+    } else if (old_r != old_p && new_view.alive(old_r)) {
+      src = old_r;
+    }
+    if (src >= 0) {
+      if (src != me) continue;
+      value = std::atomic_ref<std::uint64_t>(values_[k])
+                  .load(std::memory_order_relaxed);
+    } else {
+      auto it = orphan_values.find(old_p);
+      if (it == orphan_values.end()) continue;  // not dealt to this PE
+      std::memcpy(&value,
+                  it->second->data.data() + k * sizeof(std::uint64_t),
+                  sizeof(std::uint64_t));
+    }
+    // Push onto the new owners. Exactly one PE sources each key, so these
+    // atomic stores never conflict; a push to self takes the local path.
+    const int new_p = new_view.primary(k);
+    const int new_r =
+        replicated && new_view.n() > 1 ? new_view.replica(k) : new_p;
+    push_retrying(k, value, new_p);
+    ++pushes;
+    if (new_r != new_p) {
+      push_retrying(k, value, new_r);
+      ++pushes;
+    }
+  }
+  counters.rebalanced_keys += pushes;
+
+  // Fold dead ranks' hot-stripe telemetry into the survivors so aggregate
+  // load statistics survive the failover. Stripe j of each orphan goes to
+  // new roster member j % n — pure arithmetic, so only this holder writes
+  // it and every run places it identically. (Under back-to-back failures a
+  // stripe folded into a rank that then dies before its next checkpoint is
+  // lost — hot counters are telemetry, documented as approximate; request
+  // accounting never routes through them.)
+  for (const auto& [dead_rank, shard] : orphan_hot) {
+    (void)dead_rank;
+    for (std::size_t j = 0; j < config_.hot_stripes; ++j) {
+      std::uint64_t v = 0;
+      std::memcpy(&v, shard->data.data() + j * sizeof(std::uint64_t),
+                  sizeof(std::uint64_t));
+      if (v == 0) continue;
+      const int target =
+          new_view.roster[j % static_cast<std::size_t>(new_view.n())];
+      for (int tries = 0;; ++tries) {
+        try {
+          xbr_amo_add(hot_ + j, v, target);
+          break;
+        } catch (const RmaRetriesExhaustedError&) {
+          if (tries >= 8) throw;
+        }
+      }
+      ++counters.hot_folds;
+    }
+  }
+
+  ctx.trace().record(EventKind::kServing, /*target_pe=*/-1,
+                     static_cast<std::uint64_t>(ServingOp::kRebalance),
+                     pushes);
+}
+
+void KvStore::release() {
+  xbrtime_free(hot_);
+  xbrtime_free(values_);
+  values_ = nullptr;
+  hot_ = nullptr;
+}
+
+}  // namespace xbgas

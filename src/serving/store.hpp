@@ -1,0 +1,115 @@
+#pragma once
+
+// KvStore / ShardView — the sharded KV table on the symmetric heap
+// (docs/SERVING.md).
+//
+// Every PE symmetric-allocates one 64-bit slot per key plus a small array of
+// hot-counter stripes. A key's *primary* under a live roster is
+// roster[key % n]; its *replica* (when enabled) is the next roster member.
+// Only the owner slots are authoritative — a non-owner's slot for the same
+// key is dormant until a failover re-homes the key onto it.
+//
+// Values are self-verifying: key in the high 40 bits (the tag), payload in
+// the low 24. A get whose tag does not match its key is treated as a failed
+// attempt by the client, so any routing or re-shard bug surfaces as a
+// request failure instead of silent wrong data.
+//
+// All remote traffic uses the word-atomic RMA entry points (xbr_put_atomic /
+// xbr_get_atomic) and AMOs, so concurrent serving from many PEs is race-free
+// under both ThreadSanitizer and XbrSan full mode.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serving/config.hpp"
+
+namespace xbgas {
+
+struct RestoreReport;
+struct ServingCounters;
+
+/// Who owns what: the live world ranks (ascending) and the team epoch the
+/// roster was agreed at. Epoch 0 is the initial world roster.
+struct ShardView {
+  std::vector<int> roster;
+  std::uint64_t epoch = 0;
+
+  int n() const { return static_cast<int>(roster.size()); }
+  int primary(std::size_t key) const {
+    return roster[key % roster.size()];
+  }
+  /// Next live member after the primary (== primary when the roster has one
+  /// member; callers treat that as "no replica").
+  int replica(std::size_t key) const {
+    return roster[(key % roster.size() + 1) % roster.size()];
+  }
+  /// True iff `world_rank` is on the roster (roster is sorted).
+  bool alive(int world_rank) const;
+};
+
+/// Initial view over an n-PE world.
+ShardView world_shard_view(int n_pes);
+
+class KvStore {
+ public:
+  /// Collective over the world: symmetric-allocate the value table and hot
+  /// stripes, write the initial tagged values, and barrier. Throws
+  /// ServingConfigError on a bad config and Error on heap exhaustion.
+  explicit KvStore(const ServingConfig& config);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Initial / tag portion of a key's value: key << 24, payload bits zero.
+  static std::uint64_t tag(std::size_t key) {
+    return static_cast<std::uint64_t>(key) << 24;
+  }
+  static bool tag_matches(std::size_t key, std::uint64_t value) {
+    return (value >> 24) == static_cast<std::uint64_t>(key);
+  }
+
+  const ServingConfig& config() const { return config_; }
+  std::size_t n_keys() const { return config_.n_keys; }
+
+  // -- Remote data plane (may throw RmaRetriesExhaustedError) --
+  /// Atomic read of `key`'s slot on `pe`.
+  std::uint64_t load(std::size_t key, int pe) const;
+  /// Atomic overwrite of `key`'s slot on `pe`.
+  void store_value(std::size_t key, std::uint64_t value, int pe);
+  /// Atomic add into `key`'s slot on `pe`; returns the pre-add value.
+  std::uint64_t add_value(std::size_t key, std::uint64_t delta, int pe);
+  /// AMO-bump the hot stripe for `key` on `pe` (request telemetry).
+  void bump_hot(std::size_t key, int pe);
+
+  // -- Local introspection (tests, verification) --
+  std::uint64_t local_value(std::size_t key) const;
+  /// Sum of this PE's hot stripes.
+  std::uint64_t hot_sum() const;
+
+  /// Re-shard after a failover: push every key whose ownership moved from
+  /// the authoritative source (surviving old primary, else the replica's
+  /// write-through copy, else the orphaned checkpoint shard `report` handed
+  /// to this PE) onto its new primary and replica, and fold dead ranks' hot
+  /// stripes into the survivors' telemetry. Each key has exactly one source
+  /// PE, so pushes never conflict; callers barrier around this (the client's
+  /// recover() does). Counts into `counters`.
+  void rebalance(const ShardView& old_view, const ShardView& new_view,
+                 const RestoreReport& report, ServingCounters& counters);
+
+  /// Collective release of both allocations (clean-shutdown paths only —
+  /// after a death, survivors leave the heap to the leak report like the
+  /// chaos benches do).
+  void release();
+
+ private:
+  std::uint64_t* value_slot(std::size_t key) const;
+
+  ServingConfig config_;
+  std::uint64_t* values_ = nullptr;  ///< symmetric, n_keys slots
+  std::uint64_t* hot_ = nullptr;     ///< symmetric, hot_stripes counters
+  std::size_t values_offset_ = 0;    ///< shared-segment offset of values_
+  std::size_t hot_offset_ = 0;       ///< shared-segment offset of hot_
+};
+
+}  // namespace xbgas

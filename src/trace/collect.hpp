@@ -73,7 +73,10 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("fault.injected.bitflip", ld(fault.rma_bitflips));
   reg.set("fault.injected.olb_fault", ld(fault.olb_faults));
   reg.set("fault.injected.kills", ld(fault.kills));
+  reg.set("fault.injected.amo_drop", ld(fault.amo_drops));
+  reg.set("fault.injected.amo_delay", ld(fault.amo_delays));
   reg.set("rma.retries", ld(fault.rma_retries));
+  reg.set("amo.retries", ld(fault.amo_retries));
   reg.set("rma.checksum_failures", ld(fault.checksum_failures));
   reg.set("barrier.timeouts", ld(fault.barrier_timeouts));
   reg.set("machine.pes_alive", static_cast<std::uint64_t>(machine.n_alive()));

@@ -61,9 +61,13 @@ enum class EventKind : std::uint8_t {
   // int, b = op-specific payload: roster size for agree/shrink, snapshot
   // bytes for checkpoint/restore, 0 for revoke.
   kRecovery,
+  // Serving-layer request lifecycle (src/serving, docs/SERVING.md).
+  // a = ServingOp as int, b = op-specific payload (key for request ops,
+  // push count for rebalance); target_pe = the shard owner involved, or -1.
+  kServing,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kRecovery) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kServing) + 1;
 
 /// Which recovery-protocol step a kRecovery event records (payload `a`).
 enum class RecoveryOp : std::uint8_t {
@@ -81,6 +85,32 @@ constexpr const char* recovery_op_name(RecoveryOp op) {
     case RecoveryOp::kRevoke: return "revoke";
     case RecoveryOp::kCheckpoint: return "checkpoint";
     case RecoveryOp::kRestore: return "restore";
+  }
+  return "unknown";
+}
+
+/// Which serving-layer step a kServing event records (payload `a`).
+enum class ServingOp : std::uint8_t {
+  kRetry = 0,      ///< an attempt timed out or threw; going again
+  kHedge,          ///< slow primary read; duplicate issued to the replica
+  kRedirect,       ///< request served by the replica, not the primary
+  kReplay,         ///< suspect write re-applied after failover
+  kFail,           ///< request failed (deadline or retries exhausted)
+  kFailoverBegin,  ///< death detected; entering the recovery state machine
+  kFailoverEnd,    ///< serving resumed on the shrunken team
+  kRebalance,      ///< orphaned keys re-homed (b = keys pushed by this PE)
+};
+
+constexpr const char* serving_op_name(ServingOp op) {
+  switch (op) {
+    case ServingOp::kRetry: return "retry";
+    case ServingOp::kHedge: return "hedge";
+    case ServingOp::kRedirect: return "redirect";
+    case ServingOp::kReplay: return "replay";
+    case ServingOp::kFail: return "fail";
+    case ServingOp::kFailoverBegin: return "failover_begin";
+    case ServingOp::kFailoverEnd: return "failover_end";
+    case ServingOp::kRebalance: return "rebalance";
   }
   return "unknown";
 }
@@ -110,6 +140,7 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kCollDispatch: return "coll_dispatch";
     case EventKind::kSanViolation: return "san_violation";
     case EventKind::kRecovery: return "recovery";
+    case EventKind::kServing: return "serving";
   }
   return "unknown";
 }

@@ -1,6 +1,7 @@
 #include "xbrtime/rma.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -55,6 +56,41 @@ void copy_elements(std::byte* dst, const std::byte* src, std::size_t elem_size,
   const std::size_t step = elem_size * static_cast<std::size_t>(stride);
   for (std::size_t i = 0; i < nelems; ++i) {
     std::memmove(dst + i * step, src + i * step, elem_size);
+  }
+}
+
+/// Word-atomic strided copy for xbr_put_atomic / xbr_get_atomic: each
+/// element moves with one relaxed atomic access on the symmetric
+/// (contended) side — `atomic_dst` says which side that is — and a plain
+/// access on the caller's private buffer. Relaxed is enough: the simulated
+/// fabric provides no ordering either; cross-PE ordering comes from
+/// barriers.
+template <class T>
+void copy_words_atomic(std::byte* dst, const std::byte* src,
+                       std::size_t nelems, int stride, bool atomic_dst) {
+  const std::size_t step = sizeof(T) * static_cast<std::size_t>(stride);
+  for (std::size_t i = 0; i < nelems; ++i) {
+    T v;
+    if (atomic_dst) {
+      std::memcpy(&v, src + i * step, sizeof(T));
+      std::atomic_ref<T>(*reinterpret_cast<T*>(dst + i * step))
+          .store(v, std::memory_order_relaxed);
+    } else {
+      v = std::atomic_ref<T>(*reinterpret_cast<T*>(
+                                 const_cast<std::byte*>(src) + i * step))
+              .load(std::memory_order_relaxed);
+      std::memcpy(dst + i * step, &v, sizeof(T));
+    }
+  }
+}
+
+void copy_elements_atomic(std::byte* dst, const std::byte* src,
+                          std::size_t elem_size, std::size_t nelems,
+                          int stride, bool atomic_dst) {
+  if (elem_size == 8) {
+    copy_words_atomic<std::uint64_t>(dst, src, nelems, stride, atomic_dst);
+  } else {
+    copy_words_atomic<std::uint32_t>(dst, src, nelems, stride, atomic_dst);
   }
 }
 
@@ -130,9 +166,22 @@ void validate_amo(const char* fn, const void* dest, int pe) {
   }
 }
 
+void validate_word_aligned(const char* fn, const void* dest, const void* src,
+                           std::size_t elem_size) {
+  const auto misaligned = [elem_size](const void* p) {
+    return p != nullptr &&
+           reinterpret_cast<std::uintptr_t>(p) % elem_size != 0;
+  };
+  if (misaligned(dest) || misaligned(src)) {
+    throw Error(std::string(fn) + ": buffers must be naturally aligned to " +
+                std::to_string(elem_size) +
+                " bytes (word-atomic access requires it)");
+  }
+}
+
 void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
-                  bool nonblocking) {
+                  bool nonblocking, bool atomic_elems) {
   // Cooperative poll point: RMA issues are the densest operation in a PE
   // body, so they bound a fiber's uninterrupted slice (and host the seeded
   // yield injection the scheduler tests rely on).
@@ -150,8 +199,18 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   const std::byte* src_ptr = static_cast<const std::byte*>(src);
 
   Sanitizer& san = ctx.machine().sanitizer();
-  const char* fn = remote_is_dest ? (nonblocking ? "xbr_put_nb" : "xbr_put")
-                                  : (nonblocking ? "xbr_get_nb" : "xbr_get");
+  const char* fn =
+      atomic_elems
+          ? (remote_is_dest ? "xbr_put_atomic" : "xbr_get_atomic")
+          : remote_is_dest ? (nonblocking ? "xbr_put_nb" : "xbr_put")
+                           : (nonblocking ? "xbr_get_nb" : "xbr_get");
+  // How each side of the copy is recorded by XbrSan: the symmetric side of
+  // a word-atomic transfer is an atomic access (atomic/atomic concurrency
+  // is legal), the caller's private side stays a plain access.
+  const SanAccess sym_write =
+      atomic_elems ? SanAccess::kAtomic : SanAccess::kWrite;
+  const SanAccess sym_read =
+      atomic_elems ? SanAccess::kAtomic : SanAccess::kRead;
 
   if (pe == ctx.rank()) {
     // Local transfer: the §3.2 object-ID-0 shortcut. Plain memory-to-memory
@@ -166,14 +225,21 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
       san.check_local(fn, ctx.rank(), dst_ptr, span, /*is_write=*/true,
                       &ctx.trace());
     }
-    san_check_target(san, ctx, fn, pe, src_ptr, span, SanAccess::kRead);
-    san_check_target(san, ctx, fn, pe, dst_ptr, span, SanAccess::kWrite);
+    san_check_target(san, ctx, fn, pe, src_ptr, span,
+                     remote_is_dest ? SanAccess::kRead : sym_read);
+    san_check_target(san, ctx, fn, pe, dst_ptr, span,
+                     remote_is_dest ? sym_write : SanAccess::kWrite);
     const std::uint64_t cycles = local_access_cycles(ctx, src_ptr, span) +
                                  local_access_cycles(ctx, dst_ptr, span) +
                                  issue_cycles(ctx.machine().network().params(),
                                               nelems);
     ctx.clock().advance(cycles);
-    copy_elements(dst_ptr, src_ptr, elem_size, nelems, stride);
+    if (atomic_elems) {
+      copy_elements_atomic(dst_ptr, src_ptr, elem_size, nelems, stride,
+                           /*atomic_dst=*/remote_is_dest);
+    } else {
+      copy_elements(dst_ptr, src_ptr, elem_size, nelems, stride);
+    }
     return;
   }
 
@@ -204,7 +270,7 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   // before any bytes move. The symmetric address passed by the caller has
   // the same offset on every PE, so it names the remote range exactly.
   san_check_target(san, ctx, fn, pe, remote_is_dest ? dest : src, span,
-                   remote_is_dest ? SanAccess::kWrite : SanAccess::kRead);
+                   remote_is_dest ? sym_write : sym_read);
   if (san.conflicts_enabled()) {
     san.check_local(fn, rank, remote_is_dest ? src : dest, span,
                     /*is_write=*/!remote_is_dest, &ctx.trace());
@@ -260,6 +326,15 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
       cycles += fc.delay_cycles;
     }
 
+    if (atomic_elems) {
+      copy_elements_atomic(dst_ptr, src_ptr, elem_size, nelems, stride,
+                           /*atomic_dst=*/remote_is_dest);
+      // No bit-flip / checksum stages: the word travels in the request
+      // header, whose loss the drop site above already models, and a plain
+      // corruption write would race the very accesses this path keeps
+      // atomic.
+      break;
+    }
     copy_elements(dst_ptr, src_ptr, elem_size, nelems, stride);
 
     if (faults_on && fault.draw_rma_bitflip(rank)) {
@@ -330,14 +405,54 @@ std::uint64_t amo_cycles(const char* fn, const void* local_addr,
            ctx.cache().config().costs.l1_hit_cycles;
   }
   FaultInjector& fault = ctx.machine().fault_injector();
-  if (fault.enabled()) fault.on_rma_issue(ctx.rank());  // scripted-kill site
+  const FaultConfig& fc = fault.config();
+  const bool faults_on = fault.enabled();
+  const int rank = ctx.rank();
+  if (faults_on) fault.on_rma_issue(rank);  // scripted-kill site
   NetworkModel& net = ctx.machine().network();
   ctx.trace().record(EventKind::kAmo, pe, bytes);
-  (void)ctx.olb().lookup(object_id_for_pe(pe));
-  net.record(/*is_put=*/false, bytes, ctx.rank(), pe);
-  net.record(/*is_put=*/true, bytes, ctx.rank(), pe);
-  return net.get_cost(ctx.rank(), pe, bytes) +
-         net.put_cost(ctx.rank(), pe, bytes);
+
+  // Bounded retry, mirroring rma_transfer: each attempt re-translates and
+  // re-pays the full round-trip wire cost; a dropped RMW request charges
+  // backoff and goes again, exhaustion throws the same error the RMA path
+  // does, so application-level retry policies treat both uniformly.
+  const int max_attempts = 1 + std::max(0, fc.max_rma_retries);
+  std::uint64_t cycles = 0;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    (void)ctx.olb().lookup(object_id_for_pe(pe));
+    net.record(/*is_put=*/false, bytes, rank, pe);
+    net.record(/*is_put=*/true, bytes, rank, pe);
+    cycles += net.get_cost(rank, pe, bytes) + net.put_cost(rank, pe, bytes);
+
+    if (faults_on && fault.draw_amo_drop(rank)) {
+      fault.counters().amo_drops.fetch_add(1, std::memory_order_relaxed);
+      note_fault(ctx, pe, FaultSite::kAmoDrop, attempt);
+      if (attempt >= max_attempts) {
+        ctx.clock().advance(cycles);
+        throw RmaRetriesExhaustedError(
+            std::string(fn) + ": remote RMW request dropped " +
+                std::to_string(attempt) + " times, retries exhausted (PE " +
+                std::to_string(rank) + " -> " + std::to_string(pe) + ")",
+            attempt);
+      }
+      fault.counters().amo_retries.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t backoff = backoff_cycles(fc, attempt);
+      ctx.trace().record(EventKind::kRmaRetry, pe,
+                         static_cast<std::uint64_t>(attempt), backoff);
+      cycles += backoff;
+      continue;
+    }
+
+    if (faults_on && fault.draw_amo_delay(rank)) {
+      fault.counters().amo_delays.fetch_add(1, std::memory_order_relaxed);
+      note_fault(ctx, pe, FaultSite::kAmoDelay, attempt);
+      cycles += fc.delay_cycles;
+    }
+    break;
+  }
+  return cycles;
 }
 
 }  // namespace detail

@@ -40,9 +40,13 @@ namespace detail {
 /// Byte-level transfer engine shared by all typed entry points.
 /// If `remote_is_dest`, `remote_ptr` is the caller's symmetric address for
 /// the destination (put); otherwise for the source (get).
+/// `atomic_elems` selects the word-atomic variant (xbr_put_atomic /
+/// xbr_get_atomic): every element moves with one atomic access on the
+/// symmetric side, the payload-corruption stages (bit-flip, checksum) are
+/// skipped, and XbrSan records the access as atomic.
 void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
-                  bool nonblocking);
+                  bool nonblocking, bool atomic_elems = false);
 
 /// Entry-point argument validation: throws xbgas::Error naming `fn` and the
 /// offending argument (bad pe, stride < 1, null dest/src) *before* any cost
@@ -53,6 +57,11 @@ void validate_rma(const char* fn, const void* dest, const void* src,
 
 /// Same for the AMO entry points (pe range, null dest).
 void validate_amo(const char* fn, const void* dest, int pe);
+
+/// Word-atomic entry points additionally require naturally aligned
+/// buffers (std::atomic_ref demands it); throws xbgas::Error otherwise.
+void validate_word_aligned(const char* fn, const void* dest, const void* src,
+                           std::size_t elem_size);
 
 }  // namespace detail
 
@@ -82,6 +91,43 @@ void xbr_get_nb(T* dest, const T* src, std::size_t nelems, int stride, int pe) {
   detail::validate_rma("xbr_get_nb", dest, src, nelems, stride, pe);
   detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
                        /*remote_is_dest=*/false, /*nonblocking=*/true);
+}
+
+/// Word-atomic remote store: xbr_put for 4/8-byte elements where each
+/// element lands with a single atomic access on the target's symmetric
+/// slot. This models xBGAS's naturally aligned remote dword store — the
+/// hardware moves an aligned word indivisibly — with std::atomic_ref
+/// standing in for that atomicity on the host (the xbr_amo precedent), so
+/// shards serving concurrent traffic from many PEs stay race-free without
+/// any locking. Same fault/retry/cost machinery as xbr_put, except the
+/// payload-corruption stages (bit-flip, checksum) do not apply: a ≤ 8-byte
+/// operand travels in the request header, whose loss the drop site models.
+/// XbrSan records the access as atomic, so atomic/atomic concurrency is
+/// exempt from conflict detection while an overlapping plain transfer is
+/// still diagnosed.
+template <class T>
+  requires(std::is_trivially_copyable_v<T> &&
+           (sizeof(T) == 4 || sizeof(T) == 8))
+void xbr_put_atomic(T* dest, const T* src, std::size_t nelems, int stride,
+                    int pe) {
+  detail::validate_rma("xbr_put_atomic", dest, src, nelems, stride, pe);
+  detail::validate_word_aligned("xbr_put_atomic", dest, src, sizeof(T));
+  detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
+                       /*remote_is_dest=*/true, /*nonblocking=*/false,
+                       /*atomic_elems=*/true);
+}
+
+/// Word-atomic remote load, mirror of xbr_put_atomic.
+template <class T>
+  requires(std::is_trivially_copyable_v<T> &&
+           (sizeof(T) == 4 || sizeof(T) == 8))
+void xbr_get_atomic(T* dest, const T* src, std::size_t nelems, int stride,
+                    int pe) {
+  detail::validate_rma("xbr_get_atomic", dest, src, nelems, stride, pe);
+  detail::validate_word_aligned("xbr_get_atomic", dest, src, sizeof(T));
+  detail::rma_transfer(dest, src, sizeof(T), nelems, stride, pe,
+                       /*remote_is_dest=*/false, /*nonblocking=*/false,
+                       /*atomic_elems=*/true);
 }
 
 /// Complete all outstanding non-blocking transfers issued by this PE.

@@ -1,0 +1,143 @@
+// ZipfGenerator / ServingTraffic — determinism, skew shape, mix fractions,
+// and stream independence (docs/SERVING.md workload model).
+
+#include "benchlib/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace xbgas {
+namespace {
+
+TEST(ZipfGeneratorTest, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), Error);
+  EXPECT_THROW(ZipfGenerator(16, -0.5), Error);
+  EXPECT_NO_THROW(ZipfGenerator(1, 0.0));
+}
+
+TEST(ZipfGeneratorTest, SamplesStayInRange) {
+  ZipfGenerator zipf(37, 0.99);
+  Xoshiro256ss rng(123);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.sample(rng), 37u);
+}
+
+TEST(ZipfGeneratorTest, SkewConcentratesOnLowRanks) {
+  constexpr std::size_t kN = 1024;
+  constexpr int kDraws = 20000;
+  ZipfGenerator zipf(kN, 0.99);
+  Xoshiro256ss rng(7);
+  std::vector<int> hits(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++hits[zipf.sample(rng)];
+  // Rank 0 is the hottest by a wide margin; the tail is cold. Zipf(0.99)
+  // over 1024 ranks puts ~13% of mass on rank 0 and < 0.2% on rank 100.
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[0], 10 * hits[100]);
+  int head = 0;
+  for (std::size_t r = 0; r < 16; ++r) head += hits[r];
+  EXPECT_GT(head, kDraws / 3);  // the top 1.6% of keys take > a third
+}
+
+TEST(ZipfGeneratorTest, ZeroExponentIsRoughlyUniform) {
+  constexpr std::size_t kN = 8;
+  ZipfGenerator zipf(kN, 0.0);
+  Xoshiro256ss rng(11);
+  std::vector<int> hits(kN, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[zipf.sample(rng)];
+  for (const int h : hits) {
+    EXPECT_GT(h, 700);
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(ServingTrafficTest, SameSeedSameRankSameStream) {
+  ServingTraffic a(42, /*rank=*/3, /*n_keys=*/512, ServingMix{});
+  ServingTraffic b(42, 3, 512, ServingMix{});
+  for (int i = 0; i < 500; ++i) {
+    const ServingRequest x = a.next();
+    const ServingRequest y = b.next();
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.value, y.value);
+  }
+}
+
+TEST(ServingTrafficTest, DifferentRanksGetIndependentStreams) {
+  ServingTraffic a(42, 0, 512, ServingMix{});
+  ServingTraffic b(42, 1, 512, ServingMix{});
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    const ServingRequest x = a.next();
+    const ServingRequest y = b.next();
+    if (x.key != y.key || x.kind != y.kind) ++differing;
+  }
+  EXPECT_GT(differing, 150);
+}
+
+TEST(ServingTrafficTest, KeysInRangeAndValuesFitPayload) {
+  constexpr std::size_t kKeys = 300;  // not a power of two
+  ServingTraffic traffic(9, 2, kKeys, ServingMix{});
+  for (int i = 0; i < 2000; ++i) {
+    const ServingRequest req = traffic.next();
+    EXPECT_LT(req.key, kKeys);
+    EXPECT_LT(req.value, std::uint64_t{1} << 24);
+    if (req.kind == ServingRequest::Kind::kIncr) {
+      EXPECT_GE(req.value, 1u);
+      EXPECT_LE(req.value, 7u);
+    }
+  }
+}
+
+TEST(ServingTrafficTest, MixFractionsTrackConfiguredPercentages) {
+  ServingMix mix;
+  mix.put_pct = 20;
+  mix.incr_pct = 10;
+  ServingTraffic traffic(1234, 0, 1024, mix);
+  int puts = 0, incrs = 0, gets = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (traffic.next().kind) {
+      case ServingRequest::Kind::kPut: ++puts; break;
+      case ServingRequest::Kind::kIncr: ++incrs; break;
+      case ServingRequest::Kind::kGet: ++gets; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(puts) / kDraws, 0.20, 0.02);
+  EXPECT_NEAR(static_cast<double>(incrs) / kDraws, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(gets) / kDraws, 0.70, 0.02);
+}
+
+TEST(ServingTrafficTest, RejectsImpossibleMix) {
+  ServingMix mix;
+  mix.put_pct = 80;
+  mix.incr_pct = 30;  // sums past 100
+  EXPECT_THROW(ServingTraffic(1, 0, 64, mix), Error);
+}
+
+TEST(ServingTrafficTest, HotKeysAreScatteredNotContiguous) {
+  // The scatter permutation must spread the hot ranks across the key space:
+  // the two hottest keys of a seeded stream should not be adjacent (which is
+  // what sharding by key % n_pes would punish).
+  ServingTraffic traffic(5, 0, 1024, ServingMix{});
+  std::vector<int> hits(1024, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[traffic.next().key];
+  std::size_t top1 = 0, top2 = 1;
+  if (hits[1] > hits[0]) std::swap(top1, top2);
+  for (std::size_t k = 2; k < hits.size(); ++k) {
+    if (hits[k] > hits[top1]) {
+      top2 = top1;
+      top1 = k;
+    } else if (hits[k] > hits[top2]) {
+      top2 = k;
+    }
+  }
+  const std::size_t gap = top1 > top2 ? top1 - top2 : top2 - top1;
+  EXPECT_GT(gap, 1u);
+}
+
+}  // namespace
+}  // namespace xbgas

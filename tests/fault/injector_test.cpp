@@ -189,6 +189,70 @@ TEST(FaultInjectorTest, CorruptPayloadRespectsStride) {
   }
 }
 
+TEST(FaultInjectorTest, AmoSiteNamesResolve) {
+  EXPECT_STREQ(fault_site_name(FaultSite::kAmoDrop), "amo_drop");
+  EXPECT_STREQ(fault_site_name(FaultSite::kAmoDelay), "amo_delay");
+}
+
+TEST(FaultInjectorTest, AmoDrawsDisabledAtZeroProbability) {
+  // active_config leaves the AMO sites at 0.0: remote atomics stay
+  // fault-free unless explicitly opted in, even with RMA faults armed.
+  FaultInjector inj(active_config(3), 2);
+  EXPECT_TRUE(inj.enabled());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(inj.draw_amo_drop(0));
+    EXPECT_FALSE(inj.draw_amo_delay(1));
+  }
+}
+
+TEST(FaultInjectorTest, AmoDrawsAreDeterministicPerSeed) {
+  FaultConfig fc = active_config(21);
+  fc.amo_drop_prob = 0.5;
+  fc.amo_delay_prob = 0.5;
+  FaultInjector a(fc, 4);
+  FaultInjector b(fc, 4);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int rank = i % 4;
+    const bool drop = a.draw_amo_drop(rank);
+    EXPECT_EQ(drop, b.draw_amo_drop(rank));
+    EXPECT_EQ(a.draw_amo_delay(rank), b.draw_amo_delay(rank));
+    fired += drop ? 1 : 0;
+  }
+  EXPECT_GT(fired, 300);  // p=0.5: the stream actually fires
+  EXPECT_LT(fired, 700);
+}
+
+TEST(FaultInjectorTest, AmoStreamsIndependentOfRmaStreams) {
+  // The AMO sites were appended as new streams; draining RMA draws must not
+  // shift an AMO sequence (and, regression-style, the pre-existing RMA
+  // mapping must not have moved just because AMO probabilities are set).
+  FaultConfig fc = active_config(13);
+  fc.amo_drop_prob = 0.5;
+  FaultInjector quiet(fc, 2);
+  std::vector<bool> expected;
+  expected.reserve(200);
+  for (int i = 0; i < 200; ++i) expected.push_back(quiet.draw_amo_drop(1));
+
+  FaultInjector noisy(fc, 2);
+  std::vector<bool> got;
+  got.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j <= i % 3; ++j) (void)noisy.draw_rma_drop(1);
+    (void)noisy.draw_rma_delay(1);
+    (void)noisy.draw_amo_delay(1);  // sibling AMO site: separate stream too
+    got.push_back(noisy.draw_amo_drop(1));
+  }
+  EXPECT_EQ(expected, got);
+
+  FaultConfig rma_only = active_config(13);
+  FaultInjector base(rma_only, 2);
+  FaultInjector with_amo(fc, 2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(base.draw_rma_drop(0), with_amo.draw_rma_drop(0));
+  }
+}
+
 TEST(ChecksumTest, DetectsSingleBitFlip) {
   std::vector<unsigned char> buf(256, 0x3C);
   const std::uint64_t clean = strided_checksum(buf.data(), 8, 32, 1);

@@ -51,6 +51,18 @@ TEST(RecoveryConfigTest, NanProbabilityIsRejected) {
   expect_rejected(c, "rma_bitflip_prob");
 }
 
+TEST(RecoveryConfigTest, AmoDropProbabilityAboveOneIsRejected) {
+  MachineConfig c = base_config();
+  c.fault.amo_drop_prob = 1.01;
+  expect_rejected(c, "amo_drop_prob");
+}
+
+TEST(RecoveryConfigTest, NegativeAmoDelayProbabilityIsRejected) {
+  MachineConfig c = base_config();
+  c.fault.amo_delay_prob = -0.2;
+  expect_rejected(c, "amo_delay_prob");
+}
+
 TEST(RecoveryConfigTest, NegativeRetryBudgetIsRejected) {
   MachineConfig c = base_config();
   c.fault.max_rma_retries = -1;
@@ -126,6 +138,35 @@ TEST(RecoveryConfigTest, CliNegativeTimeoutIsRejected) {
 TEST(RecoveryConfigTest, CliOmittedTimeoutDisablesWatchdog) {
   const MachineConfig c = from_flags({});
   EXPECT_EQ(c.fault.barrier_timeout_ms, 0u);
+}
+
+TEST(RecoveryConfigTest, CliZeroAgreeTimeoutIsRejected) {
+  EXPECT_THROW(from_flags({"--fault-agree-timeout-ms", "0"}),
+               FaultConfigError);
+}
+
+TEST(RecoveryConfigTest, CliNegativeAgreeTimeoutIsRejected) {
+  EXPECT_THROW(from_flags({"--fault-agree-timeout-ms", "-100"}),
+               FaultConfigError);
+}
+
+TEST(RecoveryConfigTest, CliOmittedAgreeTimeoutKeepsSafetyNet) {
+  // agree_timeout_ms = 0 means "no dedicated watchdog": the agreement board
+  // falls back to its 60 s safety net rather than failing fast.
+  const MachineConfig c = from_flags({});
+  EXPECT_EQ(c.fault.agree_timeout_ms, 0u);
+}
+
+TEST(RecoveryConfigTest, CliAgreeTimeoutParses) {
+  const MachineConfig c = from_flags({"--fault-agree-timeout-ms", "250"});
+  EXPECT_EQ(c.fault.agree_timeout_ms, 250u);
+}
+
+TEST(RecoveryConfigTest, CliAmoFaultFlagsParse) {
+  const MachineConfig c =
+      from_flags({"--fault-amo-drop", "0.25", "--fault-amo-delay", "0.1"});
+  EXPECT_DOUBLE_EQ(c.fault.amo_drop_prob, 0.25);
+  EXPECT_DOUBLE_EQ(c.fault.amo_delay_prob, 0.1);
 }
 
 TEST(RecoveryConfigTest, CliKillListParsesAllEntries) {

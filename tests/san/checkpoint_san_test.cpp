@@ -1,0 +1,131 @@
+// Checkpoint/restore under XbrSan full: the snapshot machinery itself, and
+// the post-death orphan re-shard path (restore -> deal -> push to new
+// owners), must run violation-free with epoch conflict detection armed.
+// This is the recovery side of the PR 4 guarantee — the collectives are
+// clean under `--xbrsan full`, and so is the failure path built on them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "collectives/checkpoint.hpp"
+#include "collectives/shrink.hpp"
+#include "san/sanitizer.hpp"
+#include "xbrtime/rma.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+constexpr std::size_t kElems = 32;
+
+MachineConfig config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 1024 * 1024};
+  c.fault = fault;
+  c.san.mode = SanMode::kFull;
+  return c;
+}
+
+std::uint64_t pattern(int rank, std::size_t i) {
+  return static_cast<std::uint64_t>(rank) * 1000 + i;
+}
+
+TEST(CheckpointSanTest, RoundTripWithRemoteTrafficIsClean) {
+  constexpr int kPes = 4;
+  Machine machine(config(kPes));
+  std::vector<int> ok(kPes, 0);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < kElems; ++i) buf[i] = pattern(pe.rank(), i);
+    xbrtime_barrier();
+
+    const std::uint64_t v1 = xbr_checkpoint();
+
+    // Scribble over the neighbour with atomic stores (the serving data
+    // plane's op), then roll everything back.
+    const int peer = (pe.rank() + 1) % kPes;
+    std::vector<std::uint64_t> junk(kElems, 0xDEAD);
+    xbr_put_atomic(buf, junk.data(), kElems, 1, peer);
+    xbrtime_barrier();
+
+    const RestoreReport rep = xbr_restore();
+    bool good = rep.version == v1 &&
+                rep.restored_bytes == kElems * sizeof(std::uint64_t) &&
+                rep.orphans.empty();
+    for (std::size_t i = 0; i < kElems; ++i) {
+      good = good && buf[i] == pattern(pe.rank(), i);
+    }
+    ok[static_cast<std::size_t>(pe.rank())] = good ? 1 : 0;
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+  for (const int r : ok) EXPECT_EQ(r, 1);
+  EXPECT_EQ(machine.sanitizer().counters().violations, 0u);
+}
+
+TEST(CheckpointSanTest, OrphanReShardAfterDeathIsClean) {
+  constexpr int kPes = 4;
+  constexpr int kVictim = 1;
+  FaultConfig fc;
+  // Barrier arrival ledger: xbrtime_init #1-3, xbrtime_malloc #4-5, the
+  // explicit post-fill barrier #6, xbr_checkpoint's internal quiesce/commit
+  // pair #7-8 — so the explicit barrier after the checkpoint is #9.
+  fc.kills.push_back(KillSpec{kVictim, KillSite::kBarrier, 9});
+  Machine machine(config(kPes, fc));
+  std::vector<int> ok(kPes, -1);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<std::uint64_t*>(
+        xbrtime_malloc(kElems * sizeof(std::uint64_t)));  // barriers #1,#2
+    for (std::size_t i = 0; i < kElems; ++i) buf[i] = pattern(pe.rank(), i);
+    xbrtime_barrier();  // #3
+    xbr_checkpoint();   // victim's data is now in the store
+    try {
+      xbrtime_barrier();  // #9: victim dies
+      FAIL() << "barrier should have been poisoned";
+    } catch (const PeFailedError&) {
+      auto team = xbr_team_shrink();
+      const RestoreReport rep = xbr_restore(*team);
+      bool good = true;
+      // Exactly one survivor receives the orphaned buffer; its bytes are
+      // the victim's pre-checkpoint pattern.
+      if (!rep.orphans.empty()) {
+        good = good && rep.orphans.size() == 1 &&
+               rep.orphans[0].world_rank == kVictim &&
+               rep.orphan_bytes == kElems * sizeof(std::uint64_t);
+        std::vector<std::uint64_t> vals(kElems);
+        std::memcpy(vals.data(), rep.orphans[0].data.data(),
+                    kElems * sizeof(std::uint64_t));
+        for (std::size_t i = 0; i < kElems; ++i) {
+          good = good && vals[i] == pattern(kVictim, i);
+        }
+        // Re-shard: push the orphan's words onto the survivors' own slots
+        // round-robin with atomic stores, like the serving rebalance does.
+        const std::vector<int> members = team->members();
+        for (std::size_t i = 0; i < kElems; ++i) {
+          const int target = members[i % members.size()];
+          xbr_put_atomic(buf + i, &vals[i], 1, 1, target);
+        }
+      }
+      team->barrier();
+      ok[static_cast<std::size_t>(pe.rank())] = good ? 1 : 0;
+    }
+  });
+  for (int r = 0; r < kPes; ++r) {
+    if (r == kVictim) continue;
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "world rank " << r;
+  }
+  EXPECT_EQ(machine.n_alive(), kPes - 1);
+  EXPECT_EQ(machine.sanitizer().counters().violations, 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

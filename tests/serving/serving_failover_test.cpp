@@ -1,0 +1,326 @@
+// Serving failover integration suite: scripted PE kills mid-traffic drive
+// the full agree -> shrink -> restore -> rebalance -> replay/failfast
+// sequence, with request accounting asserted exact on every survivor.
+//
+// Kill placement note: every remote serving op issues at least two
+// RMA-site triggers (the hot-counter AMO plus the data transfer), so a
+// scripted request sequence gives exact per-rank issue counts and the kill
+// lands on a chosen op of a chosen batch. Reads of a dead PE's memory do
+// not throw (the simulated memory outlives the PE) — deaths surface at the
+// next batch barrier, which is exactly what the suspect log exists for.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "san/config.hpp"
+#include "serving/client.hpp"
+#include "serving/config.hpp"
+#include "serving/counters.hpp"
+#include "serving/store.hpp"
+#include "benchlib/zipf.hpp"
+#include "trace/collect.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig machine_config(int n_pes, const FaultConfig& fault = {}) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout =
+      MemoryLayout{.private_bytes = 64 * 1024, .shared_bytes = 1024 * 1024};
+  c.fault = fault;
+  return c;
+}
+
+ServingConfig serving_config(int checkpoint_every,
+                             InflightPolicy policy = InflightPolicy::kReplay) {
+  ServingConfig s;
+  s.n_keys = 64;
+  s.hot_stripes = 8;
+  s.checkpoint_every = checkpoint_every;
+  s.policy = policy;
+  return s;
+}
+
+ServingOutcome do_put(ServingClient& client, std::size_t key,
+                      std::uint64_t value) {
+  ServingRequest req;
+  req.kind = ServingRequest::Kind::kPut;
+  req.key = key;
+  req.value = value;
+  return client.execute(req);
+}
+
+ServingOutcome do_get(ServingClient& client, std::size_t key) {
+  ServingRequest req;
+  req.kind = ServingRequest::Kind::kGet;
+  req.key = key;
+  return client.execute(req);
+}
+
+// One PE dies mid-get; survivors fail over once and keep serving, including
+// the dead rank's keys (re-homed from the replica's write-through copy) and
+// the dead client's own completed writes.
+TEST(ServingFailoverTest, KillMidTrafficFailsOverAndKeepsServing) {
+  constexpr int kPes = 6;
+  constexpr int kVictim = 2;
+  FaultConfig fault;
+  // Batch 1 put = issues 1-3 (hot AMO, primary store, replica store);
+  // batch 2 get = issues 4-5. Die on the get's data load.
+  fault.kills.push_back(KillSpec{kVictim, KillSite::kRma, 5});
+  serving_counters_reset();
+  Machine machine(machine_config(kPes, fault));
+  std::vector<int> ok(kPes, -1);
+  std::vector<ServingCounters> ledger(kPes);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const auto me = static_cast<std::size_t>(pe.rank());
+    // checkpoint_every = 1: the batch-1 puts become durable at the first
+    // end_batch, so recovery needs no replay here.
+    KvStore store(serving_config(/*checkpoint_every=*/1));
+    ServingClient client(store, serving_config(1));
+    bool good = true;
+    // Batch 1: every PE puts its neighbour's key (primary == key, remote).
+    const auto own_key = static_cast<std::size_t>((pe.rank() + 1) % kPes);
+    good = good && do_put(client, own_key, 0x100u + me).served;
+    client.end_batch();
+    // Batch 2: read it back; the victim dies inside this get.
+    const ServingOutcome g = do_get(client, own_key);
+    good = good && g.served;
+    const bool failed_over = client.end_batch();  // survivors recover here
+    good = good && failed_over;
+    // Batch 3: the dead rank's key (written by PE 1) and the dead client's
+    // own completed write (key 3 = victim+1) must both still serve.
+    const ServingOutcome dead_key = do_get(client, kVictim);
+    good = good && dead_key.served &&
+           dead_key.value == (KvStore::tag(kVictim) | 0x101u);
+    const ServingOutcome victims_write = do_get(client, kVictim + 1);
+    good = good && victims_write.served &&
+           victims_write.value == (KvStore::tag(kVictim + 1) | 0x102u);
+    client.end_batch();
+    good = good && client.counters().failovers == 1 &&
+           client.view().n() == kPes - 1 && client.view().epoch >= 1 &&
+           !client.view().alive(kVictim) && client.team() != nullptr &&
+           client.counters().books_balance();
+    ledger[me] = client.counters();
+    ok[me] = good ? 1 : 0;
+    client.finish();
+    // No xbrtime_close: the world barrier is poisoned after a death;
+    // survivors leave the heap to the leak report like the chaos benches.
+  });
+  EXPECT_EQ(machine.n_alive(), kPes - 1);
+  EXPECT_EQ(machine.failed_ranks(), std::vector<int>{kVictim});
+  for (int r = 0; r < kPes; ++r) {
+    if (r == kVictim) continue;
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "world rank " << r;
+    const ServingCounters& c = ledger[static_cast<std::size_t>(r)];
+    EXPECT_EQ(c.requests, 4u) << "world rank " << r;
+    EXPECT_EQ(c.served, 4u) << "world rank " << r;
+    EXPECT_EQ(c.failed, 0u) << "world rank " << r;
+  }
+  const ServingCounters total = serving_counters_snapshot();
+  EXPECT_TRUE(total.books_balance());
+  EXPECT_EQ(total.requests, 4u * (kPes - 1));
+  EXPECT_EQ(total.failovers, static_cast<std::uint64_t>(kPes - 1));
+  EXPECT_GT(total.rebalanced_keys, 0u);
+  const CounterRegistry counters = collect_counters(machine);
+  EXPECT_GE(counters.get("recovery.shrinks").value(), 1u);
+}
+
+// Primary AND replica of key 2 die with a served-but-uncheckpointed put in
+// the suspect window: under kReplay the write is re-established on the new
+// owners and stays acknowledged.
+TEST(ServingFailoverTest, AdjacentPairKillReplaysLostWrites) {
+  constexpr int kPes = 6;
+  FaultConfig fault;
+  // Both victims die on the hot-AMO of their batch-2 get (issue 4).
+  fault.kills.push_back(KillSpec{2, KillSite::kRma, 4});
+  fault.kills.push_back(KillSpec{3, KillSite::kRma, 4});
+  serving_counters_reset();
+  Machine machine(machine_config(kPes, fault));
+  std::vector<int> ok(kPes, -1);
+  std::vector<ServingCounters> ledger(kPes);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const auto me = static_cast<std::size_t>(pe.rank());
+    // checkpoint_every = 100: nothing retires the suspect log before the
+    // failover, so PE 0's put of key 2 is exactly the lost-write case
+    // (old primary 2 and old replica 3 both dead).
+    KvStore store(serving_config(/*checkpoint_every=*/100));
+    ServingClient client(store, serving_config(100));
+    bool good = true;
+    const auto key = static_cast<std::size_t>((pe.rank() + 2) % kPes);
+    good = good && do_put(client, key, 0x200u + me).served;
+    client.end_batch();
+    good = good && do_get(client, key).served;
+    good = good && client.end_batch();
+    const ServingOutcome replayed_key = do_get(client, 2);
+    good = good && replayed_key.served &&
+           replayed_key.value == (KvStore::tag(2) | 0x200u);
+    client.end_batch();
+    good = good && client.counters().books_balance() &&
+           client.counters().failovers == 1 && client.view().n() == kPes - 2;
+    ledger[me] = client.counters();
+    ok[me] = good ? 1 : 0;
+    client.finish();
+  });
+  EXPECT_EQ(machine.n_alive(), kPes - 2);
+  for (const int r : {0, 1, 4, 5}) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "world rank " << r;
+    const ServingCounters& c = ledger[static_cast<std::size_t>(r)];
+    EXPECT_EQ(c.served, 3u) << "world rank " << r;
+    EXPECT_EQ(c.failed, 0u) << "world rank " << r;
+    EXPECT_EQ(c.failed_fast, 0u) << "world rank " << r;
+    // Only PE 0's put had both owners die.
+    EXPECT_EQ(c.replayed, r == 0 ? 1u : 0u) << "world rank " << r;
+  }
+}
+
+// Same double kill under kFailFast: the acknowledgment is withdrawn, the
+// request is re-accounted failed, and the table really does not have the
+// write (the re-homed value is the pre-put checkpoint) — honest loss, never
+// a silent one.
+TEST(ServingFailoverTest, AdjacentPairKillFailsFastByPolicy) {
+  constexpr int kPes = 6;
+  FaultConfig fault;
+  fault.kills.push_back(KillSpec{2, KillSite::kRma, 4});
+  fault.kills.push_back(KillSpec{3, KillSite::kRma, 4});
+  serving_counters_reset();
+  Machine machine(machine_config(kPes, fault));
+  std::vector<int> ok(kPes, -1);
+  std::vector<ServingCounters> ledger(kPes);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const auto me = static_cast<std::size_t>(pe.rank());
+    KvStore store(serving_config(100, InflightPolicy::kFailFast));
+    ServingClient client(store, serving_config(100, InflightPolicy::kFailFast));
+    bool good = true;
+    const auto key = static_cast<std::size_t>((pe.rank() + 2) % kPes);
+    good = good && do_put(client, key, 0x200u + me).served;
+    client.end_batch();
+    good = good && do_get(client, key).served;
+    good = good && client.end_batch();
+    // The lost put was withdrawn: key 2 re-homed from the baseline
+    // checkpoint, i.e. the bare tag with a zero payload.
+    const ServingOutcome lost = do_get(client, 2);
+    good = good && lost.served && lost.value == KvStore::tag(2);
+    client.end_batch();
+    good = good && client.counters().books_balance();
+    ledger[me] = client.counters();
+    ok[me] = good ? 1 : 0;
+    client.finish();
+  });
+  EXPECT_EQ(machine.n_alive(), kPes - 2);
+  for (const int r : {0, 1, 4, 5}) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "world rank " << r;
+    const ServingCounters& c = ledger[static_cast<std::size_t>(r)];
+    EXPECT_EQ(c.requests, 3u) << "world rank " << r;
+    EXPECT_EQ(c.replayed, 0u) << "world rank " << r;
+    if (r == 0) {
+      EXPECT_EQ(c.failed_fast, 1u);
+      EXPECT_EQ(c.served, 2u);
+      EXPECT_EQ(c.failed, 1u);
+    } else {
+      EXPECT_EQ(c.failed_fast, 0u) << "world rank " << r;
+      EXPECT_EQ(c.served, 3u) << "world rank " << r;
+    }
+  }
+  const ServingCounters total = serving_counters_snapshot();
+  EXPECT_TRUE(total.books_balance());
+  EXPECT_EQ(total.failed_fast, 1u);
+}
+
+// Same seed => identical accounting, down to every pipeline counter, across
+// two full chaos runs with seeded Zipfian traffic and mid-traffic kills.
+TEST(ServingFailoverTest, SeededChaosRunIsDeterministic) {
+  constexpr int kPes = 8;
+  constexpr int kBatches = 6;
+  constexpr int kOpsPerBatch = 12;
+  const auto run_once = [&]() {
+    FaultConfig fault;
+    fault.seed = 99;
+    fault.kills.push_back(KillSpec{1, KillSite::kRma, 30});
+    fault.kills.push_back(KillSpec{4, KillSite::kRma, 45});
+    serving_counters_reset();
+    Machine machine(machine_config(kPes, fault));
+    ServingConfig scfg = serving_config(/*checkpoint_every=*/2);
+    scfg.n_keys = 256;
+    machine.run([&](PeContext& pe) {
+      xbrtime_init();
+      KvStore store(scfg);
+      ServingClient client(store, scfg);
+      ServingTraffic traffic(/*seed=*/7, pe.rank(), scfg.n_keys,
+                             ServingMix{});
+      for (int b = 0; b < kBatches; ++b) {
+        for (int i = 0; i < kOpsPerBatch; ++i) client.execute(traffic.next());
+        client.end_batch();
+      }
+      client.finish();
+    });
+    EXPECT_EQ(machine.n_alive(), kPes - 2);
+    return serving_counters_snapshot();
+  };
+  const ServingCounters a = run_once();
+  const ServingCounters b = run_once();
+  EXPECT_TRUE(a.books_balance());
+  EXPECT_GE(a.failovers, 1u);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.incrs, b.incrs);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.requests_retried, b.requests_retried);
+  EXPECT_EQ(a.attempt_timeouts, b.attempt_timeouts);
+  EXPECT_EQ(a.hedges, b.hedges);
+  EXPECT_EQ(a.redirected, b.redirected);
+  EXPECT_EQ(a.replica_skips, b.replica_skips);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.replayed, b.replayed);
+  EXPECT_EQ(a.failed_fast, b.failed_fast);
+  EXPECT_EQ(a.rebalanced_keys, b.rebalanced_keys);
+  EXPECT_EQ(a.hot_folds, b.hot_folds);
+}
+
+// The whole failover sequence — atomic data plane, checkpoint, restore,
+// orphan re-shard, replay — stays violation-free under XbrSan full.
+TEST(ServingFailoverTest, FailoverSequenceIsCleanUnderXbrSanFull) {
+  constexpr int kPes = 6;
+  constexpr int kVictim = 2;
+  FaultConfig fault;
+  fault.kills.push_back(KillSpec{kVictim, KillSite::kRma, 5});
+  serving_counters_reset();
+  MachineConfig mc = machine_config(kPes, fault);
+  mc.san.mode = SanMode::kFull;
+  Machine machine(mc);
+  std::vector<int> ok(kPes, -1);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const auto me = static_cast<std::size_t>(pe.rank());
+    KvStore store(serving_config(/*checkpoint_every=*/1));
+    ServingClient client(store, serving_config(1));
+    bool good = true;
+    const auto own_key = static_cast<std::size_t>((pe.rank() + 1) % kPes);
+    good = good && do_put(client, own_key, 0x300u + me).served;
+    client.end_batch();
+    good = good && do_get(client, own_key).served;
+    good = good && client.end_batch();
+    const ServingOutcome g = do_get(client, kVictim);
+    good = good && g.served && g.value == (KvStore::tag(kVictim) | 0x301u);
+    client.end_batch();
+    ok[me] = (good && client.counters().books_balance()) ? 1 : 0;
+    client.finish();
+  });
+  for (int r = 0; r < kPes; ++r) {
+    if (r == kVictim) continue;
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "world rank " << r;
+  }
+  EXPECT_EQ(machine.sanitizer().counters().violations, 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

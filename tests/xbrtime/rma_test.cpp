@@ -350,5 +350,81 @@ TEST(RmaTest, TypedCApiWrappers) {
   });
 }
 
+TEST(RmaTest, AtomicPutGetRoundTrip) {
+  Machine machine(config(2));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    auto* buf = static_cast<std::uint64_t*>(
+        xbrtime_malloc(8 * sizeof(std::uint64_t)));
+    std::fill(buf, buf + 8, std::uint64_t{0});
+    xbrtime_barrier();
+
+    if (xbrtime_mype() == 0) {
+      std::uint64_t src[8];
+      for (std::uint64_t i = 0; i < 8; ++i) src[i] = 0x1000 + i;
+      xbr_put_atomic(buf, src, 8, 1, 1);
+      std::uint64_t back[8] = {};
+      xbr_get_atomic(back, buf, 8, 1, 1);
+      for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(back[i], 0x1000 + i);
+    }
+    xbrtime_barrier();
+    if (xbrtime_mype() == 1) {
+      for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(buf[i], 0x1000 + i);
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(RmaTest, AtomicEntryPointsInteroperateWithAmos) {
+  // A word stored with xbr_put_atomic can be bumped with xbr_amo_add and
+  // read back with xbr_get_atomic — the serving data plane's exact op mix.
+  Machine machine(config(2));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    auto* slot = static_cast<std::uint64_t*>(
+        xbrtime_malloc(sizeof(std::uint64_t)));
+    *slot = 0;
+    xbrtime_barrier();
+    if (xbrtime_mype() == 0) {
+      const std::uint64_t v = 500;
+      xbr_put_atomic(slot, &v, 1, 1, 1);
+      const std::uint64_t pre = xbr_amo_add(slot, std::uint64_t{7}, 1);
+      EXPECT_EQ(pre, 500u);
+      std::uint64_t got = 0;
+      xbr_get_atomic(&got, slot, 1, 1, 1);
+      EXPECT_EQ(got, 507u);
+    }
+    xbrtime_barrier();
+    xbrtime_free(slot);
+    xbrtime_close();
+  });
+}
+
+TEST(RmaTest, AtomicEntryPointsRejectMisalignedBuffers) {
+  Machine machine(config(2));
+  machine.run([&](PeContext&) {
+    xbrtime_init();
+    auto* raw = static_cast<unsigned char*>(xbrtime_malloc(64));
+    xbrtime_barrier();
+    if (xbrtime_mype() == 0) {
+      // Offset by one byte: no longer naturally aligned for a 64-bit word.
+      auto* misaligned = reinterpret_cast<std::uint64_t*>(raw + 1);
+      std::uint64_t v = 1;
+      EXPECT_THROW(xbr_put_atomic(misaligned, &v, 1, 1, 1), Error);
+      EXPECT_THROW(xbr_get_atomic(&v, misaligned, 1, 1, 1), Error);
+      // The local side must be aligned too.
+      alignas(8) unsigned char local[16];
+      auto* local_misaligned = reinterpret_cast<std::uint64_t*>(local + 1);
+      auto* aligned = reinterpret_cast<std::uint64_t*>(raw);
+      EXPECT_THROW(xbr_put_atomic(aligned, local_misaligned, 1, 1, 1), Error);
+    }
+    xbrtime_barrier();
+    xbrtime_free(raw);
+    xbrtime_close();
+  });
+}
+
 }  // namespace
 }  // namespace xbgas
