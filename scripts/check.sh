@@ -20,13 +20,20 @@
 #      request books (requests == served + failed on every survivor),
 #      identical accounting on a same-seed replay, and post-failover
 #      throughput >= 50% of pre-failover
-#  11. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
+#  11. nbi + write-combining smoke (docs/COLLECTIVES.md): the explicit-
+#      handle test wall (request RMA, write combiner, the new sanitizer
+#      epochs, nbi conformance — every conformance case runs under
+#      --xbrsan full internally) plus bench_gups, which exits nonzero
+#      unless coalescing wins >= 2x bitwise-identically and the chunked-nbi
+#      ring allreduce beats the blocking ring at 64 PEs
+#  12. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
 #      1024-PE slow smoke, and a bench_scaling run checking the modeled
 #      barrier latency actually grows log-depth, not linearly
-#  12. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
-#  13. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#  13. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
+#  14. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
 #      heavy suites: machine (incl. the fiber scheduler), trace, fault, san,
-#      recovery, serving, scaling, and the collectives conformance sweep
+#      nbi/write-combining, recovery, serving, scaling, and the collectives
+#      conformance sweep (blocking and nbi axes)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build; the ASan and TSan
 # stages use <build-dir>-asan and <build-dir>-tsan)
@@ -35,21 +42,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/13] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/14] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/13] fast path: unit label only (ctest -L unit) =="
+echo "== [2/14] fast path: unit label only (ctest -L unit) =="
 ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$(nproc)"
 
-echo "== [3/13] observability suite (ctest -R trace) =="
+echo "== [3/14] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [4/13] disabled-path overhead guard =="
+echo "== [4/14] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [5/13] trace + counters smoke (bench_pt2pt) =="
+echo "== [5/14] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -68,7 +75,7 @@ print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
 
-echo "== [6/13] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+echo "== [6/14] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
     --counters=json > "$TMP/fault1.txt"
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
@@ -88,7 +95,7 @@ print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
       f"absorbed by {counters['rma.retries']} retries, deterministic replay")
 EOF
 
-echo "== [7/13] collective-policy smoke (docs/COLLECTIVES.md) =="
+echo "== [7/14] collective-policy smoke (docs/COLLECTIVES.md) =="
 "$BUILD"/bench/bench_policy_crossover --pes 8 --sizes 16,4096 --reps 1 \
     --json "$TMP/cross.json" > /dev/null
 python3 - "$TMP" <<'EOF'
@@ -105,7 +112,7 @@ print("policy smoke OK: auto flips tree->ring across the crossover and "
       "tracks the faster family")
 EOF
 
-echo "== [8/13] XbrSan smoke (docs/SANITIZER.md) =="
+echo "== [8/14] XbrSan smoke (docs/SANITIZER.md) =="
 # Positive: a real workload under full checking finishes with 0 violations.
 "$BUILD"/bench/bench_pt2pt --xbrsan=full --counters=json > "$TMP/san.txt"
 python3 - "$TMP" <<'EOF'
@@ -127,14 +134,14 @@ EOF
 grep -q 'XbrSan\[out_of_bounds\]' "$TMP/san_neg.txt"
 echo "xbrsan negative smoke OK: planted bug detected"
 
-echo "== [9/13] survivor-recovery chaos smoke (bench_chaos) =="
+echo "== [9/14] survivor-recovery chaos smoke (bench_chaos) =="
 # Scripted: the acceptance kill plan (mid-barrier + mid-RMA on 12 PEs).
 "$BUILD"/bench/bench_chaos --pes 12 --rounds 4 \
     --fault-kill 3:barrier:11,7:rma:4
 # Soak: seeded-random kill plans; every seed must recover and verify.
 "$BUILD"/bench/bench_chaos --pes 10 --seeds 8 --rounds 4
 
-echo "== [10/13] serving chaos smoke (bench_serving, docs/SERVING.md) =="
+echo "== [10/14] serving chaos smoke (bench_serving, docs/SERVING.md) =="
 # Scripted: one mid-RMA kill under default transport faults on 12 PEs.
 "$BUILD"/bench/bench_serving --pes 12 --batches 12 --ops-per-batch 32 \
     --fault-kill 5:rma:40
@@ -145,7 +152,35 @@ echo "== [10/13] serving chaos smoke (bench_serving, docs/SERVING.md) =="
 "$BUILD"/bench/bench_serving --pes 10 --batches 12 --ops-per-batch 32 \
     --seeds 4
 
-echo "== [11/13] scaling smoke (docs/SCALING.md) =="
+echo "== [11/14] nbi + write-combining smoke (bench_gups, docs/COLLECTIVES.md) =="
+# The explicit-handle test wall in the main build: request-RMA semantics,
+# the write combiner, the three new XbrSan epochs (negative + positive),
+# the hedged-nbi failover ledger, and the nbi conformance axis — each
+# conformance case runs under XbrSan full internally and asserts zero
+# violations across {auto,tree,ring,hier} x 1-12 PEs.
+ctest --test-dir "$BUILD" \
+    -R '(NbiRequest|WriteCombiner|NbiSan|ConformanceNbi|HedgedNbi)' \
+    --output-on-failure -j "$(nproc)"
+# Self-checking bench: the small-put storm must land bitwise-identical with
+# coalescing on/off at >= 2x fewer modeled cycles, replay deterministically,
+# and the chunked-nbi ring allreduce must beat the blocking ring at 64 PEs.
+"$BUILD"/bench/bench_gups --json "$TMP/gups.json" > "$TMP/gups_out.txt"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+data = json.load(open(f"{tmp}/gups.json"))
+g, ar = data["gups"], data["allreduce"]
+assert g["bitwise_identical"] and g["deterministic"], "storm must be exact"
+assert g["speedup"] >= 2.0, f"coalescing won only {g['speedup']}x"
+assert g["combiner"]["messages"] > g["combiner"]["flushes"], "no batching"
+assert ar["correct"] and ar["speedup"] > 1.0, \
+    f"pipelined allreduce must beat blocking ring, got {ar['speedup']}x"
+assert data["all_ok"], "bench_gups reported failure"
+print(f"nbi smoke OK: coalescing {g['speedup']}x over {g['combiner']['flushes']} "
+      f"flushes, pipelined allreduce {ar['speedup']}x at {ar['n_pes']} PEs")
+EOF
+
+echo "== [12/14] scaling smoke (docs/SCALING.md) =="
 # 256-PE conformance/recovery/chaos cases ride the integration suite; the
 # 1024-PE smoke is its own slow-labeled binary.
 ctest --test-dir "$BUILD" -R 'Scaling' --output-on-failure
@@ -166,18 +201,18 @@ print(f"scaling smoke OK: barrier {points[16]['barrier_cycles']} -> "
       f"{points[1024]['workers']} worker(s)")
 EOF
 
-echo "== [12/13] ASan+UBSan pass (full test suite) =="
+echo "== [13/14] ASan+UBSan pass (full test suite) =="
 cmake -B "$BUILD-asan" -S . -DXBGAS_SANITIZE=address -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-asan" -j
 ctest --test-dir "$BUILD-asan" --output-on-failure -j "$(nproc)"
 
-echo "== [13/13] TSan pass (machine + sched + trace + fault + san + recovery + serving + conformance + scaling) =="
+echo "== [14/14] TSan pass (machine + sched + trace + fault + san + nbi + recovery + serving + conformance + scaling) =="
 cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-tsan" -j
 ctest --test-dir "$BUILD-tsan" \
-    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Conformance|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling)' \
+    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Nbi|WriteCombiner|Conformance|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling)' \
     --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

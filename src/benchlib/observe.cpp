@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <string>
 
+#include "collectives/nbi.hpp"
 #include "collectives/policy.hpp"
 #include "common/error.hpp"
 #include "serving/counters.hpp"
+#include "xbrtime/nbi.hpp"
+#include "xbrtime/wc.hpp"
 #include "trace/collect.hpp"
 #include "trace/export_chrome.hpp"
 #include "trace/export_csv.hpp"
@@ -55,6 +58,31 @@ void emit_observability(Machine& machine, const CliArgs& args) {
                        coll_algo_name(static_cast<CollAlgo>(a)),
                    coll.by_kind_algo[k][a]);
     }
+  }
+  // Request-tracked RMA, write-combining, and pipelined-collective ledgers:
+  // process-wide like the dispatch counts, and likewise guarded so workloads
+  // that never touch the nbi surface keep their historical dumps.
+  const RmaNbiCounters nbi = rma_nbi_counters();
+  if (nbi.puts + nbi.gets + nbi.tests + nbi.waits + nbi.quiets > 0) {
+    counters.set("rma.nbi.puts", nbi.puts);
+    counters.set("rma.nbi.gets", nbi.gets);
+    counters.set("rma.nbi.tests", nbi.tests);
+    counters.set("rma.nbi.waits", nbi.waits);
+    counters.set("rma.nbi.quiets", nbi.quiets);
+  }
+  const WcCounters wc = wc_counters();
+  if (wc.puts > 0) {
+    counters.set("rma.coalesced.puts", wc.puts);
+    counters.set("rma.coalesced.enqueued", wc.enqueued);
+    counters.set("rma.coalesced.flushes", wc.flushes);
+    counters.set("rma.coalesced.messages", wc.messages);
+    counters.set("rma.coalesced.bytes", wc.bytes);
+  }
+  const CollPipelineCounters pipe = coll_pipeline_counters();
+  if (pipe.collectives > 0) {
+    counters.set("coll.pipeline.collectives", pipe.collectives);
+    counters.set("coll.pipeline.chunks", pipe.chunks);
+    counters.set("coll.pipeline.waits", pipe.waits);
   }
   // Same story for the serving layer's process-wide ledger; skip the block
   // entirely for non-serving workloads so their dumps stay unchanged.

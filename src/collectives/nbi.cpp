@@ -1,0 +1,55 @@
+#include "collectives/nbi.hpp"
+
+#include <atomic>
+
+namespace xbgas {
+
+namespace {
+
+struct PipelineCountersAtomic {
+  std::atomic<std::uint64_t> collectives{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> waits{0};
+};
+
+PipelineCountersAtomic& pipeline_counters_atomic() {
+  static PipelineCountersAtomic counters;
+  return counters;
+}
+
+}  // namespace
+
+CollPipelineCounters coll_pipeline_counters() {
+  PipelineCountersAtomic& c = pipeline_counters_atomic();
+  return CollPipelineCounters{
+      .collectives = c.collectives.load(std::memory_order_relaxed),
+      .chunks = c.chunks.load(std::memory_order_relaxed),
+      .waits = c.waits.load(std::memory_order_relaxed),
+  };
+}
+
+void reset_coll_pipeline_counters() {
+  PipelineCountersAtomic& c = pipeline_counters_atomic();
+  c.collectives.store(0, std::memory_order_relaxed);
+  c.chunks.store(0, std::memory_order_relaxed);
+  c.waits.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void note_pipeline_collective() {
+  pipeline_counters_atomic().collectives.fetch_add(1,
+                                                   std::memory_order_relaxed);
+}
+
+void note_pipeline_chunks(std::size_t n) {
+  pipeline_counters_atomic().chunks.fetch_add(n, std::memory_order_relaxed);
+}
+
+void note_pipeline_wait() {
+  pipeline_counters_atomic().waits.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace xbgas

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "xbrtime/nbi.hpp"
 #include "xbrtime/runtime.hpp"
 
 namespace xbgas {
@@ -113,11 +114,9 @@ void Team::revoke() {
 
 void Team::barrier() {
   PeContext& ctx = xbrtime_ctx();
-  if (ctx.pending_completion() > ctx.clock().cycles()) {
-    ctx.clock().set(ctx.pending_completion());
-  }
-  ctx.clear_pending();
-  machine_->sanitizer().on_wait(ctx.rank());
+  // Full fence, same as the world barrier: write combiner flushed, all
+  // nonblocking traffic (legacy and request-tracked) completed.
+  detail::nb_drain_all(ctx);
   FaultInjector& fault = machine_->fault_injector();
   if (fault.enabled()) fault.on_barrier_arrival(ctx.rank());  // scripted kill
   const std::uint64_t t = barrier_->arrive_and_wait(ctx.clock().cycles());

@@ -68,6 +68,37 @@ struct MachineConfig {
   SchedConfig sched{};
 };
 
+/// One explicit-handle nonblocking transfer in flight (src/xbrtime/nbi.hpp):
+/// the request id handed to the caller and the simulated completion horizon.
+struct NbInflight {
+  std::uint64_t id = 0;
+  std::uint64_t done_at = 0;
+};
+
+/// One small put buffered by the write combiner awaiting a flush
+/// (src/xbrtime/wc.hpp): where it lands in the target's symmetric segment
+/// and where its payload sits in the per-target staging buffer.
+struct WcEntry {
+  std::size_t offset = 0;  ///< shared-segment byte offset of the dest
+  std::size_t pos = 0;     ///< byte position in WcTargetBuffer::payload
+  std::size_t bytes = 0;
+};
+
+struct WcTargetBuffer {
+  std::vector<WcEntry> entries;
+  std::vector<std::byte> payload;
+};
+
+/// Per-PE write-combining state. Disabled by default; xbr_wc_enable sizes
+/// `targets` to n_pes and flushes are triggered at capacity, fences,
+/// xbr_wait/xbr_quiet, and barriers.
+struct WriteCombinerState {
+  bool enabled = false;
+  std::size_t threshold_bytes = 0;   ///< puts at most this large coalesce
+  std::size_t capacity_entries = 0;  ///< per-target flush trigger
+  std::vector<WcTargetBuffer> targets;
+};
+
 /// Per-PE xbrtime runtime state (src/xbrtime/runtime.cpp). This used to be
 /// thread-local — correct when each PE owned a thread, wrong once fibers
 /// migrate between workers — so it lives in the PeContext now. Machine::run
@@ -81,6 +112,14 @@ struct XbrtimeRuntimeState {
   std::size_t staging_capacity = 0;
   std::size_t staging_top = 0;
   std::vector<std::size_t> staging_lifo;  ///< live block offsets, stack order
+  /// Explicit-handle nonblocking requests (xbr_put_nbi / xbr_get_nbi) still
+  /// in flight; ids are never reused within a region. Entries whose horizon
+  /// has been absorbed by xbr_wait_req/xbr_test are removed; xbr_quiet,
+  /// xbr_wait and barriers clear the whole table.
+  std::uint64_t nbi_next_id = 1;
+  std::vector<NbInflight> nbi_inflight;
+  /// Write-combining buffers (xbr_put_wc; src/xbrtime/wc.hpp).
+  WriteCombinerState wc;
 };
 
 /// Per-PE state handed to the SPMD body. Owned by the Machine; never

@@ -23,6 +23,9 @@ enum class SanViolationKind : std::uint8_t {
   kWriteWriteConflict,  ///< same-epoch overlapping writes from two PEs
   kReadWriteConflict,   ///< same-epoch overlapping read + write, two PEs
   kNbReadBeforeWait,  ///< local use of an in-flight nonblocking destination
+  kNbWriteBeforeWait,   ///< local source of an in-flight nb-put rewritten
+  kNbRemoteBeforeWait,  ///< remote access to an open nb-put landing zone
+  kCollInFlight,        ///< result buffer of an unfinished nbi collective used
 };
 
 constexpr const char* san_violation_name(SanViolationKind k) {
@@ -33,6 +36,9 @@ constexpr const char* san_violation_name(SanViolationKind k) {
     case SanViolationKind::kWriteWriteConflict: return "write_write_conflict";
     case SanViolationKind::kReadWriteConflict: return "read_write_conflict";
     case SanViolationKind::kNbReadBeforeWait: return "nb_read_before_wait";
+    case SanViolationKind::kNbWriteBeforeWait: return "nb_write_before_wait";
+    case SanViolationKind::kNbRemoteBeforeWait: return "nb_remote_before_wait";
+    case SanViolationKind::kCollInFlight: return "coll_in_flight";
   }
   return "unknown";
 }

@@ -86,6 +86,26 @@ void Sanitizer::check_remote(const char* fn, int issuing_rank, int target_rank,
   bounds_check_locked(fn, issuing_rank, target_rank, offset, hi, access,
                       trace);
   if (conflicts_enabled()) {
+    // An access overlapping an open nb-put landing zone can observe a
+    // half-landed transfer — including by the issuer itself, whose program
+    // order does not order nbi completion. Checked before the ledger so the
+    // diagnosis names the pending transfer, not a generic conflict.
+    for (const OpenRemote& zone :
+         shadow_[static_cast<std::size_t>(target_rank)].open_remote) {
+      if (!overlaps(offset, hi, zone.lo, zone.hi)) continue;
+      raise_locked(
+          SanViolationKind::kNbRemoteBeforeWait, fn, issuing_rank, target_rank,
+          offset, bytes,
+          strfmt("%s %s of PE %d's symmetric heap, which overlaps the open "
+                 "landing zone %s of an in-flight %s from PE %d — the "
+                 "nonblocking put has not been completed by xbr_wait_req / "
+                 "xbr_quiet / a fence, so the range may hold a half-landed "
+                 "transfer",
+                 access == SanAccess::kRead ? "reads" : "writes",
+                 range_str(offset, hi).c_str(), target_rank,
+                 range_str(zone.lo, zone.hi).c_str(), zone.fn, zone.issuer),
+          trace);
+    }
     conflict_check_locked(fn, issuing_rank, target_rank, offset, hi, access,
                           issue_cycles, trace);
   }
@@ -200,12 +220,42 @@ void Sanitizer::conflict_check_locked(const char* fn, int issuing_rank,
 }
 
 void Sanitizer::note_nb_dest(const char* fn, int rank, const void* p,
-                             std::size_t bytes) {
+                             std::size_t bytes, std::uint64_t req_id) {
   if (!conflicts_enabled() || bytes == 0) return;
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto lo = reinterpret_cast<std::uintptr_t>(p);
   shadow_[static_cast<std::size_t>(rank)].open_nb.push_back(
-      OpenNb{lo, lo + bytes, fn});
+      OpenNb{lo, lo + bytes, fn, req_id, ZoneKind::kDest});
+  ++counters_.nb_tracked;
+}
+
+void Sanitizer::note_nb_src(const char* fn, int rank, const void* p,
+                            std::size_t bytes, std::uint64_t req_id) {
+  if (!conflicts_enabled() || bytes == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  shadow_[static_cast<std::size_t>(rank)].open_nb.push_back(
+      OpenNb{lo, lo + bytes, fn, req_id, ZoneKind::kSrc});
+  ++counters_.nb_tracked;
+}
+
+void Sanitizer::note_coll_dest(const char* fn, int rank, const void* p,
+                               std::size_t bytes) {
+  if (!conflicts_enabled() || bytes == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  shadow_[static_cast<std::size_t>(rank)].open_nb.push_back(
+      OpenNb{lo, lo + bytes, fn, 0, ZoneKind::kColl});
+  ++counters_.nb_tracked;
+}
+
+void Sanitizer::note_nb_remote(const char* fn, int issuing_rank,
+                               int target_rank, std::size_t offset,
+                               std::size_t bytes, std::uint64_t req_id) {
+  if (!conflicts_enabled() || bytes == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shadow_[static_cast<std::size_t>(target_rank)].open_remote.push_back(
+      OpenRemote{offset, offset + bytes, issuing_rank, fn, req_id});
   ++counters_.nb_tracked;
 }
 
@@ -219,17 +269,43 @@ void Sanitizer::check_local(const char* fn, int rank, const void* p,
   const auto lo = reinterpret_cast<std::uintptr_t>(p);
   const auto hi = lo + bytes;
   for (const OpenNb& nb : sh.open_nb) {
-    if (lo < nb.hi && nb.lo < hi) {
+    if (!(lo < nb.hi && nb.lo < hi)) continue;
+    // An nb-put's source may still be *read* (the transferred bytes are
+    // fixed); only a rewrite is a hazard. Dest and collective zones are
+    // tainted either way.
+    if (nb.kind == ZoneKind::kSrc && !is_write) continue;
+    const char* verb = is_write ? "writes" : "reads";
+    if (nb.kind == ZoneKind::kSrc) {
       raise_locked(
-          SanViolationKind::kNbReadBeforeWait, fn, rank, rank,
+          SanViolationKind::kNbWriteBeforeWait, fn, rank, rank,
           static_cast<std::size_t>(lo - nb.lo), bytes,
-          strfmt("%s a local range overlapping the landing zone of an "
-                 "in-flight %s on PE %d — the nonblocking transfer has not "
-                 "completed; call xbr_wait() (or reach a barrier) before "
-                 "touching its destination",
-                 is_write ? "writes" : "reads", nb.fn, rank),
+          strfmt("%s a local range overlapping the source buffer of an "
+                 "in-flight %s on PE %d — rewriting the source before "
+                 "xbr_wait_req / xbr_quiet retroactively changes what the "
+                 "nonblocking put sent",
+                 verb, nb.fn, rank),
           trace);
     }
+    if (nb.kind == ZoneKind::kColl) {
+      raise_locked(
+          SanViolationKind::kCollInFlight, fn, rank, rank,
+          static_cast<std::size_t>(lo - nb.lo), bytes,
+          strfmt("%s a local range overlapping the result buffer of an "
+                 "unfinished %s on PE %d — the nonblocking collective has "
+                 "not been completed; call CollReq::wait() before touching "
+                 "its buffers",
+                 verb, nb.fn, rank),
+          trace);
+    }
+    raise_locked(
+        SanViolationKind::kNbReadBeforeWait, fn, rank, rank,
+        static_cast<std::size_t>(lo - nb.lo), bytes,
+        strfmt("%s a local range overlapping the landing zone of an "
+               "in-flight %s on PE %d — the nonblocking transfer has not "
+               "completed; call xbr_wait() (or reach a barrier) before "
+               "touching its destination",
+               verb, nb.fn, rank),
+        trace);
   }
 }
 
@@ -237,6 +313,22 @@ void Sanitizer::on_wait(int rank) {
   if (!conflicts_enabled()) return;
   const std::lock_guard<std::mutex> lock(mutex_);
   shadow_[static_cast<std::size_t>(rank)].open_nb.clear();
+  for (PeShadow& sh : shadow_) {
+    std::erase_if(sh.open_remote,
+                  [rank](const OpenRemote& z) { return z.issuer == rank; });
+  }
+}
+
+void Sanitizer::on_wait_req(int rank, std::uint64_t req_id) {
+  if (!conflicts_enabled() || req_id == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(shadow_[static_cast<std::size_t>(rank)].open_nb,
+                [req_id](const OpenNb& z) { return z.req_id == req_id; });
+  for (PeShadow& sh : shadow_) {
+    std::erase_if(sh.open_remote, [rank, req_id](const OpenRemote& z) {
+      return z.issuer == rank && z.req_id == req_id;
+    });
+  }
 }
 
 void Sanitizer::on_pe_failed(int rank) {
@@ -245,6 +337,8 @@ void Sanitizer::on_pe_failed(int rank) {
   for (PeShadow& sh : shadow_) {
     std::erase_if(sh.ledger,
                   [rank](const Record& r) { return r.issuer == rank; });
+    std::erase_if(sh.open_remote,
+                  [rank](const OpenRemote& z) { return z.issuer == rank; });
   }
   shadow_[static_cast<std::size_t>(rank)].open_nb.clear();
 }
@@ -268,6 +362,12 @@ void Sanitizer::on_barrier_all_arrived(const std::vector<int>& members) {
     vc_[static_cast<std::size_t>(m)] = joined;
     // A barrier completes all outstanding nonblocking transfers.
     shadow_[static_cast<std::size_t>(m)].open_nb.clear();
+  }
+  for (PeShadow& sh : shadow_) {
+    std::erase_if(sh.open_remote, [&members](const OpenRemote& z) {
+      return std::find(members.begin(), members.end(), z.issuer) !=
+             members.end();
+    });
   }
   ++counters_.epochs;
   purge_dead_records_locked();

@@ -111,18 +111,44 @@ class Sanitizer {
   // -- Nonblocking-hazard tracking (full mode; hooks in rma_transfer) --
 
   /// Record that the local range [p, p+bytes) on PE `rank` is the landing
-  /// zone of an in-flight nonblocking transfer issued via `fn`.
-  void note_nb_dest(const char* fn, int rank, const void* p,
-                    std::size_t bytes);
+  /// zone of an in-flight nonblocking transfer issued via `fn`. `req_id` is
+  /// the request handle the zone belongs to (0 = the legacy _nb epoch,
+  /// closed only by xbr_wait / a barrier).
+  void note_nb_dest(const char* fn, int rank, const void* p, std::size_t bytes,
+                    std::uint64_t req_id = 0);
+
+  /// Record that the local range [p, p+bytes) on PE `rank` is the *source*
+  /// of an in-flight nb-put: rewriting it before the request completes would
+  /// retroactively change what the transfer sent (kNbWriteBeforeWait).
+  void note_nb_src(const char* fn, int rank, const void* p, std::size_t bytes,
+                   std::uint64_t req_id);
+
+  /// Record that [offset, offset+bytes) of PE `target_rank`'s symmetric
+  /// segment is the landing zone of an nb-put in flight from `issuing_rank`:
+  /// any remote access overlapping it before the issuer's wait/fence can
+  /// observe a half-landed transfer (kNbRemoteBeforeWait).
+  void note_nb_remote(const char* fn, int issuing_rank, int target_rank,
+                      std::size_t offset, std::size_t bytes,
+                      std::uint64_t req_id);
+
+  /// Record that the local range [p, p+bytes) on PE `rank` is the result
+  /// buffer of an nbi collective that has not been waited on; any use before
+  /// CollReq::wait raises kCollInFlight.
+  void note_coll_dest(const char* fn, int rank, const void* p,
+                      std::size_t bytes);
 
   /// Check a local-side use (read or write of [p, p+bytes)) by PE `rank`
-  /// against its open nonblocking landing zones; throws kNbReadBeforeWait.
+  /// against its open nonblocking landing zones; throws kNbReadBeforeWait /
+  /// kNbWriteBeforeWait / kCollInFlight depending on the zone class.
   void check_local(const char* fn, int rank, const void* p, std::size_t bytes,
                    bool is_write, TraceChannel* trace);
 
   /// xbr_wait / barrier on PE `rank`: all its nonblocking transfers are
-  /// complete, so its open landing zones close.
+  /// complete, so every zone it opened (local and remote) closes.
   void on_wait(int rank);
+
+  /// xbr_wait_req on PE `rank`: only the zones tagged with `req_id` close.
+  void on_wait_req(int rank, std::uint64_t req_id);
 
   // -- Epoch advancement (ClockSyncBarrier all-arrived hook) --
 
@@ -163,18 +189,39 @@ class Sanitizer {
     std::vector<std::uint64_t> vc;       ///< issuer's vector clock at issue
   };
 
-  /// An open nonblocking landing zone on the issuing PE (host addresses).
+  /// What a local open zone protects (which violation a touch raises).
+  enum class ZoneKind : std::uint8_t {
+    kDest,  ///< nb-get landing zone: any touch -> kNbReadBeforeWait
+    kSrc,   ///< nb-put source: a *write* -> kNbWriteBeforeWait
+    kColl,  ///< nbi-collective result buffer: any touch -> kCollInFlight
+  };
+
+  /// An open nonblocking zone on the issuing PE (host addresses). req_id 0
+  /// marks the legacy _nb epoch, closed only by xbr_wait / a barrier.
   struct OpenNb {
     std::uintptr_t lo = 0;
     std::uintptr_t hi = 0;
     const char* fn = "";
+    std::uint64_t req_id = 0;
+    ZoneKind kind = ZoneKind::kDest;
+  };
+
+  /// An open nb-put landing zone in the *target's* symmetric segment
+  /// (byte offsets), tagged with the issuing PE and its request id.
+  struct OpenRemote {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    int issuer = -1;
+    const char* fn = "";
+    std::uint64_t req_id = 0;
   };
 
   struct PeShadow {
     std::map<std::size_t, std::size_t> live;  ///< offset -> bytes
     std::deque<FreedBlock> freed;             ///< bounded history
     std::vector<Record> ledger;               ///< remote accesses *onto* us
-    std::vector<OpenNb> open_nb;              ///< our in-flight nb dests
+    std::vector<OpenNb> open_nb;              ///< our in-flight nb dests/srcs
+    std::vector<OpenRemote> open_remote;      ///< nb-put zones *onto* us
   };
 
   void bounds_check_locked(const char* fn, int issuing_rank, int target_rank,

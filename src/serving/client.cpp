@@ -7,6 +7,7 @@
 #include "fault/errors.hpp"
 #include "machine/machine.hpp"
 #include "trace/event.hpp"
+#include "xbrtime/nbi.hpp"
 #include "xbrtime/runtime.hpp"
 
 namespace xbgas {
@@ -46,7 +47,15 @@ bool ServingClient::attempt(const ServingRequest& request, int target,
     switch (request.kind) {
       case Kind::kGet: {
         store_.bump_hot(request.key, target);
-        const std::uint64_t v = store_.load(request.key, target);
+        // Gets ride the request-tracked nbi path: the value lands host-side
+        // at issue and the handle settles the modeled latency. Waiting right
+        // here costs the same cycles as a blocking read, but because the
+        // handle survives retries and failovers, the hedge machinery above
+        // can leave a read in flight across a recovery and the books still
+        // balance (ServingFailoverTest.HedgedNbiGetsBalanceAcrossFailover).
+        std::uint64_t v = 0;
+        XbrRequest r = store_.load_nbi(request.key, target, &v);
+        xbr_wait_req(r);
         // A tag mismatch means the slot never received this key (routing or
         // re-shard bug, or a read raced a failover window): surface it as a
         // failed attempt so the retry/hedge machinery re-drives it instead

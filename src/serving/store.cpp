@@ -62,6 +62,12 @@ std::uint64_t KvStore::load(std::size_t key, int pe) const {
   return value;
 }
 
+XbrRequest KvStore::load_nbi(std::size_t key, int pe,
+                             std::uint64_t* out) const {
+  *out = 0;
+  return xbr_get_atomic_nbi(out, value_slot(key), 1, 1, pe);
+}
+
 void KvStore::store_value(std::size_t key, std::uint64_t value, int pe) {
   xbr_put_atomic(value_slot(key), &value, 1, 1, pe);
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "serving/config.hpp"
+#include "xbrtime/nbi.hpp"
 
 namespace xbgas {
 
@@ -75,6 +76,11 @@ class KvStore {
   // -- Remote data plane (may throw RmaRetriesExhaustedError) --
   /// Atomic read of `key`'s slot on `pe`.
   std::uint64_t load(std::size_t key, int pe) const;
+  /// Request-tracked atomic read of `key`'s slot on `pe`: the tagged value
+  /// lands in `*out` host-side immediately; the modeled latency completes at
+  /// xbr_wait_req / xbr_test on the returned handle. Several loads may be in
+  /// flight at once — this is what the client's hedged gets ride on.
+  XbrRequest load_nbi(std::size_t key, int pe, std::uint64_t* out) const;
   /// Atomic overwrite of `key`'s slot on `pe`.
   void store_value(std::size_t key, std::uint64_t value, int pe);
   /// Atomic add into `key`'s slot on `pe`; returns the pre-add value.

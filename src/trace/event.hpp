@@ -65,9 +65,13 @@ enum class EventKind : std::uint8_t {
   // a = ServingOp as int, b = op-specific payload (key for request ops,
   // push count for rebalance); target_pe = the shard owner involved, or -1.
   kServing,
+  // Write-combiner flush (src/xbrtime/wc.hpp): buffered small puts to one
+  // target leaving as a single batched transfer. a = payload bytes,
+  // b = coalesced put count; target_pe = the destination shard.
+  kWcFlush,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kServing) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kWcFlush) + 1;
 
 /// Which recovery-protocol step a kRecovery event records (payload `a`).
 enum class RecoveryOp : std::uint8_t {
@@ -141,6 +145,7 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kSanViolation: return "san_violation";
     case EventKind::kRecovery: return "recovery";
     case EventKind::kServing: return "serving";
+    case EventKind::kWcFlush: return "wc_flush";
   }
   return "unknown";
 }

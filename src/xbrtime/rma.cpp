@@ -12,6 +12,7 @@
 #include "net/fabric.hpp"
 #include "olb/olb.hpp"
 #include "san/sanitizer.hpp"
+#include "xbrtime/nbi.hpp"
 
 namespace xbgas {
 
@@ -181,7 +182,8 @@ void validate_word_aligned(const char* fn, const void* dest, const void* src,
 
 void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
-                  bool nonblocking, bool atomic_elems) {
+                  bool nonblocking, bool atomic_elems, NbTrack track,
+                  std::uint64_t* req_out) {
   // Cooperative poll point: RMA issues are the densest operation in a PE
   // body, so they bound a fiber's uninterrupted slice (and host the seeded
   // yield injection the scheduler tests rely on).
@@ -189,6 +191,9 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   PeContext& ctx = xbrtime_ctx();
   XBGAS_CHECK(pe >= 0 && pe < ctx.n_pes(), "RMA target PE out of range");
   XBGAS_CHECK(stride >= 1, "RMA stride must be >= 1");
+  XBGAS_CHECK(track != NbTrack::kRequest || req_out != nullptr,
+              "request-tracked transfer needs a request-out slot");
+  if (req_out != nullptr) *req_out = 0;  // completed-at-issue until proven nb
   if (nelems == 0) return;
 
   const std::size_t span =
@@ -199,11 +204,17 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   const std::byte* src_ptr = static_cast<const std::byte*>(src);
 
   Sanitizer& san = ctx.machine().sanitizer();
+  const bool nbi = track == NbTrack::kRequest;
   const char* fn =
       atomic_elems
-          ? (remote_is_dest ? "xbr_put_atomic" : "xbr_get_atomic")
-          : remote_is_dest ? (nonblocking ? "xbr_put_nb" : "xbr_put")
-                           : (nonblocking ? "xbr_get_nb" : "xbr_get");
+          ? (remote_is_dest
+                 ? "xbr_put_atomic"
+                 : (nbi ? "xbr_get_atomic_nbi" : "xbr_get_atomic"))
+          : remote_is_dest
+              ? (nonblocking ? (nbi ? "xbr_put_nbi" : "xbr_put_nb")
+                             : "xbr_put")
+              : (nonblocking ? (nbi ? "xbr_get_nbi" : "xbr_get_nb")
+                             : "xbr_get");
   // How each side of the copy is recorded by XbrSan: the symmetric side of
   // a word-atomic transfer is an atomic access (atomic/atomic concurrency
   // is legal), the caller's private side stays a plain access.
@@ -377,9 +388,30 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
     ctx.note_pending(done_at);
     ctx.clock().advance(issue_only);
     ctx.trace().record_at(done_at, done_kind, pe, bytes);
-    // A nonblocking get's destination stays "open" until xbr_wait: reading
-    // it before then observes a half-landed transfer.
-    if (!remote_is_dest) san.note_nb_dest(fn, rank, dest, span);
+    if (track == NbTrack::kRequest) {
+      // Explicit-handle nbi: register the request so xbr_test/xbr_wait_req
+      // can complete it individually, and open the request-tagged XbrSan
+      // zones — the local source of a put must not be rewritten, the remote
+      // landing zone must not be observed, and a get's destination must not
+      // be touched until the request completes.
+      XbrtimeRuntimeState& st = ctx.xbrtime_state();
+      const std::uint64_t id = st.nbi_next_id++;
+      st.nbi_inflight.push_back({id, done_at});
+      *req_out = id;
+      if (remote_is_dest) {
+        san.note_nb_src(fn, rank, src, span, id);
+        if (san.conflicts_enabled() && ctx.arena().in_shared(dest, 0)) {
+          san.note_nb_remote(fn, rank, pe,
+                             ctx.arena().shared_offset_of(dest), span, id);
+        }
+      } else {
+        san.note_nb_dest(fn, rank, dest, span, id);
+      }
+    } else if (track == NbTrack::kLegacy && !remote_is_dest) {
+      // A nonblocking get's destination stays "open" until xbr_wait: reading
+      // it before then observes a half-landed transfer.
+      san.note_nb_dest(fn, rank, dest, span);
+    }
   } else {
     ctx.clock().advance(cycles);
     ctx.trace().record(done_kind, pe, bytes);
@@ -458,12 +490,10 @@ std::uint64_t amo_cycles(const char* fn, const void* local_addr,
 }  // namespace detail
 
 void xbr_wait() {
-  PeContext& ctx = xbrtime_ctx();
-  if (ctx.pending_completion() > ctx.clock().cycles()) {
-    ctx.clock().set(ctx.pending_completion());
-  }
-  ctx.clear_pending();
-  ctx.machine().sanitizer().on_wait(ctx.rank());
+  // Full drain, shared with xbr_quiet and the barriers: write combiner
+  // flushed, clock to the pending horizon, request table cleared, XbrSan
+  // zones closed.
+  detail::nb_drain_all(xbrtime_ctx());
 }
 
 }  // namespace xbgas

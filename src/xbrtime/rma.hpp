@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <type_traits>
 
 #include "xbrtime/runtime.hpp"
@@ -37,6 +38,15 @@ namespace xbgas {
 
 namespace detail {
 
+/// How a nonblocking transfer is tracked for completion and hazards.
+enum class NbTrack : std::uint8_t {
+  kLegacy,   ///< the original _nb epoch: closed only by xbr_wait / a barrier
+  kRequest,  ///< explicit-handle nbi: registered in the per-PE request table
+             ///< and closed individually by xbr_test / xbr_wait_req
+  kInternal, ///< collective-internal pipelining: timing only, no XbrSan
+             ///< zones (the enclosing collective owns the hazard contract)
+};
+
 /// Byte-level transfer engine shared by all typed entry points.
 /// If `remote_is_dest`, `remote_ptr` is the caller's symmetric address for
 /// the destination (put); otherwise for the source (get).
@@ -44,9 +54,14 @@ namespace detail {
 /// xbr_get_atomic): every element moves with one atomic access on the
 /// symmetric side, the payload-corruption stages (bit-flip, checksum) are
 /// skipped, and XbrSan records the access as atomic.
+/// With `track == NbTrack::kRequest`, `req_out` (required non-null) receives
+/// the allocated request id, or 0 when the transfer completed at issue
+/// (zero length, or local pe == rank).
 void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                   std::size_t nelems, int stride, int pe, bool remote_is_dest,
-                  bool nonblocking, bool atomic_elems = false);
+                  bool nonblocking, bool atomic_elems = false,
+                  NbTrack track = NbTrack::kLegacy,
+                  std::uint64_t* req_out = nullptr);
 
 /// Entry-point argument validation: throws xbgas::Error naming `fn` and the
 /// offending argument (bad pe, stride < 1, null dest/src) *before* any cost

@@ -7,6 +7,7 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "xbrtime/nbi.hpp"
 
 namespace xbgas {
 
@@ -103,12 +104,10 @@ int xbrtime_num_pes() {
 
 void xbrtime_barrier() {
   PeContext& ctx = xbrtime_ctx();
-  // A barrier completes all outstanding non-blocking transfers first.
-  if (ctx.pending_completion() > ctx.clock().cycles()) {
-    ctx.clock().set(ctx.pending_completion());
-  }
-  ctx.clear_pending();
-  ctx.machine().sanitizer().on_wait(ctx.rank());
+  // A barrier is a full fence: the write combiner flushes, all outstanding
+  // nonblocking transfers (legacy and request-tracked) complete, and every
+  // XbrSan nb zone this PE opened closes.
+  detail::nb_drain_all(ctx);
   FaultInjector& fault = ctx.machine().fault_injector();
   if (fault.enabled()) fault.on_barrier_arrival(ctx.rank());  // scripted kill
   const std::uint64_t t =

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "collectives/composed.hpp"
+#include "collectives/nbi.hpp"
 #include "collectives/policy.hpp"
 #include "collectives/team.hpp"
 #include "common/rng.hpp"
@@ -213,6 +214,104 @@ void conformance_pass(PeContext& pe, int n, std::uint64_t seed) {
   xbrtime_free(dest);
 }
 
+/// The nbi axis (ISSUE PR 8): the xbr_*_nbi forms of broadcast / reduce /
+/// allreduce / fcollect must land bitwise-identical to the same golden
+/// model the blocking forms are held to, under every algorithm family —
+/// including when several collectives are issued before any wait and the
+/// waits then run out of issue order (SPMD-consistent across PEs).
+void conformance_nbi_pass(PeContext& pe, int n, std::uint64_t seed) {
+  const int me = pe.rank();
+  SplitMix64 shape_rng(seed ^ UINT64_C(0x9b1));  // distinct nbi shape stream
+  const std::size_t nelems = 1 + shape_rng.next() % 192;
+  const int stride = 1 + static_cast<int>(shape_rng.next() % 3);
+  const int root = static_cast<int>(shape_rng.next() % static_cast<unsigned>(n));
+  const std::size_t span = nelems * static_cast<std::size_t>(stride);
+  const auto un = static_cast<std::size_t>(n);
+
+  auto* dest = static_cast<long*>(xbrtime_malloc(span * sizeof(long)));
+  std::vector<long> src(span, 0);
+  for (std::size_t j = 0; j < nelems; ++j) {
+    src[j * static_cast<std::size_t>(stride)] = conf_val(seed, me, j);
+  }
+  xbrtime_barrier();
+
+  // broadcast_nbi: issue, wait, then the root's vector everywhere.
+  CollReq rb = xbr_broadcast_nbi(dest, src.data(), nelems, stride, root);
+  rb.wait();
+  for (std::size_t j = 0; j < nelems; ++j) {
+    ASSERT_EQ(dest[j * static_cast<std::size_t>(stride)],
+              conf_val(seed, root, j))
+        << "broadcast_nbi pe=" << me << " j=" << j;
+  }
+  xbrtime_barrier();
+
+  // reduce_nbi (OpSum): the root ends with the elementwise sum.
+  CollReq rr = xbr_reduce_nbi<OpSum>(dest, src.data(), nelems, stride, root);
+  rr.wait();
+  if (me == root) {
+    for (std::size_t j = 0; j < nelems; ++j) {
+      long golden = 0;
+      for (int r = 0; r < n; ++r) golden += conf_val(seed, r, j);
+      ASSERT_EQ(dest[j * static_cast<std::size_t>(stride)], golden)
+          << "reduce_nbi pe=" << me << " j=" << j;
+    }
+  }
+  xbrtime_barrier();
+
+  // reduce_all_nbi: the same sum, on every PE.
+  CollReq ra = xbr_reduce_all_nbi<OpSum>(dest, src.data(), nelems, stride);
+  ra.wait();
+  for (std::size_t j = 0; j < nelems; ++j) {
+    long golden = 0;
+    for (int r = 0; r < n; ++r) golden += conf_val(seed, r, j);
+    ASSERT_EQ(dest[j * static_cast<std::size_t>(stride)], golden)
+        << "reduce_all_nbi pe=" << me << " j=" << j;
+  }
+  xbrtime_barrier();
+
+  // fcollect_nbi: fixed-count concatenation in rank order.
+  const std::size_t per = 1 + shape_rng.next() % 7;
+  auto* fdest = static_cast<long*>(xbrtime_malloc(per * un * sizeof(long)));
+  std::vector<long> mine(per);
+  for (std::size_t j = 0; j < per; ++j) mine[j] = conf_val(seed, me, j);
+  xbrtime_barrier();
+  CollReq rf = xbr_fcollect_nbi(fdest, mine.data(), per);
+  rf.wait();
+  for (std::size_t r = 0; r < un; ++r) {
+    for (std::size_t j = 0; j < per; ++j) {
+      ASSERT_EQ(fdest[r * per + j], conf_val(seed, static_cast<int>(r), j))
+          << "fcollect_nbi pe=" << me << " r=" << r << " j=" << j;
+    }
+  }
+  xbrtime_barrier();
+
+  // Issue-many-then-wait-out-of-order: a broadcast and an fcollect both in
+  // flight, waited in the OPPOSITE order of issue (same order on every PE).
+  auto* dest2 = static_cast<long*>(xbrtime_malloc(span * sizeof(long)));
+  auto* fdest2 = static_cast<long*>(xbrtime_malloc(per * un * sizeof(long)));
+  xbrtime_barrier();
+  CollReq b2 = xbr_broadcast_nbi(dest2, src.data(), nelems, stride, root);
+  CollReq f2 = xbr_fcollect_nbi(fdest2, mine.data(), per);
+  f2.wait();
+  for (std::size_t r = 0; r < un; ++r) {
+    for (std::size_t j = 0; j < per; ++j) {
+      ASSERT_EQ(fdest2[r * per + j], conf_val(seed, static_cast<int>(r), j))
+          << "ooo fcollect_nbi pe=" << me << " r=" << r << " j=" << j;
+    }
+  }
+  b2.wait();
+  for (std::size_t j = 0; j < nelems; ++j) {
+    ASSERT_EQ(dest2[j * static_cast<std::size_t>(stride)],
+              conf_val(seed, root, j))
+        << "ooo broadcast_nbi pe=" << me << " j=" << j;
+  }
+  xbrtime_barrier();
+  xbrtime_free(fdest2);
+  xbrtime_free(dest2);
+  xbrtime_free(fdest);
+  xbrtime_free(dest);
+}
+
 class ConformanceTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(ConformanceTest, AllCollectivesMatchGoldenModel) {
@@ -273,6 +372,30 @@ TEST_P(ConformanceTest, SubTeamCollectivesMatchGoldenModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Algos, ConformanceTest,
+                         ::testing::Values("auto", "tree", "ring", "hier"),
+                         [](const auto& p) { return p.param; });
+
+class ConformanceNbiTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConformanceNbiTest, NbiCollectivesMatchGoldenModel) {
+  const std::string algo = GetParam();
+  const std::uint64_t kSeeds[] = {0x5eedULL, 0xAB5EEDULL};
+  for (int n = 1; n <= 12; ++n) {
+    for (const std::uint64_t seed : kSeeds) {
+      SCOPED_TRACE("algo=" + algo + " n_pes=" + std::to_string(n) +
+                   " seed=0x" + [&] {
+                     char buf[32];
+                     std::snprintf(buf, sizeof(buf), "%llx",
+                                   static_cast<unsigned long long>(seed));
+                     return std::string(buf);
+                   }());
+      run_spmd_algo(n, algo,
+                    [&](PeContext& pe) { conformance_nbi_pass(pe, n, seed); });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ConformanceNbiTest,
                          ::testing::Values("auto", "tree", "ring", "hier"),
                          [](const auto& p) { return p.param; });
 

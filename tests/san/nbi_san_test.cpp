@@ -1,0 +1,213 @@
+// XbrSan epochs for the explicit-handle nbi surface (ISSUE PR 8 satellite).
+//
+// Three negative cases, one per new epoch kind, each raising a typed
+// SanViolationError and then proving the SAME access is clean after the
+// request completes:
+//   - kNbWriteBeforeWait: the local source of an in-flight xbr_put_nbi is
+//     rewritten before xbr_wait_req.
+//   - kNbRemoteBeforeWait: the remote landing zone of an in-flight
+//     xbr_put_nbi is read before the request completes (the zone lives in
+//     the TARGET's shadow, so even the issuer's own access is flagged —
+//     which is what makes this test single-issuer deterministic).
+//   - kCollInFlight: the result buffer of an nbi collective is used as an
+//     RMA source between issue and CollReq::wait.
+// Plus the positive case: a representative mix of nbi puts/gets, coalesced
+// puts, and nbi collectives with a proper wait discipline runs clean under
+// --xbrsan full.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collectives/nbi.hpp"
+#include "machine/machine.hpp"
+#include "san/errors.hpp"
+#include "xbrtime/nbi.hpp"
+#include "xbrtime/runtime.hpp"
+#include "xbrtime/wc.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout = MemoryLayout{.private_bytes = 64 * 1024,
+                          .shared_bytes = 1024 * 1024};
+  c.san.mode = SanMode::kFull;
+  return c;
+}
+
+TEST(NbiSanTest, RewritingPutSourceBeforeWaitReqIsFlagged) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* remote = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    auto* other = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    auto* sink = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    std::vector<long> src(64, 5);
+    for (int i = 0; i < 64; ++i) other[i] = 50 + pe.rank();
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      XbrRequest req = xbr_put_nbi(remote, src.data(), 64, 1, 1);
+      // `src` is still the live source of an unretired put: overwriting it
+      // (here: as the landing buffer of a blocking get) hands the modeled
+      // transfer ambiguous bytes.
+      bool caught = false;
+      try {
+        xbr_get(src.data(), other, 64, 1, 1);
+      } catch (const SanViolationError& e) {
+        caught = true;
+        EXPECT_EQ(e.kind(), SanViolationKind::kNbWriteBeforeWait);
+        EXPECT_STREQ(e.fn(), "xbr_get");
+      }
+      EXPECT_TRUE(caught);
+      // Reading the source stays legal while it is in flight.
+      EXPECT_NO_THROW(xbr_put(sink, src.data(), 64, 1, 1));
+      xbr_wait_req(req);
+      // Retired: the very access that was flagged is now clean.
+      EXPECT_NO_THROW(xbr_get(src.data(), other, 64, 1, 1));
+      EXPECT_EQ(src[0], 51);
+    }
+    xbrtime_barrier();
+    xbrtime_free(sink);
+    xbrtime_free(other);
+    xbrtime_free(remote);
+    xbrtime_close();
+  });
+  EXPECT_EQ(machine.sanitizer().counters().violations, 1u);
+}
+
+TEST(NbiSanTest, ReadingOpenPutLandingZoneIsFlagged) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* zone = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    std::vector<long> src(64, 6), land(64, 0);
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      XbrRequest req = xbr_put_nbi(zone, src.data(), 64, 1, 1);
+      // The landing zone on PE 1 stays open until the request completes:
+      // any remote access to it — even by the issuer — observes a transfer
+      // whose modeled completion has not happened.
+      bool caught = false;
+      try {
+        xbr_get(land.data(), zone, 64, 1, 1);
+      } catch (const SanViolationError& e) {
+        caught = true;
+        EXPECT_EQ(e.kind(), SanViolationKind::kNbRemoteBeforeWait);
+        EXPECT_NE(std::string(e.what()).find("xbr_put_nbi"),
+                  std::string::npos)
+            << e.what();
+      }
+      EXPECT_TRUE(caught);
+      xbr_wait_req(req);
+      EXPECT_NO_THROW(xbr_get(land.data(), zone, 64, 1, 1));
+      EXPECT_EQ(land[0], 6);
+    }
+    xbrtime_barrier();
+    xbrtime_free(zone);
+    xbrtime_close();
+  });
+  EXPECT_EQ(machine.sanitizer().counters().violations, 1u);
+}
+
+TEST(NbiSanTest, TouchingCollectiveBufferMidFlightIsFlagged) {
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* dest = static_cast<long*>(xbrtime_malloc(96 * sizeof(long)));
+    auto* scratch = static_cast<long*>(xbrtime_malloc(96 * sizeof(long)));
+    std::vector<long> src(96);
+    for (int i = 0; i < 96; ++i) src[static_cast<std::size_t>(i)] = i;
+    xbrtime_barrier();
+    CollReq req = xbr_broadcast_nbi(dest, src.data(), 96, 1, /*root=*/0);
+    if (pe.rank() == 0) {
+      // Between issue and wait() the result buffer is an open kCollInFlight
+      // zone on every participant: forwarding it as an RMA source reads a
+      // buffer the collective may still be landing.
+      bool caught = false;
+      try {
+        xbr_put(scratch, dest, 96, 1, 1);
+      } catch (const SanViolationError& e) {
+        caught = true;
+        EXPECT_EQ(e.kind(), SanViolationKind::kCollInFlight);
+        EXPECT_NE(std::string(e.what()).find("xbr_broadcast_nbi"),
+                  std::string::npos)
+            << e.what();
+      }
+      EXPECT_TRUE(caught);
+    }
+    req.wait();
+    // Completed: the result is settled and freely usable again.
+    if (pe.rank() == 0) {
+      EXPECT_NO_THROW(xbr_put(scratch, dest, 96, 1, 1));
+    }
+    for (int i = 0; i < 96; ++i) ASSERT_EQ(dest[i], i);
+    xbrtime_barrier();
+    xbrtime_free(scratch);
+    xbrtime_free(dest);
+    xbrtime_close();
+  });
+  EXPECT_EQ(machine.sanitizer().counters().violations, 1u);
+}
+
+TEST(NbiSanTest, DisciplinedNbiTrafficRunsCleanUnderFull) {
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const int n = pe.n_pes();
+    const int me = pe.rank();
+    auto* table = static_cast<long*>(xbrtime_malloc(256 * sizeof(long)));
+    auto* all = static_cast<long*>(
+        xbrtime_malloc(static_cast<std::size_t>(n) * 8 * sizeof(long)));
+    std::vector<long> mine(64, me), land(64, 0);
+    for (int i = 0; i < 256; ++i) table[i] = 0;
+    xbrtime_barrier();
+
+    // Explicit-handle traffic, retired via wait/test/quiet.
+    XbrRequest p =
+        xbr_put_nbi(table + me * 64, mine.data(), 64, 1, (me + 1) % n);
+    // Read a stripe of the neighbour that nobody has an open put into (the
+    // stripe written by PE me+1 lands on PE me+2, not on PE me+1 itself).
+    XbrRequest g = xbr_get_nbi(land.data(), table + ((me + 1) % n) * 64, 8, 1,
+                               (me + 1) % n);
+    xbr_wait_req(p);
+    while (!xbr_test(g)) pe.clock().advance(16);
+    xbr_quiet();
+    xbrtime_barrier();
+
+    // Coalesced small puts into this PE's own stripe of the next PE.
+    xbr_wc_enable();
+    for (int i = 0; i < 32; ++i) {
+      long v = 1000 + i;
+      xbr_put_wc(table + me * 64 + i, &v, 1, 1, (me + 1) % n);
+    }
+    xbr_wc_disable();
+    xbrtime_barrier();
+
+    // An nbi collective pair with the SPMD wait discipline.
+    std::vector<long> contrib(8, me + 1);
+    CollReq fc = xbr_fcollect_nbi(all, contrib.data(), 8);
+    fc.wait();
+    for (int r = 0; r < n; ++r) {
+      for (int j = 0; j < 8; ++j) ASSERT_EQ(all[r * 8 + j], r + 1);
+    }
+    std::vector<long> sums(16, me);
+    CollReq ar = xbr_reduce_all_nbi<OpSum>(table, sums.data(), 16, 1);
+    ar.wait();
+    for (int j = 0; j < 16; ++j) ASSERT_EQ(table[j], n * (n - 1) / 2);
+    xbrtime_barrier();
+    xbrtime_free(all);
+    xbrtime_free(table);
+    xbrtime_close();
+  });
+  const auto& c = machine.sanitizer().counters();
+  EXPECT_EQ(c.violations, 0u);
+  EXPECT_GT(c.nb_tracked, 0u);
+}
+
+}  // namespace
+}  // namespace xbgas

@@ -21,6 +21,7 @@
 #include "serving/store.hpp"
 #include "benchlib/zipf.hpp"
 #include "trace/collect.hpp"
+#include "xbrtime/nbi.hpp"
 #include "xbrtime/runtime.hpp"
 
 namespace xbgas {
@@ -284,6 +285,85 @@ TEST(ServingFailoverTest, SeededChaosRunIsDeterministic) {
   EXPECT_EQ(a.failed_fast, b.failed_fast);
   EXPECT_EQ(a.rebalanced_keys, b.rebalanced_keys);
   EXPECT_EQ(a.hot_folds, b.hot_folds);
+}
+
+// Hedged nbi gets straddling a failover: every remote transfer is delayed
+// past the attempt budget so each get arms its tail hedge (two
+// request-tracked reads in flight for the same key), and the victim dies
+// inside one of those hedged reads. The books must balance on every
+// survivor — the in-flight handle cannot double-serve, leak, or lose its
+// request — and the dead rank's keys must still serve hedged after the
+// recovery. This is the test the nbi switch in ServingClient::attempt
+// points at.
+TEST(ServingFailoverTest, HedgedNbiGetsBalanceAcrossFailover) {
+  constexpr int kPes = 6;
+  constexpr int kVictim = 2;
+  FaultConfig fault;
+  fault.seed = 11;
+  fault.rma_delay_prob = 1.0;  // every remote transfer is delayed...
+  fault.amo_delay_prob = 1.0;
+  fault.delay_cycles = 50000;  // ...far past the attempt budget
+  // Batch 1 put = issues 1-3; batch 2 get = issues 4-5. The victim dies on
+  // the get's data load — the request-tracked read itself.
+  fault.kills.push_back(KillSpec{kVictim, KillSite::kRma, 5});
+  serving_counters_reset();
+  reset_rma_nbi_counters();
+  Machine machine(machine_config(kPes, fault));
+  std::vector<int> ok(kPes, -1);
+  std::vector<ServingCounters> ledger(kPes);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    const auto me = static_cast<std::size_t>(pe.rank());
+    ServingConfig scfg = serving_config(/*checkpoint_every=*/1);
+    scfg.attempt_timeout_cycles = 4000;
+    scfg.op_timeout_cycles = 4000000;
+    KvStore store(scfg);
+    ServingClient client(store, scfg);
+    bool good = true;
+    const auto own_key = static_cast<std::size_t>((pe.rank() + 1) % kPes);
+    good = good && do_put(client, own_key, 0x400u + me).served;
+    client.end_batch();
+    // The hedged read-back; the victim dies inside this batch's loads.
+    const ServingOutcome g = do_get(client, own_key);
+    good = good && g.served && KvStore::tag_matches(own_key, g.value);
+    const bool failed_over = client.end_batch();
+    good = good && failed_over;
+    // Post-recovery: the dead rank's key still serves (and still hedges —
+    // the delay faults never stop), off the re-homed replica copy.
+    const ServingOutcome dead_key = do_get(client, kVictim);
+    good = good && dead_key.served &&
+           dead_key.value == (KvStore::tag(kVictim) | 0x401u);
+    client.end_batch();
+    const ServingCounters& c = client.counters();
+    // At least the batch-2 remote get must have hedged; a rank whose
+    // post-failover primary is itself serves batch 3 locally (fast, no
+    // hedge), so the floor is 1, not one-per-get.
+    good = good && c.books_balance() && c.failovers == 1 && c.hedges >= 1 &&
+           c.attempt_timeouts >= 1 && !client.view().alive(kVictim);
+    ledger[me] = c;
+    ok[me] = good ? 1 : 0;
+    client.finish();
+    // No xbrtime_close: the world barrier is poisoned after a death.
+  });
+  EXPECT_EQ(machine.n_alive(), kPes - 1);
+  for (int r = 0; r < kPes; ++r) {
+    if (r == kVictim) continue;
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "world rank " << r;
+    const ServingCounters& c = ledger[static_cast<std::size_t>(r)];
+    EXPECT_EQ(c.requests, 3u) << "world rank " << r;
+    EXPECT_EQ(c.served, 3u) << "world rank " << r;
+    EXPECT_EQ(c.failed, 0u) << "world rank " << r;
+  }
+  const ServingCounters total = serving_counters_snapshot();
+  EXPECT_TRUE(total.books_balance());
+  // The hedged gets really rode the explicit-handle path, and every read
+  // that SURVIVED was retired by its xbr_wait_req — only reads cut short by
+  // the death itself (the victim's fiber dies between issue and wait) may
+  // remain unretired.
+  const RmaNbiCounters nbi = rma_nbi_counters();
+  EXPECT_GT(nbi.gets, 0u);
+  EXPECT_LE(nbi.gets - nbi.waits, 2u)
+      << "gets=" << nbi.gets << " waits=" << nbi.waits;
 }
 
 // The whole failover sequence — atomic data plane, checkpoint, restore,

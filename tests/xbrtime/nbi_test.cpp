@@ -1,0 +1,202 @@
+// Explicit-handle nonblocking RMA (ISSUE PR 8 tentpole: xbr_*_nbi).
+//
+// Contracts under test:
+//   1. xbr_put_nbi / xbr_get_nbi charge only the injection cost at issue and
+//      return a live handle; xbr_wait_req advances the clock to that
+//      request's horizon and retires it.
+//   2. xbr_test never advances the clock; it retires a request whose horizon
+//      has passed and reports false (without side effects) otherwise.
+//   3. Many requests overlap: issuing k transfers then waiting them out of
+//      issue order costs the max of the horizons, not the sum.
+//   4. xbr_quiet retires everything outstanding; local (pe == rank) and
+//      zero-length transfers complete at issue and return the null request.
+//   5. The rma.nbi.* counters tally issues, tests, waits, and quiets.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "xbrtime/nbi.hpp"
+#include "xbrtime/runtime.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig config(int n_pes) {
+  MachineConfig c;
+  c.n_pes = n_pes;
+  c.layout = MemoryLayout{.private_bytes = 64 * 1024,
+                          .shared_bytes = 1024 * 1024};
+  return c;
+}
+
+TEST(NbiRequestTest, PutNbiChargesInjectionAndWaitReqCompletes) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(256 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> src(256, 7);
+      const std::uint64_t t0 = pe.clock().cycles();
+      XbrRequest req = xbr_put_nbi(buf, src.data(), 256, 1, 1);
+      EXPECT_FALSE(req.is_null());
+      const std::uint64_t at_issue = pe.clock().cycles();
+      const std::uint64_t horizon = pe.pending_completion();
+      // Issue charges injection only; the wire cost is still ahead of us.
+      EXPECT_EQ(at_issue - t0,
+                pe.machine().network().params().injection_cycles);
+      EXPECT_GT(horizon, at_issue);
+      xbr_wait_req(req);
+      EXPECT_EQ(pe.clock().cycles(), horizon);
+      // Retiring the same handle again is a no-op.
+      xbr_wait_req(req);
+      EXPECT_EQ(pe.clock().cycles(), horizon);
+    }
+    xbrtime_barrier();
+    if (pe.rank() == 1) {
+      for (int i = 0; i < 256; ++i) EXPECT_EQ(buf[i], 7);
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NbiRequestTest, TestIsNonAdvancingAndRetiresPassedRequests) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(128 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> land(128, 0);
+      XbrRequest req = xbr_get_nbi(land.data(), buf, 128, 1, 1);
+      const std::uint64_t at_issue = pe.clock().cycles();
+      const std::uint64_t horizon = pe.pending_completion();
+      ASSERT_GT(horizon, at_issue);
+      // Horizon not reached: test must say no and must not move the clock.
+      EXPECT_FALSE(xbr_test(req));
+      EXPECT_EQ(pe.clock().cycles(), at_issue);
+      // Once the clock has (independently) passed the horizon, test retires
+      // the request and reports completion — still without advancing.
+      pe.clock().advance(horizon - at_issue);
+      EXPECT_TRUE(xbr_test(req));
+      EXPECT_EQ(pe.clock().cycles(), horizon);
+      EXPECT_TRUE(xbr_test(req));  // retired handles stay complete
+      // The null request is trivially complete.
+      EXPECT_TRUE(xbr_test(XbrRequest{}));
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NbiRequestTest, ManyInFlightWaitedOutOfOrderShareOneHorizon) {
+  Machine machine(config(4));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> a(64, 1), b(64, 2), c(64, 3);
+      XbrRequest r1 = xbr_put_nbi(buf, a.data(), 64, 1, 1);
+      XbrRequest r2 = xbr_put_nbi(buf, b.data(), 64, 1, 2);
+      XbrRequest r3 = xbr_put_nbi(buf, c.data(), 64, 1, 3);
+      const std::uint64_t horizon = pe.pending_completion();
+      // Waiting out of issue order: each wait settles at ITS request's
+      // horizon, and the overall cost is the shared max, not a sum of three
+      // full wire latencies.
+      xbr_wait_req(r3);
+      xbr_wait_req(r1);
+      xbr_wait_req(r2);
+      EXPECT_EQ(pe.clock().cycles(), horizon);
+    }
+    xbrtime_barrier();
+    if (pe.rank() >= 1) {
+      EXPECT_EQ(buf[0], pe.rank());
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NbiRequestTest, QuietRetiresAllOutstandingRequests) {
+  Machine machine(config(3));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> src(64, 9);
+      XbrRequest r1 = xbr_put_nbi(buf, src.data(), 64, 1, 1);
+      XbrRequest r2 = xbr_put_nbi(buf, src.data(), 64, 1, 2);
+      const std::uint64_t horizon = pe.pending_completion();
+      xbr_quiet();
+      EXPECT_GE(pe.clock().cycles(), horizon);
+      EXPECT_EQ(pe.pending_completion(), 0u);
+      EXPECT_TRUE(xbr_test(r1));
+      EXPECT_TRUE(xbr_test(r2));
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NbiRequestTest, LocalAndZeroLengthTransfersReturnNullRequests) {
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(32 * sizeof(long)));
+    xbrtime_barrier();
+    std::vector<long> src(32, 4);
+    // pe == rank: the object-ID-0 local shortcut completes at issue.
+    XbrRequest local = xbr_put_nbi(buf, src.data(), 32, 1, pe.rank());
+    EXPECT_TRUE(local.is_null());
+    EXPECT_TRUE(xbr_test(local));
+    EXPECT_EQ(buf[0], 4);
+    // Zero-length: touches no memory, completes at issue.
+    XbrRequest empty =
+        xbr_get_nbi(src.data(), buf, 0, 1, (pe.rank() + 1) % pe.n_pes());
+    EXPECT_TRUE(empty.is_null());
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+}
+
+TEST(NbiRequestTest, CountersTallyIssuesTestsWaitsAndQuiets) {
+  reset_rma_nbi_counters();
+  Machine machine(config(2));
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    auto* buf = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+    xbrtime_barrier();
+    if (pe.rank() == 0) {
+      std::vector<long> src(64, 1);
+      XbrRequest p = xbr_put_nbi(buf, src.data(), 64, 1, 1);
+      XbrRequest g = xbr_get_nbi(src.data(), buf, 64, 1, 1);
+      (void)xbr_test(p);
+      xbr_wait_req(p);
+      xbr_wait_req(g);
+      xbr_quiet();
+    }
+    xbrtime_barrier();
+    xbrtime_free(buf);
+    xbrtime_close();
+  });
+  const RmaNbiCounters c = rma_nbi_counters();
+  EXPECT_EQ(c.puts, 1u);
+  EXPECT_EQ(c.gets, 1u);
+  EXPECT_EQ(c.tests, 1u);
+  EXPECT_EQ(c.waits, 2u);
+  EXPECT_EQ(c.quiets, 1u);
+}
+
+}  // namespace
+}  // namespace xbgas
