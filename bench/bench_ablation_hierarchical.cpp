@@ -16,7 +16,7 @@
 #include "benchlib/observe.hpp"
 #include "benchlib/options.hpp"
 #include "benchlib/table.hpp"
-#include "collectives/hierarchical.hpp"
+#include "collectives/hierarchy.hpp"
 #include "common/cli.hpp"
 #include "common/strfmt.hpp"
 
@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
       xbgas::xbrtime_barrier();
       const std::uint64_t t1 = pe.clock().cycles();
       xbgas::hierarchical_broadcast(buf, src, nelems, 1, root, group);
+      xbgas::xbrtime_barrier();
       const std::uint64_t t2 = pe.clock().cycles();
       if (pe.rank() == 0) {
         flat_cycles = t1 - t0;

@@ -9,28 +9,33 @@
 #   5. an end-to-end trace/counters smoke on bench_pt2pt
 #   6. a fault-injection smoke: deterministic placement + retry absorption
 #   7. a collective-policy smoke: --coll-algo dispatch counters line up
-#   8. XbrSan smoke (docs/SANITIZER.md): positive — a full benchmark run
+#   8. hierarchy + tuner gauntlet (docs/COLLECTIVES.md): the k-nomial /
+#      hierarchy / tuner test wall, a fresh OSU sweep with its gates
+#      (tuned <= model, hier beats flat at large messages), a tune-table
+#      round-trip through --coll-tune-table, and the committed
+#      BENCH_osu.json re-gated including the 256-PE acceptance bar
+#   9. XbrSan smoke (docs/SANITIZER.md): positive — a full benchmark run
 #      under --xbrsan full reports zero violations; negative — the
 #      deliberately-buggy examples/san_violation is caught and says so
-#   9. survivor-recovery chaos smoke (docs/RESILIENCE.md): bench_chaos under
+#   10. survivor-recovery chaos smoke (docs/RESILIENCE.md): bench_chaos under
 #      a scripted two-kill plan and a seeded-random soak — every run must
 #      shrink, restore, and verify its collectives after the deaths
-#  10. serving chaos smoke (docs/SERVING.md): bench_serving seeded soak —
+#  11. serving chaos smoke (docs/SERVING.md): bench_serving seeded soak —
 #      every seeded run must fail over and keep serving with balanced
 #      request books (requests == served + failed on every survivor),
 #      identical accounting on a same-seed replay, and post-failover
 #      throughput >= 50% of pre-failover
-#  11. nbi + write-combining smoke (docs/COLLECTIVES.md): the explicit-
+#  12. nbi + write-combining smoke (docs/COLLECTIVES.md): the explicit-
 #      handle test wall (request RMA, write combiner, the new sanitizer
 #      epochs, nbi conformance — every conformance case runs under
 #      --xbrsan full internally) plus bench_gups, which exits nonzero
 #      unless coalescing wins >= 2x bitwise-identically and the chunked-nbi
 #      ring allreduce beats the blocking ring at 64 PEs
-#  12. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
+#  13. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
 #      1024-PE slow smoke, and a bench_scaling run checking the modeled
 #      barrier latency actually grows log-depth, not linearly
-#  13. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
-#  14. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#  14. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
+#  15. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
 #      heavy suites: machine (incl. the fiber scheduler), trace, fault, san,
 #      nbi/write-combining, recovery, serving, scaling, and the collectives
 #      conformance sweep (blocking and nbi axes)
@@ -42,21 +47,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/14] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/15] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/14] fast path: unit label only (ctest -L unit) =="
+echo "== [2/15] fast path: unit label only (ctest -L unit) =="
 ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$(nproc)"
 
-echo "== [3/14] observability suite (ctest -R trace) =="
+echo "== [3/15] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [4/14] disabled-path overhead guard =="
+echo "== [4/15] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [5/14] trace + counters smoke (bench_pt2pt) =="
+echo "== [5/15] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -75,7 +80,7 @@ print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
 
-echo "== [6/14] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+echo "== [6/15] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
     --counters=json > "$TMP/fault1.txt"
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
@@ -95,7 +100,7 @@ print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
       f"absorbed by {counters['rma.retries']} retries, deterministic replay")
 EOF
 
-echo "== [7/14] collective-policy smoke (docs/COLLECTIVES.md) =="
+echo "== [7/15] collective-policy smoke (docs/COLLECTIVES.md) =="
 "$BUILD"/bench/bench_policy_crossover --pes 8 --sizes 16,4096 --reps 1 \
     --json "$TMP/cross.json" > /dev/null
 python3 - "$TMP" <<'EOF'
@@ -112,7 +117,59 @@ print("policy smoke OK: auto flips tree->ring across the crossover and "
       "tracks the faster family")
 EOF
 
-echo "== [8/14] XbrSan smoke (docs/SANITIZER.md) =="
+echo "== [8/15] hierarchy + tuner gauntlet (docs/COLLECTIVES.md) =="
+# The engine/tuner test wall: k-nomial schedules, the depth x radix x PE
+# conformance axis (each case under XbrSan full internally), the tuner
+# round-trip, and the three regression suites from this PR's bugfixes.
+ctest --test-dir "$BUILD" -R '(Hierarch|Knomial|Tuner)' \
+    --output-on-failure -j "$(nproc)"
+# Fresh small sweep: build a tune table, gate the measurements, and verify
+# the persisted table round-trips through --coll-tune-table.
+"$BUILD"/bench/bench_osu_sweep --pes 16 --sizes 128,8192 \
+    --json "$TMP/osu.json" --tune-table "$TMP/osu.table" > /dev/null
+python3 - "$TMP/osu.json" <<'EOF'
+import json, sys
+for m in json.load(open(sys.argv[1]))["machines"]:
+    big = max(r["bytes"] for r in m["results"] if r["kind"] == "broadcast")
+    for r in m["results"]:
+        assert r["tuned"] <= r["model"], \
+            f"tuned dispatch lost to the model: {m['pes']} PEs {r}"
+        if r["kind"] == "broadcast" and r["bytes"] == big:
+            assert 0 < r["hier"] < r["flat_tree"], \
+                f"hierarchy must beat the flat tree at {big}B: {r}"
+print("osu sweep OK: tuned <= model everywhere, hier wins large broadcasts")
+EOF
+# bench_policy_crossover dispatches through the policy, so the loaded
+# table is actually consulted (one counters JSON per machine; the last is
+# the auto machine on the matching topology, where lookups must hit).
+"$BUILD"/bench/bench_policy_crossover --pes 16 --topology cluster4x32 \
+    --coll-tune-table "$TMP/osu.table" --counters=json > "$TMP/tuned.txt"
+python3 - "$TMP/tuned.txt" <<'EOF'
+import re, sys
+out = open(sys.argv[1]).read()
+entries = re.findall(r'"coll\.tuner\.entries": (\d+)', out)
+hits = re.findall(r'"coll\.tuner\.hits": (\d+)', out)
+assert entries and int(entries[-1]) > 0, "--coll-tune-table did not load"
+assert hits and int(hits[-1]) > 0, "tune table was never hit at 16 PEs"
+print(f"tune table round-trip OK: {entries[-1]} entries, {hits[-1]} hits")
+EOF
+# The committed run (BENCH_osu.json) must satisfy the same gates, including
+# the 256-PE machine where the acceptance bar lives (>= 64 KiB broadcasts).
+python3 - BENCH_osu.json <<'EOF'
+import json, sys
+machines = json.load(open(sys.argv[1]))["machines"]
+assert max(m["pes"] for m in machines) >= 256, "committed run lacks 256 PEs"
+for m in machines:
+    for r in m["results"]:
+        assert r["tuned"] <= r["model"], \
+            f"committed tuned dispatch lost to the model: {m['pes']} PEs {r}"
+        if r["kind"] == "broadcast" and r["bytes"] >= 65536:
+            assert 0 < r["hier"] < r["flat_tree"], \
+                f"committed hier must beat flat >=64KiB: {m['pes']} PEs {r}"
+print("committed BENCH_osu.json OK")
+EOF
+
+echo "== [9/15] XbrSan smoke (docs/SANITIZER.md) =="
 # Positive: a real workload under full checking finishes with 0 violations.
 "$BUILD"/bench/bench_pt2pt --xbrsan=full --counters=json > "$TMP/san.txt"
 python3 - "$TMP" <<'EOF'
@@ -134,14 +191,14 @@ EOF
 grep -q 'XbrSan\[out_of_bounds\]' "$TMP/san_neg.txt"
 echo "xbrsan negative smoke OK: planted bug detected"
 
-echo "== [9/14] survivor-recovery chaos smoke (bench_chaos) =="
+echo "== [10/15] survivor-recovery chaos smoke (bench_chaos) =="
 # Scripted: the acceptance kill plan (mid-barrier + mid-RMA on 12 PEs).
 "$BUILD"/bench/bench_chaos --pes 12 --rounds 4 \
     --fault-kill 3:barrier:11,7:rma:4
 # Soak: seeded-random kill plans; every seed must recover and verify.
 "$BUILD"/bench/bench_chaos --pes 10 --seeds 8 --rounds 4
 
-echo "== [10/14] serving chaos smoke (bench_serving, docs/SERVING.md) =="
+echo "== [11/15] serving chaos smoke (bench_serving, docs/SERVING.md) =="
 # Scripted: one mid-RMA kill under default transport faults on 12 PEs.
 "$BUILD"/bench/bench_serving --pes 12 --batches 12 --ops-per-batch 32 \
     --fault-kill 5:rma:40
@@ -152,7 +209,7 @@ echo "== [10/14] serving chaos smoke (bench_serving, docs/SERVING.md) =="
 "$BUILD"/bench/bench_serving --pes 10 --batches 12 --ops-per-batch 32 \
     --seeds 4
 
-echo "== [11/14] nbi + write-combining smoke (bench_gups, docs/COLLECTIVES.md) =="
+echo "== [12/15] nbi + write-combining smoke (bench_gups, docs/COLLECTIVES.md) =="
 # The explicit-handle test wall in the main build: request-RMA semantics,
 # the write combiner, the three new XbrSan epochs (negative + positive),
 # the hedged-nbi failover ledger, and the nbi conformance axis — each
@@ -180,7 +237,7 @@ print(f"nbi smoke OK: coalescing {g['speedup']}x over {g['combiner']['flushes']}
       f"flushes, pipelined allreduce {ar['speedup']}x at {ar['n_pes']} PEs")
 EOF
 
-echo "== [12/14] scaling smoke (docs/SCALING.md) =="
+echo "== [13/15] scaling smoke (docs/SCALING.md) =="
 # 256-PE conformance/recovery/chaos cases ride the integration suite; the
 # 1024-PE smoke is its own slow-labeled binary.
 ctest --test-dir "$BUILD" -R 'Scaling' --output-on-failure
@@ -201,18 +258,18 @@ print(f"scaling smoke OK: barrier {points[16]['barrier_cycles']} -> "
       f"{points[1024]['workers']} worker(s)")
 EOF
 
-echo "== [13/14] ASan+UBSan pass (full test suite) =="
+echo "== [14/15] ASan+UBSan pass (full test suite) =="
 cmake -B "$BUILD-asan" -S . -DXBGAS_SANITIZE=address -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-asan" -j
 ctest --test-dir "$BUILD-asan" --output-on-failure -j "$(nproc)"
 
-echo "== [14/14] TSan pass (machine + sched + trace + fault + san + nbi + recovery + serving + conformance + scaling) =="
+echo "== [15/15] TSan pass (machine + sched + trace + fault + san + nbi + recovery + serving + conformance + scaling) =="
 cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-tsan" -j
 ctest --test-dir "$BUILD-tsan" \
-    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Nbi|WriteCombiner|Conformance|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling)' \
+    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Nbi|WriteCombiner|Conformance|Hierarch|Knomial|Tuner|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling)' \
     --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

@@ -84,6 +84,14 @@ void emit_observability(Machine& machine, const CliArgs& args) {
     counters.set("coll.pipeline.chunks", pipe.chunks);
     counters.set("coll.pipeline.waits", pipe.waits);
   }
+  // Tuner ledger: only present when a tune table was loaded (entries > 0)
+  // or a lookup actually happened, so untuned workloads dump unchanged.
+  const CollTunerCounters tuner = coll_tuner_counters();
+  if (tuner.entries > 0 || tuner.hits > 0 || tuner.misses > 0) {
+    counters.set("coll.tuner.entries", tuner.entries);
+    counters.set("coll.tuner.hits", tuner.hits);
+    counters.set("coll.tuner.misses", tuner.misses);
+  }
   // Same story for the serving layer's process-wide ledger; skip the block
   // entirely for non-serving workloads so their dumps stay unchanged.
   const ServingCounters serving = serving_counters_snapshot();

@@ -99,6 +99,13 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
   config.coll_algo = args.get("coll-algo", "auto");
   (void)parse_coll_algo(config.coll_algo);  // validate eagerly, clear error
 
+  config.coll_tune_table = args.get("coll-tune-table", "");
+  const std::int64_t radix = args.get_int("coll-radix", 0);
+  if (radix < 0 || radix == 1) {
+    throw Error("--coll-radix must be 0 (default) or >= 2");
+  }
+  config.coll_radix = static_cast<int>(radix);
+
   config.sched.mode = args.get("sched", "fibers");
   if (config.sched.mode != "fibers" && config.sched.mode != "threads") {
     throw Error("--sched must be fibers or threads, got " + config.sched.mode);

@@ -1,0 +1,47 @@
+#include "collectives/hierarchy.hpp"
+
+#include "common/error.hpp"
+
+namespace xbgas {
+
+void validate_hier_shape(const HierShape& shape, int n_pes) {
+  XBGAS_CHECK(n_pes >= 1, "hierarchy: world size must be >= 1");
+  XBGAS_CHECK(shape.radix >= 2, "hierarchy: k-nomial radix must be >= 2");
+  int prev = 1;
+  for (const int g : shape.groups) {
+    XBGAS_CHECK(g >= 2, "hierarchy: group widths must be >= 2");
+    XBGAS_CHECK(g > prev, "hierarchy: group widths must be strictly ascending");
+    XBGAS_CHECK(g % prev == 0,
+                "hierarchy: each group width must divide the next");
+    prev = g;
+  }
+  if (!shape.groups.empty()) {
+    const int g_top = shape.groups.back();
+    XBGAS_CHECK(n_pes % g_top == 0,
+                "hierarchy: the widest group must divide the PE count");
+    XBGAS_CHECK(g_top < n_pes,
+                "hierarchy: the widest group must be smaller than the world "
+                "(use an empty group list for a flat tree)");
+  }
+}
+
+namespace detail {
+
+std::vector<HierLevel> hier_levels(const std::vector<int>& groups, int n_pes,
+                                   int me) {
+  std::vector<HierLevel> levels;
+  levels.reserve(groups.size() + 1);
+  const int g_top = groups.back();
+  levels.push_back(
+      HierLevel{0, g_top, n_pes / g_top, me % g_top == 0});
+  for (std::size_t i = groups.size(); i-- > 0;) {
+    const int g = groups[i];
+    const int sub = i == 0 ? 1 : groups[i - 1];
+    levels.push_back(HierLevel{(me / g) * g, sub, g / sub, me % sub == 0});
+  }
+  return levels;
+}
+
+}  // namespace detail
+
+}  // namespace xbgas

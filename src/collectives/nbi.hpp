@@ -90,49 +90,9 @@ class CollReq {
 
 namespace detail {
 
-/// Chunk-count heuristic for pipelined internal hops: one chunk per 512
-/// elements, capped so small messages stay a single transfer and huge ones
-/// do not drown in per-chunk injection costs.
-constexpr std::size_t pipeline_chunks(std::size_t nelems) {
-  return std::clamp<std::size_t>(nelems / 512, 1, 8);
-}
-
-/// One internal pipelined hop: the (nelems, stride) transfer split into
-/// pipeline_chunks() nonblocking pieces (NbTrack::kInternal — timing only,
-/// the enclosing collective owns the hazard contract).
-template <class T>
-void nbi_put_chunks(T* dest, const T* src, std::size_t nelems, int stride,
-                    int world_pe) {
-  const std::size_t nc = pipeline_chunks(nelems);
-  for (std::size_t c = 0; c < nc; ++c) {
-    const std::size_t lo = nelems * c / nc;
-    const std::size_t hi = nelems * (c + 1) / nc;
-    if (hi > lo) {
-      const std::size_t at = lo * static_cast<std::size_t>(stride);
-      rma_transfer(dest + at, src + at, sizeof(T), hi - lo, stride, world_pe,
-                   /*remote_is_dest=*/true, /*nonblocking=*/true,
-                   /*atomic_elems=*/false, NbTrack::kInternal);
-    }
-  }
-  note_pipeline_chunks(nc);
-}
-
-template <class T>
-void nbi_get_chunks(T* dest, const T* src, std::size_t nelems, int stride,
-                    int world_pe) {
-  const std::size_t nc = pipeline_chunks(nelems);
-  for (std::size_t c = 0; c < nc; ++c) {
-    const std::size_t lo = nelems * c / nc;
-    const std::size_t hi = nelems * (c + 1) / nc;
-    if (hi > lo) {
-      const std::size_t at = lo * static_cast<std::size_t>(stride);
-      rma_transfer(dest + at, src + at, sizeof(T), hi - lo, stride, world_pe,
-                   /*remote_is_dest=*/false, /*nonblocking=*/true,
-                   /*atomic_elems=*/false, NbTrack::kInternal);
-    }
-  }
-  note_pipeline_chunks(nc);
-}
+// pipeline_chunks / nbi_put_chunks / nbi_get_chunks live in
+// collectives/hierarchy.hpp (via policy.hpp) so the hierarchy engine can
+// share them; the tuner's chunk knob is their optional last argument.
 
 /// Open the kCollInFlight zone over the caller's result buffer; closed by
 /// CollReq::wait (or any other fence).
@@ -380,15 +340,30 @@ CollReq xbr_broadcast_nbi(T* dest, const T* src, std::size_t nelems,
                           Communicator& comm = world_comm()) {
   detail::note_pipeline_collective();
   const bool world = &comm == &world_comm();
-  switch (detail::resolve_and_record(CollKind::kBroadcast, comm.n_pes(),
-                                     nelems, sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(
+      CollKind::kBroadcast, comm.n_pes(), nelems, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
       return detail::ring_broadcast_nbi(dest, src, nelems, stride, root, comm);
     case CollAlgo::kHier:
-      hierarchical_broadcast(dest, src, nelems, stride, root,
-                             active_collective_policy().cluster_group());
-      return CollReq{};  // the hierarchical schedule completes internally
+      // Chunked deferred-completion transfers down the level stack; the
+      // innermost level's last stage stays unfenced so the returned request
+      // is live (CollReq::wait is the fence).
+      hier_broadcast(dest, src, nelems, stride, root,
+                     active_collective_policy().hier_shape(comm.n_pes(),
+                                                           d.radix, d.chunk),
+                     /*pipelined=*/true, /*defer_tail=*/true);
+      detail::open_coll_zone("xbr_broadcast_nbi", dest, nelems, stride);
+      return CollReq{&comm};
     default:
+      if (d.radix != 2) {
+        detail::knomial_broadcast(dest, src, nelems, stride, root, d.radix,
+                                  comm, /*pipelined=*/true,
+                                  /*defer_last=*/true, d.chunk);
+        if (comm.n_pes() == 1) return CollReq{};
+        detail::open_coll_zone("xbr_broadcast_nbi", dest, nelems, stride);
+        return CollReq{&comm};
+      }
       return detail::tree_broadcast_nbi(dest, src, nelems, stride, root, comm);
   }
 }
@@ -398,14 +373,29 @@ CollReq xbr_reduce_nbi(T* dest, const T* src, std::size_t nelems, int stride,
                        int root, Communicator& comm = world_comm()) {
   detail::note_pipeline_collective();
   const bool world = &comm == &world_comm();
-  switch (detail::resolve_and_record(CollKind::kReduce, comm.n_pes(), nelems,
-                                     sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(
+      CollKind::kReduce, comm.n_pes(), nelems, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
       // ring_reduce is already a fully pipelined schedule (double-buffered
       // landing, deferred combine); it completes internally.
-      ring_reduce<Op>(dest, src, nelems, stride, root, comm);
+      ring_reduce<Op>(dest, src, nelems, stride, root, comm,
+                      detail::ring_segments_hint(nelems, d.chunk));
+      return CollReq{};
+    case CollAlgo::kHier:
+      // Pipelined up the level stack; the staging discipline makes this
+      // complete at return (like the tree-reduce form).
+      hier_reduce<Op>(dest, src, nelems, stride, root,
+                      active_collective_policy().hier_shape(comm.n_pes(),
+                                                            d.radix, d.chunk),
+                      /*pipelined=*/true);
       return CollReq{};
     default:
+      if (d.radix != 2) {
+        detail::knomial_reduce<Op>(dest, src, nelems, stride, root, d.radix,
+                                   comm, /*pipelined=*/true, d.chunk);
+        return CollReq{};
+      }
       return detail::tree_reduce_nbi<Op>(dest, src, nelems, stride, root,
                                          comm);
   }
@@ -416,19 +406,31 @@ CollReq xbr_reduce_all_nbi(T* dest, const T* src, std::size_t nelems,
                            int stride, Communicator& comm = world_comm()) {
   detail::note_pipeline_collective();
   const bool world = &comm == &world_comm();
-  switch (detail::resolve_and_record(CollKind::kAllreduce, comm.n_pes(),
-                                     nelems, sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(
+      CollKind::kAllreduce, comm.n_pes(), nelems, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
       return detail::ring_allreduce_nbi<Op>(dest, src, nelems, stride, comm);
-    case CollAlgo::kHier: {
-      CollReq r =
-          detail::tree_reduce_nbi<Op>(dest, src, nelems, stride, 0, comm);
-      r.wait();
-      hierarchical_broadcast(dest, dest, nelems, stride, /*root=*/0,
-                             active_collective_policy().cluster_group());
-      return CollReq{};
-    }
+    case CollAlgo::kHier:
+      // Reduce up then broadcast down the level stack, the broadcast tail
+      // deferred: the returned request is live.
+      hier_reduce_all<Op>(dest, src, nelems, stride,
+                          active_collective_policy().hier_shape(
+                              comm.n_pes(), d.radix, d.chunk),
+                          /*pipelined=*/true, /*defer_tail=*/true);
+      detail::open_coll_zone("xbr_reduce_all_nbi", dest, nelems, stride);
+      return CollReq{&comm};
     default: {
+      if (d.radix != 2) {
+        detail::knomial_reduce<Op>(dest, src, nelems, stride, /*root=*/0,
+                                   d.radix, comm, /*pipelined=*/true, d.chunk);
+        detail::knomial_broadcast(dest, dest, nelems, stride, /*root=*/0,
+                                  d.radix, comm, /*pipelined=*/true,
+                                  /*defer_last=*/true, d.chunk);
+        if (comm.n_pes() == 1) return CollReq{};
+        detail::open_coll_zone("xbr_reduce_all_nbi", dest, nelems, stride);
+        return CollReq{&comm};
+      }
       CollReq r =
           detail::tree_reduce_nbi<Op>(dest, src, nelems, stride, 0, comm);
       r.wait();
@@ -444,11 +446,36 @@ CollReq xbr_fcollect_nbi(T* dest, const T* src, std::size_t nelems_per_pe,
   const int n = comm.n_pes();
   const bool world = &comm == &world_comm();
   const std::size_t total = nelems_per_pe * static_cast<std::size_t>(n);
-  switch (detail::resolve_and_record(CollKind::kAllgather, n, total,
-                                     sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(CollKind::kAllgather, n,
+                                                    total, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
       return detail::ring_allgather_nbi(dest, src, nelems_per_pe, comm);
+    case CollAlgo::kHier:
+      hier_fcollect(dest, src, nelems_per_pe,
+                    active_collective_policy().hier_shape(n, d.radix,
+                                                          d.chunk),
+                    /*pipelined=*/true, /*defer_tail=*/true);
+      detail::open_coll_zone("xbr_fcollect_nbi", dest, total, 1);
+      return CollReq{&comm};
     default: {
+      if (d.radix != 2) {
+        const int me = comm.rank();
+        if (nelems_per_pe > 0 &&
+            dest + static_cast<std::size_t>(me) * nelems_per_pe != src) {
+          xbr_put(dest + static_cast<std::size_t>(me) * nelems_per_pe, src,
+                  nelems_per_pe, 1, comm.world_rank(me));
+        }
+        detail::knomial_gather_blocks(dest, nelems_per_pe, /*start=*/0,
+                                      /*sub=*/1, d.radix, comm);
+        detail::knomial_broadcast(dest, dest, total, /*stride=*/1,
+                                  /*root=*/0, d.radix, comm,
+                                  /*pipelined=*/true, /*defer_last=*/true,
+                                  d.chunk);
+        if (n == 1) return CollReq{};
+        detail::open_coll_zone("xbr_fcollect_nbi", dest, total, 1);
+        return CollReq{&comm};
+      }
       // The paper's composition: gather to rank 0, then pipelined broadcast.
       std::vector<int> msgs(static_cast<std::size_t>(n),
                             static_cast<int>(nelems_per_pe));

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
+#include "collectives/schedule.hpp"
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "net/topology.hpp"
@@ -40,20 +43,174 @@ CollAlgo parse_coll_algo(const std::string& name) {
               " (auto|tree|ring|hier)");
 }
 
+CollKind parse_coll_kind(const std::string& name) {
+  if (name == "broadcast") return CollKind::kBroadcast;
+  if (name == "reduce") return CollKind::kReduce;
+  if (name == "allreduce") return CollKind::kAllreduce;
+  if (name == "allgather") return CollKind::kAllgather;
+  throw Error("unknown collective kind: " + name +
+              " (broadcast|reduce|allreduce|allgather)");
+}
+
+// ---------------------------------------------------------------------------
+// Tuner counters (process-wide; see emit_observability)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_tuner_entries{0};
+std::atomic<std::uint64_t> g_tuner_hits{0};
+std::atomic<std::uint64_t> g_tuner_misses{0};
+
+}  // namespace
+
+CollTunerCounters coll_tuner_counters() {
+  CollTunerCounters out;
+  out.entries = g_tuner_entries.load(std::memory_order_relaxed);
+  out.hits = g_tuner_hits.load(std::memory_order_relaxed);
+  out.misses = g_tuner_misses.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_coll_tuner_counters() {
+  g_tuner_entries.store(0, std::memory_order_relaxed);
+  g_tuner_hits.store(0, std::memory_order_relaxed);
+  g_tuner_misses.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// TuneTable
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr const char* kTuneTableHeader = "# xbgas collective tune table v1";
+}  // namespace
+
+void TuneTable::insert(const TuneEntry& entry) {
+  auto& bucket = by_key_[{static_cast<int>(entry.kind), entry.n_pes}];
+  const auto at = std::lower_bound(
+      bucket.begin(), bucket.end(), entry.bytes,
+      [](const TuneEntry& e, std::size_t b) { return e.bytes < b; });
+  if (at != bucket.end() && at->bytes == entry.bytes) {
+    *at = entry;
+    return;
+  }
+  bucket.insert(at, entry);
+  ++count_;
+}
+
+std::vector<TuneEntry> TuneTable::entries() const {
+  std::vector<TuneEntry> out;
+  out.reserve(count_);
+  for (const auto& [key, bucket] : by_key_) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  return out;
+}
+
+const TuneEntry* TuneTable::lookup(CollKind kind, int n_pes,
+                                   std::size_t bytes) const {
+  const auto it = by_key_.find({static_cast<int>(kind), n_pes});
+  if (it == by_key_.end() || it->second.empty()) return nullptr;
+  const auto& bucket = it->second;
+  const auto ge = std::lower_bound(
+      bucket.begin(), bucket.end(), bytes,
+      [](const TuneEntry& e, std::size_t b) { return e.bytes < b; });
+  if (ge == bucket.begin()) return &*ge;
+  if (ge == bucket.end()) return &bucket.back();
+  // Nearest measured point in log scale (the sweep is geometric).
+  const auto lt = ge - 1;
+  const double q = static_cast<double>(std::max<std::size_t>(bytes, 1));
+  const double lo = static_cast<double>(std::max<std::size_t>(lt->bytes, 1));
+  const double hi = static_cast<double>(std::max<std::size_t>(ge->bytes, 1));
+  return q / lo <= hi / q ? &*lt : &*ge;
+}
+
+void TuneTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  XBGAS_CHECK(out.good(), "tune table: cannot open for write: " + path);
+  out << kTuneTableHeader << "\n";
+  for (const auto& [key, bucket] : by_key_) {
+    for (const auto& e : bucket) {
+      out << coll_kind_name(e.kind) << ' ' << e.n_pes << ' ' << e.bytes << ' '
+          << coll_algo_name(e.algo) << ' ' << e.radix << ' ' << e.chunk
+          << "\n";
+    }
+  }
+  out.flush();
+  XBGAS_CHECK(out.good(), "tune table: write failed: " + path);
+}
+
+TuneTable TuneTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw Error("tune table: cannot open: " + path);
+  std::string line;
+  XBGAS_CHECK(std::getline(in, line) && line == kTuneTableHeader,
+              "tune table: bad header in " + path);
+  TuneTable table;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind_name, algo_name;
+    TuneEntry e;
+    if (!(row >> kind_name >> e.n_pes >> e.bytes >> algo_name >> e.radix >>
+          e.chunk)) {
+      throw Error("tune table: bad row in " + path + ": " + line);
+    }
+    e.kind = parse_coll_kind(kind_name);
+    e.algo = parse_coll_algo(algo_name);
+    XBGAS_CHECK(e.algo != CollAlgo::kAuto,
+                "tune table: entries must name a concrete algorithm");
+    XBGAS_CHECK(e.n_pes >= 1 && e.radix >= 2,
+                "tune table: bad n_pes/radix in " + path);
+    table.insert(e);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// CollectivePolicy
+// ---------------------------------------------------------------------------
+
 CollectivePolicy::CollectivePolicy() = default;
 
 CollectivePolicy::CollectivePolicy(const MachineConfig& config,
                                    CollAlgo forced)
     : net_(config.net),
+      default_radix_(config.coll_radix >= 2 ? config.coll_radix : 2),
       forced_(forced == CollAlgo::kAuto ? parse_coll_algo(config.coll_algo)
                                         : forced) {
   const auto topology = make_topology(config.topology_name, config.n_pes);
   mean_hops_ = config.n_pes > 1 ? topology->mean_hops() : 1.0;
   if (const auto* cluster =
           dynamic_cast<const ClusterTopology*>(topology.get())) {
-    cluster_group_ = cluster->group_size();
-    cluster_remote_hops_ = cluster->remote_hops();
+    for (const auto& lv : cluster->levels()) {
+      cluster_groups_.push_back(lv.group);
+      cluster_hops_.push_back(lv.hops);
+    }
   }
+  if (!config.coll_tune_table.empty()) {
+    set_tune_table(TuneTable::load(config.coll_tune_table));
+  }
+}
+
+void CollectivePolicy::set_tune_table(TuneTable table) {
+  tune_table_ = std::move(table);
+  g_tuner_entries.store(tune_table_.size(), std::memory_order_relaxed);
+}
+
+std::vector<int> CollectivePolicy::hier_groups(int n_pes) const {
+  std::vector<int> groups;
+  for (const int g : cluster_groups_) {
+    if (g >= 2 && g < n_pes && n_pes % g == 0) groups.push_back(g);
+  }
+  return groups;
+}
+
+HierShape CollectivePolicy::hier_shape(int n_pes, int radix,
+                                       std::size_t chunk) const {
+  return HierShape{hier_groups(n_pes), radix >= 2 ? radix : default_radix_,
+                   chunk};
 }
 
 namespace {
@@ -106,12 +263,14 @@ double CollectivePolicy::tree_cost(CollKind kind, int n_pes,
              tree_cost(CollKind::kBroadcast, n_pes, nelems, elem_size);
     case CollKind::kAllgather: {
       // Gather with doubling subtree payloads (nelems is the TOTAL element
-      // count for allgather kinds), then a full-payload broadcast.
+      // count for allgather kinds), then a full-payload broadcast. Ceiling
+      // division: a sub-n_pes payload still moves at least one element's
+      // bytes per stage instead of collapsing to the bare header.
       double gather = 0.0;
       const auto n = static_cast<std::size_t>(n_pes);
+      const std::size_t per = (bytes + n - 1) / n;
       for (std::size_t sub = 1; sub < n; sub *= 2) {
-        const std::size_t stage_bytes =
-            std::min(sub, n) * (bytes / n + elem_size);
+        const std::size_t stage_bytes = sub * (per + elem_size);
         gather += message_cost(stage_bytes) + bar;
       }
       return gather + tree_cost(CollKind::kBroadcast, n_pes, nelems, elem_size);
@@ -156,11 +315,9 @@ double CollectivePolicy::ring_cost(CollKind kind, int n_pes,
 }
 
 bool CollectivePolicy::hier_eligible(CollKind kind, int n_pes) const {
-  if (cluster_group_ <= 1 || n_pes <= 1) return false;
-  if (kind != CollKind::kBroadcast && kind != CollKind::kAllreduce) {
-    return false;
-  }
-  return n_pes % cluster_group_ == 0 && cluster_group_ < n_pes;
+  (void)kind;  // every collective kind has a hierarchical schedule now
+  if (n_pes <= 1) return false;
+  return !hier_groups(n_pes).empty();
 }
 
 double CollectivePolicy::hier_cost(CollKind kind, int n_pes,
@@ -170,23 +327,73 @@ double CollectivePolicy::hier_cost(CollKind kind, int n_pes,
     return std::numeric_limits<double>::infinity();
   }
   const std::size_t bytes = nelems * elem_size;
-  const double bar = barrier_cost(n_pes);
-  const int groups = n_pes / cluster_group_;
-  const auto levels_groups = static_cast<double>(
-      ceil_log2(static_cast<std::uint64_t>(groups)));
-  const auto levels_local = static_cast<double>(
-      ceil_log2(static_cast<std::uint64_t>(cluster_group_)));
-  // root -> leader handoff (local) + leaders tree over the long links +
-  // per-node local tree + the two explicit world barriers.
-  const double bcast =
-      message_with_hops(net_, 1.0, bytes) +
-      levels_groups *
-          (message_with_hops(net_, static_cast<double>(cluster_remote_hops_),
-                             bytes) +
-           bar) +
-      levels_local * (message_with_hops(net_, 1.0, bytes) + bar) + 2.0 * bar;
-  if (kind == CollKind::kAllreduce) {
-    return tree_cost(CollKind::kReduce, n_pes, nelems, elem_size) + bcast;
+  const int radix = default_radix_;
+
+  // Rebuild the level stack the engine will run (hier_groups filtered from
+  // the topology), pairing each level's team size with its link distance.
+  std::vector<int> groups;
+  std::vector<int> link_hops;
+  for (std::size_t i = 0; i < cluster_groups_.size(); ++i) {
+    const int g = cluster_groups_[i];
+    if (g >= 2 && g < n_pes && n_pes % g == 0) {
+      groups.push_back(g);
+      link_hops.push_back(cluster_hops_[i]);
+    }
+  }
+
+  struct Level {
+    int team;     ///< team size at this level
+    double hops;  ///< link distance its transfers cross
+  };
+  std::vector<Level> stack;
+  stack.push_back(Level{n_pes / groups.back(),
+                        static_cast<double>(link_hops.back())});
+  for (std::size_t i = groups.size(); i-- > 0;) {
+    const int sub = i == 0 ? 1 : groups[i - 1];
+    stack.push_back(Level{groups[i] / sub,
+                          i == 0 ? 1.0
+                                 : static_cast<double>(link_hops[i - 1])});
+  }
+
+  const auto stage_sum = [&](double per_stage_extra,
+                             std::size_t stage_bytes) {
+    double total = 0.0;
+    for (const auto& lv : stack) {
+      const auto stages =
+          static_cast<double>(knomial_stages(lv.team, radix));
+      total += stages * (message_with_hops(net_, lv.hops, stage_bytes) +
+                         barrier_cost(lv.team) + per_stage_extra);
+    }
+    return total;
+  };
+
+  // Root -> top-leader handoff: one local message plus the pair barrier.
+  const double handoff = message_with_hops(net_, 1.0, bytes) + barrier_cost(2);
+  const double bcast = handoff + stage_sum(0.0, bytes);
+  switch (kind) {
+    case CollKind::kBroadcast:
+      return bcast;
+    case CollKind::kReduce:
+      return handoff + stage_sum(kGamma * static_cast<double>(nelems), bytes);
+    case CollKind::kAllreduce:
+      return hier_cost(CollKind::kReduce, n_pes, nelems, elem_size) + bcast;
+    case CollKind::kAllgather: {
+      // Block gather up the stack (payload grows toward the full
+      // concatenation; bound each level by its accumulated width), then a
+      // full-payload broadcast back down.
+      const auto n = static_cast<std::size_t>(n_pes);
+      const std::size_t per = (bytes + n - 1) / n;
+      double gather_up = 0.0;
+      std::size_t width = 1;
+      for (std::size_t l = stack.size(); l-- > 0;) {
+        const auto& lv = stack[l];
+        width *= static_cast<std::size_t>(lv.team);
+        const auto stages = static_cast<double>(knomial_stages(lv.team, radix));
+        gather_up += stages * (message_with_hops(net_, lv.hops, width * per) +
+                               barrier_cost(lv.team));
+      }
+      return gather_up + bcast;
+    }
   }
   return bcast;
 }
@@ -216,6 +423,38 @@ CollAlgo CollectivePolicy::choose(CollKind kind, int n_pes,
     best = CollAlgo::kHier;
   }
   return best;
+}
+
+CollDecision CollectivePolicy::decide(CollKind kind, int n_pes,
+                                      std::size_t nelems,
+                                      std::size_t elem_size,
+                                      bool world) const {
+  CollDecision d;
+  d.radix = default_radix_;
+  if (forced_ != CollAlgo::kAuto) {
+    d.algo = choose(kind, n_pes, nelems, elem_size, world);
+    return d;
+  }
+  if (!tune_table_.empty() && world) {
+    const TuneEntry* e = tune_table_.lookup(kind, n_pes, nelems * elem_size);
+    bool usable = e != nullptr;
+    if (usable && e->algo == CollAlgo::kHier &&
+        !hier_eligible(kind, n_pes)) {
+      usable = false;
+    }
+    if (usable && e->algo == CollAlgo::kRing && n_pes < 2) usable = false;
+    if (usable) {
+      g_tuner_hits.fetch_add(1, std::memory_order_relaxed);
+      d.algo = e->algo;
+      if (e->radix >= 2) d.radix = e->radix;
+      d.chunk = e->chunk;
+      d.tuned = true;
+      return d;
+    }
+    g_tuner_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  d.algo = choose(kind, n_pes, nelems, elem_size, world);
+  return d;
 }
 
 std::size_t CollectivePolicy::crossover_nelems(CollKind kind, int n_pes,
@@ -280,37 +519,40 @@ void reset_coll_dispatch_counts() {
 }
 
 const CollectivePolicy& active_collective_policy() {
-  // PE threads are created fresh for every SPMD region, so the caches can
-  // never outlive the Machine they were built from.
-  thread_local const Machine* cached_for = nullptr;
+  // PE fibers are multiplexed N:M over pooled worker threads whose
+  // thread_locals outlive any single Machine, and the allocator may hand a
+  // later Machine the same address — so the cache is keyed by the
+  // never-reused instance_id, not the Machine pointer.
+  thread_local std::uint64_t cached_for = 0;  // instance ids start at 1
   thread_local CollectivePolicy cached;
   const Machine& machine = xbrtime_ctx().machine();
-  if (cached_for != &machine) {
+  if (cached_for != machine.instance_id()) {
     cached = CollectivePolicy(machine.config());
-    cached_for = &machine;
+    cached_for = machine.instance_id();
   }
   return cached;
 }
 
 namespace detail {
 
-CollAlgo resolve_and_record(CollKind kind, int n_pes, std::size_t nelems,
-                            std::size_t elem_size, bool world) {
+CollDecision resolve_and_record(CollKind kind, int n_pes, std::size_t nelems,
+                                std::size_t elem_size, bool world) {
   const CollectivePolicy& policy = active_collective_policy();
-  const CollAlgo algo = policy.choose(kind, n_pes, nelems, elem_size, world);
+  const CollDecision d =
+      policy.decide(kind, n_pes, nelems, elem_size, world);
   g_total.fetch_add(1, std::memory_order_relaxed);
   if (policy.forced() == CollAlgo::kAuto) {
     g_auto.fetch_add(1, std::memory_order_relaxed);
   }
-  g_by_algo[static_cast<int>(algo)].fetch_add(1, std::memory_order_relaxed);
-  g_by_kind_algo[static_cast<int>(kind)][static_cast<int>(algo)].fetch_add(
+  g_by_algo[static_cast<int>(d.algo)].fetch_add(1, std::memory_order_relaxed);
+  g_by_kind_algo[static_cast<int>(kind)][static_cast<int>(d.algo)].fetch_add(
       1, std::memory_order_relaxed);
   xbrtime_ctx().trace().record(
       EventKind::kCollDispatch, -1,
       (static_cast<std::uint64_t>(kind) << 8) |
-          static_cast<std::uint64_t>(algo),
+          static_cast<std::uint64_t>(d.algo),
       nelems * elem_size);
-  return algo;
+  return d;
 }
 
 }  // namespace detail

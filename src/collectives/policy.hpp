@@ -3,11 +3,12 @@
 // Cost-model-driven collective algorithm selection — the layer the paper's
 // §7 future work asks for once "algorithms optimized for larger message
 // sizes" exist alongside the binomial tree. The repo now carries three
-// algorithm families (tree in collectives.hpp, segmented ring in ring.hpp,
-// locality-aware hierarchical in hierarchical.hpp); CollectivePolicy is the
-// analytic latency–bandwidth model that picks between them per collective
-// and per (n_pes, payload bytes) point, and the dispatch_* templates below
-// are the call sites that consult it.
+// algorithm families (k-nomial tree in collectives.hpp/hierarchy.hpp,
+// segmented ring in ring.hpp, locality-aware hierarchical in
+// hierarchy.hpp); CollectivePolicy is the analytic latency–bandwidth model
+// that picks between them per collective and per (n_pes, payload bytes)
+// point, and the dispatch_* templates below are the call sites that
+// consult it.
 //
 // The model is the classic alpha–beta decomposition parameterized from the
 // machine's own NetCostParams (docs/COLLECTIVES.md derives the formulas):
@@ -19,23 +20,35 @@
 //   barrier(n) = NetCostParams::barrier_cycles(n)   (modeled exchange)
 //   gamma      = cycles per reduced element (detail::kReduceOpCycles)
 //
-//   tree      ceil(log2 n) stages, the WHOLE payload per stage
+//   tree      ceil(log_k n) stages, the WHOLE payload per stage
 //   ring      pipelined: (n-2)+S steps of B/S bytes (bcast/reduce) or
 //             2(n-1) steps of B/n bytes (allreduce), n-1 steps (allgather)
-//   hier      leaders-then-local two-level tree; only modeled when the
-//             machine topology is a cluster (locality to exploit)
+//   hier      multi-level k-nomial stack over the cluster topology's
+//             grouping levels; only modeled when there is locality to
+//             exploit (hier_eligible)
+//
+// On top of the analytic model sits a measurement-driven auto-tuner
+// (XHC-style, src/collectives/tuner.hpp): a TuneTable maps
+// (kind, n_pes, bytes) to a measured-best (family, radix, chunk) triple,
+// persists to a text file, and loads via --coll-tune-table. decide()
+// consults the table first and falls back to the alpha-beta argmin on a
+// miss; coll.tuner.* counters account for both paths.
 //
 // Selection: MachineConfig::coll_algo ("auto" | "tree" | "ring" | "hier")
-// forces a family or leaves the argmin of the model in charge; benches
-// expose it as --coll-algo. Every dispatch bumps the process-wide
-// coll.algo.<name> counters and records a kCollDispatch trace event.
+// forces a family or leaves the decision in charge; benches expose it as
+// --coll-algo (plus --coll-radix / --coll-tune-table). Every dispatch
+// bumps the process-wide coll.algo.<name> counters and records a
+// kCollDispatch trace event.
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "collectives/hierarchical.hpp"
+#include "collectives/hierarchy.hpp"
 #include "collectives/ring.hpp"
 
 namespace xbgas {
@@ -60,23 +73,99 @@ const char* coll_kind_name(CollKind kind);
 /// Parse "auto" | "tree" | "ring" | "hier"; throws xbgas::Error otherwise.
 CollAlgo parse_coll_algo(const std::string& name);
 
+/// Parse a coll_kind_name back; throws xbgas::Error otherwise.
+CollKind parse_coll_kind(const std::string& name);
+
+/// A fully-resolved dispatch decision: the family plus the schedule knobs
+/// the tuner sweeps (k-nomial radix, pipelined chunk size in elements;
+/// chunk 0 keeps the built-in heuristics).
+struct CollDecision {
+  CollAlgo algo = CollAlgo::kTree;
+  int radix = 2;
+  std::size_t chunk = 0;
+  bool tuned = false;  ///< true when a tune-table entry decided it
+};
+
+/// One persisted tuner measurement: the winning (algo, radix, chunk) for a
+/// (kind, n_pes, bytes) point.
+struct TuneEntry {
+  CollKind kind = CollKind::kBroadcast;
+  int n_pes = 0;
+  std::size_t bytes = 0;
+  CollAlgo algo = CollAlgo::kTree;
+  int radix = 2;
+  std::size_t chunk = 0;
+};
+
+/// The tuner's lookup table. Entries are exact on (kind, n_pes); payload
+/// size matches the nearest measured point in log-scale (OSU sweeps are
+/// geometric, so nearest-log is the natural interpolation).
+class TuneTable {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Insert or replace the entry at (kind, n_pes, bytes).
+  void insert(const TuneEntry& entry);
+
+  /// Every entry in save() order (sorted by key, then bytes). The OSU
+  /// bench uses this to merge per-PE-count sweeps into one table.
+  std::vector<TuneEntry> entries() const;
+
+  /// Best match for the point, or nullptr when no (kind, n_pes) entry
+  /// exists at any payload size.
+  const TuneEntry* lookup(CollKind kind, int n_pes, std::size_t bytes) const;
+
+  /// Persist as the versioned text format docs/COLLECTIVES.md specifies
+  /// (sorted, so saves are deterministic). Throws xbgas::Error on I/O error.
+  void save(const std::string& path) const;
+
+  /// Load a table persisted by save(). Throws xbgas::Error on I/O or
+  /// format errors.
+  static TuneTable load(const std::string& path);
+
+ private:
+  // (kind, n_pes) -> entries sorted by bytes ascending.
+  std::map<std::pair<int, int>, std::vector<TuneEntry>> by_key_;
+  std::size_t count_ = 0;
+};
+
 class CollectivePolicy {
  public:
   /// Default NetCostParams on a flat fabric, auto selection.
   CollectivePolicy();
 
   /// Parameterize from a machine configuration: wire costs from config.net,
-  /// hop distances (and cluster grouping, when present) from
+  /// hop distances (and cluster grouping levels, when present) from
   /// config.topology_name, forced algorithm from config.coll_algo unless
-  /// `forced` overrides it.
+  /// `forced` overrides it, default radix from config.coll_radix, and the
+  /// tune table from config.coll_tune_table (throws if the file is set but
+  /// unreadable).
   explicit CollectivePolicy(const MachineConfig& config,
                             CollAlgo forced = CollAlgo::kAuto);
 
   CollAlgo forced() const { return forced_; }
   void set_forced(CollAlgo algo) { forced_ = algo; }
 
-  /// Cluster group size from the topology (0 on non-cluster fabrics).
-  int cluster_group() const { return cluster_group_; }
+  /// Innermost cluster group size from the topology (0 on non-cluster
+  /// fabrics).
+  int cluster_group() const {
+    return cluster_groups_.empty() ? 0 : cluster_groups_.front();
+  }
+
+  /// The topology's grouping widths usable as a hierarchy over n_pes:
+  /// cluster levels that divide n_pes and are smaller than it, ascending.
+  /// Empty on non-cluster fabrics (or when nothing divides).
+  std::vector<int> hier_groups(int n_pes) const;
+
+  /// The level stack dispatch hands to the hierarchy engine.
+  HierShape hier_shape(int n_pes, int radix, std::size_t chunk) const;
+
+  /// Default k-nomial radix (config.coll_radix, or 2).
+  int default_radix() const { return default_radix_; }
+
+  const TuneTable& tune_table() const { return tune_table_; }
+  void set_tune_table(TuneTable table);
 
   // -- Analytic cost model (cycles; exposed for tests and the bench) --
 
@@ -90,8 +179,9 @@ class CollectivePolicy {
   double hier_cost(CollKind kind, int n_pes, std::size_t nelems,
                    std::size_t elem_size) const;
 
-  /// The hierarchical family only implements broadcast, over the world
-  /// communicator, on a cluster topology whose group divides n_pes.
+  /// The hierarchical family covers every collective kind; it needs the
+  /// world communicator, a cluster topology, and at least one grouping
+  /// level that divides n_pes.
   bool hier_eligible(CollKind kind, int n_pes) const;
 
   /// Resolve the algorithm for one call site: the forced family when set
@@ -100,6 +190,12 @@ class CollectivePolicy {
   /// (hierarchical needs it). Never returns kAuto.
   CollAlgo choose(CollKind kind, int n_pes, std::size_t nelems,
                   std::size_t elem_size, bool world = true) const;
+
+  /// Full decision for one call site: forced family first, then the tune
+  /// table (counted as coll.tuner.hits / .misses), then the analytic
+  /// argmin. Never returns kAuto.
+  CollDecision decide(CollKind kind, int n_pes, std::size_t nelems,
+                      std::size_t elem_size, bool world = true) const;
 
   /// Smallest element count at which the model prefers the ring over the
   /// tree for this collective (the crossover the bench plots), or SIZE_MAX
@@ -110,9 +206,11 @@ class CollectivePolicy {
  private:
   NetCostParams net_{};
   double mean_hops_ = 1.0;
-  int cluster_group_ = 0;
-  int cluster_remote_hops_ = 0;
+  std::vector<int> cluster_groups_;  ///< ascending widths (empty: no cluster)
+  std::vector<int> cluster_hops_;    ///< boundary costs, parallel to groups
+  int default_radix_ = 2;
   CollAlgo forced_ = CollAlgo::kAuto;
+  TuneTable tune_table_;
 };
 
 /// Snapshot of the process-wide dispatch counters (every PE's dispatch
@@ -129,6 +227,18 @@ struct CollDispatchCounts {
 CollDispatchCounts coll_dispatch_counts();
 void reset_coll_dispatch_counts();
 
+/// Process-wide auto-tuner counters (observability: coll.tuner.*).
+/// `entries` is the size of the most recently loaded table; hits/misses
+/// count decide() consultations that found / missed a usable entry.
+struct CollTunerCounters {
+  std::uint64_t entries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+CollTunerCounters coll_tuner_counters();
+void reset_coll_tuner_counters();
+
 /// The policy in force for the calling PE (built from its machine's config
 /// and cached per thread). Requires an initialized runtime.
 const CollectivePolicy& active_collective_policy();
@@ -137,9 +247,15 @@ namespace detail {
 
 /// Consult the active policy, bump the dispatch counters, and record the
 /// kCollDispatch trace event (a = (kind << 8) | algo, b = payload bytes).
-/// Returns the concrete algorithm to run.
-CollAlgo resolve_and_record(CollKind kind, int n_pes, std::size_t nelems,
-                            std::size_t elem_size, bool world);
+/// Returns the concrete decision to run.
+CollDecision resolve_and_record(CollKind kind, int n_pes, std::size_t nelems,
+                                std::size_t elem_size, bool world);
+
+/// Map the tuner's chunk-elements knob to the ring family's segment count
+/// (0 keeps the ring heuristic).
+inline std::size_t ring_segments_hint(std::size_t nelems, std::size_t chunk) {
+  return chunk == 0 ? 0 : std::clamp<std::size_t>(nelems / chunk, 1, 64);
+}
 
 }  // namespace detail
 
@@ -151,17 +267,25 @@ template <class T>
 void dispatch_broadcast(T* dest, const T* src, std::size_t nelems, int stride,
                         int root, Communicator& comm = world_comm()) {
   const bool world = &comm == &world_comm();
-  switch (detail::resolve_and_record(CollKind::kBroadcast, comm.n_pes(),
-                                     nelems, sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(
+      CollKind::kBroadcast, comm.n_pes(), nelems, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
-      ring_broadcast(dest, src, nelems, stride, root, comm);
+      ring_broadcast(dest, src, nelems, stride, root, comm,
+                     detail::ring_segments_hint(nelems, d.chunk));
       break;
     case CollAlgo::kHier:
-      hierarchical_broadcast(dest, src, nelems, stride, root,
-                             active_collective_policy().cluster_group());
+      hier_broadcast(dest, src, nelems, stride, root,
+                     active_collective_policy().hier_shape(comm.n_pes(),
+                                                           d.radix, d.chunk));
       break;
     default:
-      broadcast(dest, src, nelems, stride, root, comm);
+      if (d.radix != 2) {
+        detail::knomial_broadcast(dest, src, nelems, stride, root, d.radix,
+                                  comm);
+      } else {
+        broadcast(dest, src, nelems, stride, root, comm);
+      }
       break;
   }
 }
@@ -170,13 +294,25 @@ template <class Op, class T>
 void dispatch_reduce(T* dest, const T* src, std::size_t nelems, int stride,
                      int root, Communicator& comm = world_comm()) {
   const bool world = &comm == &world_comm();
-  switch (detail::resolve_and_record(CollKind::kReduce, comm.n_pes(), nelems,
-                                     sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(
+      CollKind::kReduce, comm.n_pes(), nelems, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
-      ring_reduce<Op>(dest, src, nelems, stride, root, comm);
+      ring_reduce<Op>(dest, src, nelems, stride, root, comm,
+                      detail::ring_segments_hint(nelems, d.chunk));
+      break;
+    case CollAlgo::kHier:
+      hier_reduce<Op>(dest, src, nelems, stride, root,
+                      active_collective_policy().hier_shape(comm.n_pes(),
+                                                            d.radix, d.chunk));
       break;
     default:
-      reduce<Op>(dest, src, nelems, stride, root, comm);
+      if (d.radix != 2) {
+        detail::knomial_reduce<Op>(dest, src, nelems, stride, root, d.radix,
+                                   comm);
+      } else {
+        reduce<Op>(dest, src, nelems, stride, root, comm);
+      }
       break;
   }
 }
@@ -185,19 +321,27 @@ template <class Op, class T>
 void dispatch_reduce_all(T* dest, const T* src, std::size_t nelems,
                          int stride, Communicator& comm = world_comm()) {
   const bool world = &comm == &world_comm();
-  switch (detail::resolve_and_record(CollKind::kAllreduce, comm.n_pes(),
-                                     nelems, sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(
+      CollKind::kAllreduce, comm.n_pes(), nelems, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
       ring_allreduce<Op>(dest, src, nelems, stride, comm);
       break;
     case CollAlgo::kHier:
-      reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
-      hierarchical_broadcast(dest, dest, nelems, stride, /*root=*/0,
-                             active_collective_policy().cluster_group());
+      hier_reduce_all<Op>(dest, src, nelems, stride,
+                          active_collective_policy().hier_shape(
+                              comm.n_pes(), d.radix, d.chunk));
       break;
     default:
-      reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
-      broadcast(dest, dest, nelems, stride, /*root=*/0, comm);
+      if (d.radix != 2) {
+        detail::knomial_reduce<Op>(dest, src, nelems, stride, /*root=*/0,
+                                   d.radix, comm);
+        detail::knomial_broadcast(dest, dest, nelems, stride, /*root=*/0,
+                                  d.radix, comm);
+      } else {
+        reduce<Op>(dest, src, nelems, stride, /*root=*/0, comm);
+        broadcast(dest, dest, nelems, stride, /*root=*/0, comm);
+      }
       break;
   }
 }
@@ -209,12 +353,31 @@ void dispatch_fcollect(T* dest, const T* src, std::size_t nelems_per_pe,
   const bool world = &comm == &world_comm();
   const std::size_t total =
       nelems_per_pe * static_cast<std::size_t>(n);
-  switch (detail::resolve_and_record(CollKind::kAllgather, n, total,
-                                     sizeof(T), world)) {
+  const CollDecision d = detail::resolve_and_record(CollKind::kAllgather, n,
+                                                    total, sizeof(T), world);
+  switch (d.algo) {
     case CollAlgo::kRing:
       ring_allgather(dest, src, nelems_per_pe, comm);
       break;
+    case CollAlgo::kHier:
+      hier_fcollect(dest, src, nelems_per_pe,
+                    active_collective_policy().hier_shape(n, d.radix,
+                                                          d.chunk));
+      break;
     default: {
+      if (d.radix != 2) {
+        const int me = comm.rank();
+        if (nelems_per_pe > 0 &&
+            dest + static_cast<std::size_t>(me) * nelems_per_pe != src) {
+          xbr_put(dest + static_cast<std::size_t>(me) * nelems_per_pe, src,
+                  nelems_per_pe, 1, comm.world_rank(me));
+        }
+        detail::knomial_gather_blocks(dest, nelems_per_pe, /*start=*/0,
+                                      /*sub=*/1, d.radix, comm);
+        detail::knomial_broadcast(dest, dest, total, /*stride=*/1,
+                                  /*root=*/0, d.radix, comm);
+        break;
+      }
       // The paper's composition: gather to rank 0, then broadcast.
       std::vector<int> msgs(static_cast<std::size_t>(n),
                             static_cast<int>(nelems_per_pe));

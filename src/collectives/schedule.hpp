@@ -1,10 +1,15 @@
 #pragma once
 
-// Communication-schedule enumeration for the binomial tree (paper §4.2,
-// Figure 3). Pure functions of (n_pes): used by the Figure-3 bench to print
-// the stage-by-stage tree, by tests to assert the edge set, and by the
+// Communication-schedule enumeration for k-nomial trees (paper §4.2,
+// Figure 3, generalized to radix k following shcoll's runtime-configurable
+// tree degree). Pure functions of (n_pes, radix): used by the Figure-3 bench
+// to print the stage-by-stage tree, by tests to assert the edge set, by the
 // topology ablation (A2) to measure per-stage link load without running
-// data through the runtime.
+// data through the runtime, and by the hierarchy engine
+// (collectives/hierarchy.hpp) to drive every level's transfers.
+//
+// The binomial tree of the paper is exactly the radix-2 special case:
+// broadcast_schedule(n) == knomial_broadcast_schedule(n, 2), edge for edge.
 
 #include <vector>
 
@@ -29,5 +34,22 @@ std::vector<TreeEdge> reduce_schedule(int n_pes);
 
 /// Number of stages, ceil(log2(n_pes)).
 int schedule_stages(int n_pes);
+
+// -- k-nomial generalization ------------------------------------------------
+
+/// Number of stages of the radix-k tree: smallest L with radix^L >= n_pes.
+int knomial_stages(int n_pes, int radix);
+
+/// Top-down k-nomial broadcast: at stage s (step = radix^(L-1-s)) every
+/// holder vrank v ≡ 0 (mod radix*step) sends to v + j*step for
+/// j = 1..radix-1, skipping targets >= n_pes. Edges are emitted in
+/// execution order (stage, then sender vrank, then j). radix == 2
+/// reproduces broadcast_schedule exactly.
+std::vector<TreeEdge> knomial_broadcast_schedule(int n_pes, int radix);
+
+/// Bottom-up mirror: at stage s (step = radix^s) every parent vrank
+/// v ≡ 0 (mod radix*step) pulls the accumulated subtrees of v + j*step for
+/// j = 1..radix-1. radix == 2 reproduces reduce_schedule exactly.
+std::vector<TreeEdge> knomial_reduce_schedule(int n_pes, int radix);
 
 }  // namespace xbgas

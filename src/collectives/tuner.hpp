@@ -1,0 +1,63 @@
+#pragma once
+
+// Measurement-driven auto-tuner for collective dispatch (XHC-style).
+//
+// build_tune_table() runs every candidate schedule — (family, k-nomial
+// radix, chunk size) — for every collective kind and payload size on the
+// MODELED machine described by a MachineConfig, measures the makespan in
+// simulated cycles (rank-0 clock delta across bracketing barriers; clocks
+// synchronize to the max at barriers, so the delta is the global critical
+// path), and records the argmin per (kind, n_pes, bytes) point into a
+// TuneTable. The table persists via TuneTable::save and loads at Machine
+// construction time through --coll-tune-table; CollectivePolicy::decide
+// consults it before the alpha-beta model.
+//
+// Everything is deterministic: the simulator's clocks are a pure function
+// of the schedule, so run-twice produces bitwise-identical tables.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collectives/policy.hpp"
+
+namespace xbgas {
+
+/// One schedule variant the sweep measures.
+struct TuneCandidate {
+  CollAlgo algo = CollAlgo::kTree;
+  int radix = 2;          ///< k-nomial degree (tree/hier families)
+  std::size_t chunk = 0;  ///< chunk elements (ring segmenting; 0 heuristic)
+};
+
+/// One (point, candidate) measurement from the sweep.
+struct TuneMeasurement {
+  CollKind kind = CollKind::kBroadcast;
+  std::size_t nelems = 0;  ///< total elements (allgather: concatenation)
+  std::size_t bytes = 0;   ///< payload bytes, the TuneTable key
+  TuneCandidate cand;
+  std::uint64_t cycles = 0;  ///< modeled makespan
+};
+
+/// The default candidate list for `base`: tree and (when the topology
+/// offers locality) hier at radices {2, 4, 8}, ring at chunk sizes
+/// {heuristic, 256, 2048}.
+std::vector<TuneCandidate> default_tune_candidates(const MachineConfig& base);
+
+/// Sweep all four collective kinds over `sizes` (element counts of 8-byte
+/// payload elements) for every candidate, one modeled Machine run per
+/// candidate, and return the per-point winners. When `measurements` is
+/// non-null it receives every (point, candidate) sample — the OSU bench
+/// reuses them instead of re-measuring.
+TuneTable build_tune_table(const MachineConfig& base,
+                           const std::vector<std::size_t>& sizes,
+                           const std::vector<TuneCandidate>& candidates,
+                           std::vector<TuneMeasurement>* measurements =
+                               nullptr);
+
+TuneTable build_tune_table(const MachineConfig& base,
+                           const std::vector<std::size_t>& sizes,
+                           std::vector<TuneMeasurement>* measurements =
+                               nullptr);
+
+}  // namespace xbgas

@@ -63,6 +63,12 @@ struct MachineConfig {
   /// (src/collectives/policy.hpp); kept as a string here so the machine
   /// substrate stays independent of the collectives layer.
   std::string coll_algo = "auto";
+  /// Path to a persisted auto-tuner table (empty: none). Entries override
+  /// the analytic cost model per (kind, n_pes, bytes); misses fall back.
+  std::string coll_tune_table;
+  /// Forced k-nomial radix for tree/hierarchical schedules (0: default 2,
+  /// or the tuned radix when a tune-table entry matches).
+  int coll_radix = 0;
   /// PE execution model: fiber N:M scheduling (default) or legacy
   /// thread-per-PE (docs/SCALING.md).
   SchedConfig sched{};

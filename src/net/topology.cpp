@@ -111,26 +111,56 @@ int HypercubeTopology::link_count() const {
 }
 
 ClusterTopology::ClusterTopology(int n, int group_size, int remote_hops)
-    : n_(n), group_size_(group_size), remote_hops_(remote_hops) {
+    : ClusterTopology(n, std::vector<ClusterLevel>{
+                             ClusterLevel{group_size, remote_hops}}) {}
+
+ClusterTopology::ClusterTopology(int n, std::vector<ClusterLevel> levels)
+    : n_(n), levels_(std::move(levels)) {
   XBGAS_CHECK(n >= 1, "topology needs >= 1 endpoint");
-  XBGAS_CHECK(group_size >= 1 && n % group_size == 0,
-              "cluster group size must divide the endpoint count");
-  XBGAS_CHECK(remote_hops >= 1, "remote hops must be >= 1");
+  XBGAS_CHECK(!levels_.empty(), "cluster topology needs >= 1 level");
+  int prev = 0;
+  for (const auto& lv : levels_) {
+    XBGAS_CHECK(lv.group >= 1 && n % lv.group == 0,
+                "cluster group size must divide the endpoint count");
+    XBGAS_CHECK(lv.group > prev,
+                "cluster group sizes must be strictly ascending");
+    XBGAS_CHECK(prev == 0 || lv.group % prev == 0,
+                "each cluster group size must divide the next");
+    XBGAS_CHECK(lv.hops >= 1, "remote hops must be >= 1");
+    prev = lv.group;
+  }
 }
 
 int ClusterTopology::hops(int src, int dst) const {
   check_endpoint(n_, src, dst);
   if (src == dst) return 0;
-  return src / group_size_ == dst / group_size_ ? 1 : remote_hops_;
+  // The outermost straddled boundary decides the cost; a pair inside the
+  // same innermost block is on a local link.
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    const int g = levels_[i].group;
+    if (src / g != dst / g) return levels_[i].hops;
+  }
+  return 1;
 }
 
 int ClusterTopology::link_count() const {
-  const int groups = n_ / group_size_;
-  return n_ * (group_size_ - 1) + groups * (groups - 1);
+  // Full mesh inside each innermost block plus one full mesh among the
+  // block representatives of every level.
+  int links = n_ * (levels_.front().group - 1);
+  for (const auto& lv : levels_) {
+    const int blocks = n_ / lv.group;
+    links += blocks * (blocks - 1);
+  }
+  return links;
 }
 
 std::string ClusterTopology::name() const {
-  return strfmt("cluster%dx%d", group_size_, remote_hops_);
+  std::string out = "cluster";
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    out += strfmt(i == 0 ? "%dx%d" : "_%dx%d", levels_[i].group,
+                  levels_[i].hops);
+  }
+  return out;
 }
 
 std::unique_ptr<Topology> make_topology(const std::string& name, int n) {
@@ -139,11 +169,26 @@ std::unique_ptr<Topology> make_topology(const std::string& name, int n) {
   if (name == "torus") return std::make_unique<Torus2DTopology>(n);
   if (name == "hypercube") return std::make_unique<HypercubeTopology>(n);
   if (name.rfind("cluster", 0) == 0) {
-    int group = 0, remote = 0;
-    if (std::sscanf(name.c_str(), "cluster%dx%d", &group, &remote) == 2) {
-      return std::make_unique<ClusterTopology>(n, group, remote);
+    std::vector<ClusterLevel> levels;
+    std::size_t at = 7;  // past "cluster"
+    while (at < name.size()) {
+      const std::size_t end = name.find('_', at);
+      const std::string tok =
+          name.substr(at, end == std::string::npos ? std::string::npos
+                                                   : end - at);
+      int group = 0, remote = 0;
+      char trail = 0;
+      if (std::sscanf(tok.c_str(), "%dx%d%c", &group, &remote, &trail) != 2) {
+        break;
+      }
+      levels.push_back(ClusterLevel{group, remote});
+      if (end == std::string::npos) {
+        return std::make_unique<ClusterTopology>(n, std::move(levels));
+      }
+      at = end + 1;
     }
-    throw Error("cluster topology syntax: cluster<G>x<H>, got: " + name);
+    throw Error("cluster topology syntax: cluster<G>x<H>[_<G>x<H>]*, got: " +
+                name);
   }
   throw Error("unknown topology: " + name);
 }

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace xbgas {
 
@@ -96,31 +97,46 @@ class HypercubeTopology final : public Topology {
   int n_;
 };
 
-/// Cluster-of-nodes fabric: PEs are grouped into nodes of `group_size`
-/// consecutive ranks; intra-node hops cost 1, any node-boundary crossing
-/// costs `remote_hops` regardless of distance. This models the
+/// One grouping level of a cluster fabric: crossing the boundary between
+/// `group`-wide blocks of consecutive ranks costs `hops`.
+struct ClusterLevel {
+  int group;  ///< block width in consecutive world ranks
+  int hops;   ///< hop count charged when a pair straddles this boundary
+};
+
+/// Cluster-of-nodes fabric, arbitrary depth: PEs are grouped into nested
+/// blocks of consecutive ranks (node ⊂ rack ⊂ cluster, levels innermost
+/// first with strictly ascending widths in a divisibility chain). A pair in
+/// the same innermost block is 1 hop apart; otherwise the OUTERMOST
+/// boundary the pair straddles decides the cost. This models the
 /// on-chip-vs-network split the xBGAS OLB exposes (object IDs are dense in
-/// rank order, so node membership is a pure function of the ID) and is the
+/// rank order, so block membership is a pure function of the ID) and is the
 /// fabric where the §7 locality-aware collectives pay off.
 class ClusterTopology final : public Topology {
  public:
+  /// Single-level convenience: nodes of `group_size`, `remote_hops` across.
   ClusterTopology(int n, int group_size, int remote_hops);
+  ClusterTopology(int n, std::vector<ClusterLevel> levels);
   int size() const override { return n_; }
   int hops(int src, int dst) const override;
   int link_count() const override;
   std::string name() const override;
 
-  int group_size() const { return group_size_; }
-  int remote_hops() const { return remote_hops_; }
+  const std::vector<ClusterLevel>& levels() const { return levels_; }
+
+  /// Innermost block width (the old two-level "group size").
+  int group_size() const { return levels_.front().group; }
+  /// Innermost boundary-crossing cost (the old two-level "remote hops").
+  int remote_hops() const { return levels_.front().hops; }
 
  private:
   int n_;
-  int group_size_;
-  int remote_hops_;
+  std::vector<ClusterLevel> levels_;
 };
 
-/// Factory: name in {flat, ring, torus, hypercube} or "cluster<G>x<H>"
-/// (nodes of G PEs, H hops across node boundaries, e.g. "cluster4x8").
+/// Factory: name in {flat, ring, torus, hypercube} or
+/// "cluster<G>x<H>[_<G>x<H>]*" — nested blocks of G PEs costing H hops to
+/// cross, innermost first (e.g. "cluster4x8" or "cluster8x4_64x16").
 /// Throws on unknown names or invalid (name, n) combinations (e.g.
 /// non-power-of-two hypercube).
 std::unique_ptr<Topology> make_topology(const std::string& name, int n);

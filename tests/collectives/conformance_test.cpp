@@ -399,6 +399,134 @@ INSTANTIATE_TEST_SUITE_P(Algos, ConformanceNbiTest,
                          ::testing::Values("auto", "tree", "ring", "hier"),
                          [](const auto& p) { return p.param; });
 
+// -- Hierarchy axis (this PR): depth x radix x PE count ---------------------
+
+/// Engine-level golden pass: all four hierarchical collectives for one
+/// explicit (groups, radix) shape, random payload drawn from `seed`.
+void hierarchy_pass(PeContext& pe, int n, const std::vector<int>& groups,
+                    int radix, std::uint64_t seed) {
+  const int me = pe.rank();
+  const auto un = static_cast<std::size_t>(n);
+  SplitMix64 shape_rng(seed);
+  const std::size_t nelems = 1 + shape_rng.next() % 96;
+  const int root = static_cast<int>(shape_rng.next() % static_cast<unsigned>(n));
+  const HierShape shape{groups, radix, 0};
+
+  auto* dest = static_cast<long*>(xbrtime_malloc(nelems * sizeof(long)));
+  auto* all = static_cast<long*>(xbrtime_malloc(nelems * un * sizeof(long)));
+  std::vector<long> src(nelems);
+  for (std::size_t j = 0; j < nelems; ++j) src[j] = conf_val(seed, me, j);
+  xbrtime_barrier();
+
+  hier_broadcast(dest, src.data(), nelems, 1, root, shape);
+  for (std::size_t j = 0; j < nelems; ++j) {
+    ASSERT_EQ(dest[j], conf_val(seed, root, j)) << "hier bcast j=" << j;
+  }
+  xbrtime_barrier();
+
+  hier_reduce<OpSum>(dest, src.data(), nelems, 1, root, shape);
+  if (me == root) {
+    for (std::size_t j = 0; j < nelems; ++j) {
+      long golden = 0;
+      for (int r = 0; r < n; ++r) golden += conf_val(seed, r, j);
+      ASSERT_EQ(dest[j], golden) << "hier reduce j=" << j;
+    }
+  }
+  xbrtime_barrier();
+
+  hier_reduce_all<OpSum>(dest, src.data(), nelems, 1, shape);
+  for (std::size_t j = 0; j < nelems; ++j) {
+    long golden = 0;
+    for (int r = 0; r < n; ++r) golden += conf_val(seed, r, j);
+    ASSERT_EQ(dest[j], golden) << "hier reduce_all j=" << j;
+  }
+  xbrtime_barrier();
+
+  hier_fcollect(all, src.data(), nelems, shape);
+  for (std::size_t r = 0; r < un; ++r) {
+    for (std::size_t j = 0; j < nelems; ++j) {
+      ASSERT_EQ(all[r * nelems + j], conf_val(seed, static_cast<int>(r), j))
+          << "hier fcollect r=" << r << " j=" << j;
+    }
+  }
+  xbrtime_barrier();
+  xbrtime_free(all);
+  xbrtime_free(dest);
+}
+
+TEST(ConformanceHierarchyTest, DepthByRadixSweepUnderFullSanitizer) {
+  // Every hierarchy depth {1,2,3} x radix {2,4,8} x PE count (power-of-two
+  // and not), engine-level, under XbrSan's strictest mode.
+  struct HierShapeCase {
+    int n;
+    std::vector<int> groups;
+  };
+  const HierShapeCase shapes[] = {
+      {6, {}}, {8, {}},                       // depth 1
+      {8, {4}}, {9, {3}}, {12, {4}},          // depth 2
+      {8, {2, 4}}, {12, {2, 6}}, {16, {2, 8}}  // depth 3
+  };
+  constexpr std::uint64_t kSeed = 0x1e5ULL;
+  for (const auto& s : shapes) {
+    for (const int radix : {2, 4, 8}) {
+      SCOPED_TRACE("n=" + std::to_string(s.n) + " depth=" +
+                   std::to_string(s.groups.size() + 1) + " radix=" +
+                   std::to_string(radix));
+      MachineConfig config = testing::test_config(s.n);
+      config.san.mode = SanMode::kFull;
+      Machine machine(config);
+      machine.run([&](PeContext& pe) {
+        xbrtime_init();
+        hierarchy_pass(pe, s.n, s.groups, radix, kSeed);
+        xbrtime_close();
+      });
+      ASSERT_EQ(machine.sanitizer().counters().violations, 0u);
+    }
+  }
+}
+
+TEST(ConformanceHierarchyTest, KnomialRadixDispatchMatchesGolden) {
+  // --coll-radix routes the flat dispatchers through the k-nomial
+  // schedules (blocking and nbi); results must stay bitwise golden.
+  constexpr std::uint64_t kSeed = 0x4ad1ULL;
+  for (const int n : {5, 8, 12}) {
+    for (const int radix : {4, 8}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " radix=" +
+                   std::to_string(radix));
+      MachineConfig config = testing::test_config(n);
+      config.coll_algo = "tree";
+      config.coll_radix = radix;
+      config.san.mode = SanMode::kFull;
+      Machine machine(config);
+      machine.run([&](PeContext& pe) {
+        xbrtime_init();
+        conformance_pass(pe, n, kSeed);
+        conformance_nbi_pass(pe, n, kSeed);
+        xbrtime_close();
+      });
+      ASSERT_EQ(machine.sanitizer().counters().violations, 0u);
+    }
+  }
+}
+
+TEST(ConformanceClusterTest, MultiLevelClusterHierMatchesGolden) {
+  // A two-boundary cluster (pairs within nodes of 8): forced hier runs the
+  // three-level schedule through the dispatchers, blocking and nbi.
+  constexpr std::uint64_t kSeed = 0x3c15EEDULL;
+  MachineConfig config = testing::test_config(16);
+  config.topology_name = "cluster2x4_8x32";
+  config.coll_algo = "hier";
+  config.san.mode = SanMode::kFull;
+  Machine machine(config);
+  machine.run([&](PeContext& pe) {
+    xbrtime_init();
+    conformance_pass(pe, 16, kSeed);
+    conformance_nbi_pass(pe, 16, kSeed);
+    xbrtime_close();
+  });
+  ASSERT_EQ(machine.sanitizer().counters().violations, 0u);
+}
+
 TEST(ConformanceClusterTest, HierOnClusterTopologyMatchesGolden) {
   // On a cluster fabric forced hier actually runs the hierarchical path
   // (group 4 divides 8); results must still match the golden model.

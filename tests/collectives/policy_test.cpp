@@ -87,10 +87,11 @@ TEST(PolicyTest, ForcedFamilyHonoredWithEligibilityFallback) {
 TEST(PolicyTest, HierEligibleOnlyOnMatchingCluster) {
   const CollectivePolicy policy(policy_config(8, "cluster4x8", "hier"));
   EXPECT_EQ(policy.cluster_group(), 4);
+  // The arbitrary-depth engine covers every collective kind.
   EXPECT_TRUE(policy.hier_eligible(CollKind::kBroadcast, 8));
   EXPECT_TRUE(policy.hier_eligible(CollKind::kAllreduce, 8));
-  EXPECT_FALSE(policy.hier_eligible(CollKind::kReduce, 8));
-  EXPECT_FALSE(policy.hier_eligible(CollKind::kAllgather, 8));
+  EXPECT_TRUE(policy.hier_eligible(CollKind::kReduce, 8));
+  EXPECT_TRUE(policy.hier_eligible(CollKind::kAllgather, 8));
   // Group must strictly divide the PE count.
   EXPECT_FALSE(policy.hier_eligible(CollKind::kBroadcast, 6));
   EXPECT_FALSE(policy.hier_eligible(CollKind::kBroadcast, 4));
@@ -98,6 +99,80 @@ TEST(PolicyTest, HierEligibleOnlyOnMatchingCluster) {
   // ...but never off the world communicator.
   EXPECT_EQ(policy.choose(CollKind::kBroadcast, 8, 1024, 8, /*world=*/false),
             CollAlgo::kTree);
+}
+
+TEST(PolicyTest, CostsMonotoneInPayload) {
+  // Regression for the allgather model: `bytes / n` truncated sub-n_pes
+  // payloads to zero bytes per stage (and a dead min(sub, n) clamp hid it),
+  // making the cost non-monotone around nelems == n_pes. Every family must
+  // now be monotone non-decreasing in the element count for every kind.
+  const CollectivePolicy flat(policy_config(8));
+  const CollectivePolicy clustered(policy_config(8, "cluster4x8", "auto"));
+  const std::size_t sizes[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                               64, 256, 1000, 4096, 1 << 16};
+  for (const auto kind : {CollKind::kBroadcast, CollKind::kReduce,
+                          CollKind::kAllreduce, CollKind::kAllgather}) {
+    double prev_tree = 0.0, prev_ring = 0.0, prev_hier = 0.0;
+    for (const std::size_t nelems : sizes) {
+      const double tree = flat.tree_cost(kind, 8, nelems, 8);
+      const double ring = flat.ring_cost(kind, 8, nelems, 8);
+      const double hier = clustered.hier_cost(kind, 8, nelems, 8);
+      EXPECT_GE(tree, prev_tree) << coll_kind_name(kind) << " n=" << nelems;
+      EXPECT_GE(ring, prev_ring) << coll_kind_name(kind) << " n=" << nelems;
+      EXPECT_GE(hier, prev_hier) << coll_kind_name(kind) << " n=" << nelems;
+      prev_tree = tree;
+      prev_ring = ring;
+      prev_hier = hier;
+    }
+  }
+  // The specific broken point: fewer elements than PEs still moves bytes.
+  EXPECT_GT(flat.tree_cost(CollKind::kAllgather, 8, 3, 8),
+            flat.tree_cost(CollKind::kAllgather, 8, 0, 8));
+}
+
+TEST(PolicyTest, PolicyCacheFollowsMachineInstance) {
+  // Regression: active_collective_policy() used to key its thread-local
+  // cache on the raw Machine*. Worker threads (and their thread_locals)
+  // outlive Machines since fiber pooling, so a second Machine reusing the
+  // first one's address dispatched with the FIRST machine's policy. The
+  // two scoped blocks below put both Machines in the same stack slot to
+  // force address reuse; the cache is now keyed by Machine::instance_id().
+  reset_coll_dispatch_counts();
+  {
+    Machine machine(policy_config(8, "cluster4x8", "hier"));
+    machine.run([&](PeContext&) {
+      xbrtime_init();
+      auto* dest = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+      long src[64] = {};
+      xbrtime_barrier();
+      dispatch_broadcast(dest, src, 64, 1, 0);
+      xbrtime_barrier();
+      xbrtime_free(dest);
+      xbrtime_close();
+    });
+  }
+  const CollDispatchCounts first = coll_dispatch_counts();
+  EXPECT_EQ(first.by_algo[static_cast<int>(CollAlgo::kHier)], 8u);
+
+  reset_coll_dispatch_counts();
+  {
+    Machine machine(policy_config(8, "flat", "tree"));
+    machine.run([&](PeContext&) {
+      xbrtime_init();
+      auto* dest = static_cast<long*>(xbrtime_malloc(64 * sizeof(long)));
+      long src[64] = {};
+      xbrtime_barrier();
+      dispatch_broadcast(dest, src, 64, 1, 0);
+      xbrtime_barrier();
+      xbrtime_free(dest);
+      xbrtime_close();
+    });
+  }
+  const CollDispatchCounts second = coll_dispatch_counts();
+  // Dispatch must follow the SECOND machine's config, not a stale cache.
+  EXPECT_EQ(second.total, 8u);
+  EXPECT_EQ(second.by_algo[static_cast<int>(CollAlgo::kHier)], 0u);
+  EXPECT_EQ(second.by_algo[static_cast<int>(CollAlgo::kTree)], 8u);
 }
 
 TEST(PolicyTest, DispatchCountersAndTraceEvents) {

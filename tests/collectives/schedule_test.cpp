@@ -106,5 +106,74 @@ TEST(ScheduleTest, SingleAndTwoPeEdgeCases) {
   EXPECT_EQ(two[0], (TreeEdge{0, 0, 1}));
 }
 
+// -- k-nomial generalization ------------------------------------------------
+
+TEST(KnomialScheduleTest, StageCountIsCeilLogRadix) {
+  EXPECT_EQ(knomial_stages(1, 4), 0);
+  EXPECT_EQ(knomial_stages(4, 4), 1);
+  EXPECT_EQ(knomial_stages(5, 4), 2);
+  EXPECT_EQ(knomial_stages(16, 4), 2);
+  EXPECT_EQ(knomial_stages(17, 4), 3);
+  EXPECT_EQ(knomial_stages(9, 3), 2);
+  EXPECT_EQ(knomial_stages(64, 8), 2);
+}
+
+TEST(KnomialScheduleTest, RadixTwoReproducesBinomialEdgeForEdge) {
+  for (int n = 1; n <= 33; ++n) {
+    EXPECT_EQ(knomial_broadcast_schedule(n, 2), broadcast_schedule(n))
+        << "n=" << n;
+    EXPECT_EQ(knomial_reduce_schedule(n, 2), reduce_schedule(n)) << "n=" << n;
+  }
+}
+
+TEST(KnomialScheduleTest, BroadcastReachesEveryRankExactlyOnce) {
+  for (const int radix : {3, 4, 8}) {
+    for (int n = 1; n <= 40; ++n) {
+      const auto edges = knomial_broadcast_schedule(n, radix);
+      EXPECT_EQ(edges.size(), static_cast<std::size_t>(n - 1));
+      std::set<int> reached{0};
+      for (const auto& e : edges) {
+        EXPECT_TRUE(reached.contains(e.from_vrank))
+            << "n=" << n << " radix=" << radix << " stage=" << e.stage;
+        EXPECT_FALSE(reached.contains(e.to_vrank));
+        reached.insert(e.to_vrank);
+      }
+      EXPECT_EQ(reached.size(), static_cast<std::size_t>(n));
+    }
+  }
+}
+
+TEST(KnomialScheduleTest, ReduceIsBroadcastReversed) {
+  for (const int radix : {3, 4, 8}) {
+    for (const int n : {5, 9, 16, 27, 33}) {
+      const auto bcast = knomial_broadcast_schedule(n, radix);
+      const auto reduce = knomial_reduce_schedule(n, radix);
+      ASSERT_EQ(bcast.size(), reduce.size()) << "n=" << n << " r=" << radix;
+      // Same edge set with from/to swapped; stages mirror across the L
+      // stages (broadcast stage s <-> reduce stage L-1-s).
+      const int stages = knomial_stages(n, radix);
+      std::set<std::tuple<int, int, int>> fwd, rev;
+      for (const auto& e : bcast) {
+        fwd.insert({e.stage, e.from_vrank, e.to_vrank});
+      }
+      for (const auto& e : reduce) {
+        rev.insert({stages - 1 - e.stage, e.to_vrank, e.from_vrank});
+      }
+      EXPECT_EQ(fwd, rev) << "n=" << n << " r=" << radix;
+    }
+  }
+}
+
+TEST(KnomialScheduleTest, HigherRadixNeedsFewerStages) {
+  // The hierarchy trade: radix 8 on 64 PEs is 2 stages of 7-way fan-out
+  // instead of 6 stages of pairwise exchange.
+  const auto r8 = knomial_broadcast_schedule(64, 8);
+  int max_stage = 0;
+  for (const auto& e : r8) max_stage = std::max(max_stage, e.stage);
+  EXPECT_EQ(max_stage + 1, 2);
+  EXPECT_EQ(knomial_stages(64, 8), 2);
+  EXPECT_EQ(knomial_stages(64, 2), 6);
+}
+
 }  // namespace
 }  // namespace xbgas

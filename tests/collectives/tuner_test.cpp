@@ -1,0 +1,149 @@
+#include "collectives/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "helpers.hpp"
+
+namespace xbgas {
+namespace {
+
+MachineConfig tuner_base() {
+  MachineConfig config = testing::test_config(8);
+  config.topology_name = "cluster4x16";
+  config.net.per_hop_cycles = 50;
+  return config;
+}
+
+const std::vector<std::size_t> kSizes = {64, 2048};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TunerTest, SweepsEveryCandidateAndPicksWinners) {
+  std::vector<TuneMeasurement> measurements;
+  const MachineConfig base = tuner_base();
+  const std::vector<TuneCandidate> cands = default_tune_candidates(base);
+  // tree r{2,4,8} + ring chunk{0,256,2048} + hier r{2,4,8} on a cluster
+  ASSERT_EQ(cands.size(), 9u);
+  const TuneTable table = build_tune_table(base, kSizes, cands, &measurements);
+  // One winner per (kind, size) point, one sample per (point, candidate).
+  EXPECT_EQ(table.size(), 4u * kSizes.size());
+  EXPECT_EQ(measurements.size(), cands.size() * 4u * kSizes.size());
+  for (const TuneMeasurement& m : measurements) {
+    EXPECT_GT(m.cycles, 0u) << "unmeasured candidate";
+  }
+  // Every point resolves, and the winner really is the measured argmin.
+  for (const TuneMeasurement& m : measurements) {
+    const TuneEntry* e = table.lookup(m.kind, base.n_pes, m.bytes);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->n_pes, base.n_pes);
+  }
+}
+
+TEST(TunerTest, RoundTripPreservesDecisions) {
+  const MachineConfig base = tuner_base();
+  const TuneTable table = build_tune_table(base, kSizes);
+  const std::string path = "tuner_roundtrip.table";
+  table.save(path);
+
+  // Reload through the config surface, exactly as --coll-tune-table does.
+  MachineConfig loaded_config = base;
+  loaded_config.coll_tune_table = path;
+  const CollectivePolicy direct = [&] {
+    CollectivePolicy p(base);
+    p.set_tune_table(table);
+    return p;
+  }();
+  const CollectivePolicy reloaded(loaded_config);
+  EXPECT_EQ(reloaded.tune_table().size(), table.size());
+
+  for (const CollKind kind :
+       {CollKind::kBroadcast, CollKind::kReduce, CollKind::kAllreduce,
+        CollKind::kAllgather}) {
+    for (const std::size_t nelems : {8u, 64u, 500u, 2048u, 100000u}) {
+      const CollDecision a =
+          direct.decide(kind, base.n_pes, nelems, sizeof(long));
+      const CollDecision b =
+          reloaded.decide(kind, base.n_pes, nelems, sizeof(long));
+      EXPECT_EQ(a.algo, b.algo) << "nelems=" << nelems;
+      EXPECT_EQ(a.radix, b.radix) << "nelems=" << nelems;
+      EXPECT_EQ(a.chunk, b.chunk) << "nelems=" << nelems;
+      EXPECT_EQ(a.tuned, b.tuned) << "nelems=" << nelems;
+      EXPECT_TRUE(a.tuned) << "nelems=" << nelems;
+    }
+  }
+
+  // save(load(save(x))) is bytewise stable.
+  const std::string path2 = "tuner_roundtrip2.table";
+  TuneTable::load(path).save(path2);
+  EXPECT_EQ(slurp(path), slurp(path2));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TunerTest, RunTwiceIsDeterministic) {
+  const MachineConfig base = tuner_base();
+  const TuneTable a = build_tune_table(base, kSizes);
+  const TuneTable b = build_tune_table(base, kSizes);
+  const std::string pa = "tuner_det_a.table";
+  const std::string pb = "tuner_det_b.table";
+  a.save(pa);
+  b.save(pb);
+  EXPECT_EQ(slurp(pa), slurp(pb));
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(TunerTest, MissFallsBackToModel) {
+  const MachineConfig base = tuner_base();
+  CollectivePolicy policy(base);
+  policy.set_tune_table(build_tune_table(base, kSizes));
+  reset_coll_tuner_counters();
+
+  // Same machine shape: the table answers (nearest-log size match).
+  const CollDecision hit =
+      policy.decide(CollKind::kBroadcast, base.n_pes, 64, sizeof(long));
+  EXPECT_TRUE(hit.tuned);
+
+  // Different PE count: exact (kind, n_pes) key misses -> analytic model.
+  const CollDecision miss =
+      policy.decide(CollKind::kBroadcast, 5, 64, sizeof(long));
+  EXPECT_FALSE(miss.tuned);
+  EXPECT_NE(miss.algo, CollAlgo::kAuto);
+
+  // Non-world communicators never consult the table.
+  const CollDecision sub = policy.decide(CollKind::kBroadcast, base.n_pes, 64,
+                                         sizeof(long), /*world=*/false);
+  EXPECT_FALSE(sub.tuned);
+
+  const CollTunerCounters counters = coll_tuner_counters();
+  EXPECT_EQ(counters.hits, 1u);
+  // Only the n_pes mismatch is a consultation that missed; non-world
+  // dispatches never consult the table at all.
+  EXPECT_EQ(counters.misses, 1u);
+}
+
+TEST(TunerTest, LoadRejectsMalformedTables) {
+  const std::string path = "tuner_bad.table";
+  {
+    std::ofstream out(path);
+    out << "not a tune table\n";
+  }
+  EXPECT_THROW(TuneTable::load(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(TuneTable::load("does_not_exist.table"), Error);
+}
+
+}  // namespace
+}  // namespace xbgas
