@@ -25,20 +25,27 @@
 #      request books (requests == served + failed on every survivor),
 #      identical accounting on a same-seed replay, and post-failover
 #      throughput >= 50% of pre-failover
-#  12. nbi + write-combining smoke (docs/COLLECTIVES.md): the explicit-
+#  12. partition-tolerance smoke (docs/RESILIENCE.md): the both-sides quorum
+#      proof (64-PE scripted split: majority shrinks + verifies a golden
+#      allreduce, minority unwinds with PartitionedError), the unreachable-
+#      escalation and fail-fast suites, a scripted + seeded bench_partition
+#      soak with bit-identical replays, and the committed
+#      BENCH_partition.json re-gated
+#  13. nbi + write-combining smoke (docs/COLLECTIVES.md): the explicit-
 #      handle test wall (request RMA, write combiner, the new sanitizer
 #      epochs, nbi conformance — every conformance case runs under
 #      --xbrsan full internally) plus bench_gups, which exits nonzero
 #      unless coalescing wins >= 2x bitwise-identically and the chunked-nbi
 #      ring allreduce beats the blocking ring at 64 PEs
-#  13. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
+#  14. scaling smoke (docs/SCALING.md): the 256-PE integration suite, the
 #      1024-PE slow smoke, and a bench_scaling run checking the modeled
 #      barrier latency actually grows log-depth, not linearly
-#  14. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
-#  15. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
+#  15. ASan+UBSan pass (-DXBGAS_SANITIZE=address) over the full test suite
+#  16. ThreadSanitizer pass (-DXBGAS_SANITIZE=thread) over the concurrency-
 #      heavy suites: machine (incl. the fiber scheduler), trace, fault, san,
-#      nbi/write-combining, recovery, serving, scaling, and the collectives
-#      conformance sweep (blocking and nbi axes)
+#      nbi/write-combining, recovery, serving, scaling, partition/
+#      unreachable, and the collectives conformance sweep (blocking and
+#      nbi axes)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build; the ASan and TSan
 # stages use <build-dir>-asan and <build-dir>-tsan)
@@ -47,21 +54,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "== [1/15] tier-1 verify (configure + build + full ctest, -Werror on) =="
+echo "== [1/16] tier-1 verify (configure + build + full ctest, -Werror on) =="
 cmake -B "$BUILD" -S . -DXBGAS_WERROR=ON
 cmake --build "$BUILD" -j
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
-echo "== [2/15] fast path: unit label only (ctest -L unit) =="
+echo "== [2/16] fast path: unit label only (ctest -L unit) =="
 ctest --test-dir "$BUILD" -L unit --output-on-failure -j "$(nproc)"
 
-echo "== [3/15] observability suite (ctest -R trace) =="
+echo "== [3/16] observability suite (ctest -R trace) =="
 ctest --test-dir "$BUILD" -R trace --output-on-failure
 
-echo "== [4/15] disabled-path overhead guard =="
+echo "== [4/16] disabled-path overhead guard =="
 "$BUILD"/tests/trace/trace_overhead_test
 
-echo "== [5/15] trace + counters smoke (bench_pt2pt) =="
+echo "== [5/16] trace + counters smoke (bench_pt2pt) =="
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$BUILD"/bench/bench_pt2pt --trace-out="$TMP/t.json" --counters=json \
@@ -80,7 +87,7 @@ print(f"smoke OK: {len(trace['traceEvents'])} trace events, "
       f"{len(tracks)} PE tracks, {counters['net.messages']} remote RMAs")
 EOF
 
-echo "== [6/15] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
+echo "== [6/16] fault-injection smoke (bench_pt2pt, docs/RESILIENCE.md) =="
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
     --counters=json > "$TMP/fault1.txt"
 "$BUILD"/bench/bench_pt2pt --fault-rma-drop=0.01 --fault-seed=7 \
@@ -100,7 +107,7 @@ print(f"fault smoke OK: {counters['fault.injected.rma_drop']} drops "
       f"absorbed by {counters['rma.retries']} retries, deterministic replay")
 EOF
 
-echo "== [7/15] collective-policy smoke (docs/COLLECTIVES.md) =="
+echo "== [7/16] collective-policy smoke (docs/COLLECTIVES.md) =="
 "$BUILD"/bench/bench_policy_crossover --pes 8 --sizes 16,4096 --reps 1 \
     --json "$TMP/cross.json" > /dev/null
 python3 - "$TMP" <<'EOF'
@@ -117,7 +124,7 @@ print("policy smoke OK: auto flips tree->ring across the crossover and "
       "tracks the faster family")
 EOF
 
-echo "== [8/15] hierarchy + tuner gauntlet (docs/COLLECTIVES.md) =="
+echo "== [8/16] hierarchy + tuner gauntlet (docs/COLLECTIVES.md) =="
 # The engine/tuner test wall: k-nomial schedules, the depth x radix x PE
 # conformance axis (each case under XbrSan full internally), the tuner
 # round-trip, and the three regression suites from this PR's bugfixes.
@@ -169,7 +176,7 @@ for m in machines:
 print("committed BENCH_osu.json OK")
 EOF
 
-echo "== [9/15] XbrSan smoke (docs/SANITIZER.md) =="
+echo "== [9/16] XbrSan smoke (docs/SANITIZER.md) =="
 # Positive: a real workload under full checking finishes with 0 violations.
 "$BUILD"/bench/bench_pt2pt --xbrsan=full --counters=json > "$TMP/san.txt"
 python3 - "$TMP" <<'EOF'
@@ -191,14 +198,14 @@ EOF
 grep -q 'XbrSan\[out_of_bounds\]' "$TMP/san_neg.txt"
 echo "xbrsan negative smoke OK: planted bug detected"
 
-echo "== [10/15] survivor-recovery chaos smoke (bench_chaos) =="
+echo "== [10/16] survivor-recovery chaos smoke (bench_chaos) =="
 # Scripted: the acceptance kill plan (mid-barrier + mid-RMA on 12 PEs).
 "$BUILD"/bench/bench_chaos --pes 12 --rounds 4 \
     --fault-kill 3:barrier:11,7:rma:4
 # Soak: seeded-random kill plans; every seed must recover and verify.
 "$BUILD"/bench/bench_chaos --pes 10 --seeds 8 --rounds 4
 
-echo "== [11/15] serving chaos smoke (bench_serving, docs/SERVING.md) =="
+echo "== [11/16] serving chaos smoke (bench_serving, docs/SERVING.md) =="
 # Scripted: one mid-RMA kill under default transport faults on 12 PEs.
 "$BUILD"/bench/bench_serving --pes 12 --batches 12 --ops-per-batch 32 \
     --fault-kill 5:rma:40
@@ -209,7 +216,40 @@ echo "== [11/15] serving chaos smoke (bench_serving, docs/SERVING.md) =="
 "$BUILD"/bench/bench_serving --pes 10 --batches 12 --ops-per-batch 32 \
     --seeds 4
 
-echo "== [12/15] nbi + write-combining smoke (bench_gups, docs/COLLECTIVES.md) =="
+echo "== [12/16] partition-tolerance smoke (bench_partition, docs/RESILIENCE.md) =="
+# The both-sides quorum proof and the fail-fast conformance axis: the 64-PE
+# scripted split (majority shrinks + verifies, minority unwinds typed), the
+# unreachable-peer escalation suite, and every blocking op terminating
+# typed against a dead link with a zero retry budget.
+ctest --test-dir "$BUILD" \
+    -R '(PartitionQuorum|UnreachableEscalation|UnreachableFailFast|LinkFaults|DegradedTopologyView|LinkConfig)' \
+    --output-on-failure -j "$(nproc)"
+# Scripted: the acceptance split — ranks 48-63 cut off mid-traffic at 64
+# PEs. The bench exits nonzero unless the majority evicts exactly the
+# scripted minority by quorum and keeps serving with balanced books.
+"$BUILD"/bench/bench_partition --pes 64 --fault-partition 48-63@200000
+# Soak: seeded plans (odd seeds partition a contiguous minority, even seeds
+# kill 2-4 point-to-point links), each run twice for bit-identical
+# accounting.
+"$BUILD"/bench/bench_partition --pes 64 --seeds 2
+# The committed soak (BENCH_partition.json) must satisfy the same gates.
+python3 - BENCH_partition.json <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["n_pes"] >= 64, "committed soak must run at >= 64 PEs"
+assert any("partition" in r["plan"] for r in data["runs"]), \
+    "committed soak lacks a 2-way partition plan"
+assert any("link" in r["plan"] for r in data["runs"]), \
+    "committed soak lacks a point-to-point link plan"
+for r in data["runs"]:
+    assert r["recovered"] and r["quorum_ok"] and r["progress_ok"] \
+        and r["deterministic"], f"committed seed {r['seed']} failed a gate: {r}"
+assert data["all_ok"], "committed bench_partition run reported failure"
+print(f"committed BENCH_partition.json OK: {len(data['runs'])} seeded splits, "
+      f"every eviction by quorum, bit-identical replays")
+EOF
+
+echo "== [13/16] nbi + write-combining smoke (bench_gups, docs/COLLECTIVES.md) =="
 # The explicit-handle test wall in the main build: request-RMA semantics,
 # the write combiner, the three new XbrSan epochs (negative + positive),
 # the hedged-nbi failover ledger, and the nbi conformance axis — each
@@ -237,7 +277,7 @@ print(f"nbi smoke OK: coalescing {g['speedup']}x over {g['combiner']['flushes']}
       f"flushes, pipelined allreduce {ar['speedup']}x at {ar['n_pes']} PEs")
 EOF
 
-echo "== [13/15] scaling smoke (docs/SCALING.md) =="
+echo "== [14/16] scaling smoke (docs/SCALING.md) =="
 # 256-PE conformance/recovery/chaos cases ride the integration suite; the
 # 1024-PE smoke is its own slow-labeled binary.
 ctest --test-dir "$BUILD" -R 'Scaling' --output-on-failure
@@ -258,18 +298,18 @@ print(f"scaling smoke OK: barrier {points[16]['barrier_cycles']} -> "
       f"{points[1024]['workers']} worker(s)")
 EOF
 
-echo "== [14/15] ASan+UBSan pass (full test suite) =="
+echo "== [15/16] ASan+UBSan pass (full test suite) =="
 cmake -B "$BUILD-asan" -S . -DXBGAS_SANITIZE=address -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-asan" -j
 ctest --test-dir "$BUILD-asan" --output-on-failure -j "$(nproc)"
 
-echo "== [15/15] TSan pass (machine + sched + trace + fault + san + nbi + recovery + serving + conformance + scaling) =="
+echo "== [16/16] TSan pass (machine + sched + trace + fault + san + nbi + recovery + serving + conformance + scaling) =="
 cmake -B "$BUILD-tsan" -S . -DXBGAS_SANITIZE=thread -DXBGAS_WERROR=ON \
     -DXBGAS_BUILD_BENCH=OFF -DXBGAS_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD-tsan" -j
 ctest --test-dir "$BUILD-tsan" \
-    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Nbi|WriteCombiner|Conformance|Hierarch|Knomial|Tuner|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling)' \
+    -R '(machine|Machine|Barrier|Sched|trace|fault|San|Nonblocking|Nbi|WriteCombiner|Conformance|Hierarch|Knomial|Tuner|Agree|Shrink|Checkpoint|Recovery|recovery|Serving|serving|Zipf|Scaling|Partition|Unreachable|LinkFaults)' \
     --output-on-failure -j "$(nproc)"
 
 echo "== all checks passed =="

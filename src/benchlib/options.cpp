@@ -87,14 +87,97 @@ MachineConfig machine_config_from_cli(const CliArgs& args, int n_pes) {
       spec.site = KillSite::kRma;
     } else if (site == "agree") {
       spec.site = KillSite::kAgree;
+    } else if (site == "amo") {
+      spec.site = KillSite::kAmo;
     } else {
-      throw Error("--fault-kill site must be barrier, rma, or agree, got " +
-                  site);
+      throw Error(
+          "--fault-kill site must be barrier, rma, agree, or amo, got " +
+          site);
     }
     spec.rank = std::stoi(kill.substr(0, c1));
     spec.at = static_cast<std::uint64_t>(std::stoll(kill.substr(c2 + 1)));
     config.fault.kills.push_back(spec);
   }
+
+  // Scripted link faults: A-B:MODE@AT[@HEAL][,...], MODE in {down,degraded}.
+  // AT/HEAL are modeled cycles on the observing PE's clock; full range
+  // validation happens in validate_fault_config.
+  std::string links = args.get("fault-link", "");
+  while (!links.empty()) {
+    const std::size_t comma = links.find(',');
+    const std::string one = links.substr(0, comma);
+    links = comma == std::string::npos ? "" : links.substr(comma + 1);
+
+    const std::size_t dash = one.find('-');
+    const std::size_t colon =
+        dash == std::string::npos ? std::string::npos : one.find(':', dash + 1);
+    const std::size_t at1 = colon == std::string::npos
+                                ? std::string::npos
+                                : one.find('@', colon + 1);
+    if (at1 == std::string::npos) {
+      throw Error(
+          "--fault-link expects A-B:MODE@AT[@HEAL][,...] "
+          "(e.g. 0-3:down@500), got " + one);
+    }
+    LinkSpec spec;
+    const std::string mode = one.substr(colon + 1, at1 - colon - 1);
+    if (mode == "down") {
+      spec.mode = LinkFaultMode::kDown;
+    } else if (mode == "degraded") {
+      spec.mode = LinkFaultMode::kDegraded;
+    } else {
+      throw Error("--fault-link mode must be down or degraded, got " + mode);
+    }
+    spec.a = std::stoi(one.substr(0, dash));
+    spec.b = std::stoi(one.substr(dash + 1, colon - dash - 1));
+    const std::size_t at2 = one.find('@', at1 + 1);
+    spec.at = static_cast<std::uint64_t>(
+        std::stoll(one.substr(at1 + 1, at2 == std::string::npos
+                                           ? std::string::npos
+                                           : at2 - at1 - 1)));
+    if (at2 != std::string::npos) {
+      spec.heal_at =
+          static_cast<std::uint64_t>(std::stoll(one.substr(at2 + 1)));
+    }
+    config.fault.links.push_back(spec);
+  }
+
+  // Scripted 2-way partitions: LO-HI@AT[@HEAL][,...] — ranks [LO, HI]
+  // versus everyone else, every crossing link down.
+  std::string parts = args.get("fault-partition", "");
+  while (!parts.empty()) {
+    const std::size_t comma = parts.find(',');
+    const std::string one = parts.substr(0, comma);
+    parts = comma == std::string::npos ? "" : parts.substr(comma + 1);
+
+    const std::size_t dash = one.find('-');
+    const std::size_t at1 =
+        dash == std::string::npos ? std::string::npos : one.find('@', dash + 1);
+    if (at1 == std::string::npos) {
+      throw Error(
+          "--fault-partition expects LO-HI@AT[@HEAL][,...] "
+          "(e.g. 0-31@2000), got " + one);
+    }
+    PartitionSpec spec;
+    spec.lo = std::stoi(one.substr(0, dash));
+    spec.hi = std::stoi(one.substr(dash + 1, at1 - dash - 1));
+    const std::size_t at2 = one.find('@', at1 + 1);
+    spec.at = static_cast<std::uint64_t>(
+        std::stoll(one.substr(at1 + 1, at2 == std::string::npos
+                                           ? std::string::npos
+                                           : at2 - at1 - 1)));
+    if (at2 != std::string::npos) {
+      spec.heal_at =
+          static_cast<std::uint64_t>(std::stoll(one.substr(at2 + 1)));
+    }
+    config.fault.partitions.push_back(spec);
+  }
+
+  config.fault.degraded_beta_factor =
+      args.get_double("fault-link-beta", config.fault.degraded_beta_factor);
+  config.fault.degraded_alpha_cycles = static_cast<std::uint64_t>(args.get_int(
+      "fault-link-alpha",
+      static_cast<std::int64_t>(config.fault.degraded_alpha_cycles)));
 
   config.coll_algo = args.get("coll-algo", "auto");
   (void)parse_coll_algo(config.coll_algo);  // validate eagerly, clear error

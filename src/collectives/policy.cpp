@@ -199,10 +199,64 @@ void CollectivePolicy::set_tune_table(TuneTable table) {
   g_tuner_entries.store(tune_table_.size(), std::memory_order_relaxed);
 }
 
+void CollectivePolicy::apply_link_faults(
+    std::vector<std::pair<int, int>> down_pairs, const MachineConfig& config) {
+  for (auto& p : down_pairs) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+  }
+  std::sort(down_pairs.begin(), down_pairs.end());
+  down_pairs.erase(std::unique(down_pairs.begin(), down_pairs.end()),
+                   down_pairs.end());
+  down_pairs_ = std::move(down_pairs);
+  if (down_pairs_.empty() || config.n_pes <= 1) return;
+  const auto topology = make_topology(config.topology_name, config.n_pes);
+  const DegradedTopologyView view(*topology, down_pairs_);
+  mean_hops_ = view.degraded_mean_hops();
+}
+
+bool CollectivePolicy::level_cut(int g, int n_pes) const {
+  for (const auto& p : down_pairs_) {
+    if (p.second < n_pes && p.first / g == p.second / g) return true;
+  }
+  return false;
+}
+
+bool CollectivePolicy::family_blocked(CollAlgo algo, int n_pes) const {
+  if (down_pairs_.empty() || n_pes <= 1) return false;
+  const auto down = [&](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return std::binary_search(down_pairs_.begin(), down_pairs_.end(),
+                              std::make_pair(a, b));
+  };
+  switch (algo) {
+    case CollAlgo::kRing:
+      for (int r = 0; r < n_pes; ++r) {
+        if (down(r, (r + 1) % n_pes)) return true;
+      }
+      return false;
+    case CollAlgo::kTree: {
+      // k-nomial parent edges rooted at 0: rank r's parent clears r's
+      // lowest nonzero base-k digit.
+      const int k = std::max(default_radix_, 2);
+      for (int r = 1; r < n_pes; ++r) {
+        long long place = 1;
+        while ((r / place) % k == 0) place *= k;
+        const int parent = static_cast<int>(r - r % (place * k));
+        if (down(parent, r)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
 std::vector<int> CollectivePolicy::hier_groups(int n_pes) const {
   std::vector<int> groups;
   for (const int g : cluster_groups_) {
-    if (g >= 2 && g < n_pes && n_pes % g == 0) groups.push_back(g);
+    if (g >= 2 && g < n_pes && n_pes % g == 0 && !level_cut(g, n_pes)) {
+      groups.push_back(g);
+    }
   }
   return groups;
 }
@@ -335,7 +389,7 @@ double CollectivePolicy::hier_cost(CollKind kind, int n_pes,
   std::vector<int> link_hops;
   for (std::size_t i = 0; i < cluster_groups_.size(); ++i) {
     const int g = cluster_groups_[i];
-    if (g >= 2 && g < n_pes && n_pes % g == 0) {
+    if (g >= 2 && g < n_pes && n_pes % g == 0 && !level_cut(g, n_pes)) {
       groups.push_back(g);
       link_hops.push_back(cluster_hops_[i]);
     }
@@ -408,11 +462,24 @@ CollAlgo CollectivePolicy::choose(CollKind kind, int n_pes,
     if (forced_ == CollAlgo::kHier && !hier_ok) return CollAlgo::kTree;
     return forced_;
   }
-  const double tree = tree_cost(kind, n_pes, nelems, elem_size);
-  const double ring = ring_ok ? ring_cost(kind, n_pes, nelems, elem_size)
-                              : std::numeric_limits<double>::infinity();
+  double tree = tree_cost(kind, n_pes, nelems, elem_size);
+  double ring = ring_ok ? ring_cost(kind, n_pes, nelems, elem_size)
+                        : std::numeric_limits<double>::infinity();
   const double hier = hier_ok ? hier_cost(kind, n_pes, nelems, elem_size)
                               : std::numeric_limits<double>::infinity();
+  if (!down_pairs_.empty()) {
+    // Route around dead links: a family whose fixed schedule crosses one is
+    // out of the running — unless every family is blocked, in which case
+    // the costs stand and the unreachable-peer escalation takes over.
+    const double inf = std::numeric_limits<double>::infinity();
+    const double b_tree = family_blocked(CollAlgo::kTree, n_pes) ? inf : tree;
+    const double b_ring = family_blocked(CollAlgo::kRing, n_pes) ? inf : ring;
+    if (std::isfinite(b_tree) || std::isfinite(b_ring) ||
+        std::isfinite(hier)) {
+      tree = b_tree;
+      ring = b_ring;
+    }
+  }
   CollAlgo best = CollAlgo::kTree;
   double best_cost = tree;
   if (ring < best_cost) {
@@ -523,12 +590,23 @@ const CollectivePolicy& active_collective_policy() {
   // thread_locals outlive any single Machine, and the allocator may hand a
   // later Machine the same address — so the cache is keyed by the
   // never-reused instance_id, not the Machine pointer.
+  // The link-fault version joins the key: a scripted link going down (or
+  // healing) rebuilds the policy, so routes, mean hops, and level stacks
+  // re-derive from the degraded reachability view.
   thread_local std::uint64_t cached_for = 0;  // instance ids start at 1
+  thread_local std::uint64_t cached_link_version = 0;
   thread_local CollectivePolicy cached;
   const Machine& machine = xbrtime_ctx().machine();
-  if (cached_for != machine.instance_id()) {
+  const std::uint64_t link_version = machine.network().link_faults().version();
+  if (cached_for != machine.instance_id() ||
+      cached_link_version != link_version) {
     cached = CollectivePolicy(machine.config());
+    if (link_version != 0) {
+      cached.apply_link_faults(machine.network().link_faults().down_pairs(),
+                               machine.config());
+    }
     cached_for = machine.instance_id();
+    cached_link_version = link_version;
   }
   return cached;
 }

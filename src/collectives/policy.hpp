@@ -153,6 +153,28 @@ class CollectivePolicy {
     return cluster_groups_.empty() ? 0 : cluster_groups_.front();
   }
 
+  /// Apply the scripted link plan's currently-down pairs to the model:
+  /// mean hops re-derive from the degraded reachability view
+  /// (DegradedTopologyView), hierarchy levels with an intra-group dead link
+  /// drop out of hier_groups()/hier_cost(), and families whose fixed
+  /// schedules cross a dead link are excluded from choose() (unless every
+  /// family is blocked, in which case costs stand and the escalation
+  /// machinery handles the crossing). active_collective_policy() calls this
+  /// on every LinkFaults version change.
+  void apply_link_faults(std::vector<std::pair<int, int>> down_pairs,
+                         const MachineConfig& config);
+
+  /// The down pairs currently applied (normalized a < b, sorted).
+  const std::vector<std::pair<int, int>>& down_pairs() const {
+    return down_pairs_;
+  }
+
+  /// True when `algo`'s fixed schedule over ranks [0, n_pes) crosses a down
+  /// pair: the ring's consecutive cycle, or the k-nomial tree's parent
+  /// edges (root 0, default radix). Hier is never blocked here — its level
+  /// stack is filtered per group instead.
+  bool family_blocked(CollAlgo algo, int n_pes) const;
+
   /// The topology's grouping widths usable as a hierarchy over n_pes:
   /// cluster levels that divide n_pes and are smaller than it, ascending.
   /// Empty on non-cluster fabrics (or when nothing divides).
@@ -204,10 +226,14 @@ class CollectivePolicy {
                                std::size_t elem_size) const;
 
  private:
+  /// True when a down pair falls inside one width-`g` group of [0, n_pes).
+  bool level_cut(int g, int n_pes) const;
+
   NetCostParams net_{};
   double mean_hops_ = 1.0;
   std::vector<int> cluster_groups_;  ///< ascending widths (empty: no cluster)
   std::vector<int> cluster_hops_;    ///< boundary costs, parallel to groups
+  std::vector<std::pair<int, int>> down_pairs_;  ///< normalized, sorted
   int default_radix_ = 2;
   CollAlgo forced_ = CollAlgo::kAuto;
   TuneTable tune_table_;

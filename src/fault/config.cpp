@@ -23,6 +23,7 @@ const char* kill_site_name(KillSite s) {
     case KillSite::kBarrier: return "barrier";
     case KillSite::kRma: return "rma";
     case KillSite::kAgree: return "agree";
+    case KillSite::kAmo: return "amo";
   }
   return "unknown";
 }
@@ -41,6 +42,54 @@ void check_kill(const KillSpec& k, int n_pes) {
     throw FaultConfigError(
         "scripted kill at " + std::string(kill_site_name(k.site)) +
         " #0 can never fire (trigger counts are 1-based); use at >= 1");
+  }
+}
+
+void check_link(const LinkSpec& l, int n_pes) {
+  if (l.a < 0 || l.a >= n_pes || l.b < 0 || l.b >= n_pes) {
+    throw FaultConfigError("scripted link fault (" + std::to_string(l.a) +
+                           ", " + std::to_string(l.b) +
+                           ") names a rank out of range for a " +
+                           std::to_string(n_pes) + "-PE machine");
+  }
+  if (l.a == l.b) {
+    throw FaultConfigError("scripted link fault (" + std::to_string(l.a) +
+                           ", " + std::to_string(l.b) +
+                           ") is a self-loop: a PE's local path cannot fail");
+  }
+  if (l.at == 0) {
+    throw FaultConfigError(
+        "scripted link fault activates at cycle 0; activation cycles are "
+        ">= 1 so a fresh machine always starts with the link up");
+  }
+  if (l.heal_at != 0 && l.heal_at <= l.at) {
+    throw FaultConfigError(
+        "scripted link fault heals at cycle " + std::to_string(l.heal_at) +
+        " which is not after its activation at cycle " + std::to_string(l.at));
+  }
+}
+
+void check_partition(const PartitionSpec& p, int n_pes) {
+  if (p.lo < 0 || p.hi < p.lo || p.hi >= n_pes) {
+    throw FaultConfigError("scripted partition group [" +
+                           std::to_string(p.lo) + ", " + std::to_string(p.hi) +
+                           "] is not a valid rank range on a " +
+                           std::to_string(n_pes) + "-PE machine");
+  }
+  if (p.lo == 0 && p.hi == n_pes - 1) {
+    throw FaultConfigError(
+        "scripted partition group covers every rank; a 2-way partition needs "
+        "a proper subset on each side");
+  }
+  if (p.at == 0) {
+    throw FaultConfigError(
+        "scripted partition activates at cycle 0; activation cycles are "
+        ">= 1 so a fresh machine always starts connected");
+  }
+  if (p.heal_at != 0 && p.heal_at <= p.at) {
+    throw FaultConfigError(
+        "scripted partition heals at cycle " + std::to_string(p.heal_at) +
+        " which is not after its activation at cycle " + std::to_string(p.at));
   }
 }
 
@@ -64,6 +113,15 @@ void validate_fault_config(const FaultConfig& config, int n_pes) {
         "cost of resilience; use a positive base (default 64)");
   }
   for (const KillSpec& k : config.all_kills()) check_kill(k, n_pes);
+  if (std::isnan(config.degraded_beta_factor) ||
+      config.degraded_beta_factor < 1.0) {
+    throw FaultConfigError(
+        "FaultConfig::degraded_beta_factor must be >= 1 (a degraded link "
+        "cannot be faster than a healthy one), got " +
+        std::to_string(config.degraded_beta_factor));
+  }
+  for (const LinkSpec& l : config.links) check_link(l, n_pes);
+  for (const PartitionSpec& p : config.partitions) check_partition(p, n_pes);
 }
 
 }  // namespace xbgas

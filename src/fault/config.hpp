@@ -26,6 +26,7 @@ enum class KillSite : std::uint8_t {
   kBarrier,  ///< at the victim's k-th barrier arrival
   kRma,      ///< at the victim's k-th remote RMA issue
   kAgree,    ///< at the victim's k-th xbr_agree protocol step
+  kAmo,      ///< at the victim's k-th remote AMO issue
 };
 
 /// One scripted PE crash: `rank` dies at its `at`-th trigger of `site`.
@@ -37,6 +38,39 @@ struct KillSpec {
   int rank = -1;
   KillSite site = KillSite::kNone;
   std::uint64_t at = 1;
+};
+
+/// How a scripted link fault degrades the pair path it names.
+enum class LinkFaultMode : std::uint8_t {
+  kDown,      ///< every transfer across the link is dropped (permanently)
+  kDegraded,  ///< transfers still land but pay extra alpha/beta cycles
+};
+
+/// One scripted persistent link fault: the undirected pair path (a, b)
+/// enters `mode` once either endpoint's modeled clock reaches `at` cycles,
+/// and (optionally) heals at `heal_at`. Unlike the probabilistic transient
+/// faults above, link faults are *persistent and scripted*: they need no RNG
+/// stream, they are evaluated against the issuing PE's deterministic
+/// SimClock, and a down link keeps dropping until it heals — that is what
+/// turns bounded retries into an unreachable-peer verdict.
+struct LinkSpec {
+  int a = -1;
+  int b = -1;
+  LinkFaultMode mode = LinkFaultMode::kDown;
+  std::uint64_t at = 1;       ///< modeled cycle the fault activates (>= 1)
+  std::uint64_t heal_at = 0;  ///< modeled cycle it heals; 0 = never
+};
+
+/// One scripted 2-way network partition: once a member PE's modeled clock
+/// reaches `at`, every link between group A = [lo, hi] and its complement is
+/// down (and heals together at `heal_at`, if set). Sugar for |A| * |B|
+/// LinkSpecs; expressed separately so a 64-PE split is one CLI token and one
+/// config entry, not a thousand.
+struct PartitionSpec {
+  int lo = -1;                ///< group A = world ranks [lo, hi] inclusive
+  int hi = -1;
+  std::uint64_t at = 1;       ///< modeled cycle the partition activates
+  std::uint64_t heal_at = 0;  ///< modeled cycle it heals; 0 = never
 };
 
 struct FaultConfig {
@@ -99,6 +133,18 @@ struct FaultConfig {
   /// dying at distinct points of a 12-PE run — is expressed here.
   std::vector<KillSpec> kills;
 
+  // -- Scripted persistent link / partition faults --
+  /// Individual link faults (--fault-link "A-B:MODE@AT[@HEAL]", comma list).
+  std::vector<LinkSpec> links;
+  /// 2-way partitions (--fault-partition "LO-HI@AT[@HEAL]", comma list).
+  std::vector<PartitionSpec> partitions;
+  /// A degraded link multiplies its serialization (beta) term by this
+  /// factor (--fault-link-beta); must be >= 1.
+  double degraded_beta_factor = 4.0;
+  /// Extra per-attempt latency (alpha) a degraded link charges, in modeled
+  /// cycles (--fault-link-alpha).
+  std::uint64_t degraded_alpha_cycles = 0;
+
   /// The legacy single-kill fields and the kill list, merged.
   std::vector<KillSpec> all_kills() const {
     std::vector<KillSpec> out;
@@ -115,7 +161,8 @@ struct FaultConfig {
     return rma_drop_prob > 0.0 || rma_delay_prob > 0.0 ||
            rma_bitflip_prob > 0.0 || olb_fault_prob > 0.0 ||
            amo_drop_prob > 0.0 || amo_delay_prob > 0.0 ||
-           kill_site != KillSite::kNone || !kills.empty();
+           kill_site != KillSite::kNone || !kills.empty() ||
+           !links.empty() || !partitions.empty();
   }
 };
 

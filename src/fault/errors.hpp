@@ -25,17 +25,83 @@ class FaultConfigError : public Error {
 };
 
 /// A remote transfer kept failing after the bounded retry/backoff budget
-/// (FaultConfig::max_rma_retries) was exhausted.
+/// (FaultConfig::max_rma_retries) was exhausted. Carries structured facts —
+/// which target rank, which transport site (olb/drop/checksum/amo/wc_flush),
+/// how many attempts — so the serving retry layer and the unreachable-peer
+/// escalation can switch on fields instead of parsing the message.
 class RmaRetriesExhaustedError : public Error {
  public:
   RmaRetriesExhaustedError(const std::string& what_arg, int attempts)
-      : Error(what_arg), attempts_(attempts) {}
+      : RmaRetriesExhaustedError(what_arg, attempts, /*target_rank=*/-1,
+                                 /*site=*/"") {}
+
+  RmaRetriesExhaustedError(const std::string& what_arg, int attempts,
+                           int target_rank, std::string site)
+      : Error(what_arg),
+        attempts_(attempts),
+        target_rank_(target_rank),
+        site_(std::move(site)) {}
 
   /// Total attempts performed (first try + retries).
   int attempts() const { return attempts_; }
+  /// World rank of the remote target the transfer failed against, or -1.
+  int target_rank() const { return target_rank_; }
+  /// Transport site that exhausted: "olb", "drop", "checksum", "amo_drop",
+  /// "wc_flush", or "" (legacy 2-arg construction).
+  const std::string& site() const { return site_; }
 
  private:
   int attempts_;
+  int target_rank_;
+  std::string site_;
+};
+
+/// Escalation of RmaRetriesExhaustedError when the failing attempts were all
+/// crossing a link the fault plan has scripted *down*: the peer is not
+/// transiently lossy, it is unreachable from this PE. Derives from
+/// RmaRetriesExhaustedError so legacy catch sites keep compiling, but sites
+/// that can recover (serving) must catch this type first and feed `peer()`
+/// to the suspect -> xbr_agree -> xbr_team_shrink machinery as if the peer
+/// had died.
+class PeUnreachableError : public RmaRetriesExhaustedError {
+ public:
+  PeUnreachableError(const std::string& what_arg, int attempts, int peer,
+                     std::string site, int link_a, int link_b)
+      : RmaRetriesExhaustedError(what_arg, attempts, peer, std::move(site)),
+        link_a_(link_a),
+        link_b_(link_b) {}
+
+  /// World rank of the unreachable peer (alias of target_rank()).
+  int peer() const { return target_rank(); }
+  /// Endpoints of the dead link, normalized a < b.
+  int link_a() const { return link_a_; }
+  int link_b() const { return link_b_; }
+
+ private:
+  int link_a_;
+  int link_b_;
+};
+
+/// Thrown on every PE that the quorum rule of xbr_agree placed on the losing
+/// side of a network partition: the majority component decided (and will
+/// shrink) without this rank, so the only safe move is to unwind — acting on
+/// local state would split the brain. Carries the majority roster so
+/// diagnostics can say who kept going.
+class PartitionedError : public Error {
+ public:
+  PartitionedError(const std::string& what_arg, int rank,
+                   std::vector<int> majority)
+      : Error(what_arg), rank_(rank), majority_(std::move(majority)) {}
+
+  /// This PE's world rank.
+  int rank() const { return rank_; }
+  /// World ranks of the majority component that proceeded without us
+  /// (empty when no component reached quorum at all).
+  const std::vector<int>& majority_ranks() const { return majority_; }
+
+ private:
+  int rank_;
+  std::vector<int> majority_;
 };
 
 /// A barrier watchdog fired: some participants never arrived within the

@@ -29,7 +29,8 @@ FaultInjector::FaultInjector(const FaultConfig& config, int n_pes)
     kill_mask_[static_cast<std::size_t>(k.rank)] |=
         k.site == KillSite::kBarrier ? kMaskBarrier
         : k.site == KillSite::kRma   ? kMaskRma
-                                     : kMaskAgree;
+        : k.site == KillSite::kAgree ? kMaskAgree
+                                     : kMaskAmo;
   }
   pes_.reserve(static_cast<std::size_t>(n_pes));
   for (int r = 0; r < n_pes; ++r) {

@@ -38,6 +38,8 @@ enum class FaultSite : std::uint8_t {
   kKill = 4,
   kAmoDrop = 5,
   kAmoDelay = 6,
+  kLinkDown = 7,
+  kLinkDegraded = 8,
 };
 
 constexpr const char* fault_site_name(FaultSite s) {
@@ -49,6 +51,8 @@ constexpr const char* fault_site_name(FaultSite s) {
     case FaultSite::kKill: return "kill";
     case FaultSite::kAmoDrop: return "amo_drop";
     case FaultSite::kAmoDelay: return "amo_delay";
+    case FaultSite::kLinkDown: return "link_down";
+    case FaultSite::kLinkDegraded: return "link_degraded";
   }
   return "unknown";
 }
@@ -67,6 +71,9 @@ struct FaultCounters {
   std::atomic<std::uint64_t> amo_drops{0};
   std::atomic<std::uint64_t> amo_delays{0};
   std::atomic<std::uint64_t> amo_retries{0};
+  std::atomic<std::uint64_t> link_down_drops{0};
+  std::atomic<std::uint64_t> link_degraded{0};
+  std::atomic<std::uint64_t> pe_unreachable{0};
 
   void reset() {
     rma_drops = 0;
@@ -80,6 +87,9 @@ struct FaultCounters {
     amo_drops = 0;
     amo_delays = 0;
     amo_retries = 0;
+    link_down_drops = 0;
+    link_degraded = 0;
+    pe_unreachable = 0;
   }
 };
 
@@ -139,6 +149,14 @@ class FaultInjector {
     if ((kill_mask(rank) & kMaskAgree) == 0) return;
     count_and_maybe_kill(rank, KillSite::kAgree, "agree step");
   }
+  void on_amo_issue(int rank) {
+    // An AMO is a remote issue too: the legacy "rma" site keeps counting
+    // every remote transfer (so existing scripted-kill calibrations are
+    // unchanged), while the "amo" site triggers on AMO issues alone.
+    on_rma_issue(rank);
+    if ((kill_mask(rank) & kMaskAmo) == 0) return;
+    count_and_maybe_kill(rank, KillSite::kAmo, "AMO");
+  }
 
   FaultCounters& counters() { return counters_; }
   const FaultCounters& counters() const { return counters_; }
@@ -166,7 +184,8 @@ class FaultInjector {
   static constexpr std::uint8_t kMaskBarrier = 1;
   static constexpr std::uint8_t kMaskRma = 2;
   static constexpr std::uint8_t kMaskAgree = 4;
-  static constexpr int kKillSites = 3;  // barrier, rma, agree
+  static constexpr std::uint8_t kMaskAmo = 8;
+  static constexpr int kKillSites = 4;  // barrier, rma, agree, amo
 
   /// One PE's private injection state; cache-line separated so concurrent
   /// PEs never share a line.
@@ -176,7 +195,10 @@ class FaultInjector {
   };
 
   static int site_index(KillSite site) {
-    return site == KillSite::kBarrier ? 0 : site == KillSite::kRma ? 1 : 2;
+    return site == KillSite::kBarrier ? 0
+           : site == KillSite::kRma   ? 1
+           : site == KillSite::kAgree ? 2
+                                      : 3;
   }
   std::uint8_t kill_mask(int rank) const {
     return kill_mask_[static_cast<std::size_t>(rank)];

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -79,6 +80,11 @@ struct AgreeDecision {
   std::vector<int> roster;        ///< surviving world ranks, ascending
   std::uint64_t flag = 0;         ///< AND over the survivors' contributions
   std::uint64_t max_cycles = 0;   ///< max contributor SimClock at decision
+  /// Live ranks the quorum rule excluded: the minority side of a network
+  /// partition plus peers evicted as unreachable over a dead link. These
+  /// ranks are pre-acknowledged at decision time and unwind with
+  /// PartitionedError (ascending; empty when the reachability graph is whole).
+  std::vector<int> partitioned;
 };
 
 class RecoveryState {
@@ -105,6 +111,24 @@ class RecoveryState {
   /// True when `rank` failed AND an agreement has acknowledged the failure.
   bool acknowledged(int rank) const;
 
+  // -- Reachability graph (fed by LinkFaults callbacks + escalation) --
+
+  /// Record that the direct pair path (a, b) is scripted down / healed.
+  /// Wired to LinkFaults by the Machine so the quorum rule of xbr_agree sees
+  /// the same reachability graph the transport enforces.
+  void note_link_down(int a, int b);
+  void note_link_up(int a, int b);
+
+  /// Record that `reporter` exhausted its retries against `suspect` across a
+  /// dead link (PeUnreachableError escalation). The next agreement whose
+  /// majority component still contains both endpoints evicts the larger one
+  /// into AgreeDecision::partitioned — survivors expel unreachable-but-alive
+  /// peers exactly like dead ones.
+  void note_unreachable(int reporter, int suspect);
+
+  /// Pairs (a < b) currently noted down (diagnostics/tests).
+  std::vector<std::pair<int, int>> down_pairs() const;
+
   /// Completed agreements on this machine (the recovery epoch).
   std::uint64_t epoch() const;
 
@@ -120,11 +144,21 @@ class RecoveryState {
                   std::uint64_t flag, std::uint64_t cycles);
 
   /// Block until agreement (`seq`, `expected`) decides, taking over the
-  /// decision duty whenever this rank is the smallest live expected member
-  /// and every expected member has either contributed or failed. Throws
-  /// AgreementTimeoutError after `timeout_ms` host milliseconds (0 selects
-  /// the 60 s safety net) naming the ranks that neither contributed nor
-  /// failed.
+  /// decision duty whenever this rank is the smallest member of the majority
+  /// component and every live member of that component has contributed.
+  ///
+  /// Quorum rule (split-brain safety): only the component of the live
+  /// expected ranks — connected over full-mesh-minus-down-pairs — holding a
+  /// *strict majority* of the live expected set may decide; its decision
+  /// needs no contribution from the minority, so the majority side makes
+  /// progress while partitioned. Callers the decision lists as partitioned
+  /// (minority members, evicted unreachable peers) throw PartitionedError
+  /// here instead of returning. When no component holds a quorum (an even
+  /// split), the global smallest live rank folds an empty no-quorum decision
+  /// once every live rank contributed, and every caller unwinds with
+  /// PartitionedError. Throws AgreementTimeoutError after `timeout_ms` host
+  /// milliseconds (0 selects the 60 s safety net) naming the ranks that
+  /// neither contributed nor failed.
   AgreeDecision await_decision(int rank, std::uint64_t seq,
                                const std::vector<int>& expected,
                                std::uint64_t timeout_ms);
@@ -147,6 +181,10 @@ class RecoveryState {
   using RoundKey = std::pair<std::uint64_t, std::vector<int>>;
 
   Round& round_locked(std::uint64_t seq, const std::vector<int>& expected);
+  /// Majority component of `live` over full-mesh-minus-down_pairs_; empty
+  /// when no component holds a strict majority. Requires mutex_ held.
+  std::vector<int> majority_component_locked(
+      const std::vector<int>& live) const;
 
   const int n_pes_;
   mutable std::mutex mutex_;
@@ -156,6 +194,11 @@ class RecoveryState {
   std::vector<std::uint64_t> participations_;  ///< per-rank agreement count
   std::uint64_t epoch_ = 0;
   std::map<RoundKey, Round> rounds_;
+  /// Pair paths currently scripted down (normalized a < b).
+  std::set<std::pair<int, int>> down_pairs_;
+  /// Escalation notes: (a, b) -> times some PE reported the peer across the
+  /// pair unreachable after exhausting retries.
+  std::map<std::pair<int, int>, int> unreachable_notes_;
   RecoveryCounters counters_;
 };
 

@@ -103,6 +103,17 @@ Machine::Machine(const MachineConfig& config)
         [this, world_ranks] { sanitizer_.on_barrier_all_arrived(world_ranks); });
   }
   register_barrier(world_barrier_.get());
+  // Scripted link/partition faults: the transport consults the LinkFaults
+  // plan per attempt; down/heal transitions feed the recovery roster's
+  // reachability graph so xbr_agree's quorum rule sees exactly the links
+  // the transport enforces.
+  network_.configure_link_faults(config.fault, config.n_pes);
+  if (!network_.link_faults().empty()) {
+    network_.link_faults().set_down_callback(
+        [this](int a, int b) { recovery_.note_link_down(a, b); });
+    network_.link_faults().set_heal_callback(
+        [this](int a, int b) { recovery_.note_link_up(a, b); });
+  }
   set_log_rank_provider(&log_rank_provider);
 }
 
@@ -338,6 +349,20 @@ void Machine::register_barrier(ClockSyncBarrier* barrier) {
 void Machine::unregister_barrier(ClockSyncBarrier* barrier) {
   const std::lock_guard<std::mutex> lock(barriers_mutex_);
   std::erase(barriers_, barrier);
+}
+
+void Machine::poison_barriers_for_unreachable(int suspect,
+                                              const std::string& cause) {
+  BarrierPoison info;
+  info.failed_rank = suspect;
+  info.reason = "PE " + std::to_string(suspect) +
+                " is unreachable (" + cause +
+                "); surviving PEs enter recovery";
+  const std::lock_guard<std::mutex> lock(barriers_mutex_);
+  // One-shot: only barriers that exist right now are poisoned. The suspect
+  // is alive, so no primary_poisons_ entry is recorded — barriers created
+  // after the quorum decision (the shrunken team's) must be born clean.
+  for (auto* b : barriers_) b->poison(info);
 }
 
 void Machine::poison_all_barriers(int failed_rank, const std::string& cause) {

@@ -294,6 +294,15 @@ class Machine {
   void register_barrier(ClockSyncBarrier* barrier);
   void unregister_barrier(ClockSyncBarrier* barrier);
 
+  /// Unreachable-peer escalation (PeUnreachableError): poison the barriers
+  /// registered *right now* with `suspect` as the failed rank, so every
+  /// blocked PE unwinds with PeFailedError naming the suspect and enters
+  /// the same agree -> shrink recovery a death triggers. Unlike a death,
+  /// the suspect is alive: it is NOT marked failed and no birth-poison is
+  /// recorded — barriers created after the quorum decision are born clean,
+  /// and the quorum rule (not this call) decides who is evicted.
+  void poison_barriers_for_unreachable(int suspect, const std::string& cause);
+
  private:
   /// Poison every registered barrier with the failing rank and cause; while
   /// the failure is unacknowledged its poison info also applies to

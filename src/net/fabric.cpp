@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
@@ -43,6 +45,145 @@ std::uint64_t serialization_cycles(std::size_t bytes, double bytes_per_cycle) {
       std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
 }
 }  // namespace
+
+void LinkFaults::configure(const FaultConfig& config, int n_pes) {
+  n_pes_ = n_pes;
+  degraded_beta_factor_ = config.degraded_beta_factor;
+  degraded_alpha_cycles_ = config.degraded_alpha_cycles;
+  links_.clear();
+  partitions_.clear();
+  for (const LinkSpec& l : config.links) {
+    auto e = std::make_unique<LinkEntry>();
+    e->spec = l;
+    if (e->spec.a > e->spec.b) std::swap(e->spec.a, e->spec.b);
+    links_.push_back(std::move(e));
+  }
+  for (const PartitionSpec& p : config.partitions) {
+    auto e = std::make_unique<PartitionEntry>();
+    e->spec = p;
+    partitions_.push_back(std::move(e));
+  }
+}
+
+void LinkFaults::fire_link(LinkEntry& e, std::uint64_t now) {
+  bool expected = false;
+  if (now >= e.spec.at &&
+      e.activated.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    if (e.spec.mode == LinkFaultMode::kDown && down_cb_) {
+      down_cb_(e.spec.a, e.spec.b);
+    }
+  }
+  expected = false;
+  if (e.spec.heal_at != 0 && now >= e.spec.heal_at &&
+      e.healed.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    heals_.fetch_add(1, std::memory_order_relaxed);
+    if (e.spec.mode == LinkFaultMode::kDown && heal_cb_) {
+      heal_cb_(e.spec.a, e.spec.b);
+    }
+  }
+}
+
+void LinkFaults::fire_partition(PartitionEntry& e, std::uint64_t now) {
+  bool expected = false;
+  if (now >= e.spec.at &&
+      e.activated.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    if (down_cb_) {
+      for (int a = e.spec.lo; a <= e.spec.hi; ++a) {
+        for (int b = 0; b < n_pes_; ++b) {
+          if (b >= e.spec.lo && b <= e.spec.hi) continue;
+          down_cb_(a < b ? a : b, a < b ? b : a);
+        }
+      }
+    }
+  }
+  expected = false;
+  if (e.spec.heal_at != 0 && now >= e.spec.heal_at &&
+      e.healed.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    heals_.fetch_add(1, std::memory_order_relaxed);
+    if (heal_cb_) {
+      for (int a = e.spec.lo; a <= e.spec.hi; ++a) {
+        for (int b = 0; b < n_pes_; ++b) {
+          if (b >= e.spec.lo && b <= e.spec.hi) continue;
+          heal_cb_(a < b ? a : b, a < b ? b : a);
+        }
+      }
+    }
+  }
+}
+
+LinkStatus LinkFaults::status(int src_pe, int dst_pe, std::uint64_t now) {
+  if (empty() || src_pe == dst_pe) return LinkStatus::kUp;
+  const int a = src_pe < dst_pe ? src_pe : dst_pe;
+  const int b = src_pe < dst_pe ? dst_pe : src_pe;
+  LinkStatus result = LinkStatus::kUp;
+  for (auto& e : links_) {
+    if (e->spec.a != a || e->spec.b != b) continue;
+    fire_link(*e, now);
+    if (!window_active(e->spec.at, e->spec.heal_at, now)) continue;
+    if (e->spec.mode == LinkFaultMode::kDown) {
+      result = LinkStatus::kDown;
+    } else if (result == LinkStatus::kUp) {
+      result = LinkStatus::kDegraded;
+    }
+  }
+  for (auto& e : partitions_) {
+    if (!partition_covers(e->spec, a, b)) continue;
+    fire_partition(*e, now);
+    if (window_active(e->spec.at, e->spec.heal_at, now)) {
+      result = LinkStatus::kDown;
+    }
+  }
+  if (result == LinkStatus::kDown) {
+    down_observed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result == LinkStatus::kDegraded) {
+    degraded_observed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+std::vector<std::pair<int, int>> LinkFaults::down_pairs() const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& e : links_) {
+    if (e->spec.mode != LinkFaultMode::kDown) continue;
+    if (!e->activated.load(std::memory_order_acquire)) continue;
+    if (e->spec.heal_at != 0 && e->healed.load(std::memory_order_acquire)) {
+      continue;
+    }
+    out.emplace_back(e->spec.a, e->spec.b);
+  }
+  for (const auto& e : partitions_) {
+    if (!e->activated.load(std::memory_order_acquire)) continue;
+    if (e->spec.heal_at != 0 && e->healed.load(std::memory_order_acquire)) {
+      continue;
+    }
+    for (int a = e->spec.lo; a <= e->spec.hi; ++a) {
+      for (int b = 0; b < n_pes_; ++b) {
+        if (b >= e->spec.lo && b <= e->spec.hi) continue;
+        out.emplace_back(a < b ? a : b, a < b ? b : a);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint64_t NetworkModel::degraded_penalty_cycles(std::size_t bytes) const {
+  const std::uint64_t ser = serialization_cycles(
+      bytes + params_.message_header_bytes, params_.link_bytes_per_cycle);
+  const double factor = link_faults_.degraded_beta_factor();
+  const auto extra = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(ser) * (factor - 1.0)));
+  return extra + link_faults_.degraded_alpha_cycles();
+}
 
 std::uint64_t NetworkModel::put_cost(int src_pe, int dst_pe,
                                      std::size_t bytes) const {

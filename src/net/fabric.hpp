@@ -20,11 +20,114 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "fault/config.hpp"
 #include "net/topology.hpp"
 
 namespace xbgas {
+
+/// Instantaneous health of the pair path between two PEs (LinkFaults).
+enum class LinkStatus : std::uint8_t {
+  kUp,        ///< healthy: normal cost, transfers land
+  kDown,      ///< scripted down: every transfer across it is dropped
+  kDegraded,  ///< scripted degraded: transfers land but pay extra cycles
+};
+
+/// Scripted persistent link/partition faults (FaultConfig::links/partitions),
+/// evaluated against the *issuing PE's modeled clock* — never host time — so
+/// fault placement is bit-identical across runs and thread schedules.
+///
+/// Activation is sticky and global: the first consult that observes a spec
+/// past its activation (heal) cycle atomically claims the transition, bumps
+/// the version counter, and fires the down (heal) callback once per affected
+/// pair. The Machine wires those callbacks into RecoveryState so the quorum
+/// rule of xbr_agree sees the same reachability graph the transport does.
+class LinkFaults {
+ public:
+  /// Callback invoked once per (a, b) pair, a < b, when a down-mode spec
+  /// activates or heals. May be invoked from any PE's context; must be
+  /// thread-safe and must not call back into LinkFaults.
+  using PairCallback = std::function<void(int a, int b)>;
+
+  /// Install the scripted plan. Called once, before any PE runs.
+  void configure(const FaultConfig& config, int n_pes);
+
+  /// True when no link/partition fault is scripted (the transport's fast
+  /// path consults this before anything else).
+  bool empty() const { return links_.empty() && partitions_.empty(); }
+
+  /// Health of the pair path (src, dst) at modeled cycle `now` of the
+  /// consulting PE. Down takes precedence over degraded when specs overlap.
+  /// Also performs sticky activation/heal bookkeeping (callbacks, version).
+  LinkStatus status(int src_pe, int dst_pe, std::uint64_t now);
+
+  /// Monotone counter bumped on every activation/heal transition; policy
+  /// caches key on it to rebuild their reachability view when it changes.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  void set_down_callback(PairCallback cb) { down_cb_ = std::move(cb); }
+  void set_heal_callback(PairCallback cb) { heal_cb_ = std::move(cb); }
+
+  /// Pairs (a < b) whose direct path is down right now, according to the
+  /// transitions observed so far. Cold path (policy rebuilds).
+  std::vector<std::pair<int, int>> down_pairs() const;
+
+  // -- Observation counters (collect_counters: net.link.*) --
+  std::uint64_t down_observed() const {
+    return down_observed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t degraded_observed() const {
+    return degraded_observed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t heals() const {
+    return heals_.load(std::memory_order_relaxed);
+  }
+
+  double degraded_beta_factor() const { return degraded_beta_factor_; }
+  std::uint64_t degraded_alpha_cycles() const { return degraded_alpha_cycles_; }
+
+ private:
+  struct LinkEntry {
+    LinkSpec spec;  // normalized a < b
+    std::atomic<bool> activated{false};
+    std::atomic<bool> healed{false};
+  };
+  struct PartitionEntry {
+    PartitionSpec spec;
+    std::atomic<bool> activated{false};
+    std::atomic<bool> healed{false};
+  };
+
+  static bool window_active(std::uint64_t at, std::uint64_t heal_at,
+                            std::uint64_t now) {
+    return now >= at && (heal_at == 0 || now < heal_at);
+  }
+  bool partition_covers(const PartitionSpec& p, int a, int b) const {
+    const bool a_in = a >= p.lo && a <= p.hi;
+    const bool b_in = b >= p.lo && b <= p.hi;
+    return a_in != b_in;
+  }
+  void fire_link(LinkEntry& e, std::uint64_t now);
+  void fire_partition(PartitionEntry& e, std::uint64_t now);
+
+  int n_pes_ = 0;
+  double degraded_beta_factor_ = 4.0;
+  std::uint64_t degraded_alpha_cycles_ = 0;
+  std::vector<std::unique_ptr<LinkEntry>> links_;
+  std::vector<std::unique_ptr<PartitionEntry>> partitions_;
+  PairCallback down_cb_;
+  PairCallback heal_cb_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> down_observed_{0};
+  std::atomic<std::uint64_t> degraded_observed_{0};
+  std::atomic<std::uint64_t> heals_{0};
+};
 
 /// Modeled barrier algorithm (ablation A4). The thread rendezvous is always
 /// the same; this selects the *cost model* for the message exchange the
@@ -114,6 +217,20 @@ class NetworkModel {
   /// accounting at clock 0 (between benchmark repetitions).
   void reset_phase();
 
+  /// Install the scripted link/partition fault plan (Machine construction).
+  void configure_link_faults(const FaultConfig& config, int n_pes) {
+    link_faults_.configure(config, n_pes);
+  }
+
+  /// Scripted link/partition fault state (LinkFaults::empty() when none).
+  LinkFaults& link_faults() { return link_faults_; }
+  const LinkFaults& link_faults() const { return link_faults_; }
+
+  /// Extra cycles one attempt across a *degraded* link pays: the
+  /// serialization term re-charged at the degraded beta factor, plus the
+  /// configured degraded alpha.
+  std::uint64_t degraded_penalty_cycles(std::size_t bytes) const;
+
  private:
   std::unique_ptr<Topology> topology_;
   NetCostParams params_;
@@ -129,6 +246,8 @@ class NetworkModel {
   std::atomic<std::uint64_t> total_hops_{0};
   std::atomic<std::uint64_t> total_phases_{0};
   std::atomic<std::uint64_t> total_stall_cycles_{0};
+
+  LinkFaults link_faults_;
 };
 
 }  // namespace xbgas

@@ -1,9 +1,11 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
@@ -161,6 +163,88 @@ std::string ClusterTopology::name() const {
                   levels_[i].hops);
   }
   return out;
+}
+
+DegradedTopologyView::DegradedTopologyView(
+    const Topology& base, std::vector<std::pair<int, int>> down_pairs)
+    : base_(base), down_(std::move(down_pairs)) {
+  for (auto& p : down_) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+  }
+  std::sort(down_.begin(), down_.end());
+  down_.erase(std::unique(down_.begin(), down_.end()), down_.end());
+  // All-pairs cheapest routes over the surviving pair graph: one dense
+  // Dijkstra per source (no heap; the graph is a near-complete mesh, so the
+  // O(n^2)-per-source scan is already optimal). Cold path — rebuilt only
+  // when the link-fault version changes.
+  const auto n = static_cast<std::size_t>(base_.size());
+  cost_.assign(n * n, kUnreachable);
+  std::vector<long long> dist(n);
+  std::vector<char> done(n);
+  constexpr long long kInf = -1;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(done.begin(), done.end(), 0);
+    dist[s] = 0;
+    for (std::size_t iter = 0; iter < n; ++iter) {
+      std::size_t u = n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!done[v] && dist[v] != kInf && (u == n || dist[v] < dist[u])) {
+          u = v;
+        }
+      }
+      if (u == n) break;
+      done[u] = 1;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (done[v] || v == u ||
+            pair_down(static_cast<int>(u), static_cast<int>(v))) {
+          continue;
+        }
+        const long long cand =
+            dist[u] + base_.hops(static_cast<int>(u), static_cast<int>(v));
+        if (dist[v] == kInf || cand < dist[v]) dist[v] = cand;
+      }
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      cost_[s * n + d] =
+          dist[d] == kInf ? kUnreachable : static_cast<int>(dist[d]);
+    }
+  }
+}
+
+bool DegradedTopologyView::pair_down(int a, int b) const {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return std::binary_search(down_.begin(), down_.end(), key);
+}
+
+int DegradedTopologyView::hops(int src, int dst) const {
+  check_endpoint(base_.size(), src, dst);
+  return cost_[static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(base_.size()) +
+               static_cast<std::size_t>(dst)];
+}
+
+int DegradedTopologyView::link_count() const {
+  const int cut = static_cast<int>(down_.size()) * 2;  // both directions
+  const int base = base_.link_count();
+  return cut >= base ? 0 : base - cut;
+}
+
+double DegradedTopologyView::degraded_mean_hops() const {
+  long long total = 0;
+  long long pairs = 0;
+  const auto n = static_cast<std::size_t>(base_.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const int h = cost_[s * n + d];
+      if (h == kUnreachable) continue;
+      total += h;
+      ++pairs;
+    }
+  }
+  if (pairs == 0) return base_.mean_hops();
+  return static_cast<double>(total) / static_cast<double>(pairs);
 }
 
 std::unique_ptr<Topology> make_topology(const std::string& name, int n) {

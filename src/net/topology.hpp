@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xbgas {
@@ -132,6 +133,46 @@ class ClusterTopology final : public Topology {
  private:
   int n_;
   std::vector<ClusterLevel> levels_;
+};
+
+/// Reachability/cost view of a base topology with some direct pair paths
+/// scripted down (LinkFaults::down_pairs()). Routing is modeled as shortest
+/// path over the surviving pair graph: `hops(s, d)` is the cheapest sum of
+/// base hop counts along any sequence of up pair paths, or `kUnreachable`
+/// when the down set disconnects the pair. CollectivePolicy consumes this to
+/// re-derive mean hops and route viability after a link fault — collectives
+/// route around dead links when a path exists.
+class DegradedTopologyView final : public Topology {
+ public:
+  static constexpr int kUnreachable = -1;
+
+  DegradedTopologyView(const Topology& base,
+                       std::vector<std::pair<int, int>> down_pairs);
+
+  int size() const override { return base_.size(); }
+  /// Cheapest multi-hop route cost, or kUnreachable when disconnected.
+  int hops(int src, int dst) const override;
+  int link_count() const override;
+  std::string name() const override { return base_.name() + "+degraded"; }
+
+  /// True when some up path (possibly multi-hop) connects the pair.
+  bool reachable(int src, int dst) const {
+    return hops(src, dst) != kUnreachable;
+  }
+  /// Mean route cost over *reachable* ordered pairs (src != dst); falls back
+  /// to the base mean when every pair is cut off.
+  double degraded_mean_hops() const;
+  const std::vector<std::pair<int, int>>& down_pairs() const {
+    return down_;
+  }
+
+ private:
+  bool pair_down(int a, int b) const;
+
+  const Topology& base_;
+  std::vector<std::pair<int, int>> down_;  // normalized a < b, sorted
+  // Precomputed all-pairs route costs (row-major, kUnreachable = cut off).
+  std::vector<int> cost_;
 };
 
 /// Factory: name in {flat, ring, torus, hypercube} or

@@ -76,6 +76,11 @@ bool ServingClient::attempt(const ServingRequest& request, int target,
           // which is exactly the data a later failover could lose.
           try {
             store_.store_value(request.key, v, replica);
+          } catch (const PeUnreachableError&) {
+            // An unreachable replica is not a lossy one: the whole component
+            // behind the dead link needs eviction, so escalate to recovery
+            // instead of letting the replica silently lag forever.
+            throw;
           } catch (const RmaRetriesExhaustedError&) {
             ++counters_.replica_skips;
           }
@@ -91,6 +96,8 @@ bool ServingClient::attempt(const ServingRequest& request, int target,
         if (replica != primary) {
           try {
             store_.add_value(request.key, delta, replica);
+          } catch (const PeUnreachableError&) {
+            throw;  // see the put path: unreachable replicas escalate
           } catch (const RmaRetriesExhaustedError&) {
             ++counters_.replica_skips;
           }
@@ -99,6 +106,11 @@ bool ServingClient::attempt(const ServingRequest& request, int target,
         return true;
       }
     }
+  } catch (const PeUnreachableError&) {
+    // Retries died against a link scripted *down*: the peer is partitioned
+    // away, not flaky, so retrying this attempt can never succeed. Escalate
+    // to execute()'s recovery loop.
+    throw;
   } catch (const RmaRetriesExhaustedError&) {
     // The machine's own RMA/AMO retry layer gave up on this transfer; that
     // is one failed serving attempt. (PeKilledError is deliberately not
@@ -110,7 +122,6 @@ bool ServingClient::attempt(const ServingRequest& request, int target,
 
 ServingOutcome ServingClient::execute(const ServingRequest& request) {
   using Kind = ServingRequest::Kind;
-  PeContext& ctx = xbrtime_ctx();
 
   ++counters_.requests;
   switch (request.kind) {
@@ -118,6 +129,27 @@ ServingOutcome ServingClient::execute(const ServingRequest& request) {
     case Kind::kPut: ++counters_.puts; break;
     case Kind::kIncr: ++counters_.incrs; break;
   }
+
+  // Unreachable-peer escalation: a PeUnreachableError means the owner sits
+  // behind a link the fault plan scripted down, so no amount of per-request
+  // retrying helps. Run the full failover sequence (agree evicts the
+  // unreachable component by quorum), then re-drive the request against the
+  // shrunken view's re-derived owners. Each escalation evicts at least one
+  // rank, so this loop terminates. PartitionedError is *not* caught: on the
+  // minority side of a split there is no quorum to serve from, and the
+  // request must unwind.
+  for (;;) {
+    try {
+      return execute_once(request);
+    } catch (const PeUnreachableError&) {
+      recover();
+    }
+  }
+}
+
+ServingOutcome ServingClient::execute_once(const ServingRequest& request) {
+  using Kind = ServingRequest::Kind;
+  PeContext& ctx = xbrtime_ctx();
 
   const std::uint64_t start = ctx.clock().cycles();
   const std::uint64_t deadline = start + config_.op_timeout_cycles;
@@ -274,6 +306,11 @@ bool ServingClient::end_batch() {
     } catch (const PeFailedError&) {
       recover();
       failed_over = true;
+    } catch (const PeUnreachableError&) {
+      // The periodic checkpoint's snapshot traffic hit a down link: same
+      // failover sequence — the quorum evicts the unreachable component.
+      recover();
+      failed_over = true;
     }
   }
 }
@@ -322,6 +359,11 @@ void ServingClient::recover() {
       // old_view stays the pre-failure view, and the suspect log is still
       // intact, so replay is at-least-once across nested recoveries.
       continue;
+    } catch (const PeUnreachableError&) {
+      // Mid-recovery traffic (checkpoint, rebalance, replay) died against a
+      // down link to a not-yet-evicted member: the suspect is recorded, so
+      // re-entering the shrink lets the quorum evict it and move on.
+      continue;
     }
   }
   ctx.trace().record(EventKind::kServing, -1,
@@ -366,6 +408,11 @@ void ServingClient::resolve_suspects(const ShardView& old_view) {
         ctx.trace().record(EventKind::kServing, new_p,
                            static_cast<std::uint64_t>(ServingOp::kReplay),
                            s.key);
+      } catch (const PeUnreachableError&) {
+        // The new owner is itself behind a dead link: abandon this replay
+        // pass and re-enter recovery; the log survives, so replay stays
+        // at-least-once across the nested escalation.
+        throw;
       } catch (const RmaRetriesExhaustedError&) {
         // Replay itself hit transport faults past the retry budget: the
         // write cannot be re-established, so withdraw the acknowledgment —

@@ -99,6 +99,10 @@ class ServingClient {
 
   bool attempt(const ServingRequest& request, int target, int primary,
                int replica, std::uint64_t* value_out);
+  /// One pass of the retry/hedge pipeline against the current view. Throws
+  /// PeUnreachableError when a transfer dies against a down link; execute()
+  /// catches it, runs recover(), and re-drives against the shrunken view.
+  ServingOutcome execute_once(const ServingRequest& request);
   void recover();
   void resolve_suspects(const ShardView& old_view);
   void checkpoint_now();

@@ -59,6 +59,11 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("net.stall_cycles", net.stall_cycles);
   reg.set("net.phase_bytes_open", machine.network().phase_bytes());
 
+  const LinkFaults& links = machine.network().link_faults();
+  reg.set("net.link.down_observed", links.down_observed());
+  reg.set("net.link.degraded_observed", links.degraded_observed());
+  reg.set("net.link.healed", links.heals());
+
   const Tracer& tracer = machine.tracer();
   reg.set("trace.enabled", tracer.enabled() ? 1 : 0);
   reg.set("trace.recorded", tracer.total_recorded());
@@ -75,6 +80,9 @@ inline CounterRegistry collect_counters(const Machine& machine) {
   reg.set("fault.injected.kills", ld(fault.kills));
   reg.set("fault.injected.amo_drop", ld(fault.amo_drops));
   reg.set("fault.injected.amo_delay", ld(fault.amo_delays));
+  reg.set("fault.injected.link_down", ld(fault.link_down_drops));
+  reg.set("fault.injected.link_degraded", ld(fault.link_degraded));
+  reg.set("fault.injected.unreachable", ld(fault.pe_unreachable));
   reg.set("rma.retries", ld(fault.rma_retries));
   reg.set("amo.retries", ld(fault.amo_retries));
   reg.set("rma.checksum_failures", ld(fault.checksum_failures));

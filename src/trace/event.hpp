@@ -69,9 +69,15 @@ enum class EventKind : std::uint8_t {
   // target leaving as a single batched transfer. a = payload bytes,
   // b = coalesced put count; target_pe = the destination shard.
   kWcFlush,
+  // Unreachable-peer escalation (src/xbrtime/transport.hpp): this PE's
+  // retries exhausted against a link scripted down, so the transfer failure
+  // became a PeUnreachableError. a/b = the dead link's endpoints (a < b);
+  // target_pe = the unreachable peer.
+  kLinkFault,
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kWcFlush) + 1;
+inline constexpr int kEventKindCount =
+    static_cast<int>(EventKind::kLinkFault) + 1;
 
 /// Which recovery-protocol step a kRecovery event records (payload `a`).
 enum class RecoveryOp : std::uint8_t {
@@ -146,6 +152,7 @@ constexpr const char* event_kind_name(EventKind k) {
     case EventKind::kRecovery: return "recovery";
     case EventKind::kServing: return "serving";
     case EventKind::kWcFlush: return "wc_flush";
+    case EventKind::kLinkFault: return "link_fault";
   }
   return "unknown";
 }

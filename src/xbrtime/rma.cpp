@@ -13,6 +13,7 @@
 #include "olb/olb.hpp"
 #include "san/sanitizer.hpp"
 #include "xbrtime/nbi.hpp"
+#include "xbrtime/transport.hpp"
 
 namespace xbgas {
 
@@ -135,6 +136,52 @@ void san_check_target(Sanitizer& san, PeContext& ctx, const char* fn,
 }  // namespace
 
 namespace detail {
+
+LinkStatus link_attempt_status(PeContext& ctx, int target_pe,
+                               std::uint64_t now, int attempt) {
+  const LinkStatus ls =
+      ctx.machine().network().link_faults().status(ctx.rank(), target_pe, now);
+  FaultCounters& counters = ctx.machine().fault_injector().counters();
+  if (ls == LinkStatus::kDown) {
+    counters.link_down_drops.fetch_add(1, std::memory_order_relaxed);
+    note_fault(ctx, target_pe, FaultSite::kLinkDown, attempt);
+  } else if (ls == LinkStatus::kDegraded) {
+    counters.link_degraded.fetch_add(1, std::memory_order_relaxed);
+    note_fault(ctx, target_pe, FaultSite::kLinkDegraded, attempt);
+  }
+  return ls;
+}
+
+void throw_transfer_failed(PeContext& ctx, int target_pe, const char* site,
+                           int attempts, const std::string& what) {
+  const int rank = ctx.rank();
+  Machine& machine = ctx.machine();
+  LinkFaults& links = machine.network().link_faults();
+  if (!links.empty() &&
+      links.status(rank, target_pe, ctx.clock().cycles()) ==
+          LinkStatus::kDown) {
+    // The retries died against a link scripted down: not a lossy transient
+    // but an unreachable peer. Escalate — record the suspect, pull every
+    // blocked PE into recovery, and throw the typed verdict.
+    const int a = rank < target_pe ? rank : target_pe;
+    const int b = rank < target_pe ? target_pe : rank;
+    machine.fault_injector().counters().pe_unreachable.fetch_add(
+        1, std::memory_order_relaxed);
+    ctx.trace().record(EventKind::kLinkFault, target_pe,
+                       static_cast<std::uint64_t>(a),
+                       static_cast<std::uint64_t>(b));
+    machine.recovery().note_unreachable(rank, target_pe);
+    machine.poison_barriers_for_unreachable(
+        target_pe, "PE " + std::to_string(rank) +
+                       " exhausted retries across down link (" +
+                       std::to_string(a) + ", " + std::to_string(b) + ")");
+    throw PeUnreachableError(
+        what + "; link (" + std::to_string(a) + ", " + std::to_string(b) +
+            ") is down — peer " + std::to_string(target_pe) + " unreachable",
+        attempts, target_pe, site, a, b);
+  }
+  throw RmaRetriesExhaustedError(what, attempts, target_pe, site);
+}
 
 void validate_rma(const char* fn, const void* dest, const void* src,
                   std::size_t nelems, int stride, int pe) {
@@ -291,6 +338,7 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
   // architectural OLB translation (§3.2), pays the full wire cost, and is
   // recorded in the phase/lifetime traffic accounting — a retransmission
   // consumes fabric bandwidth exactly like a first attempt.
+  const bool links_on = !net.link_faults().empty();
   const int max_attempts = 1 + std::max(0, fc.max_rma_retries);
   int attempt = 0;
   for (;;) {
@@ -300,16 +348,40 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
                              : net.get_cost(rank, pe, bytes);
     net.record(remote_is_dest, bytes, rank, pe);
 
+    if (links_on) {
+      // Scripted link plan, evaluated at this attempt's modeled time: a
+      // down link drops the attempt wholesale (retries keep failing until
+      // exhaustion escalates), a degraded one charges extra alpha/beta.
+      const LinkStatus ls = detail::link_attempt_status(
+          ctx, pe, ctx.clock().cycles() + cycles, attempt);
+      if (ls == LinkStatus::kDown) {
+        if (attempt >= max_attempts) {
+          ctx.clock().advance(cycles);
+          detail::throw_transfer_failed(
+              ctx, pe, "link_down", attempt,
+              "rma_transfer: " + std::to_string(attempt) +
+                  " attempts dropped by a down link (PE " +
+                  std::to_string(rank) + " -> " + std::to_string(pe) + ", " +
+                  std::to_string(bytes) + " bytes)");
+        }
+        cycles += note_retry(ctx, fault, pe, attempt);
+        continue;
+      }
+      if (ls == LinkStatus::kDegraded) {
+        cycles += net.degraded_penalty_cycles(bytes);
+      }
+    }
+
     if (faults_on && fault.draw_olb_fault(rank)) {
       fault.counters().olb_faults.fetch_add(1, std::memory_order_relaxed);
       note_fault(ctx, pe, FaultSite::kOlbFault, attempt);
       if (attempt >= max_attempts) {
         ctx.clock().advance(cycles);
-        throw RmaRetriesExhaustedError(
+        detail::throw_transfer_failed(
+            ctx, pe, "olb", attempt,
             "rma_transfer: OLB translation fault persisted through " +
                 std::to_string(attempt) + " attempts (PE " +
-                std::to_string(rank) + " -> " + std::to_string(pe) + ")",
-            attempt);
+                std::to_string(rank) + " -> " + std::to_string(pe) + ")");
       }
       cycles += note_retry(ctx, fault, pe, attempt);
       continue;
@@ -320,12 +392,12 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
       note_fault(ctx, pe, FaultSite::kRmaDrop, attempt);
       if (attempt >= max_attempts) {
         ctx.clock().advance(cycles);
-        throw RmaRetriesExhaustedError(
+        detail::throw_transfer_failed(
+            ctx, pe, "drop", attempt,
             "rma_transfer: remote transfer dropped " + std::to_string(attempt) +
                 " times, retries exhausted (PE " + std::to_string(rank) +
                 " -> " + std::to_string(pe) + ", " + std::to_string(bytes) +
-                " bytes)",
-            attempt);
+                " bytes)");
       }
       cycles += note_retry(ctx, fault, pe, attempt);
       continue;
@@ -365,11 +437,11 @@ void rma_transfer(void* dest, const void* src, std::size_t elem_size,
             1, std::memory_order_relaxed);
         if (attempt >= max_attempts) {
           ctx.clock().advance(cycles);
-          throw RmaRetriesExhaustedError(
+          detail::throw_transfer_failed(
+              ctx, pe, "checksum", attempt,
               "rma_transfer: payload checksum mismatch persisted through " +
                   std::to_string(attempt) + " attempts (PE " +
-                  std::to_string(rank) + " -> " + std::to_string(pe) + ")",
-              attempt);
+                  std::to_string(rank) + " -> " + std::to_string(pe) + ")");
         }
         cycles += note_retry(ctx, fault, pe, attempt);
         continue;
@@ -440,7 +512,7 @@ std::uint64_t amo_cycles(const char* fn, const void* local_addr,
   const FaultConfig& fc = fault.config();
   const bool faults_on = fault.enabled();
   const int rank = ctx.rank();
-  if (faults_on) fault.on_rma_issue(rank);  // scripted-kill site
+  if (faults_on) fault.on_amo_issue(rank);  // scripted-kill site
   NetworkModel& net = ctx.machine().network();
   ctx.trace().record(EventKind::kAmo, pe, bytes);
 
@@ -448,6 +520,7 @@ std::uint64_t amo_cycles(const char* fn, const void* local_addr,
   // re-pays the full round-trip wire cost; a dropped RMW request charges
   // backoff and goes again, exhaustion throws the same error the RMA path
   // does, so application-level retry policies treat both uniformly.
+  const bool links_on = !net.link_faults().empty();
   const int max_attempts = 1 + std::max(0, fc.max_rma_retries);
   std::uint64_t cycles = 0;
   int attempt = 0;
@@ -458,16 +531,41 @@ std::uint64_t amo_cycles(const char* fn, const void* local_addr,
     net.record(/*is_put=*/true, bytes, rank, pe);
     cycles += net.get_cost(rank, pe, bytes) + net.put_cost(rank, pe, bytes);
 
+    if (links_on) {
+      const LinkStatus ls = link_attempt_status(
+          ctx, pe, ctx.clock().cycles() + cycles, attempt);
+      if (ls == LinkStatus::kDown) {
+        if (attempt >= max_attempts) {
+          ctx.clock().advance(cycles);
+          throw_transfer_failed(
+              ctx, pe, "link_down", attempt,
+              std::string(fn) + ": " + std::to_string(attempt) +
+                  " RMW attempts dropped by a down link (PE " +
+                  std::to_string(rank) + " -> " + std::to_string(pe) + ")");
+        }
+        fault.counters().amo_retries.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t backoff = backoff_cycles(fc, attempt);
+        ctx.trace().record(EventKind::kRmaRetry, pe,
+                           static_cast<std::uint64_t>(attempt), backoff);
+        cycles += backoff;
+        continue;
+      }
+      if (ls == LinkStatus::kDegraded) {
+        // Round-trip RMW crosses the degraded link twice.
+        cycles += 2 * net.degraded_penalty_cycles(bytes);
+      }
+    }
+
     if (faults_on && fault.draw_amo_drop(rank)) {
       fault.counters().amo_drops.fetch_add(1, std::memory_order_relaxed);
       note_fault(ctx, pe, FaultSite::kAmoDrop, attempt);
       if (attempt >= max_attempts) {
         ctx.clock().advance(cycles);
-        throw RmaRetriesExhaustedError(
+        throw_transfer_failed(
+            ctx, pe, "amo_drop", attempt,
             std::string(fn) + ": remote RMW request dropped " +
                 std::to_string(attempt) + " times, retries exhausted (PE " +
-                std::to_string(rank) + " -> " + std::to_string(pe) + ")",
-            attempt);
+                std::to_string(rank) + " -> " + std::to_string(pe) + ")");
       }
       fault.counters().amo_retries.fetch_add(1, std::memory_order_relaxed);
       const std::uint64_t backoff = backoff_cycles(fc, attempt);

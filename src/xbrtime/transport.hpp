@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared transport-failure plumbing for every bounded-retry loop in the
+// xbrtime layer (rma put/get, remote AMO, write-combiner flush).
+//
+// Two pieces:
+//
+//  * link_attempt_status — the per-attempt consult of the scripted
+//    link/partition fault plan (LinkFaults), evaluated against the issuing
+//    PE's modeled clock plus its locally-accumulated attempt cycles, so
+//    fault placement is bit-identical across runs. Counts and traces the
+//    observation.
+//
+//  * throw_transfer_failed — the single terminal throw site that used to be
+//    hand-rolled per loop. It attaches the structured facts (target rank,
+//    site, attempts) to RmaRetriesExhaustedError, and when the retries died
+//    against a link the plan has scripted *down* it escalates: the peer is
+//    not lossy but unreachable, so it records the suspect in the recovery
+//    roster, poisons the currently-registered barriers (pulling every
+//    blocked PE into the same agree -> shrink recovery a death triggers),
+//    and throws the typed PeUnreachableError instead.
+
+#include <cstdint>
+#include <string>
+
+#include "machine/machine.hpp"
+#include "net/fabric.hpp"
+
+namespace xbgas {
+namespace detail {
+
+/// Consult the link plan for one transfer attempt from `ctx.rank()` to
+/// `target_pe` at modeled time `now` (clock + accumulated attempt cycles).
+/// kDown / kDegraded observations bump fault.injected.link_* counters and
+/// record a kFaultInject trace event. Callers must gate on
+/// `!network().link_faults().empty()` to keep the fault-free path one branch.
+LinkStatus link_attempt_status(PeContext& ctx, int target_pe,
+                               std::uint64_t now, int attempt);
+
+/// Terminal failure of a bounded-retry transfer loop. `site` is the
+/// transport stage that exhausted ("olb", "drop", "checksum", "amo_drop",
+/// "wc_flush", "link_down"). The caller must have advanced the PE clock
+/// already. Throws PeUnreachableError when the direct link to `target_pe`
+/// is down at the current modeled time (after recording the suspect and
+/// poisoning registered barriers), RmaRetriesExhaustedError otherwise.
+[[noreturn]] void throw_transfer_failed(PeContext& ctx, int target_pe,
+                                        const char* site, int attempts,
+                                        const std::string& what);
+
+}  // namespace detail
+}  // namespace xbgas

@@ -11,6 +11,7 @@
 #include "net/fabric.hpp"
 #include "olb/olb.hpp"
 #include "san/sanitizer.hpp"
+#include "xbrtime/transport.hpp"
 
 namespace xbgas {
 
@@ -153,8 +154,9 @@ void wc_flush_target(PeContext& ctx, int pe) {
   std::uint64_t cycles = 0;
 
   // One message for the whole batch: bounded retry against translation
-  // faults and drops, exactly like rma_transfer. The payload-corruption
-  // stages are skipped (see wc.hpp).
+  // faults, drops, and the scripted link plan, exactly like rma_transfer.
+  // The payload-corruption stages are skipped (see wc.hpp).
+  const bool links_on = !net.link_faults().empty();
   const int max_attempts = 1 + std::max(0, fc.max_rma_retries);
   int attempt = 0;
   for (;;) {
@@ -163,18 +165,47 @@ void wc_flush_target(PeContext& ctx, int pe) {
     cycles += net.put_cost(rank, pe, total);
     net.record(/*is_put=*/true, total, rank, pe);
 
+    if (links_on) {
+      const LinkStatus ls = link_attempt_status(
+          ctx, pe, ctx.clock().cycles() + cycles, attempt);
+      if (ls == LinkStatus::kDown) {
+        if (attempt >= max_attempts) {
+          ctx.clock().advance(cycles);
+          // Drop the batch before the throw: the flush failed terminally and
+          // must not replay stale entries on the next enqueue.
+          buf.entries.clear();
+          buf.payload.clear();
+          throw_transfer_failed(
+              ctx, pe, "wc_flush", attempt,
+              "wc_flush: " + std::to_string(attempt) +
+                  " batched attempts dropped by a down link (PE " +
+                  std::to_string(rank) + " -> " + std::to_string(pe) + ", " +
+                  std::to_string(total) + " bytes)");
+        }
+        fault.counters().rma_retries.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t backoff = backoff_cycles(fc, attempt);
+        ctx.trace().record(EventKind::kRmaRetry, pe,
+                           static_cast<std::uint64_t>(attempt), backoff);
+        cycles += backoff;
+        continue;
+      }
+      if (ls == LinkStatus::kDegraded) {
+        cycles += net.degraded_penalty_cycles(total);
+      }
+    }
+
     if (faults_on && (fault.draw_olb_fault(rank) || fault.draw_rma_drop(rank))) {
       fault.counters().rma_drops.fetch_add(1, std::memory_order_relaxed);
       if (attempt >= max_attempts) {
         ctx.clock().advance(cycles);
         buf.entries.clear();
         buf.payload.clear();
-        throw RmaRetriesExhaustedError(
+        throw_transfer_failed(
+            ctx, pe, "wc_flush", attempt,
             "wc_flush: batched transfer dropped " + std::to_string(attempt) +
                 " times, retries exhausted (PE " + std::to_string(rank) +
                 " -> " + std::to_string(pe) + ", " + std::to_string(total) +
-                " bytes)",
-            attempt);
+                " bytes)");
       }
       fault.counters().rma_retries.fetch_add(1, std::memory_order_relaxed);
       const std::uint64_t backoff = backoff_cycles(fc, attempt);

@@ -54,6 +54,66 @@ TEST(OptionsTest, PeCountsDefaultToPaperSweep) {
             (std::vector<int>{3, 6, 12}));
 }
 
+TEST(OptionsTest, FaultKillParsesAmoSite) {
+  const MachineConfig config =
+      machine_config_from_cli(make({"--fault-kill", "2:amo:5"}), 4);
+  ASSERT_EQ(config.fault.kills.size(), 1u);
+  EXPECT_EQ(config.fault.kills[0].rank, 2);
+  EXPECT_EQ(config.fault.kills[0].site, KillSite::kAmo);
+  EXPECT_EQ(config.fault.kills[0].at, 5u);
+  EXPECT_THROW(machine_config_from_cli(make({"--fault-kill", "2:mystery:5"}), 4),
+               Error);
+}
+
+TEST(OptionsTest, FaultLinkParsesModeWindowAndList) {
+  const MachineConfig config = machine_config_from_cli(
+      make({"--fault-link", "0-3:down@500,1-2:degraded@10@900"}), 4);
+  ASSERT_EQ(config.fault.links.size(), 2u);
+  EXPECT_EQ(config.fault.links[0].a, 0);
+  EXPECT_EQ(config.fault.links[0].b, 3);
+  EXPECT_EQ(config.fault.links[0].mode, LinkFaultMode::kDown);
+  EXPECT_EQ(config.fault.links[0].at, 500u);
+  EXPECT_EQ(config.fault.links[0].heal_at, 0u);
+  EXPECT_EQ(config.fault.links[1].a, 1);
+  EXPECT_EQ(config.fault.links[1].b, 2);
+  EXPECT_EQ(config.fault.links[1].mode, LinkFaultMode::kDegraded);
+  EXPECT_EQ(config.fault.links[1].at, 10u);
+  EXPECT_EQ(config.fault.links[1].heal_at, 900u);
+}
+
+TEST(OptionsTest, FaultLinkRejectsBadSyntaxAndMode) {
+  EXPECT_THROW(machine_config_from_cli(make({"--fault-link", "0-1"}), 4),
+               Error);
+  EXPECT_THROW(
+      machine_config_from_cli(make({"--fault-link", "0-1:flaky@5"}), 4),
+      Error);
+}
+
+TEST(OptionsTest, FaultPartitionParsesGroupAndHeal) {
+  const MachineConfig config = machine_config_from_cli(
+      make({"--fault-partition", "0-31@2000,48-63@100@400"}), 64);
+  ASSERT_EQ(config.fault.partitions.size(), 2u);
+  EXPECT_EQ(config.fault.partitions[0].lo, 0);
+  EXPECT_EQ(config.fault.partitions[0].hi, 31);
+  EXPECT_EQ(config.fault.partitions[0].at, 2000u);
+  EXPECT_EQ(config.fault.partitions[0].heal_at, 0u);
+  EXPECT_EQ(config.fault.partitions[1].lo, 48);
+  EXPECT_EQ(config.fault.partitions[1].hi, 63);
+  EXPECT_EQ(config.fault.partitions[1].heal_at, 400u);
+  EXPECT_THROW(machine_config_from_cli(make({"--fault-partition", "7@9"}), 16),
+               Error);
+}
+
+TEST(OptionsTest, DegradedLinkCostKnobs) {
+  const MachineConfig defaults = machine_config_from_cli(make({}), 4);
+  EXPECT_DOUBLE_EQ(defaults.fault.degraded_beta_factor, 4.0);
+  EXPECT_EQ(defaults.fault.degraded_alpha_cycles, 0u);
+  const MachineConfig config = machine_config_from_cli(
+      make({"--fault-link-beta", "2.5", "--fault-link-alpha", "200"}), 4);
+  EXPECT_DOUBLE_EQ(config.fault.degraded_beta_factor, 2.5);
+  EXPECT_EQ(config.fault.degraded_alpha_cycles, 200u);
+}
+
 TEST(OptionsTest, ConfigBuildsAWorkingMachine) {
   const MachineConfig config = machine_config_from_cli(
       make({"--topology", "cluster2x4", "--shared-mb", "1", "--private-mb",

@@ -1,0 +1,230 @@
+// LinkFaults — the scripted persistent link/partition fault engine — and
+// DegradedTopologyView, the reachability/cost view the collective policy
+// rebuilds from it. Everything here is pure cost-model state: no Machine,
+// no PE threads, so each property is pinned down in isolation.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace xbgas {
+namespace {
+
+LinkSpec link(int a, int b, LinkFaultMode mode, std::uint64_t at,
+              std::uint64_t heal_at = 0) {
+  LinkSpec s;
+  s.a = a;
+  s.b = b;
+  s.mode = mode;
+  s.at = at;
+  s.heal_at = heal_at;
+  return s;
+}
+
+PartitionSpec partition(int lo, int hi, std::uint64_t at,
+                        std::uint64_t heal_at = 0) {
+  PartitionSpec s;
+  s.lo = lo;
+  s.hi = hi;
+  s.at = at;
+  s.heal_at = heal_at;
+  return s;
+}
+
+TEST(LinkFaultsTest, EmptyPlanIsEmptyAndAlwaysUp) {
+  LinkFaults lf;
+  lf.configure(FaultConfig{}, 4);
+  EXPECT_TRUE(lf.empty());
+  EXPECT_EQ(lf.status(0, 1, 1'000'000), LinkStatus::kUp);
+  EXPECT_EQ(lf.version(), 0u);
+  EXPECT_TRUE(lf.down_pairs().empty());
+}
+
+TEST(LinkFaultsTest, ScriptedWindowActivatesAndHeals) {
+  FaultConfig fc;
+  fc.links.push_back(link(0, 2, LinkFaultMode::kDown, 100, 500));
+  LinkFaults lf;
+  lf.configure(fc, 4);
+  EXPECT_FALSE(lf.empty());
+
+  // Before activation: up, no transition observed.
+  EXPECT_EQ(lf.status(0, 2, 99), LinkStatus::kUp);
+  EXPECT_EQ(lf.version(), 0u);
+
+  // Inside the window: down, version bumped once, pair listed.
+  EXPECT_EQ(lf.status(0, 2, 100), LinkStatus::kDown);
+  EXPECT_EQ(lf.version(), 1u);
+  EXPECT_EQ(lf.down_pairs(),
+            (std::vector<std::pair<int, int>>{{0, 2}}));
+  EXPECT_GT(lf.down_observed(), 0u);
+
+  // Repeated consults inside the window are not new transitions.
+  EXPECT_EQ(lf.status(0, 2, 200), LinkStatus::kDown);
+  EXPECT_EQ(lf.version(), 1u);
+
+  // Past heal_at: up again, second transition, pair no longer down.
+  EXPECT_EQ(lf.status(0, 2, 500), LinkStatus::kUp);
+  EXPECT_EQ(lf.version(), 2u);
+  EXPECT_EQ(lf.heals(), 1u);
+  EXPECT_TRUE(lf.down_pairs().empty());
+}
+
+TEST(LinkFaultsTest, DirectionAndEndpointOrderDoNotMatter) {
+  FaultConfig fc;
+  fc.links.push_back(link(3, 1, LinkFaultMode::kDown, 10));  // a > b on input
+  LinkFaults lf;
+  lf.configure(fc, 4);
+  EXPECT_EQ(lf.status(1, 3, 10), LinkStatus::kDown);
+  EXPECT_EQ(lf.status(3, 1, 10), LinkStatus::kDown);
+  EXPECT_EQ(lf.down_pairs(),
+            (std::vector<std::pair<int, int>>{{1, 3}}));
+  // Other pairs are untouched.
+  EXPECT_EQ(lf.status(0, 1, 10), LinkStatus::kUp);
+  EXPECT_EQ(lf.status(2, 3, 10), LinkStatus::kUp);
+}
+
+TEST(LinkFaultsTest, DownTakesPrecedenceOverDegraded) {
+  FaultConfig fc;
+  fc.links.push_back(link(0, 1, LinkFaultMode::kDegraded, 1));
+  fc.links.push_back(link(0, 1, LinkFaultMode::kDown, 50));
+  LinkFaults lf;
+  lf.configure(fc, 2);
+  EXPECT_EQ(lf.status(0, 1, 10), LinkStatus::kDegraded);
+  EXPECT_EQ(lf.status(0, 1, 60), LinkStatus::kDown);
+}
+
+TEST(LinkFaultsTest, DegradedLinkIsObservedNotDown) {
+  FaultConfig fc;
+  fc.links.push_back(link(0, 1, LinkFaultMode::kDegraded, 1));
+  LinkFaults lf;
+  lf.configure(fc, 2);
+  EXPECT_EQ(lf.status(0, 1, 5), LinkStatus::kDegraded);
+  EXPECT_GT(lf.degraded_observed(), 0u);
+  EXPECT_TRUE(lf.down_pairs().empty())
+      << "a degraded link still carries traffic; it must not cut the "
+         "reachability graph";
+}
+
+TEST(LinkFaultsTest, PartitionCoversExactlyTheCrossingPairs) {
+  FaultConfig fc;
+  fc.partitions.push_back(partition(1, 2, 100));
+  LinkFaults lf;
+  lf.configure(fc, 4);
+
+  // Crossing pairs are down once active.
+  EXPECT_EQ(lf.status(0, 1, 100), LinkStatus::kDown);
+  EXPECT_EQ(lf.status(2, 3, 100), LinkStatus::kDown);
+  EXPECT_EQ(lf.status(0, 2, 100), LinkStatus::kDown);
+  // Pairs inside either side stay up.
+  EXPECT_EQ(lf.status(1, 2, 100), LinkStatus::kUp);
+  EXPECT_EQ(lf.status(0, 3, 100), LinkStatus::kUp);
+
+  const std::vector<std::pair<int, int>> want{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(lf.down_pairs(), want);
+}
+
+TEST(LinkFaultsTest, PartitionHealRestoresEveryCrossingPair) {
+  FaultConfig fc;
+  fc.partitions.push_back(partition(0, 0, 10, 20));
+  LinkFaults lf;
+  lf.configure(fc, 3);
+  EXPECT_EQ(lf.status(0, 1, 10), LinkStatus::kDown);
+  EXPECT_EQ(lf.status(0, 2, 25), LinkStatus::kUp);
+  EXPECT_EQ(lf.status(0, 1, 25), LinkStatus::kUp);
+  EXPECT_TRUE(lf.down_pairs().empty());
+  EXPECT_EQ(lf.heals(), 1u);
+}
+
+TEST(LinkFaultsTest, DownAndHealCallbacksFireOncePerPair) {
+  FaultConfig fc;
+  fc.partitions.push_back(partition(2, 3, 10, 50));
+  LinkFaults lf;
+  lf.configure(fc, 4);
+  std::vector<std::pair<int, int>> downs;
+  std::vector<std::pair<int, int>> heals;
+  lf.set_down_callback([&](int a, int b) { downs.emplace_back(a, b); });
+  lf.set_heal_callback([&](int a, int b) { heals.emplace_back(a, b); });
+
+  // Many consults, one activation: the callback fires once per crossing
+  // pair, enumerated group-member-major.
+  for (int i = 0; i < 3; ++i) (void)lf.status(0, 2, 10);
+  const std::vector<std::pair<int, int>> want{{0, 2}, {1, 2}, {0, 3}, {1, 3}};
+  EXPECT_EQ(downs, want);
+  EXPECT_TRUE(heals.empty());
+
+  for (int i = 0; i < 3; ++i) (void)lf.status(0, 2, 50);
+  EXPECT_EQ(heals, want);
+  EXPECT_EQ(downs, want);
+}
+
+TEST(LinkFaultsTest, DegradedPenaltyScalesWithBytesAndBeta) {
+  FaultConfig fc;
+  fc.links.push_back(link(0, 1, LinkFaultMode::kDegraded, 1));
+  fc.degraded_beta_factor = 4.0;
+  fc.degraded_alpha_cycles = 100;
+  NetworkModel model(make_topology("flat", 2), NetCostParams{});
+  model.configure_link_faults(fc, 2);
+  EXPECT_EQ(model.link_faults().degraded_beta_factor(), 4.0);
+  EXPECT_EQ(model.link_faults().degraded_alpha_cycles(), 100u);
+
+  const std::uint64_t small = model.degraded_penalty_cycles(64);
+  const std::uint64_t large = model.degraded_penalty_cycles(64 * 1024);
+  EXPECT_GE(small, 100u) << "the configured alpha is always charged";
+  EXPECT_GT(large, small) << "the beta term grows with the payload";
+}
+
+// ---------------------------------------------------------------------------
+// DegradedTopologyView — shortest routes over the surviving pair graph.
+// ---------------------------------------------------------------------------
+
+TEST(DegradedTopologyViewTest, NoDownPairsMatchesTheBaseTopology) {
+  const auto base = make_topology("ring", 8);
+  DegradedTopologyView view(*base, {});
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_EQ(view.hops(s, d), base->hops(s, d)) << s << "->" << d;
+    }
+  }
+  EXPECT_DOUBLE_EQ(view.degraded_mean_hops(), base->mean_hops());
+  EXPECT_EQ(view.link_count(), base->link_count());
+}
+
+TEST(DegradedTopologyViewTest, ReroutesAroundADownPair) {
+  const auto base = make_topology("flat", 4);
+  DegradedTopologyView view(*base, {{0, 1}});
+  // The direct 1-hop path is cut; the cheapest detour relays through any
+  // third PE for 2 hops.
+  EXPECT_EQ(view.hops(0, 1), 2);
+  EXPECT_EQ(view.hops(1, 0), 2);
+  // Untouched pairs keep their direct path.
+  EXPECT_EQ(view.hops(0, 2), 1);
+  EXPECT_EQ(view.hops(2, 3), 1);
+  EXPECT_EQ(view.hops(1, 1), 0);
+  EXPECT_GT(view.degraded_mean_hops(), base->mean_hops());
+  EXPECT_LT(view.link_count(), base->link_count());
+}
+
+TEST(DegradedTopologyViewTest, IsolatedEndpointIsUnreachable) {
+  const auto base = make_topology("flat", 3);
+  DegradedTopologyView view(*base, {{0, 1}, {0, 2}});
+  EXPECT_EQ(view.hops(0, 1), DegradedTopologyView::kUnreachable);
+  EXPECT_EQ(view.hops(0, 2), DegradedTopologyView::kUnreachable);
+  EXPECT_EQ(view.hops(0, 0), 0);
+  EXPECT_EQ(view.hops(1, 2), 1);
+  // The mean skips unreachable pairs instead of poisoning the average.
+  EXPECT_DOUBLE_EQ(view.degraded_mean_hops(), 1.0);
+}
+
+TEST(DegradedTopologyViewTest, DuplicateAndSwappedPairsAreNormalized) {
+  const auto base = make_topology("flat", 4);
+  DegradedTopologyView view(*base, {{1, 0}, {0, 1}, {1, 0}});
+  EXPECT_EQ(view.hops(0, 1), 2);
+  EXPECT_EQ(view.link_count(), base->link_count() - 2);
+}
+
+}  // namespace
+}  // namespace xbgas
